@@ -1,0 +1,70 @@
+// Command primebench regenerates the tables and figures of the paper's
+// evaluation. With no arguments it runs every experiment; otherwise it runs
+// only the named ones.
+//
+// Usage:
+//
+//	primebench              # run everything
+//	primebench -list        # list experiment ids
+//	primebench fig14 fig18  # run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"primelabel/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "primebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("primebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: primebench [-list] [experiment ...]\n\nExperiments:\n")
+		for _, r := range bench.All() {
+			fmt.Fprintf(stderr, "  %-8s %s\n", r.ID, r.Desc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range bench.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", r.ID, r.Desc)
+		}
+		return nil
+	}
+
+	var runners []bench.Runner
+	if fs.NArg() == 0 {
+		runners = bench.All()
+	} else {
+		for _, id := range fs.Args() {
+			r, err := bench.ByID(id)
+			if err != nil {
+				fs.Usage()
+				return err
+			}
+			runners = append(runners, r)
+		}
+	}
+	for _, r := range runners {
+		res, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		res.Fprint(stdout)
+	}
+	return nil
+}

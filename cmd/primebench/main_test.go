@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range []string{"fig3", "fig4", "fig5", "table1", "fig13", "fig14", "table2", "fig15", "fig16", "fig17", "fig18"} {
+		if !strings.Contains(got, id) {
+			t.Errorf("list missing %s:\n%s", id, got)
+		}
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	// Run the cheap analytic experiments end to end.
+	var out strings.Builder
+	if err := run([]string{"fig3", "fig4", "fig5", "table1"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== fig3:", "== fig4:", "== fig5:", "== table1:",
+		"Shakespeare's Plays", "estimated_bits",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig99"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

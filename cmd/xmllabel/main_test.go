@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `<catalog><book><title>Dune</title></book><book><title>Foundation</title></book></catalog>`
+
+func TestRunStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"catalog", "catalog/book/title", "scheme=prime", "elements=5"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFileAndFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-scheme", "prefix-2", "-summary", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "catalog/book/title") {
+		t.Error("-summary should suppress per-node output")
+	}
+	if !strings.Contains(got, "scheme=prefix-2") {
+		t.Errorf("wrong scheme line:\n%s", got)
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-opt2", "-order", "-opt1", "-1"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scheme=prime+opt1+opt2") {
+		t.Errorf("optimization suffixes missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader("<a><b></a>"), &strings.Builder{}); err == nil {
+		t.Error("malformed XML should fail")
+	}
+	if err := run([]string{"-scheme", "bogus"}, strings.NewReader(sample), &strings.Builder{}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	if err := run([]string{"/no/such/file.xml"}, nil, &strings.Builder{}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-badflag"}, nil, &strings.Builder{}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stream", "-opt2"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "scheme=prime(stream) elements=5") {
+		t.Errorf("stream summary wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "catalog/book/title") {
+		t.Errorf("stream per-node output missing:\n%s", got)
+	}
+	if err := run([]string{"-stream", "-scheme", "interval"}, strings.NewReader(sample), &strings.Builder{}); err == nil {
+		t.Error("-stream with non-prime scheme should fail")
+	}
+	if err := run([]string{"-stream", "-opt1", "-1"}, strings.NewReader(sample), &strings.Builder{}); err == nil {
+		t.Error("-stream with auto opt1 should fail")
+	}
+}

@@ -1,0 +1,104 @@
+// Command xqshell runs XPath-subset queries over a labeled XML document.
+// Queries come from the command line or, with none given, from stdin lines.
+//
+// Usage:
+//
+//	xqshell -file play.xml "/play//act[2]//line" "//act//following-sibling::act"
+//	xqshell -file play.xml < queries.txt
+//	xqshell -dataset D8 "//play//speech"    # run against a generated dataset
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"primelabel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "xqshell:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xqshell", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("file", "", "XML file to query")
+	dataset := fs.String("dataset", "", "generated dataset id (D1..D9) instead of a file")
+	scheme := fs.String("scheme", "prime", "labeling scheme")
+	showText := fs.Bool("text", false, "print node text content too")
+	limit := fs.Int("limit", 20, "max matches to print per query (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := primelabel.Config{
+		Scheme:          primelabel.SchemeKind(*scheme),
+		TrackOrder:      true,
+		OrderPreserving: true,
+	}
+	var doc *primelabel.Document
+	var err error
+	switch {
+	case *dataset != "":
+		doc, err = primelabel.GenerateDataset(*dataset, cfg)
+	case *file != "":
+		var f *os.File
+		f, err = os.Open(*file)
+		if err == nil {
+			doc, err = primelabel.Load(f, cfg)
+			f.Close()
+		}
+	default:
+		return fmt.Errorf("provide -file or -dataset")
+	}
+	if err != nil {
+		return err
+	}
+
+	queries := fs.Args()
+	if len(queries) == 0 {
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			q := strings.TrimSpace(sc.Text())
+			if q != "" && !strings.HasPrefix(q, "#") {
+				queries = append(queries, q)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for _, q := range queries {
+		hits, err := doc.Query(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "xqshell: %s: %v\n", q, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%s  →  %d node(s)\n", q, len(hits))
+		for i, h := range hits {
+			if *limit > 0 && i >= *limit {
+				fmt.Fprintf(stdout, "  … %d more\n", len(hits)-i)
+				break
+			}
+			line := fmt.Sprintf("  %s  label=%s", h.Path(), doc.Label(h))
+			if *showText {
+				if txt := h.Text(); txt != "" {
+					line += fmt.Sprintf("  %q", txt)
+				}
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	return firstErr
+}

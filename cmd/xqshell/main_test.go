@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `<play><title>T</title><act><scene><line>a</line><line>b</line></scene></act><act><scene><line>c</line></scene></act></play>`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "play.xml")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueriesFromArgs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-file", writeSample(t), "//line", "/play/act[2]//line"}, nil, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "//line  →  3 node(s)") {
+		t.Errorf("missing //line count:\n%s", got)
+	}
+	if !strings.Contains(got, "/play/act[2]//line  →  1 node(s)") {
+		t.Errorf("missing act[2] count:\n%s", got)
+	}
+	if !strings.Contains(got, "label=") {
+		t.Errorf("missing labels:\n%s", got)
+	}
+}
+
+func TestRunQueriesFromStdin(t *testing.T) {
+	var out strings.Builder
+	stdin := strings.NewReader("# comment\n//line\n\n//act\n")
+	if err := run([]string{"-file", writeSample(t), "-text"}, stdin, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "//line  →  3 node(s)") || !strings.Contains(got, "//act  →  2 node(s)") {
+		t.Errorf("stdin queries not executed:\n%s", got)
+	}
+	if !strings.Contains(got, `"a"`) {
+		t.Errorf("-text output missing:\n%s", got)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-file", writeSample(t), "-limit", "1", "//line"}, nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "… 2 more") {
+		t.Errorf("limit not applied:\n%s", out.String())
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dataset", "D1", "//article"}, nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "node(s)") {
+		t.Errorf("dataset query produced no output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+		t.Error("missing -file/-dataset should fail")
+	}
+	if err := run([]string{"-file", "/no/such.xml", "//a"}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-dataset", "D99", "//a"}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("bad dataset should fail")
+	}
+	if err := run([]string{"-file", writeSample(t), "///bad"}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("bad query should fail")
+	}
+	if err := run([]string{"-scheme", "bogus", "-dataset", "D1", "//a"}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("bad scheme should fail")
+	}
+}

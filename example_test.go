@@ -1,0 +1,104 @@
+package primelabel_test
+
+import (
+	"fmt"
+	"log"
+
+	"primelabel"
+)
+
+// The paper's running example: label a document, test ancestry by
+// divisibility, and insert a node without relabeling anything.
+func ExampleLoadString() {
+	doc, err := primelabel.LoadString(
+		`<paper><title/><author>Tom</author><author>John</author></paper>`,
+		primelabel.Config{Scheme: primelabel.Prime, TrackOrder: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	authors := doc.Find("author")
+	fmt.Println(doc.IsAncestor(doc.Root(), authors[0]))
+	fmt.Println(doc.IsAncestor(authors[0], authors[1]))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleDocument_Query() {
+	doc, err := primelabel.LoadString(
+		`<library>
+			<book id="b1"><title>Dune</title></book>
+			<book id="b2"><title>Foundation</title></book>
+		</library>`,
+		primelabel.Config{Scheme: primelabel.Prime, TrackOrder: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := doc.Query("//book[@id='b2']/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Println(h.Text())
+	}
+	second, _ := doc.Query("/library/book[2]")
+	fmt.Println(len(second))
+	// Output:
+	// Foundation
+	// 1
+}
+
+func ExampleDocument_InsertAfter() {
+	doc, err := primelabel.LoadString(
+		`<list><item>a</item><item>c</item></list>`,
+		primelabel.Config{Scheme: primelabel.Prime, TrackOrder: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items := doc.Find("item")
+	before := doc.Label(items[1])
+	mid, _, err := doc.InsertAfter(items[0], "item")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Existing labels never change; the new node slots into position 2.
+	fmt.Println(doc.Label(items[1]) == before)
+	second, _ := doc.Query("/list/item[2]")
+	fmt.Println(second[0] == mid)
+	// Output:
+	// true
+	// true
+}
+
+func ExampleGenerateDataset() {
+	doc, err := primelabel.GenerateDataset("D4", primelabel.Config{
+		Scheme:           primelabel.Prime,
+		PowerOfTwoLeaves: true,
+		ReservedPrimes:   -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := doc.Stats()
+	fmt.Println(st.Elements, st.MaxDepth >= 2, st.MaxFanout > 1000)
+	// Output:
+	// 1110 true true
+}
+
+func ExampleDocument_Label() {
+	doc, err := primelabel.LoadString(`<r><a><b/></a></r>`, primelabel.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Top-down prime labels: root = 1, then parent × self down the path.
+	fmt.Println(doc.Label(doc.Root()))
+	fmt.Println(doc.Label(doc.Find("a")[0]))
+	fmt.Println(doc.Label(doc.Find("b")[0]))
+	// Output:
+	// 1
+	// 2
+	// 6
+}

@@ -1,0 +1,88 @@
+// Persistence: label once, mutate, save the labeled document, restore it
+// in a "new process", and keep updating — the lifecycle of a label store
+// that must never relabel. Dynamic updates produce labels that no fresh
+// labeling pass would regenerate, which is exactly why the full allocation
+// state travels with the document.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"primelabel"
+)
+
+func main() {
+	doc, err := primelabel.LoadString(
+		`<inventory>
+			<warehouse id="east"><item/><item/></warehouse>
+			<warehouse id="west"><item/></warehouse>
+		</inventory>`,
+		primelabel.Config{
+			Scheme:        primelabel.Prime,
+			TrackOrder:    true,
+			RecyclePrimes: true,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mutate: ship one item, receive two (one of them order-sensitive).
+	east := doc.Find("warehouse")[0]
+	items := doc.Find("item")
+	if err := doc.Delete(items[1]); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := doc.InsertChild(east, 0, "item"); err != nil {
+		log.Fatal(err)
+	}
+	added, _, err := doc.InsertAfter(doc.Find("item")[0], "item")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before save: %d items, new item labeled %s\n",
+		len(doc.Find("item")), doc.Label(added))
+
+	// Persist the labeled document (tree + labels + allocator + SC table).
+	var store bytes.Buffer
+	if err := doc.Save(&store); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved %d bytes\n", store.Len())
+
+	// "Restart": restore and verify the labels came back identical.
+	restored, err := primelabel.LoadSaved(&store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	orig := doc.Find("item")
+	back := restored.Find("item")
+	for i := range orig {
+		if doc.Label(orig[i]) != restored.Label(back[i]) {
+			same = false
+		}
+	}
+	fmt.Printf("labels identical after restore: %v\n", same)
+
+	// The restored document keeps absorbing updates without relabeling:
+	// allocation resumes exactly where it stopped.
+	fixed := restored.Label(back[0])
+	for i := 0; i < 100; i++ {
+		target := restored.Find("item")[i%len(back)]
+		if _, _, err := restored.InsertAfter(target, "item"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after 100 more inserts: %d items, first label still %s (%v)\n",
+		len(restored.Find("item")), restored.Label(back[0]),
+		restored.Label(back[0]) == fixed)
+
+	// Order queries work across the save/restore boundary.
+	second, err := restored.Query("//warehouse[@id='east']/item[2]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("east warehouse still has an addressable second item: %v\n", len(second) == 1)
+}

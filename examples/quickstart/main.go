@@ -1,0 +1,85 @@
+// Quickstart: label a small document with the prime number scheme, inspect
+// the labels, test ancestry by divisibility, and run order-sensitive
+// queries — the end-to-end flow of the paper's running example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"primelabel"
+)
+
+const catalogXML = `<catalog>
+  <book id="b1">
+    <title>The Art of Computer Programming</title>
+    <author>Knuth</author>
+  </book>
+  <book id="b2">
+    <title>Structure and Interpretation</title>
+    <author>Abelson</author>
+    <author>Sussman</author>
+  </book>
+</catalog>`
+
+func main() {
+	doc, err := primelabel.LoadString(catalogXML, primelabel.Config{
+		Scheme:     primelabel.Prime,
+		TrackOrder: true, // build the SC table so order queries work
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== labels (parent-label × self-label products) ==")
+	var dump func(n primelabel.Node)
+	dump = func(n primelabel.Node) {
+		fmt.Printf("  %-28s label=%-6s self=%s\n", n.Path(), doc.Label(n), doc.SelfLabel(n))
+		for _, c := range n.Children() {
+			dump(c)
+		}
+	}
+	dump(doc.Root())
+
+	// Ancestor tests are label divisibility: label(descendant) mod
+	// label(ancestor) == 0 (Property 2 of the paper).
+	books := doc.Find("book")
+	authors := doc.Find("author")
+	fmt.Println("\n== ancestor tests from labels alone ==")
+	fmt.Printf("  catalog ancestor-of author[1]? %v\n", doc.IsAncestor(doc.Root(), authors[0]))
+	fmt.Printf("  book[1] ancestor-of author[1]? %v\n", doc.IsAncestor(books[0], authors[0]))
+	fmt.Printf("  book[1] ancestor-of author[2]? %v\n", doc.IsAncestor(books[0], authors[1]))
+
+	// Order-sensitive queries use the SC table.
+	fmt.Println("\n== queries ==")
+	for _, q := range []string{
+		"/catalog/book[2]/author",
+		"//author[1]//following::author",
+		"//book//following-sibling::book",
+	} {
+		hits, err := doc.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-38s → %d node(s)\n", q, len(hits))
+		for _, h := range hits {
+			fmt.Printf("      %s %q\n", h.Path(), h.Text())
+		}
+	}
+
+	// Dynamic insert: a new author squeezes in as author[2] of book 2 —
+	// without touching any existing label.
+	before := doc.Label(authors[2])
+	node, relabeled, err := doc.InsertAfter(authors[1], "author")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== inserted %s (labels written: %d; existing labels untouched: %v) ==\n",
+		node.Path(), relabeled, doc.Label(authors[2]) == before)
+	hits, err := doc.Query("/catalog/book[2]/author[2]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  /catalog/book[2]/author[2] now resolves to the new node: %v\n",
+		len(hits) == 1 && hits[0] == node)
+}

@@ -1,0 +1,42 @@
+package primelabel
+
+import (
+	"primelabel/internal/datasets"
+)
+
+// GenerateDataset builds one of the nine deterministic evaluation datasets
+// (D1..D9, shaped per the paper's Table 1) and labels it with cfg. See
+// DESIGN.md for what each dataset models.
+func GenerateDataset(id string, cfg Config) (*Document, error) {
+	spec, err := datasets.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return fromTree(spec.Gen(), cfg)
+}
+
+// DatasetIDs lists the available generated datasets with their topics.
+func DatasetIDs() map[string]string {
+	out := make(map[string]string)
+	for _, s := range datasets.All() {
+		out[s.ID] = s.Topic
+	}
+	return out
+}
+
+// GeneratePlays builds a deterministic corpus of Shakespeare-style plays
+// with the given total element count, replicated `replicas` times (the
+// paper's query corpus uses its D8 dataset replicated 5×).
+func GeneratePlays(seed int64, elements, replicas int, cfg Config) (*Document, error) {
+	doc := datasets.PlayCorpus(seed, elements)
+	if replicas > 1 {
+		doc = datasets.Replicate(doc, replicas)
+	}
+	return fromTree(doc, cfg)
+}
+
+// GenerateHamlet builds the five-act play document used by the paper's
+// order-sensitive update experiment.
+func GenerateHamlet(cfg Config) (*Document, error) {
+	return fromTree(datasets.Hamlet(), cfg)
+}

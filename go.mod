@@ -1,0 +1,3 @@
+module primelabel
+
+go 1.22

@@ -1,0 +1,101 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the analytical figures of Section 3. Each
+// runner returns a Result — the same rows/series the paper reports — and
+// cmd/primebench prints them. bench_test.go wraps the same runners in
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Note   string // provenance / adaptation note
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the result as an aligned text table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Note != "" {
+		fmt.Fprintf(w, "   %s\n", r.Note)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func() (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig3", "actual vs estimated prime bit lengths (Figure 3)", Fig3},
+		{"fig4", "effect of fan-out on self-label size, D=2 (Figure 4)", Fig4},
+		{"fig5", "effect of depth on self-label size, F=15 (Figure 5)", Fig5},
+		{"table1", "dataset characteristics (Table 1)", Table1},
+		{"fig13", "effect of optimizations on label size (Figure 13)", Fig13},
+		{"fig14", "space requirements per scheme (Figure 14)", Fig14},
+		{"table2", "test queries and retrieved node counts (Table 2)", Table2},
+		{"fig15", "query response times per scheme (Figure 15)", Fig15},
+		{"fig16", "relabeling cost of leaf updates (Figure 16)", Fig16},
+		{"fig17", "relabeling cost of non-leaf updates (Figure 17)", Fig17},
+		{"fig18", "relabeling cost of order-sensitive updates (Figure 18)", Fig18},
+		{"fig14x", "space requirements, all schemes (extension)", Fig14x},
+		{"fig16x", "leaf-update relabeling, all schemes (extension)", Fig16x},
+		{"fig18x", "order-sensitive updates, extended configurations (extension)", Fig18x},
+	}
+}
+
+// ByID returns the runner with the given id.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

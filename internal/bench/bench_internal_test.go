@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}
+
+func TestAllRunnersSucceed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	for _, r := range All() {
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s: no rows", r.ID)
+		}
+		var sb strings.Builder
+		res.Fprint(&sb)
+		if !strings.Contains(sb.String(), res.Title) {
+			t.Errorf("%s: Fprint missing title", r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+// Figure 3's claim: the estimate tracks the actual bit length within a bit.
+func TestFig3Claim(t *testing.T) {
+	res, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		actual, est := atoi(t, row[1]), atoi(t, row[2])
+		if d := est - actual; d < -1 || d > 1 {
+			t.Errorf("n=%s: actual %d vs estimated %d", row[0], actual, est)
+		}
+	}
+}
+
+// Figure 4's claim: Prefix-1 grows linearly with fan-out; Prime is nearly
+// flat; Prefix-1 overtakes Prime well before F=50 at D=2.
+func TestFig4Claim(t *testing.T) {
+	res, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Rows[0]
+	last := res.Rows[len(res.Rows)-1]
+	p1growth := parseF(t, last[1]) - parseF(t, first[1])
+	primeGrowth := parseF(t, last[3]) - parseF(t, first[3])
+	if p1growth < 40 {
+		t.Errorf("prefix1 growth = %v, want linear (45)", p1growth)
+	}
+	// "Nearly flat" relative to the linear baseline: an order of magnitude
+	// less growth (the formula gives ~7.5 bits vs prefix-1's 45).
+	if primeGrowth > 10 || primeGrowth*4 > p1growth {
+		t.Errorf("prime growth = %v vs prefix1 %v, want near-flat", primeGrowth, p1growth)
+	}
+	if parseF(t, last[1]) <= parseF(t, last[3]) {
+		t.Error("at F=50 prefix1 should exceed prime")
+	}
+}
+
+// Figure 5's claim: prefix sizes are depth-independent, prime grows with
+// depth; at D=10/F=15 prefix wins.
+func TestFig5Claim(t *testing.T) {
+	res, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if parseF(t, first[1]) != parseF(t, last[1]) || parseF(t, first[2]) != parseF(t, last[2]) {
+		t.Error("prefix self-label size should not vary with depth")
+	}
+	if parseF(t, last[3]) <= parseF(t, first[3]) {
+		t.Error("prime self-label size should grow with depth")
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return f
+}
+
+// Figure 13's claims: Opt2 gives a large reduction (paper: up to 63%),
+// Opt3 reduces further (paper: up to 83%), and no optimization stage makes
+// things worse on the leaf-heavy datasets.
+func TestFig13Claims(t *testing.T) {
+	res, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestOpt2, bestOpt3 := 0.0, 0.0
+	for _, row := range res.Rows {
+		orig := float64(atoi(t, row[1]))
+		opt2 := float64(atoi(t, row[3]))
+		opt3 := float64(atoi(t, row[4]))
+		if r := 1 - opt2/orig; r > bestOpt2 {
+			bestOpt2 = r
+		}
+		if r := 1 - opt3/orig; r > bestOpt3 {
+			bestOpt3 = r
+		}
+	}
+	if bestOpt2 < 0.3 {
+		t.Errorf("best Opt2 reduction = %.0f%%, want substantial (paper: up to 63%%)", bestOpt2*100)
+	}
+	if bestOpt3 < 0.5 {
+		t.Errorf("best Opt3 reduction = %.0f%%, want large (paper: up to 83%%)", bestOpt3*100)
+	}
+}
+
+// Figure 14's claims: the interval scheme is never beaten by prefix2 and
+// is the smallest on most datasets (the optimized prime scheme can edge it
+// out on shallow leaf-heavy data — see EXPERIMENTS.md); prime beats prefix2
+// on the huge-fanout dataset D4; prefix2 beats prime on the deep dataset
+// D7.
+func TestFig14Claims(t *testing.T) {
+	res, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string][]string{}
+	intervalSmallest := 0
+	for _, row := range res.Rows {
+		byID[row[0]] = row
+		iv, pr, pf := atoi(t, row[1]), atoi(t, row[2]), atoi(t, row[3])
+		if iv > pf {
+			t.Errorf("%s: interval (%d) should not exceed prefix2 (%d)", row[0], iv, pf)
+		}
+		if iv <= pr && iv <= pf {
+			intervalSmallest++
+		}
+	}
+	if intervalSmallest < 5 {
+		t.Errorf("interval smallest on only %d of %d datasets", intervalSmallest, len(res.Rows))
+	}
+	if d4 := byID["D4"]; atoi(t, d4[2]) >= atoi(t, d4[3]) {
+		t.Errorf("D4 (huge fan-out): prime %s should beat prefix2 %s", d4[2], d4[3])
+	}
+	if d7 := byID["D7"]; atoi(t, d7[3]) >= atoi(t, d7[2]) {
+		t.Errorf("D7 (deep): prefix2 %s should beat prime %s", d7[3], d7[2])
+	}
+}
+
+// Figure 16's claims: interval relabels grow with document size into the
+// hundreds/thousands; prime relabels exactly 2 (Opt2 leaf conversion);
+// prefix relabels exactly 1.
+func TestFig16Claims(t *testing.T) {
+	res, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstIv := atoi(t, res.Rows[0][1])
+	lastIv := atoi(t, res.Rows[len(res.Rows)-1][1])
+	if lastIv <= firstIv {
+		t.Errorf("interval relabels should grow with size: %d -> %d", firstIv, lastIv)
+	}
+	for _, row := range res.Rows {
+		if got := atoi(t, row[2]); got != 2 {
+			t.Errorf("n=%s: prime relabels = %d, want 2", row[0], got)
+		}
+		if got := atoi(t, row[3]); got != 1 {
+			t.Errorf("n=%s: prefix relabels = %d, want 1", row[0], got)
+		}
+		if atoi(t, row[1]) < 100 {
+			t.Errorf("n=%s: interval relabels = %s, want hundreds+", row[0], row[1])
+		}
+	}
+}
+
+// Figure 17's claims: interval relabels ~everything after the insertion;
+// prime and prefix relabel only the wrapped subtree (small and
+// size-independent here).
+func TestFig17Claims(t *testing.T) {
+	res, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		iv, pr, pf := atoi(t, row[1]), atoi(t, row[2]), atoi(t, row[3])
+		if iv < 10*pr || iv < 10*pf {
+			t.Errorf("n=%s: interval %d should dwarf prime %d / prefix %d", row[0], iv, pr, pf)
+		}
+		if pr > 10 || pf > 10 {
+			t.Errorf("n=%s: dynamic schemes should stay small (prime %d, prefix %d)", row[0], pr, pf)
+		}
+	}
+}
+
+// Figure 18's claim: order-sensitive inserts cost the prime scheme far
+// fewer (record) updates than the relabeling schemes.
+func TestFig18Claims(t *testing.T) {
+	res, err := Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		iv, pf, pr := atoi(t, row[1]), atoi(t, row[2]), atoi(t, row[3])
+		if pr*3 > iv {
+			t.Errorf("insert %s: prime %d not well below interval %d", row[0], pr, iv)
+		}
+		if pr*3 > pf {
+			t.Errorf("insert %s: prime %d not well below prefix %d", row[0], pr, pf)
+		}
+		if iv < 500 || pf < 500 {
+			t.Errorf("insert %s: relabeling schemes should pay thousands (interval %d, prefix %d)", row[0], iv, pf)
+		}
+	}
+}
+
+// Table 2: the workload must execute and the broad count ordering of the
+// paper must hold (Q9 line-count is the largest, Q1 act[4] among the
+// smallest).
+func TestTable2Claims(t *testing.T) {
+	res, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, row := range res.Rows {
+		counts[row[0]] = atoi(t, row[3])
+	}
+	if counts["Q9"] <= counts["Q1"] {
+		t.Errorf("Q9 (%d) should retrieve far more nodes than Q1 (%d)", counts["Q9"], counts["Q1"])
+	}
+	if counts["Q8"] <= counts["Q1"] {
+		t.Errorf("Q8 (%d) should retrieve more nodes than Q1 (%d)", counts["Q8"], counts["Q1"])
+	}
+	for id, c := range counts {
+		if c == 0 {
+			t.Errorf("%s retrieved 0 nodes; workload query needs adaptation", id)
+		}
+	}
+}
+
+// Extended-figure claims: the extensions must actually deliver.
+func TestFig18xClaims(t *testing.T) {
+	res, err := Fig18x()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: insertion, chunk5, chunk100, spacing64, dewey, float.
+	for _, row := range res.Rows {
+		chunk5, chunk100 := atoi(t, row[1]), atoi(t, row[2])
+		spacing64, dewey := atoi(t, row[3]), atoi(t, row[4])
+		if spacing64 != 2 {
+			t.Errorf("insert %s: sparse spacing cost %d, want exactly 2 (node + one SC record)", row[0], spacing64)
+		}
+		if chunk100*5 > chunk5 {
+			t.Errorf("insert %s: chunk100 (%d) should be ~20x below chunk5 (%d)", row[0], chunk100, chunk5)
+		}
+		if dewey < 500 {
+			t.Errorf("insert %s: dewey relabels %d, want thousands", row[0], dewey)
+		}
+	}
+}
+
+func TestFig14xClaims(t *testing.T) {
+	res, err := Fig14x()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: dataset, interval, xrel, prime, prime-bu, prime-dec, prefix1, prefix2, dewey, float.
+	col := map[string]int{}
+	for i, h := range res.Header {
+		col[h] = i
+	}
+	for _, row := range res.Rows {
+		bu := atoi(t, row[col["prime-bu"]])
+		td := atoi(t, row[col["prime"]])
+		if bu <= td*3 {
+			t.Errorf("%s: bottom-up (%d bits) should dwarf top-down (%d)", row[0], bu, td)
+		}
+		if f := atoi(t, row[col["float"]]); f != 128 {
+			t.Errorf("%s: float bits = %d, want 128", row[0], f)
+		}
+	}
+	// Decomposition beats flat prime on the deep dataset D7.
+	for _, row := range res.Rows {
+		if row[0] != "D7" {
+			continue
+		}
+		if dec, td := atoi(t, row[col["prime-dec"]]), atoi(t, row[col["prime"]]); dec >= td+20 {
+			t.Errorf("D7: decomposed %d should not be far above flat %d", dec, td)
+		}
+	}
+}
+
+func TestFig16xClaims(t *testing.T) {
+	res, err := Fig16x()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, row := range res.Rows {
+		counts[row[0]] = atoi(t, row[1])
+	}
+	for _, dynamic := range []string{"prime", "prime-dec", "prefix1", "prefix2", "dewey", "float"} {
+		if counts[dynamic] > 2 {
+			t.Errorf("%s: leaf insert cost %d, want <= 2", dynamic, counts[dynamic])
+		}
+	}
+	if counts["interval"] < 5000 {
+		t.Errorf("interval cost %d, want ~N", counts["interval"])
+	}
+	if counts["prime-bu"] <= 2 {
+		t.Errorf("bottom-up cost %d, want the ancestor chain", counts["prime-bu"])
+	}
+}

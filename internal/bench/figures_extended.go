@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+
+	"primelabel/internal/datasets"
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/floatlab"
+	"primelabel/internal/labeling/interval"
+	"primelabel/internal/labeling/prefix"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xmltree"
+)
+
+// Extended experiments beyond the paper's figures: the same measurements
+// widened to every implemented scheme, and the repository's extensions put
+// side by side with the paper's configuration.
+
+// allSchemes is the full scheme roster for the extended comparisons.
+func allSchemes() []struct {
+	name string
+	s    labeling.Scheme
+} {
+	return []struct {
+		name string
+		s    labeling.Scheme
+	}{
+		{"interval", interval.Scheme{Variant: interval.XISS}},
+		{"xrel", interval.Scheme{Variant: interval.XRel}},
+		{"prime", prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, PowerOfTwoLeaves: true}}},
+		{"prime-bu", prime.BottomUpScheme{}},
+		{"prime-dec", prime.DecomposedScheme{}},
+		{"prefix1", prefix.Scheme{Variant: prefix.Prefix1}},
+		{"prefix2", prefix.Scheme{Variant: prefix.Prefix2}},
+		{"dewey", prefix.DeweyScheme{}},
+		{"float", floatlab.Scheme{}},
+	}
+}
+
+// Fig14x extends Figure 14 to every scheme in the repository.
+func Fig14x() (*Result, error) {
+	schemes := allSchemes()
+	res := &Result{
+		ID:    "fig14x",
+		Title: "Space Requirements, All Schemes (max label bits; extension)",
+		Note:  "adds the schemes the paper discusses but does not plot",
+	}
+	res.Header = []string{"dataset"}
+	for _, sc := range schemes {
+		res.Header = append(res.Header, sc.name)
+	}
+	for _, spec := range datasets.All() {
+		row := []string{spec.ID}
+		for _, sc := range schemes {
+			l, err := sc.s.Label(spec.Gen())
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", sc.name, spec.ID, err)
+			}
+			row = append(row, fmt.Sprint(l.MaxLabelBits()))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig18x extends Figure 18 with this repository's order extensions: sparse
+// order numbers (spacing 64) and a larger SC chunk, against the paper's
+// dense chunk-5 configuration.
+func Fig18x() (*Result, error) {
+	configs := []struct {
+		name string
+		s    labeling.Scheme
+	}{
+		{"prime chunk5 (paper)", prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, TrackOrder: true, SCChunk: 5}}},
+		{"prime chunk100", prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, TrackOrder: true, SCChunk: 100}}},
+		{"prime spacing64", prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, TrackOrder: true, SCChunk: 5, OrderSpacing: 64}}},
+		{"dewey", prefix.DeweyScheme{}},
+		{"float", floatlab.Scheme{}},
+	}
+	res := &Result{
+		ID:     "fig18x",
+		Title:  "Order-Sensitive Updates, Extended Configurations (relabels per ACT insertion)",
+		Note:   "sparse spacing inserts into open gaps: one SC record per insert",
+		Header: []string{"insertion"},
+	}
+	for _, c := range configs {
+		res.Header = append(res.Header, c.name)
+	}
+	counts := make([][]int, len(configs))
+	for ci, c := range configs {
+		doc := datasets.Hamlet()
+		lab, err := c.s.Label(doc)
+		if err != nil {
+			return nil, err
+		}
+		acts := xmltree.ElementsByName(doc.Root, "act")
+		for i := 0; i < 5; i++ {
+			parent := acts[i].Parent
+			idx := parent.ChildIndex(acts[i])
+			count, err := lab.InsertChildAt(parent, idx, xmltree.NewElement("act"))
+			if err != nil {
+				return nil, fmt.Errorf("fig18x %s insert %d: %w", c.name, i, err)
+			}
+			counts[ci] = append(counts[ci], count)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		row := []string{fmt.Sprint(i + 1)}
+		for ci := range configs {
+			row = append(row, fmt.Sprint(counts[ci][i]))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig16x extends Figure 16 (leaf insertion relabel counts) to every scheme.
+func Fig16x() (*Result, error) {
+	schemes := allSchemes()
+	res := &Result{
+		ID:    "fig16x",
+		Title: "Leaf-Update Relabeling, All Schemes (doc of 5000 nodes; extension)",
+	}
+	res.Header = []string{"scheme", "relabeled"}
+	for _, sc := range schemes {
+		doc := datasets.SizeSeries(5000)
+		lab, err := sc.s.Label(doc)
+		if err != nil {
+			return nil, err
+		}
+		deepest := datasets.DeepestElement(doc)
+		count, err := lab.InsertChildAt(deepest, 0, xmltree.NewElement("new"))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		res.Rows = append(res.Rows, []string{sc.name, fmt.Sprint(count)})
+	}
+	return res, nil
+}

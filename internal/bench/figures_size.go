@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+
+	"primelabel/internal/datasets"
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/interval"
+	"primelabel/internal/labeling/prefix"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/sizemodel"
+	"primelabel/internal/xmltree"
+)
+
+// Fig3 regenerates Figure 3: the bit length of the first 10000 primes
+// against the paper's estimate log2(n·ln n), sampled every 500.
+func Fig3() (*Result, error) {
+	idx, actual, estimated := sizemodel.Fig3Series(10000, 500)
+	res := &Result{
+		ID:     "fig3",
+		Title:  "Actual vs. Estimated Prime Number (bit length of the n-th prime)",
+		Header: []string{"n", "actual_bits", "estimated_bits"},
+	}
+	for i := range idx {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(idx[i]), fmt.Sprint(actual[i]), fmt.Sprint(estimated[i]),
+		})
+	}
+	return res, nil
+}
+
+// Fig4 regenerates Figure 4: maximum self-label size vs fan-out at D=2 for
+// Prefix-1, Prefix-2 and Prime (Equations 1-3).
+func Fig4() (*Result, error) {
+	res := &Result{
+		ID:     "fig4",
+		Title:  "Effect of Fan-out on Self-Label Size (D=2)",
+		Header: []string{"fanout", "prefix1_bits", "prefix2_bits", "prime_bits"},
+	}
+	for f := 5; f <= 50; f += 5 {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(f),
+			fmt.Sprintf("%.1f", sizemodel.SelfLabelBits("prefix-1", 2, f)),
+			fmt.Sprintf("%.1f", sizemodel.SelfLabelBits("prefix-2", 2, f)),
+			fmt.Sprintf("%.1f", sizemodel.SelfLabelBits("prime", 2, f)),
+		})
+	}
+	return res, nil
+}
+
+// Fig5 regenerates Figure 5: maximum self-label size vs depth at F=15.
+func Fig5() (*Result, error) {
+	res := &Result{
+		ID:     "fig5",
+		Title:  "Effect of Depth on Self-Label Size (F=15)",
+		Header: []string{"depth", "prefix1_bits", "prefix2_bits", "prime_bits"},
+	}
+	for d := 1; d <= 10; d++ {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(d),
+			fmt.Sprintf("%.1f", sizemodel.SelfLabelBits("prefix-1", d, 15)),
+			fmt.Sprintf("%.1f", sizemodel.SelfLabelBits("prefix-2", d, 15)),
+			fmt.Sprintf("%.1f", sizemodel.SelfLabelBits("prime", d, 15)),
+		})
+	}
+	return res, nil
+}
+
+// Table1 regenerates Table 1: the characteristics of the nine datasets
+// (synthetic stand-ins for the Niagara corpus; see DESIGN.md).
+func Table1() (*Result, error) {
+	res := &Result{
+		ID:     "table1",
+		Title:  "Characteristics of Datasets",
+		Note:   "synthetic stand-ins matched to the paper's node counts and shapes",
+		Header: []string{"dataset", "topic", "nodes", "depth", "max_fanout", "leaves"},
+	}
+	for _, spec := range datasets.All() {
+		st := xmltree.ComputeStats(spec.Gen())
+		res.Rows = append(res.Rows, []string{
+			spec.ID, spec.Topic,
+			fmt.Sprint(st.Nodes), fmt.Sprint(st.MaxDepth),
+			fmt.Sprint(st.MaxFan), fmt.Sprint(st.Leaves),
+		})
+	}
+	return res, nil
+}
+
+// fig13Configs are the cumulative optimization configurations of
+// Section 5.1.1: Original, +Opt1 (reserved primes), +Opt2 (power-of-two
+// leaves), +Opt3 (combined paths).
+func fig13Label(doc *xmltree.Document, stage int) (int, error) {
+	switch stage {
+	case 0:
+		l, err := (prime.Scheme{}).New(doc)
+		if err != nil {
+			return 0, err
+		}
+		return l.MaxLabelBits(), nil
+	case 1:
+		l, err := (prime.Scheme{Opts: prime.Options{ReservedPrimes: -1}}).New(doc)
+		if err != nil {
+			return 0, err
+		}
+		return l.MaxLabelBits(), nil
+	case 2:
+		l, err := (prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, PowerOfTwoLeaves: true}}).New(doc)
+		if err != nil {
+			return 0, err
+		}
+		return l.MaxLabelBits(), nil
+	default:
+		c, err := prime.NewCombined(doc, prime.Options{ReservedPrimes: -1, PowerOfTwoLeaves: true})
+		if err != nil {
+			return 0, err
+		}
+		return c.MaxLabelBits(), nil
+	}
+}
+
+// Fig13 regenerates Figure 13: the effect of the optimizations on the
+// maximum label size over datasets D1-D9.
+func Fig13() (*Result, error) {
+	res := &Result{
+		ID:     "fig13",
+		Title:  "Effect of Optimizations on Space Requirement (max label bits)",
+		Header: []string{"dataset", "original", "opt1", "opt2", "opt3"},
+	}
+	for _, spec := range datasets.All() {
+		row := []string{spec.ID}
+		for stage := 0; stage < 4; stage++ {
+			bits, err := fig13Label(spec.Gen(), stage)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(bits))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig14 regenerates Figure 14: fixed-length label size for the interval,
+// prime (optimized) and Prefix-2 schemes over D1-D9.
+func Fig14() (*Result, error) {
+	schemes := []struct {
+		name string
+		s    labeling.Scheme
+	}{
+		{"interval", interval.Scheme{Variant: interval.XISS}},
+		{"prime", prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, PowerOfTwoLeaves: true}}},
+		{"prefix2", prefix.Scheme{Variant: prefix.Prefix2}},
+	}
+	res := &Result{
+		ID:     "fig14",
+		Title:  "Space Requirements of the Labeling Schemes (max label bits)",
+		Header: []string{"dataset", "interval", "prime", "prefix2"},
+	}
+	for _, spec := range datasets.All() {
+		row := []string{spec.ID}
+		for _, sc := range schemes {
+			l, err := sc.s.Label(spec.Gen())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(l.MaxLabelBits()))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"primelabel/internal/datasets"
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/interval"
+	"primelabel/internal/labeling/prefix"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xmltree"
+)
+
+// updateSchemes are the three schemes of the Section 5.3 experiments. Order
+// tracking is off: these are the *un-ordered* update experiments.
+func updateSchemes() []struct {
+	name string
+	s    labeling.Scheme
+} {
+	return []struct {
+		name string
+		s    labeling.Scheme
+	}{
+		{"interval", interval.Scheme{Variant: interval.XISS}},
+		{"prime", prime.Scheme{Opts: prime.Options{PowerOfTwoLeaves: true, ReservedPrimes: -1}}},
+		{"prefix2", prefix.Scheme{Variant: prefix.Prefix2}},
+	}
+}
+
+// Fig16 regenerates Figure 16: the number of nodes relabeled when a new
+// node is inserted at the deepest level, for documents of 1000..10000
+// nodes. The new node is inserted below the deepest node, whose previous
+// status as a leaf is what makes the optimized prime scheme relabel 2 nodes
+// (Section 5.3).
+func Fig16() (*Result, error) {
+	res := &Result{
+		ID:     "fig16",
+		Title:  "Update on Leaf Nodes (nodes relabeled per insertion)",
+		Header: []string{"doc_nodes", "interval", "prime", "prefix2"},
+	}
+	for n := 1000; n <= 10000; n += 1000 {
+		row := []string{fmt.Sprint(n)}
+		for _, sc := range updateSchemes() {
+			doc := datasets.SizeSeries(n)
+			lab, err := sc.s.Label(doc)
+			if err != nil {
+				return nil, err
+			}
+			deepest := datasets.DeepestElement(doc)
+			count, err := lab.InsertChildAt(deepest, 0, xmltree.NewElement("new"))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(count))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig17 regenerates Figure 17: the number of nodes relabeled when a new
+// node is inserted as the parent of the first level-4 node in SAX order.
+func Fig17() (*Result, error) {
+	res := &Result{
+		ID:     "fig17",
+		Title:  "Update on Non-Leaf Nodes (nodes relabeled per insertion)",
+		Header: []string{"doc_nodes", "interval", "prime", "prefix2"},
+	}
+	for n := 1000; n <= 10000; n += 1000 {
+		row := []string{fmt.Sprint(n)}
+		for _, sc := range updateSchemes() {
+			doc := datasets.SizeSeries(n)
+			lab, err := sc.s.Label(doc)
+			if err != nil {
+				return nil, err
+			}
+			target := datasets.FirstAtDepth(doc, 4)
+			if target == nil {
+				return nil, fmt.Errorf("fig17: no level-4 node in %d-node doc", n)
+			}
+			count, err := lab.WrapNode(target, xmltree.NewElement("new"))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(count))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig18 regenerates Figure 18: order-sensitive updates on the Hamlet
+// document. A new ACT is inserted after each existing ACT; for the interval
+// and (order-preserving) prefix schemes every following node relabels,
+// while the prime scheme only rewrites SC-table records (chunk 5, counted
+// as one relabeled node each, as in Section 5.4).
+func Fig18() (*Result, error) {
+	res := &Result{
+		ID:     "fig18",
+		Title:  "Order-Sensitive Updates on Hamlet (relabels per ACT insertion)",
+		Note:   "prime counts SC record updates; SC chunk = 5",
+		Header: []string{"insertion", "interval", "prefix2_ordered", "prime_sc"},
+	}
+	type run struct {
+		name string
+		lab  labeling.Labeling
+		doc  *xmltree.Document
+	}
+	schemes := []struct {
+		name string
+		s    labeling.Scheme
+	}{
+		{"interval", interval.Scheme{Variant: interval.XISS}},
+		{"prefix2", prefix.Scheme{Variant: prefix.Prefix2, OrderPreserving: true}},
+		{"prime", prime.Scheme{Opts: prime.Options{ReservedPrimes: -1, TrackOrder: true, SCChunk: 5}}},
+	}
+	var runs []run
+	for _, sc := range schemes {
+		doc := datasets.Hamlet()
+		lab, err := sc.s.Label(doc)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run{name: sc.name, lab: lab, doc: doc})
+	}
+	// Perform 5 insertions: a new act after each original act.
+	counts := make([][]int, len(runs))
+	for ri, r := range runs {
+		acts := xmltree.ElementsByName(r.doc.Root, "act")
+		if len(acts) < 5 {
+			return nil, fmt.Errorf("fig18: hamlet has %d acts", len(acts))
+		}
+		for i := 0; i < 5; i++ {
+			// Insert immediately before each original act, so every
+			// insertion point has following content to shift — the
+			// situation the order-maintenance experiment measures.
+			parent := acts[i].Parent
+			idx := parent.ChildIndex(acts[i])
+			count, err := r.lab.InsertChildAt(parent, idx, xmltree.NewElement("act"))
+			if err != nil {
+				return nil, fmt.Errorf("fig18 %s insert %d: %w", r.name, i, err)
+			}
+			counts[ri] = append(counts[ri], count)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(i + 1),
+			fmt.Sprint(counts[0][i]),
+			fmt.Sprint(counts[1][i]),
+			fmt.Sprint(counts[2][i]),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,263 @@
+// Package datasets generates the deterministic synthetic XML corpora the
+// experiments run on. The paper used 6224 real-world files from the Niagara
+// project [14], which is no longer obtainable; these generators reproduce
+// the *structural* parameters the experiments actually exercise — element
+// count, depth, fan-out, and repeated-path frequency per Table 1 — so every
+// size and update experiment sees the same shape of input. Text content is
+// synthesized from a fixed vocabulary. All generators are deterministic:
+// the same call always yields byte-identical documents.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"primelabel/internal/xmltree"
+)
+
+// Spec describes one dataset in the style of the paper's Table 1.
+type Spec struct {
+	ID       string // "D1".."D9"
+	Topic    string // the paper's topic label
+	MaxNodes int    // the paper's "Max. # of nodes" (element count target)
+	Gen      func() *xmltree.Document
+}
+
+// All returns the nine dataset specs of Table 1 in order.
+func All() []Spec {
+	return []Spec{
+		{ID: "D1", Topic: "Sigmod record", MaxNodes: 41, Gen: D1},
+		{ID: "D2", Topic: "Movie", MaxNodes: 125, Gen: D2},
+		{ID: "D3", Topic: "Club", MaxNodes: 340, Gen: D3},
+		{ID: "D4", Topic: "Actor", MaxNodes: 1110, Gen: D4},
+		{ID: "D5", Topic: "Car", MaxNodes: 2495, Gen: D5},
+		{ID: "D6", Topic: "Department", MaxNodes: 2686, Gen: D6},
+		{ID: "D7", Topic: "NASA", MaxNodes: 4834, Gen: D7},
+		{ID: "D8", Topic: "Shakespeare's Plays", MaxNodes: 6636, Gen: D8},
+		{ID: "D9", Topic: "Company", MaxNodes: 10052, Gen: D9},
+	}
+}
+
+// ByID returns the spec with the given ID.
+func ByID(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", id)
+}
+
+// builder tracks a node budget while assembling a document.
+type builder struct {
+	rng  *rand.Rand
+	left int
+}
+
+func newBuilder(seed int64, budget int) *builder {
+	return &builder{rng: rand.New(rand.NewSource(seed)), left: budget}
+}
+
+// el creates an element (consuming one budget unit) under parent; returns
+// nil when the budget is exhausted.
+func (b *builder) el(parent *xmltree.Node, name string) *xmltree.Node {
+	if b.left <= 0 {
+		return nil
+	}
+	b.left--
+	n := xmltree.NewElement(name)
+	if parent != nil {
+		_ = parent.AppendChild(n)
+	}
+	return n
+}
+
+// text attaches synthetic character data (free: text nodes are unlabeled).
+func (b *builder) text(n *xmltree.Node, words int) {
+	if n == nil {
+		return
+	}
+	_ = n.AppendChild(xmltree.NewText(sentence(b.rng, words)))
+}
+
+// fill consumes the remaining budget by appending leaf elements under the
+// given parent, so every dataset hits its Table 1 node count exactly.
+func (b *builder) fill(parent *xmltree.Node, name string) {
+	for b.left > 0 {
+		n := b.el(parent, name)
+		b.text(n, 2)
+	}
+}
+
+// D1 is the Sigmod-record-like dataset: a small, shallow issue listing.
+func D1() *xmltree.Document {
+	b := newBuilder(1, 41)
+	root := b.el(nil, "sigmodRecord")
+	issue := b.el(root, "issue")
+	b.text(b.el(issue, "volume"), 1)
+	b.text(b.el(issue, "number"), 1)
+	articles := b.el(issue, "articles")
+	for b.left > 6 {
+		art := b.el(articles, "article")
+		b.text(b.el(art, "title"), 4)
+		b.text(b.el(art, "initPage"), 1)
+		b.text(b.el(art, "endPage"), 1)
+		authors := b.el(art, "authors")
+		b.text(b.el(authors, "author"), 2)
+	}
+	b.fill(articles, "article")
+	return xmltree.NewDocument(root)
+}
+
+// D2 is the movie-listing dataset: moderate fan-out, depth 3.
+func D2() *xmltree.Document {
+	b := newBuilder(2, 125)
+	root := b.el(nil, "movies")
+	for b.left > 7 {
+		m := b.el(root, "movie")
+		b.text(b.el(m, "title"), 3)
+		b.text(b.el(m, "year"), 1)
+		b.text(b.el(m, "genre"), 1)
+		cast := b.el(m, "cast")
+		for i := 0; i < 3 && b.left > 0; i++ {
+			b.text(b.el(cast, "actor"), 2)
+		}
+	}
+	b.fill(root, "movie")
+	return xmltree.NewDocument(root)
+}
+
+// D3 is the club-membership dataset: flat member records.
+func D3() *xmltree.Document {
+	b := newBuilder(3, 340)
+	root := b.el(nil, "club")
+	b.text(b.el(root, "name"), 2)
+	members := b.el(root, "members")
+	for b.left > 5 {
+		m := b.el(members, "member")
+		b.text(b.el(m, "name"), 2)
+		b.text(b.el(m, "age"), 1)
+		b.text(b.el(m, "email"), 1)
+		b.text(b.el(m, "joined"), 1)
+	}
+	b.fill(members, "member")
+	return xmltree.NewDocument(root)
+}
+
+// D4 is the actor-filmography dataset the paper singles out: a huge flat
+// fan-out (one element listing over a thousand movies), the shape that
+// breaks prefix labeling.
+func D4() *xmltree.Document {
+	b := newBuilder(4, 1110)
+	root := b.el(nil, "actor")
+	b.text(b.el(root, "name"), 2)
+	b.text(b.el(root, "born"), 1)
+	filmography := b.el(root, "filmography")
+	b.fill(filmography, "movie")
+	return xmltree.NewDocument(root)
+}
+
+// D5 is the car-catalog dataset: wide with small record subtrees.
+func D5() *xmltree.Document {
+	b := newBuilder(5, 2495)
+	root := b.el(nil, "cars")
+	for b.left > 6 {
+		c := b.el(root, "car")
+		b.text(b.el(c, "make"), 1)
+		b.text(b.el(c, "model"), 1)
+		b.text(b.el(c, "year"), 1)
+		b.text(b.el(c, "price"), 1)
+		b.text(b.el(c, "color"), 1)
+	}
+	b.fill(root, "car")
+	return xmltree.NewDocument(root)
+}
+
+// D6 is the department dataset: two organizational levels over employees.
+func D6() *xmltree.Document {
+	b := newBuilder(6, 2686)
+	root := b.el(nil, "departments")
+	for b.left > 40 {
+		d := b.el(root, "department")
+		b.text(b.el(d, "name"), 1)
+		for g := 0; g < 3 && b.left > 12; g++ {
+			grp := b.el(d, "group")
+			for e := 0; e < 3 && b.left > 3; e++ {
+				emp := b.el(grp, "employee")
+				b.text(b.el(emp, "name"), 2)
+				b.text(b.el(emp, "title"), 1)
+			}
+		}
+	}
+	b.fill(root, "department")
+	return xmltree.NewDocument(root)
+}
+
+// D7 is the NASA-like dataset: high depth with low fan-out, the shape that
+// favors prefix labeling over prime labeling (Section 5.1.2).
+func D7() *xmltree.Document {
+	b := newBuilder(7, 4834)
+	root := b.el(nil, "datasets")
+	// Deep chains: dataset/reference/source/other/title/... nesting ~9 deep
+	// with fan-out 2.
+	chain := []string{"dataset", "altname", "reference", "source", "other", "journal", "author", "lastName"}
+	for b.left > len(chain)*2 {
+		parent := root
+		for _, tag := range chain {
+			parent = b.el(parent, tag)
+			if parent == nil {
+				break
+			}
+			if b.left > 0 && b.rng.Intn(2) == 0 {
+				b.text(b.el(parent, "note"), 2)
+			}
+		}
+		if parent != nil {
+			b.text(parent, 1)
+		}
+	}
+	b.fill(root, "dataset")
+	return xmltree.NewDocument(root)
+}
+
+// D8 is the Shakespeare-plays dataset; see shakespeare.go for the detailed
+// generator shared with the query experiments.
+func D8() *xmltree.Document {
+	return PlayCorpus(8, 6636)
+}
+
+// D9 is the company dataset: the largest, mixing depth and fan-out.
+func D9() *xmltree.Document {
+	b := newBuilder(9, 10052)
+	root := b.el(nil, "company")
+	b.text(b.el(root, "name"), 2)
+	divisions := b.el(root, "divisions")
+	for b.left > 60 {
+		div := b.el(divisions, "division")
+		b.text(b.el(div, "name"), 1)
+		for d := 0; d < 4 && b.left > 14; d++ {
+			dept := b.el(div, "department")
+			b.text(b.el(dept, "name"), 1)
+			for t := 0; t < 3 && b.left > 4; t++ {
+				team := b.el(dept, "team")
+				for e := 0; e < 2 && b.left > 1; e++ {
+					emp := b.el(team, "employee")
+					b.text(emp, 2)
+				}
+			}
+		}
+	}
+	b.fill(divisions, "division")
+	return xmltree.NewDocument(root)
+}
+
+// Replicate returns a document whose root holds k copies of doc's root —
+// the paper replicates the Shakespeare dataset 5 times for its query
+// experiment (Section 5.2, following [15]).
+func Replicate(doc *xmltree.Document, k int) *xmltree.Document {
+	root := xmltree.NewElement("corpus")
+	for i := 0; i < k; i++ {
+		_ = root.AppendChild(doc.Root.Clone())
+	}
+	return xmltree.NewDocument(root)
+}

@@ -1,0 +1,165 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"primelabel/internal/xmlparse"
+	"primelabel/internal/xmltree"
+)
+
+// Every dataset must hit its Table 1 node count exactly and be
+// deterministic.
+func TestAllDatasetsMatchTable1(t *testing.T) {
+	for _, spec := range All() {
+		doc := spec.Gen()
+		st := xmltree.ComputeStats(doc)
+		if st.Nodes != spec.MaxNodes {
+			t.Errorf("%s (%s): %d elements, want %d", spec.ID, spec.Topic, st.Nodes, spec.MaxNodes)
+		}
+		again := spec.Gen()
+		if !xmltree.Equal(doc.Root, again.Root) {
+			t.Errorf("%s: generator is not deterministic", spec.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	s, err := ByID("D4")
+	if err != nil || s.Topic != "Actor" {
+		t.Errorf("ByID(D4) = %+v, %v", s, err)
+	}
+	if _, err := ByID("D99"); err == nil {
+		t.Error("ByID(D99) should fail")
+	}
+}
+
+// The shapes the paper's analysis relies on: D4 has the huge fan-out, D7
+// is the deepest with low fan-out.
+func TestDatasetShapes(t *testing.T) {
+	stats := map[string]xmltree.Stats{}
+	for _, spec := range All() {
+		stats[spec.ID] = xmltree.ComputeStats(spec.Gen())
+	}
+	d4 := stats["D4"]
+	if d4.MaxFan < 1000 {
+		t.Errorf("D4 fan-out = %d, want >= 1000 (the actor filmography)", d4.MaxFan)
+	}
+	d7 := stats["D7"]
+	for id, st := range stats {
+		if id == "D7" {
+			continue
+		}
+		if st.MaxDepth > d7.MaxDepth {
+			t.Errorf("%s depth %d exceeds D7's %d; D7 should be deepest", id, st.MaxDepth, d7.MaxDepth)
+		}
+	}
+	if d7.MaxDepth < 8 {
+		t.Errorf("D7 depth = %d, want >= 8 (NASA-style nesting)", d7.MaxDepth)
+	}
+}
+
+// Datasets must serialize to well-formed XML and round-trip through our
+// parser.
+func TestDatasetsRoundTrip(t *testing.T) {
+	for _, spec := range All() {
+		doc := spec.Gen()
+		out := doc.String()
+		back, err := xmlparse.ParseDocument(strings.NewReader(out), xmlparse.Options{KeepWhitespace: true})
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", spec.ID, err)
+		}
+		if !xmltree.Equal(doc.Root, back.Root) {
+			t.Errorf("%s: round trip mismatch", spec.ID)
+		}
+	}
+}
+
+func TestPlayCorpusStructure(t *testing.T) {
+	doc := PlayCorpus(8, 6636)
+	for _, tag := range []string{"play", "act", "scene", "speech", "speaker", "line", "persona"} {
+		if len(xmltree.ElementsByName(doc.Root, tag)) == 0 {
+			t.Errorf("corpus has no <%s> elements", tag)
+		}
+	}
+	acts := xmltree.ElementsByName(doc.Root, "act")
+	if len(acts) < 10 {
+		t.Errorf("corpus has only %d acts", len(acts))
+	}
+}
+
+func TestHamlet(t *testing.T) {
+	doc := Hamlet()
+	st := xmltree.ComputeStats(doc)
+	if st.Nodes != 5000 {
+		t.Errorf("Hamlet has %d elements, want 5000", st.Nodes)
+	}
+	acts := doc.Root.ElementChildren()
+	actCount := 0
+	for _, c := range acts {
+		if c.Name == "act" {
+			actCount++
+		}
+	}
+	if actCount != 5 {
+		t.Errorf("Hamlet has %d acts, want 5", actCount)
+	}
+	// Each act must carry a substantial subtree so Figure 18's relabel
+	// counts are in the thousands for interval/prefix.
+	for _, a := range xmltree.ElementsByName(doc.Root, "act") {
+		if n := len(xmltree.Elements(a)); n < 100 {
+			t.Errorf("act subtree only %d elements", n)
+		}
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	doc := Play(1, 3, 200)
+	rep := Replicate(doc, 5)
+	if got := len(rep.Root.ElementChildren()); got != 5 {
+		t.Fatalf("Replicate children = %d, want 5", got)
+	}
+	st := xmltree.ComputeStats(rep)
+	if st.Nodes != 5*200+1 {
+		t.Errorf("replicated nodes = %d, want %d", st.Nodes, 5*200+1)
+	}
+	// The original must not share nodes with the replica.
+	rep.Root.Children[0].Name = "changed"
+	if doc.Root.Name == "changed" {
+		t.Error("Replicate shares nodes with the original")
+	}
+}
+
+func TestSizeSeries(t *testing.T) {
+	for _, n := range []int{1000, 2000, 5000, 10000} {
+		doc := SizeSeries(n)
+		st := xmltree.ComputeStats(doc)
+		if st.Nodes != n {
+			t.Errorf("SizeSeries(%d) = %d elements", n, st.Nodes)
+		}
+		if st.MaxDepth < 5 {
+			t.Errorf("SizeSeries(%d) depth = %d, want >= 5", n, st.MaxDepth)
+		}
+		if FirstAtDepth(doc, 4) == nil {
+			t.Errorf("SizeSeries(%d) has no level-4 node", n)
+		}
+		if d := DeepestElement(doc); d == nil || d.Depth() != st.MaxDepth {
+			t.Errorf("SizeSeries(%d): DeepestElement wrong", n)
+		}
+	}
+}
+
+func TestPerfectTree(t *testing.T) {
+	doc := PerfectTree(3, 2)
+	st := xmltree.ComputeStats(doc)
+	if st.Nodes != 1+3+9 {
+		t.Errorf("PerfectTree(3,2) = %d nodes, want 13", st.Nodes)
+	}
+	if st.MaxDepth != 2 || st.MaxFan != 3 {
+		t.Errorf("PerfectTree shape: depth %d fan %d", st.MaxDepth, st.MaxFan)
+	}
+	one := PerfectTree(5, 0)
+	if xmltree.ComputeStats(one).Nodes != 1 {
+		t.Error("PerfectTree(5,0) should be a single root")
+	}
+}

@@ -1,0 +1,78 @@
+package datasets
+
+import "primelabel/internal/xmltree"
+
+// SizeSeries builds a document with exactly n elements for the update
+// experiments of Section 5.3 (Figures 16 and 17): documents of 1000..10000
+// nodes with at least 5 levels, so both "insert a sibling of the deepest
+// node" and "insert a parent above the first level-4 node" are
+// well-defined.
+func SizeSeries(n int) *xmltree.Document {
+	b := newBuilder(int64(n), n)
+	root := b.el(nil, "root")
+	// A deep spine guarantees depth >= 5 regardless of n.
+	spine := root
+	for i := 0; i < 5 && b.left > 0; i++ {
+		spine = b.el(spine, "spine")
+	}
+	b.text(spine, 1)
+	// Balanced record subtrees consume the rest.
+	for b.left > 8 {
+		sec := b.el(root, "section")
+		for r := 0; r < 3 && b.left > 2; r++ {
+			rec := b.el(sec, "record")
+			b.text(b.el(rec, "field"), 1)
+		}
+	}
+	b.fill(root, "pad")
+	return xmltree.NewDocument(root)
+}
+
+// PerfectTree builds the worst-case tree of the size model (Section 3.1): a
+// perfect tree with the given fan-out and depth (depth 0 = root only).
+func PerfectTree(fanout, depth int) *xmltree.Document {
+	root := xmltree.NewElement("n")
+	var grow func(n *xmltree.Node, d int)
+	grow = func(n *xmltree.Node, d int) {
+		if d == 0 {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			c := xmltree.NewElement("n")
+			_ = n.AppendChild(c)
+			grow(c, d-1)
+		}
+	}
+	grow(root, depth)
+	return xmltree.NewDocument(root)
+}
+
+// DeepestElement returns the last element at the maximum depth of the
+// document — the insertion site of the Figure 16 experiment.
+func DeepestElement(doc *xmltree.Document) *xmltree.Node {
+	var deepest *xmltree.Node
+	best := -1
+	xmltree.WalkElements(doc.Root, func(n *xmltree.Node) bool {
+		if d := n.Depth(); d >= best {
+			best = d
+			deepest = n
+		}
+		return true
+	})
+	return deepest
+}
+
+// FirstAtDepth returns the first element at the given depth in SAX
+// (document) order — the Figure 17 experiment wraps a new parent around the
+// first level-4 node.
+func FirstAtDepth(doc *xmltree.Document, depth int) *xmltree.Node {
+	var found *xmltree.Node
+	xmltree.WalkElements(doc.Root, func(n *xmltree.Node) bool {
+		if n.Depth() == depth {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}

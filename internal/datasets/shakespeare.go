@@ -1,0 +1,150 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"primelabel/internal/xmltree"
+)
+
+// The Shakespeare-play generator produces documents with the tag hierarchy
+// the paper's queries (Table 2) touch:
+//
+//	play
+//	├── title
+//	├── personae
+//	│   └── persona*
+//	└── act*
+//	    └── scene*
+//	        └── speech*
+//	            ├── speaker
+//	            └── line*
+//
+// Real play markup (Bosak's corpus) has the same element vocabulary; only
+// the text differs, which the experiments never read.
+
+// PlayCorpus builds a document of plays totalling exactly budget elements.
+func PlayCorpus(seed int64, budget int) *xmltree.Document {
+	b := newBuilder(seed, budget)
+	root := b.el(nil, "plays")
+	i := 0
+	for b.left > 120 {
+		i++
+		target := 1200
+		if target > b.left-20 {
+			target = b.left - 20
+		}
+		genPlay(b, root, fmt.Sprintf("Play %d", i), target)
+	}
+	b.fill(root, "play")
+	return xmltree.NewDocument(root)
+}
+
+// Play builds one play document with the given number of acts and an
+// approximate element budget.
+func Play(seed int64, acts, budget int) *xmltree.Document {
+	b := newBuilder(seed, budget)
+	root := b.el(nil, "play")
+	fillPlay(b, root, "A Play", acts)
+	return xmltree.NewDocument(root)
+}
+
+// Hamlet builds the 5-act play used by the paper's order-sensitive update
+// experiment (Section 5.4): a single play with an ordered list of ACT
+// elements, each carrying a substantial subtree, ~5000 elements in total.
+func Hamlet() *xmltree.Document {
+	return Play(1601, 5, 5000)
+}
+
+// genPlay adds one play with the given element budget under parent.
+func genPlay(b *builder, parent *xmltree.Node, title string, budget int) {
+	stop := b.left - budget
+	play := b.el(parent, "play")
+	if play == nil {
+		return
+	}
+	t := b.el(play, "title")
+	if t != nil {
+		_ = t.AppendChild(xmltree.NewText(title))
+	}
+	personae := b.el(play, "personae")
+	for i := 0; i < 8 && b.left > stop; i++ {
+		b.text(b.el(personae, "persona"), 2)
+	}
+	for b.left > stop+40 {
+		act := b.el(play, "act")
+		for s := 0; s < 3 && b.left > stop+12; s++ {
+			scene := b.el(act, "scene")
+			for sp := 0; sp < 4 && b.left > stop+4; sp++ {
+				speech := b.el(scene, "speech")
+				b.text(b.el(speech, "speaker"), 1)
+				for ln := 0; ln < 2+b.rng.Intn(3) && b.left > stop; ln++ {
+					b.text(b.el(speech, "line"), 6)
+				}
+			}
+		}
+	}
+	for b.left > stop {
+		b.text(b.el(play, "line"), 4)
+	}
+}
+
+// fillPlay builds a play with exactly the given number of acts, spending
+// the builder's whole remaining budget.
+func fillPlay(b *builder, play *xmltree.Node, title string, acts int) {
+	t := b.el(play, "title")
+	if t != nil {
+		_ = t.AppendChild(xmltree.NewText(title))
+	}
+	personae := b.el(play, "personae")
+	for i := 0; i < 10 && b.left > acts*20; i++ {
+		b.text(b.el(personae, "persona"), 2)
+	}
+	perAct := b.left / acts
+	actNodes := make([]*xmltree.Node, 0, acts)
+	for a := 0; a < acts; a++ {
+		act := b.el(play, "act")
+		if act == nil {
+			return
+		}
+		actNodes = append(actNodes, act)
+		stop := b.left - (perAct - 1)
+		if a == acts-1 {
+			stop = 0
+		}
+		for b.left > stop+12 {
+			scene := b.el(act, "scene")
+			for sp := 0; sp < 4 && b.left > stop+4; sp++ {
+				speech := b.el(scene, "speech")
+				b.text(b.el(speech, "speaker"), 1)
+				for ln := 0; ln < 2+b.rng.Intn(4) && b.left > stop; ln++ {
+					b.text(b.el(speech, "line"), 6)
+				}
+			}
+		}
+		if a == acts-1 {
+			for b.left > 0 {
+				b.text(b.el(act, "line"), 4)
+			}
+		}
+	}
+}
+
+// vocabulary for synthetic text content.
+var words = []string{
+	"the", "and", "to", "of", "king", "lord", "love", "night", "day",
+	"heart", "eyes", "death", "life", "sweet", "noble", "fair", "speak",
+	"come", "good", "great", "time", "world", "man", "soul", "heaven",
+}
+
+// sentence produces n words of deterministic filler text.
+func sentence(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}

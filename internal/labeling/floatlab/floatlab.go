@@ -1,0 +1,267 @@
+// Package floatlab implements the floating-point interval labeling of
+// Amagasa, Yoshikawa & Uemura's QRS [2], which the paper's related-work
+// section uses to illustrate that real-valued labels only postpone
+// relabeling: midpoint insertion exhausts the mantissa after ~52
+// consecutive splits, at which point the document must be renumbered.
+package floatlab
+
+import (
+	"errors"
+	"fmt"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+// Scheme labels documents with float64 (start, end) intervals.
+type Scheme struct {
+	// Gap is the initial spacing between consecutive counter values.
+	// Larger gaps absorb more insertions before renumbering. 0 means 1.0.
+	Gap float64
+}
+
+// Name implements labeling.Scheme.
+func (Scheme) Name() string { return "float-interval" }
+
+type fLabel struct {
+	start, end float64
+	level      int
+}
+
+// Labeling is a float-interval-labeled document.
+type Labeling struct {
+	doc      *xmltree.Document
+	gap      float64
+	labels   map[*xmltree.Node]*fLabel
+	Renumber int // how many full renumberings mantissa exhaustion forced
+}
+
+var _ labeling.Labeling = (*Labeling)(nil)
+
+// Label implements labeling.Scheme.
+func (s Scheme) Label(doc *xmltree.Document) (labeling.Labeling, error) {
+	l, err := s.New(doc)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// New labels doc and returns the concrete labeling.
+func (s Scheme) New(doc *xmltree.Document) (*Labeling, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, errors.New("floatlab: nil document")
+	}
+	gap := s.Gap
+	if gap <= 0 {
+		gap = 1.0
+	}
+	l := &Labeling{doc: doc, gap: gap, labels: make(map[*xmltree.Node]*fLabel)}
+	l.renumberAll()
+	return l, nil
+}
+
+// renumberAll assigns fresh, evenly spaced start/end values to the whole
+// document and returns the number of existing labels that changed.
+func (l *Labeling) renumberAll() int {
+	changed := 0
+	counter := 0.0
+	var walk func(n *xmltree.Node, level int)
+	walk = func(n *xmltree.Node, level int) {
+		counter += l.gap
+		start := counter
+		for _, c := range n.Children {
+			if c.Kind == xmltree.ElementNode {
+				walk(c, level+1)
+			}
+		}
+		counter += l.gap
+		old, ok := l.labels[n]
+		if !ok || old.start != start || old.end != counter || old.level != level {
+			l.labels[n] = &fLabel{start: start, end: counter, level: level}
+			if ok {
+				changed++
+			}
+		}
+	}
+	walk(l.doc.Root, 0)
+	return changed
+}
+
+// SchemeName implements labeling.Labeling.
+func (l *Labeling) SchemeName() string { return "float-interval" }
+
+// Doc implements labeling.Labeling.
+func (l *Labeling) Doc() *xmltree.Document { return l.doc }
+
+// Interval returns n's (start, end) pair.
+func (l *Labeling) Interval(n *xmltree.Node) (start, end float64, ok bool) {
+	nl, ok := l.labels[n]
+	if !ok {
+		return 0, 0, false
+	}
+	return nl.start, nl.end, true
+}
+
+// IsAncestor is strict containment.
+func (l *Labeling) IsAncestor(a, b *xmltree.Node) bool {
+	la, ok := l.labels[a]
+	if !ok {
+		return false
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false
+	}
+	return la.start < lb.start && lb.end < la.end
+}
+
+// IsParent combines containment with level.
+func (l *Labeling) IsParent(a, b *xmltree.Node) bool {
+	return l.IsAncestor(a, b) && l.labels[a].level+1 == l.labels[b].level
+}
+
+// LabelBits is the fixed cost of two float64 fields.
+func (l *Labeling) LabelBits(n *xmltree.Node) int {
+	if _, ok := l.labels[n]; !ok {
+		return 0
+	}
+	return 128
+}
+
+// MaxLabelBits implements labeling.Labeling.
+func (l *Labeling) MaxLabelBits() int { return 128 }
+
+// Before compares start values.
+func (l *Labeling) Before(a, b *xmltree.Node) (bool, error) {
+	la, ok := l.labels[a]
+	if !ok {
+		return false, labeling.ErrNotLabeled
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false, labeling.ErrNotLabeled
+	}
+	return la.start < lb.start, nil
+}
+
+// InsertChildAt implements labeling.Labeling: the new node takes midpoints
+// inside the free space at its insertion position. When the mantissa can no
+// longer represent a distinct midpoint the whole document is renumbered —
+// the failure mode the paper points out.
+func (l *Labeling) InsertChildAt(parent *xmltree.Node, idx int, n *xmltree.Node) (int, error) {
+	pl, ok := l.labels[parent]
+	if !ok {
+		return 0, fmt.Errorf("floatlab: insert under unlabeled parent")
+	}
+	if n == nil {
+		return 0, xmltree.ErrNilNode
+	}
+	if n.Kind != xmltree.ElementNode {
+		return 0, errors.New("floatlab: only element nodes are labeled")
+	}
+	if len(n.Children) > 0 {
+		return 0, errors.New("floatlab: inserted nodes must be childless")
+	}
+	if _, ok := l.labels[n]; ok {
+		return 0, errors.New("floatlab: node is already labeled")
+	}
+	if err := parent.InsertChildAt(idx, n); err != nil {
+		return 0, err
+	}
+	// Free space boundaries: between the previous sibling's end (or the
+	// parent's start) and the next sibling's start (or the parent's end).
+	lo, hi := pl.start, pl.end
+	kids := parent.ElementChildren()
+	for i, c := range kids {
+		if c != n {
+			continue
+		}
+		if i > 0 {
+			lo = l.labels[kids[i-1]].end
+		}
+		if i < len(kids)-1 {
+			hi = l.labels[kids[i+1]].start
+		}
+		break
+	}
+	s := midpoint(lo, hi)
+	e := midpoint(s, hi)
+	if s <= lo || e <= s || e >= hi {
+		// Mantissa exhausted: renumber everything (the new node is labeled
+		// by the renumbering and counted as the +1).
+		l.Renumber++
+		changed := l.renumberAll()
+		return changed + 1, nil
+	}
+	l.labels[n] = &fLabel{start: s, end: e, level: pl.level + 1}
+	return 1, nil
+}
+
+func midpoint(a, b float64) float64 { return a + (b-a)/2 }
+
+// WrapNode implements labeling.Labeling: the wrapper must enclose target's
+// interval, which requires space outside it; when none exists the document
+// is renumbered.
+func (l *Labeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
+	tl, ok := l.labels[target]
+	if !ok {
+		return 0, fmt.Errorf("floatlab: wrap of unlabeled node")
+	}
+	if target == l.doc.Root {
+		return 0, xmltree.ErrIsRoot
+	}
+	if _, ok := l.labels[wrapper]; ok {
+		return 0, errors.New("floatlab: node is already labeled")
+	}
+	parent := target.Parent
+	pl := l.labels[parent]
+	// Space around target among its siblings.
+	lo, hi := pl.start, pl.end
+	kids := parent.ElementChildren()
+	for i, c := range kids {
+		if c != target {
+			continue
+		}
+		if i > 0 {
+			lo = l.labels[kids[i-1]].end
+		}
+		if i < len(kids)-1 {
+			hi = l.labels[kids[i+1]].start
+		}
+		break
+	}
+	if err := xmltree.WrapChildren(parent, wrapper, target, target); err != nil {
+		return 0, err
+	}
+	s := midpoint(lo, tl.start)
+	e := midpoint(tl.end, hi)
+	if s <= lo || s >= tl.start || e <= tl.end || e >= hi {
+		l.Renumber++
+		changed := l.renumberAll()
+		return changed + 1, nil
+	}
+	l.labels[wrapper] = &fLabel{start: s, end: e, level: pl.level}
+	// The target subtree's levels all shift down by one.
+	count := 1
+	for _, m := range xmltree.Elements(target) {
+		l.labels[m].level++
+		count++
+	}
+	return count, nil
+}
+
+// Delete implements labeling.Labeling.
+func (l *Labeling) Delete(n *xmltree.Node) error {
+	if _, ok := l.labels[n]; !ok {
+		return fmt.Errorf("floatlab: delete of unlabeled node")
+	}
+	if n == l.doc.Root {
+		return xmltree.ErrIsRoot
+	}
+	for _, m := range xmltree.Elements(n) {
+		delete(l.labels, m)
+	}
+	n.Detach()
+	return nil
+}

@@ -1,0 +1,216 @@
+package floatlab
+
+import (
+	"math/rand"
+	"testing"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+func buildTree(t *testing.T) (*xmltree.Document, map[string]*xmltree.Node) {
+	t.Helper()
+	r := xmltree.NewElement("r")
+	a := xmltree.NewElement("a")
+	b := xmltree.NewElement("b")
+	c := xmltree.NewElement("c")
+	for _, s := range []struct{ p, c *xmltree.Node }{{r, a}, {r, b}, {a, c}} {
+		if err := s.p.AppendChild(s.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return xmltree.NewDocument(r), map[string]*xmltree.Node{"r": r, "a": a, "b": b, "c": c}
+}
+
+func randomTree(rng *rand.Rand, n int) *xmltree.Document {
+	root := xmltree.NewElement("root")
+	nodes := []*xmltree.Node{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := xmltree.NewElement("e")
+		_ = p.AppendChild(c)
+		nodes = append(nodes, c)
+	}
+	return xmltree.NewDocument(root)
+}
+
+func TestAgainstTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		doc := randomTree(rng, 60)
+		l, err := Scheme{}.Label(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := labeling.CheckAgainstTree(l); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBeforeAndParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	doc := randomTree(rng, 40)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := xmltree.DocOrderIndex(doc)
+	els := xmltree.Elements(doc.Root)
+	for _, a := range els {
+		for _, b := range els {
+			got, err := l.Before(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := idx[a] < idx[b]; got != want {
+				t.Fatal("Before disagrees with doc order")
+			}
+			if gp := l.IsParent(a, b); gp != (b.Parent == a) {
+				t.Fatal("IsParent disagrees with tree")
+			}
+		}
+	}
+}
+
+// In theory a float midpoint always exists; in practice the mantissa runs
+// out after ~50 consecutive splits at the same point — the flaw the paper
+// cites. Repeated front-inserts force it.
+func TestMantissaExhaustionForcesRenumber(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := l.InsertChildAt(ns["a"], 0, xmltree.NewElement("n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Renumber == 0 {
+		t.Error("80 front inserts never exhausted the mantissa")
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Before exhaustion, inserts are relabel-free — floats do help the common
+// case, which is why QRS proposed them.
+func TestEarlyInsertsAreCheap(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := l.InsertChildAt(ns["a"], 0, xmltree.NewElement("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("first insert count = %d, want 1", count)
+	}
+}
+
+func TestWrapAndDelete(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := xmltree.NewElement("w")
+	if _, err := l.WrapNode(ns["a"], w); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(ns["b"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(doc.Root); err != xmltree.ErrIsRoot {
+		t.Errorf("delete root err = %v", err)
+	}
+	if _, err := l.WrapNode(doc.Root, xmltree.NewElement("x")); err != xmltree.ErrIsRoot {
+		t.Errorf("wrap root err = %v", err)
+	}
+}
+
+func TestLabelBitsFixed(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MaxLabelBits() != 128 || l.LabelBits(ns["a"]) != 128 {
+		t.Error("float labels should cost 2×64 bits")
+	}
+	if l.LabelBits(xmltree.NewElement("ghost")) != 0 {
+		t.Error("ghost node has label bits")
+	}
+}
+
+func TestPropertyDynamicMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	doc := randomTree(rng, 15)
+	l, err := Scheme{Gap: 8}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		els := xmltree.Elements(doc.Root)
+		switch op := rng.Intn(10); {
+		case op < 6:
+			p := els[rng.Intn(len(els))]
+			if _, err := l.InsertChildAt(p, rng.Intn(len(p.ElementChildren())+1), xmltree.NewElement("n")); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+		case op < 8:
+			tgt := els[rng.Intn(len(els))]
+			if tgt == doc.Root {
+				continue
+			}
+			if _, err := l.WrapNode(tgt, xmltree.NewElement("w")); err != nil {
+				t.Fatalf("step %d wrap: %v", step, err)
+			}
+		default:
+			if len(els) < 5 {
+				continue
+			}
+			v := els[rng.Intn(len(els))]
+			if v == doc.Root {
+				continue
+			}
+			if err := l.Delete(v); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+		}
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameAndInterval(t *testing.T) {
+	if (Scheme{}).Name() != "float-interval" {
+		t.Error("Name wrong")
+	}
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.SchemeName() != "float-interval" || l.Doc() != doc {
+		t.Error("accessors wrong")
+	}
+	s, e, ok := l.Interval(ns["a"])
+	if !ok || s >= e {
+		t.Errorf("Interval(a) = %v,%v,%v", s, e, ok)
+	}
+	if _, _, ok := l.Interval(xmltree.NewElement("ghost")); ok {
+		t.Error("Interval of ghost node")
+	}
+}

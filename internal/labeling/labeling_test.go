@@ -1,0 +1,122 @@
+package labeling_test
+
+import (
+	"strings"
+	"testing"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/interval"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xmltree"
+)
+
+func sampleDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	r := xmltree.NewElement("r")
+	a := xmltree.NewElement("a")
+	b := xmltree.NewElement("b")
+	if err := r.AppendChild(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AppendChild(b); err != nil {
+		t.Fatal(err)
+	}
+	return xmltree.NewDocument(r)
+}
+
+func TestCheckAgainstTreePasses(t *testing.T) {
+	doc := sampleDoc(t)
+	l, err := (prime.Scheme{}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Error(err)
+	}
+}
+
+// brokenLabeling wraps a good labeling but lies about one pair.
+type brokenLabeling struct {
+	labeling.Labeling
+	a, b *xmltree.Node
+}
+
+func (bl brokenLabeling) IsAncestor(a, b *xmltree.Node) bool {
+	if a == bl.a && b == bl.b {
+		return !bl.Labeling.IsAncestor(a, b)
+	}
+	return bl.Labeling.IsAncestor(a, b)
+}
+
+func TestCheckAgainstTreeDetectsLies(t *testing.T) {
+	doc := sampleDoc(t)
+	l, err := (prime.Scheme{}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := xmltree.Elements(doc.Root)
+	bad := brokenLabeling{Labeling: l, a: els[1], b: els[2]}
+	err = labeling.CheckAgainstTree(bad)
+	if err == nil {
+		t.Fatal("lying labeling passed the check")
+	}
+	var mm *labeling.MismatchError
+	if ok := errorsAs(err, &mm); !ok {
+		t.Fatalf("error type %T, want *MismatchError", err)
+	}
+	if !strings.Contains(err.Error(), "IsAncestor") {
+		t.Errorf("error message uninformative: %v", err)
+	}
+}
+
+func errorsAs(err error, target **labeling.MismatchError) bool {
+	m, ok := err.(*labeling.MismatchError)
+	if ok {
+		*target = m
+	}
+	return ok
+}
+
+func TestTotalLabelBits(t *testing.T) {
+	doc := sampleDoc(t)
+	l, err := (interval.Scheme{Variant: interval.XRel}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := labeling.TotalLabelBits(l)
+	// Three elements, fixed-length labels.
+	if total != 3*l.MaxLabelBits() {
+		t.Errorf("TotalLabelBits = %d, want %d", total, 3*l.MaxLabelBits())
+	}
+}
+
+// Every scheme must advertise a non-empty, stable name.
+func TestSchemeNamesStable(t *testing.T) {
+	schemes := []labeling.Scheme{
+		prime.Scheme{},
+		prime.Scheme{Opts: prime.Options{ReservedPrimes: 4, PowerOfTwoLeaves: true}},
+		prime.BottomUpScheme{},
+		prime.DecomposedScheme{},
+		interval.Scheme{Variant: interval.XISS},
+		interval.Scheme{Variant: interval.XRel},
+	}
+	seen := map[string]bool{}
+	for _, s := range schemes {
+		name := s.Name()
+		if name == "" {
+			t.Error("empty scheme name")
+		}
+		if seen[name] {
+			t.Errorf("duplicate scheme name %q", name)
+		}
+		seen[name] = true
+		doc := sampleDoc(t)
+		l, err := s.Label(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.SchemeName() != name {
+			t.Errorf("labeling name %q != scheme name %q", l.SchemeName(), name)
+		}
+	}
+}

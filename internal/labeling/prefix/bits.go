@@ -1,0 +1,167 @@
+// Package prefix implements the dynamic prefix-based labeling schemes the
+// paper compares against: Prefix-1 (unary "1^(i-1)0" sibling codes),
+// Prefix-2 (the Cohen/Kaplan/Milo incremental binary codes [7]) and Dewey
+// order labels [15]. A node's label is its parent's label with its own
+// sibling code appended; ancestorship is a prefix test.
+package prefix
+
+import "strings"
+
+// Bits is an immutable bit string. Labels are built by appending sibling
+// codes, so Bits supports cheap append-and-copy and prefix tests.
+type Bits struct {
+	data []byte
+	n    int // number of valid bits
+}
+
+// BitsFromString parses a string of '0'/'1' characters.
+func BitsFromString(s string) Bits {
+	var b Bits
+	for _, c := range s {
+		switch c {
+		case '0':
+			b = b.AppendBit(0)
+		case '1':
+			b = b.AppendBit(1)
+		}
+	}
+	return b
+}
+
+// Len returns the number of bits.
+func (b Bits) Len() int { return b.n }
+
+// Bit returns bit i (0 or 1); i must be < Len.
+func (b Bits) Bit(i int) int {
+	return int(b.data[i/8]>>(7-uint(i%8))) & 1
+}
+
+// AppendBit returns a new Bits with one bit appended. The receiver is
+// never modified; shared underlying bytes are copied on write.
+func (b Bits) AppendBit(bit int) Bits {
+	out := Bits{n: b.n + 1}
+	out.data = make([]byte, (b.n+8)/8)
+	copy(out.data, b.data)
+	if bit != 0 {
+		out.data[b.n/8] |= 1 << (7 - uint(b.n%8))
+	}
+	return out
+}
+
+// Append returns b with all of c's bits appended.
+func (b Bits) Append(c Bits) Bits {
+	out := Bits{n: b.n + c.n}
+	out.data = make([]byte, (out.n+7)/8)
+	copy(out.data, b.data)
+	for i := 0; i < c.n; i++ {
+		if c.Bit(i) != 0 {
+			pos := b.n + i
+			out.data[pos/8] |= 1 << (7 - uint(pos%8))
+		}
+	}
+	return out
+}
+
+// HasPrefix reports whether p is a prefix of b (p.Len() <= b.Len() and the
+// first p.Len() bits agree).
+func (b Bits) HasPrefix(p Bits) bool {
+	if p.n > b.n {
+		return false
+	}
+	full := p.n / 8
+	for i := 0; i < full; i++ {
+		if b.data[i] != p.data[i] {
+			return false
+		}
+	}
+	for i := full * 8; i < p.n; i++ {
+		if b.Bit(i) != p.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports bit-for-bit equality.
+func (b Bits) Equal(c Bits) bool {
+	return b.n == c.n && b.HasPrefix(c)
+}
+
+// Compare orders bit strings in the document order induced by prefix
+// labels: lexicographic with "prefix comes first" (an ancestor precedes its
+// descendants). Returns -1, 0 or 1.
+func (b Bits) Compare(c Bits) int {
+	min := b.n
+	if c.n < min {
+		min = c.n
+	}
+	for i := 0; i < min; i++ {
+		d := b.Bit(i) - c.Bit(i)
+		if d != 0 {
+			return d
+		}
+	}
+	switch {
+	case b.n < c.n:
+		return -1
+	case b.n > c.n:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the bits as '0'/'1' characters.
+func (b Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		sb.WriteByte(byte('0' + b.Bit(i)))
+	}
+	return sb.String()
+}
+
+// allOnes reports whether every bit is 1 (false for the empty string).
+func (b Bits) allOnes() bool {
+	if b.n == 0 {
+		return false
+	}
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// incrementOrExtend produces the next Cohen/Kaplan/Milo sibling code:
+// increment the binary value; when the result is all ones, double its
+// length by appending zeros (so the sequence runs 0, 10, 1100, 1101, 1110,
+// 11110000, …). The resulting code set is prefix-free and binary-ordered.
+func (b Bits) incrementOrExtend() Bits {
+	next := b.increment()
+	if !next.allOnes() {
+		return next
+	}
+	out := next
+	for i := 0; i < next.Len(); i++ {
+		out = out.AppendBit(0)
+	}
+	return out
+}
+
+// increment returns the bit string interpreted as a binary number plus one,
+// keeping the same width. It must not be called on an all-ones string.
+func (b Bits) increment() Bits {
+	out := Bits{n: b.n, data: make([]byte, len(b.data))}
+	copy(out.data, b.data)
+	for i := b.n - 1; i >= 0; i-- {
+		mask := byte(1) << (7 - uint(i%8))
+		if out.data[i/8]&mask == 0 {
+			out.data[i/8] |= mask
+			return out
+		}
+		out.data[i/8] &^= mask
+	}
+	panic("prefix: increment of all-ones bit string")
+}

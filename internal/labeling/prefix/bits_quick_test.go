@@ -1,0 +1,127 @@
+package prefix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randBits generates an arbitrary Bits value for testing/quick.
+func randBits(rng *rand.Rand, maxLen int) Bits {
+	n := rng.Intn(maxLen)
+	b := Bits{}
+	for i := 0; i < n; i++ {
+		b = b.AppendBit(rng.Intn(2))
+	}
+	return b
+}
+
+// Generate implements quick.Generator.
+func (Bits) Generate(rng *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(randBits(rng, size+1))
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(161))}
+}
+
+// Append is associative and length-additive.
+func TestQuickBitsAppendLaws(t *testing.T) {
+	f := func(a, b, c Bits) bool {
+		ab := a.Append(b)
+		if ab.Len() != a.Len()+b.Len() {
+			return false
+		}
+		return ab.Append(c).Equal(a.Append(b.Append(c)))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// a is always a prefix of a.Append(b), and round-trips through String.
+func TestQuickBitsPrefixAndString(t *testing.T) {
+	f := func(a, b Bits) bool {
+		if !a.Append(b).HasPrefix(a) {
+			return false
+		}
+		return BitsFromString(a.String()).Equal(a)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Compare is a total order consistent with Equal and antisymmetric.
+func TestQuickBitsCompareOrder(t *testing.T) {
+	f := func(a, b Bits) bool {
+		ab, ba := a.Compare(b), b.Compare(a)
+		if ab != -ba {
+			return false
+		}
+		if (ab == 0) != a.Equal(b) {
+			return false
+		}
+		return a.Compare(a) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Appending to a keeps it >= a in the prefix order (ancestors first).
+func TestQuickBitsAncestorSortsFirst(t *testing.T) {
+	f := func(a, b Bits) bool {
+		if b.Len() == 0 {
+			return true
+		}
+		return a.Compare(a.Append(b)) < 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prefix-2 sibling codes are prefix-free and strictly increasing in binary
+// order — the two facts the labeling scheme's correctness rests on.
+func TestQuickPrefix2CodeStream(t *testing.T) {
+	s := Scheme{Variant: Prefix2}
+	var codes []Bits
+	code := Bits{}
+	for i := 0; i < 300; i++ {
+		code = s.nextSibCode(code)
+		codes = append(codes, code)
+	}
+	for i := 0; i < len(codes); i++ {
+		for j := i + 1; j < len(codes); j++ {
+			if codes[j].HasPrefix(codes[i]) || codes[i].HasPrefix(codes[j]) {
+				t.Fatalf("codes %d and %d are prefix-related: %s / %s", i, j, codes[i], codes[j])
+			}
+		}
+		if i > 0 && codes[i-1].Compare(codes[i]) >= 0 {
+			t.Fatalf("codes not increasing at %d: %s >= %s", i, codes[i-1], codes[i])
+		}
+	}
+}
+
+// Prefix-1 codes likewise.
+func TestQuickPrefix1CodeStream(t *testing.T) {
+	s := Scheme{Variant: Prefix1}
+	var codes []Bits
+	code := Bits{}
+	for i := 0; i < 100; i++ {
+		code = s.nextSibCode(code)
+		codes = append(codes, code)
+		if code.Len() != i+1 {
+			t.Fatalf("code %d has length %d, want %d (1^(i-1)0)", i, code.Len(), i+1)
+		}
+	}
+	for i := 0; i < len(codes); i++ {
+		for j := i + 1; j < len(codes); j++ {
+			if codes[j].HasPrefix(codes[i]) {
+				t.Fatalf("codes %d and %d are prefix-related", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package prefix
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+// DeweyScheme implements the Dewey order labels of Tatarinov et al. [15]:
+// a node's label is the vector of its ancestors' sibling positions, e.g.
+// 1.2.4. The paper classifies Dewey as the best query/update tradeoff among
+// the order-encoding schemes of [15], and Figure 18 groups its ordered
+// update cost with the other relabeling schemes.
+type DeweyScheme struct{}
+
+// Name implements labeling.Scheme.
+func (DeweyScheme) Name() string { return "dewey" }
+
+type deweyLabel []int
+
+func (d deweyLabel) String() string {
+	parts := make([]string, len(d))
+	for i, c := range d {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ".")
+}
+
+// DeweyLabeling is a Dewey-labeled document.
+type DeweyLabeling struct {
+	doc    *xmltree.Document
+	labels map[*xmltree.Node]deweyLabel
+}
+
+var _ labeling.Labeling = (*DeweyLabeling)(nil)
+
+// Label implements labeling.Scheme.
+func (s DeweyScheme) Label(doc *xmltree.Document) (labeling.Labeling, error) {
+	l, err := s.New(doc)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// New labels doc and returns the concrete labeling.
+func (DeweyScheme) New(doc *xmltree.Document) (*DeweyLabeling, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, errors.New("prefix: nil document")
+	}
+	l := &DeweyLabeling{doc: doc, labels: make(map[*xmltree.Node]deweyLabel)}
+	l.labels[doc.Root] = deweyLabel{}
+	l.relabelChildren(doc.Root)
+	return l, nil
+}
+
+// relabelChildren rewrites the labels of n's children (and their subtrees)
+// from n's current label, returning the number of labels that changed or
+// were created.
+func (l *DeweyLabeling) relabelChildren(n *xmltree.Node) int {
+	count := 0
+	base := l.labels[n]
+	pos := 0
+	for _, c := range n.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		pos++
+		lbl := make(deweyLabel, len(base)+1)
+		copy(lbl, base)
+		lbl[len(base)] = pos
+		if old, ok := l.labels[c]; !ok || !deweyEqual(old, lbl) {
+			l.labels[c] = lbl
+			count++
+			count += l.relabelChildren(c)
+		}
+	}
+	return count
+}
+
+func deweyEqual(a, b deweyLabel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SchemeName implements labeling.Labeling.
+func (l *DeweyLabeling) SchemeName() string { return "dewey" }
+
+// Doc implements labeling.Labeling.
+func (l *DeweyLabeling) Doc() *xmltree.Document { return l.doc }
+
+// DeweyOf returns the label as a dotted string ("" for the root).
+func (l *DeweyLabeling) DeweyOf(n *xmltree.Node) (string, bool) {
+	d, ok := l.labels[n]
+	if !ok {
+		return "", false
+	}
+	return d.String(), true
+}
+
+// IsAncestor implements the component-wise prefix test.
+func (l *DeweyLabeling) IsAncestor(a, b *xmltree.Node) bool {
+	la, ok := l.labels[a]
+	if !ok {
+		return false
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false
+	}
+	if len(la) >= len(lb) {
+		return false
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParent is a prefix test with exactly one extra component.
+func (l *DeweyLabeling) IsParent(a, b *xmltree.Node) bool {
+	la, ok := l.labels[a]
+	if !ok {
+		return false
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false
+	}
+	return len(lb) == len(la)+1 && l.IsAncestor(a, b)
+}
+
+// LabelBits charges each component its binary width plus one delimiter bit,
+// the storage model the paper uses when discussing [15]'s delimiter
+// overhead.
+func (l *DeweyLabeling) LabelBits(n *xmltree.Node) int {
+	d, ok := l.labels[n]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, c := range d {
+		total += bits.Len(uint(c)) + 1
+	}
+	if total == 0 {
+		total = 1 // the root's empty label still occupies a slot
+	}
+	return total
+}
+
+// MaxLabelBits implements labeling.Labeling.
+func (l *DeweyLabeling) MaxLabelBits() int {
+	max := 0
+	for n := range l.labels {
+		if b := l.LabelBits(n); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Before compares labels lexicographically; Dewey encodes document order
+// directly.
+func (l *DeweyLabeling) Before(a, b *xmltree.Node) (bool, error) {
+	la, ok := l.labels[a]
+	if !ok {
+		return false, labeling.ErrNotLabeled
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false, labeling.ErrNotLabeled
+	}
+	min := len(la)
+	if len(lb) < min {
+		min = len(lb)
+	}
+	for i := 0; i < min; i++ {
+		if la[i] != lb[i] {
+			return la[i] < lb[i], nil
+		}
+	}
+	return len(la) < len(lb), nil
+}
+
+// InsertChildAt implements labeling.Labeling: Dewey always keeps sibling
+// positions in document order, so a mid-list insert renumbers all following
+// siblings and their subtrees.
+func (l *DeweyLabeling) InsertChildAt(parent *xmltree.Node, idx int, n *xmltree.Node) (int, error) {
+	if _, ok := l.labels[parent]; !ok {
+		return 0, fmt.Errorf("prefix: insert under unlabeled parent")
+	}
+	if n == nil {
+		return 0, xmltree.ErrNilNode
+	}
+	if n.Kind != xmltree.ElementNode {
+		return 0, errors.New("prefix: only element nodes are labeled")
+	}
+	if len(n.Children) > 0 {
+		return 0, errors.New("prefix: inserted nodes must be childless")
+	}
+	if _, ok := l.labels[n]; ok {
+		return 0, errors.New("prefix: node is already labeled")
+	}
+	if err := parent.InsertChildAt(idx, n); err != nil {
+		return 0, err
+	}
+	return l.relabelChildren(parent), nil
+}
+
+// WrapNode implements labeling.Labeling.
+func (l *DeweyLabeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
+	if _, ok := l.labels[target]; !ok {
+		return 0, fmt.Errorf("prefix: wrap of unlabeled node")
+	}
+	if target == l.doc.Root {
+		return 0, xmltree.ErrIsRoot
+	}
+	if _, ok := l.labels[wrapper]; ok {
+		return 0, errors.New("prefix: node is already labeled")
+	}
+	parent := target.Parent
+	if err := xmltree.WrapChildren(parent, wrapper, target, target); err != nil {
+		return 0, err
+	}
+	// The wrapper takes target's position; target becomes child 1.
+	return l.relabelChildren(parent), nil
+}
+
+// Delete implements labeling.Labeling. Dewey tolerates gaps in sibling
+// numbering (order stays correct), so deletion does not renumber.
+func (l *DeweyLabeling) Delete(n *xmltree.Node) error {
+	if _, ok := l.labels[n]; !ok {
+		return fmt.Errorf("prefix: delete of unlabeled node")
+	}
+	if n == l.doc.Root {
+		return xmltree.ErrIsRoot
+	}
+	for _, m := range xmltree.Elements(n) {
+		delete(l.labels, m)
+	}
+	n.Detach()
+	return nil
+}

@@ -1,0 +1,244 @@
+package prime
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/primes"
+	"primelabel/internal/xmltree"
+)
+
+// BottomUpScheme is the Figure 1 variant: leaves receive primes and each
+// interior node's label is the product of its children's labels, so
+//
+//	x is an ancestor of y  ⇔  label(x) mod label(y) == 0
+//
+// (Property 2 — note the direction is reversed relative to the top-down
+// scheme). The paper notes two drawbacks that this implementation makes
+// measurable: labels near the root grow with the *total subtree size*
+// rather than the depth, and single-child nodes need special handling (here
+// an extra fresh prime is folded in so a parent's label differs from its
+// only child's). The scheme is static: any insertion relabels the new
+// node's full ancestor chain, which the update benchmarks quantify.
+type BottomUpScheme struct{}
+
+// Name implements labeling.Scheme.
+func (BottomUpScheme) Name() string { return "prime-bottomup" }
+
+// BottomUpLabeling is a bottom-up prime labeled document.
+type BottomUpLabeling struct {
+	doc    *xmltree.Document
+	labels map[*xmltree.Node]*big.Int
+	src    *primes.Source
+}
+
+var _ labeling.Labeling = (*BottomUpLabeling)(nil)
+
+// Label implements labeling.Scheme.
+func (s BottomUpScheme) Label(doc *xmltree.Document) (labeling.Labeling, error) {
+	l, err := s.New(doc)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// New labels doc bottom-up and returns the concrete labeling.
+func (BottomUpScheme) New(doc *xmltree.Document) (*BottomUpLabeling, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, errors.New("prime: nil document")
+	}
+	l := &BottomUpLabeling{
+		doc:    doc,
+		labels: make(map[*xmltree.Node]*big.Int),
+		src:    primes.NewSource(),
+	}
+	l.assign(doc.Root)
+	return l, nil
+}
+
+// assign computes the bottom-up label of n: leaves get fresh primes,
+// interior nodes the product of their children (times an extra prime for
+// single-child nodes so the labels stay distinct).
+func (l *BottomUpLabeling) assign(n *xmltree.Node) *big.Int {
+	kids := n.ElementChildren()
+	if len(kids) == 0 {
+		lbl := new(big.Int).SetUint64(l.src.Next())
+		l.labels[n] = lbl
+		return lbl
+	}
+	lbl := big.NewInt(1)
+	for _, c := range kids {
+		lbl.Mul(lbl, l.assign(c))
+	}
+	if len(kids) == 1 {
+		// Special handling for one-child nodes (Section 3): fold in a fresh
+		// prime so the parent's label is a proper multiple of the child's.
+		lbl.Mul(lbl, new(big.Int).SetUint64(l.src.Next()))
+	}
+	l.labels[n] = lbl
+	return lbl
+}
+
+// SchemeName implements labeling.Labeling.
+func (l *BottomUpLabeling) SchemeName() string { return "prime-bottomup" }
+
+// Doc implements labeling.Labeling.
+func (l *BottomUpLabeling) Doc() *xmltree.Document { return l.doc }
+
+// LabelOf returns n's label (a copy), or nil.
+func (l *BottomUpLabeling) LabelOf(n *xmltree.Node) *big.Int {
+	lbl, ok := l.labels[n]
+	if !ok {
+		return nil
+	}
+	return new(big.Int).Set(lbl)
+}
+
+// IsAncestor implements Property 2 for the bottom-up direction.
+func (l *BottomUpLabeling) IsAncestor(a, b *xmltree.Node) bool {
+	la, ok := l.labels[a]
+	if !ok {
+		return false
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false
+	}
+	if la.Cmp(lb) == 0 {
+		return false
+	}
+	var r big.Int
+	return r.Rem(la, lb).Sign() == 0
+}
+
+// IsParent reports whether a is b's parent. Bottom-up labels form a
+// divisibility chain along each root path but two labels alone cannot
+// distinguish "parent" from "grandparent" (the quotient is a product of
+// sibling-subtree labels either way), so this scheme cannot decide
+// parenthood from labels — one of its documented drawbacks. The method
+// consults the tree structure and only confirms label consistency.
+func (l *BottomUpLabeling) IsParent(a, b *xmltree.Node) bool {
+	return b.Parent == a && l.IsAncestor(a, b)
+}
+
+// LabelBits implements labeling.Labeling.
+func (l *BottomUpLabeling) LabelBits(n *xmltree.Node) int {
+	lbl, ok := l.labels[n]
+	if !ok {
+		return 0
+	}
+	return lbl.BitLen()
+}
+
+// MaxLabelBits implements labeling.Labeling.
+func (l *BottomUpLabeling) MaxLabelBits() int {
+	max := 0
+	for _, lbl := range l.labels {
+		if b := lbl.BitLen(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Before implements labeling.Labeling. The bottom-up scheme has no order
+// support.
+func (l *BottomUpLabeling) Before(a, b *xmltree.Node) (bool, error) {
+	return false, labeling.ErrOrderUnsupported
+}
+
+// InsertChildAt implements labeling.Labeling. The new leaf gets a fresh
+// prime and the labels of its whole ancestor chain are recomputed — the
+// cost the paper gives as the reason to prefer the top-down variant.
+func (l *BottomUpLabeling) InsertChildAt(parent *xmltree.Node, idx int, n *xmltree.Node) (int, error) {
+	if _, ok := l.labels[parent]; !ok {
+		return 0, fmt.Errorf("prime: insert under unlabeled parent")
+	}
+	if n == nil {
+		return 0, xmltree.ErrNilNode
+	}
+	if n.Kind != xmltree.ElementNode {
+		return 0, ErrNotElement
+	}
+	if _, ok := l.labels[n]; ok {
+		return 0, ErrHasLabel
+	}
+	if err := parent.InsertChildAt(idx, n); err != nil {
+		return 0, err
+	}
+	l.labels[n] = new(big.Int).SetUint64(l.src.Next())
+	relabeled := 1
+	for p := parent; p != nil; p = p.Parent {
+		l.relabelInterior(p)
+		relabeled++
+	}
+	return relabeled, nil
+}
+
+// relabelInterior recomputes an interior node's product from its children's
+// current labels.
+func (l *BottomUpLabeling) relabelInterior(n *xmltree.Node) {
+	kids := n.ElementChildren()
+	lbl := big.NewInt(1)
+	for _, c := range kids {
+		lbl.Mul(lbl, l.labels[c])
+	}
+	if len(kids) == 1 {
+		lbl.Mul(lbl, new(big.Int).SetUint64(l.src.Next()))
+	}
+	l.labels[n] = lbl
+}
+
+// WrapNode implements labeling.Labeling.
+func (l *BottomUpLabeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
+	if _, ok := l.labels[target]; !ok {
+		return 0, fmt.Errorf("prime: wrap of unlabeled node")
+	}
+	if target == l.doc.Root {
+		return 0, xmltree.ErrIsRoot
+	}
+	if wrapper == nil {
+		return 0, xmltree.ErrNilNode
+	}
+	if _, ok := l.labels[wrapper]; ok {
+		return 0, ErrHasLabel
+	}
+	parent := target.Parent
+	if err := xmltree.WrapChildren(parent, wrapper, target, target); err != nil {
+		return 0, err
+	}
+	l.relabelInterior(wrapper)
+	relabeled := 1
+	for p := parent; p != nil; p = p.Parent {
+		l.relabelInterior(p)
+		relabeled++
+	}
+	return relabeled, nil
+}
+
+// Delete implements labeling.Labeling; the ancestor chain is recomputed.
+func (l *BottomUpLabeling) Delete(n *xmltree.Node) error {
+	if _, ok := l.labels[n]; !ok {
+		return fmt.Errorf("prime: delete of unlabeled node")
+	}
+	if n == l.doc.Root {
+		return xmltree.ErrIsRoot
+	}
+	parent := n.Parent
+	for _, m := range xmltree.Elements(n) {
+		delete(l.labels, m)
+	}
+	n.Detach()
+	for p := parent; p != nil; p = p.Parent {
+		if len(p.ElementChildren()) == 0 {
+			// An emptied interior node becomes a leaf: fresh prime.
+			l.labels[p] = new(big.Int).SetUint64(l.src.Next())
+			continue
+		}
+		l.relabelInterior(p)
+	}
+	return nil
+}

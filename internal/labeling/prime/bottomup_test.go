@@ -1,0 +1,168 @@
+package prime
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+func TestBottomUpBasic(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := BottomUpScheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaves in preorder: c=2, d=3, b=5. a = 2*3 = 6, r = 6*5 = 30.
+	want := map[string]int64{"c": 2, "d": 3, "b": 5, "a": 6, "r": 30}
+	for name, w := range want {
+		if got := l.LabelOf(ns[name]); got.Int64() != w {
+			t.Errorf("label(%s) = %v, want %d", name, got, w)
+		}
+	}
+	// Property 2, bottom-up direction: label(x) mod label(y) == 0.
+	if !l.IsAncestor(ns["r"], ns["c"]) || !l.IsAncestor(ns["a"], ns["d"]) {
+		t.Error("ancestor relations missing")
+	}
+	if l.IsAncestor(ns["a"], ns["b"]) || l.IsAncestor(ns["c"], ns["a"]) {
+		t.Error("false ancestor relations")
+	}
+}
+
+func TestBottomUpSingleChildHandling(t *testing.T) {
+	// r → a → leaf: without special handling r and a would share a label.
+	r := xmltree.NewElement("r")
+	a := xmltree.NewElement("a")
+	leaf := xmltree.NewElement("leaf")
+	_ = r.AppendChild(a)
+	_ = a.AppendChild(leaf)
+	l, err := BottomUpScheme{}.New(xmltree.NewDocument(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LabelOf(r).Cmp(l.LabelOf(a)) == 0 {
+		t.Error("single-child chain produced duplicate labels")
+	}
+	if !l.IsAncestor(r, a) || !l.IsAncestor(a, leaf) || !l.IsAncestor(r, leaf) {
+		t.Error("chain ancestry broken")
+	}
+	if l.IsAncestor(a, r) || l.IsAncestor(leaf, a) {
+		t.Error("reversed ancestry reported")
+	}
+}
+
+func TestBottomUpAgainstTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		doc := randomTree(rng, 60)
+		l, err := BottomUpScheme{}.Label(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := labeling.CheckAgainstTree(l); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// The bottom-up drawback the paper calls out: root labels grow with tree
+// size, so the bottom-up maximum is (much) larger than the top-down one.
+func TestBottomUpLabelsLargerThanTopDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	doc := randomTree(rng, 300)
+	bu, err := BottomUpScheme{}.New(doc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu.MaxLabelBits() <= td.MaxLabelBits() {
+		t.Errorf("bottom-up max bits %d not above top-down %d", bu.MaxLabelBits(), td.MaxLabelBits())
+	}
+}
+
+// Insertion relabels the whole ancestor chain — the reason the paper
+// prefers top-down for dynamic documents.
+func TestBottomUpInsertRelabelsAncestors(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := BottomUpScheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldB := l.LabelOf(ns["b"])
+	count, err := l.InsertChildAt(ns["a"], 0, xmltree.NewElement("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// new node + a + r = 3.
+	if count != 3 {
+		t.Errorf("relabel count = %d, want 3", count)
+	}
+	if l.LabelOf(ns["b"]).Cmp(oldB) != 0 {
+		t.Error("sibling subtree should be untouched")
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBottomUpWrapAndDelete(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := BottomUpScheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := xmltree.NewElement("w")
+	if _, err := l.WrapNode(ns["a"], w); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(ns["a"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Before(ns["b"], w); err != labeling.ErrOrderUnsupported {
+		t.Errorf("Before err = %v, want ErrOrderUnsupported", err)
+	}
+	if err := l.Delete(doc.Root); err != xmltree.ErrIsRoot {
+		t.Errorf("delete root err = %v", err)
+	}
+}
+
+func TestBottomUpIsParent(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := BottomUpScheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsParent(ns["a"], ns["c"]) {
+		t.Error("IsParent(a,c) = false")
+	}
+	if l.IsParent(ns["r"], ns["c"]) {
+		t.Error("IsParent(r,c) = true (grandparent)")
+	}
+}
+
+func TestBottomUpLabelOfUnlabeled(t *testing.T) {
+	doc, _ := buildTree(t)
+	l, err := BottomUpScheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LabelOf(xmltree.NewElement("ghost")) != nil {
+		t.Error("ghost node has a label")
+	}
+	if l.LabelBits(xmltree.NewElement("ghost")) != 0 {
+		t.Error("ghost node has label bits")
+	}
+	var zero *big.Int
+	_ = zero
+}

@@ -1,0 +1,128 @@
+package prime
+
+import (
+	"math/rand"
+	"testing"
+
+	"primelabel/internal/xmltree"
+)
+
+// Figure 6: book with three authors collapses to book/author.
+func TestCollapsePathsFigure6(t *testing.T) {
+	book := xmltree.NewElement("book")
+	for i := 0; i < 3; i++ {
+		_ = book.AppendChild(xmltree.NewElement("author"))
+	}
+	_ = book.AppendChild(xmltree.NewElement("title"))
+	doc := xmltree.NewDocument(book)
+	ptree, mapping := CollapsePaths(doc)
+	st := xmltree.ComputeStats(ptree)
+	if st.Nodes != 3 { // book, author, title
+		t.Errorf("path tree nodes = %d, want 3", st.Nodes)
+	}
+	authors := xmltree.ElementsByName(doc.Root, "author")
+	for _, a := range authors[1:] {
+		if mapping[a] != mapping[authors[0]] {
+			t.Error("authors map to different path classes")
+		}
+	}
+	title := xmltree.ElementsByName(doc.Root, "title")[0]
+	if mapping[title] == mapping[authors[0]] {
+		t.Error("title shares the author class")
+	}
+}
+
+func TestCollapseNestedRepeats(t *testing.T) {
+	// catalog/book/author repeated: 2 books × 2 authors = 7 nodes → 3 classes.
+	catalog := xmltree.NewElement("catalog")
+	for i := 0; i < 2; i++ {
+		b := xmltree.NewElement("book")
+		_ = catalog.AppendChild(b)
+		for j := 0; j < 2; j++ {
+			_ = b.AppendChild(xmltree.NewElement("author"))
+		}
+	}
+	ptree, _ := CollapsePaths(xmltree.NewDocument(catalog))
+	if n := xmltree.ComputeStats(ptree).Nodes; n != 3 {
+		t.Errorf("path tree nodes = %d, want 3", n)
+	}
+}
+
+func TestCombinedLabelingShrinksLabels(t *testing.T) {
+	// A highly repetitive document — exactly the shape Opt3 targets.
+	root := xmltree.NewElement("plays")
+	for i := 0; i < 30; i++ {
+		play := xmltree.NewElement("play")
+		_ = root.AppendChild(play)
+		for j := 0; j < 5; j++ {
+			act := xmltree.NewElement("act")
+			_ = play.AppendChild(act)
+			for k := 0; k < 4; k++ {
+				_ = act.AppendChild(xmltree.NewElement("scene"))
+			}
+		}
+	}
+	doc := xmltree.NewDocument(root)
+	flat, err := Scheme{}.New(doc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := NewCombined(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.MaxLabelBits() >= flat.MaxLabelBits() {
+		t.Errorf("combined bits %d not below flat %d", comb.MaxLabelBits(), flat.MaxLabelBits())
+	}
+	// The paper reports up to 83% reduction on repetitive data; this corpus
+	// is maximally repetitive so expect at least 50%.
+	if comb.MaxLabelBits()*2 > flat.MaxLabelBits() {
+		t.Errorf("combined bits %d, flat %d: reduction below 50%%", comb.MaxLabelBits(), flat.MaxLabelBits())
+	}
+}
+
+func TestCombinedClassAncestor(t *testing.T) {
+	root := xmltree.NewElement("catalog")
+	b1 := xmltree.NewElement("book")
+	b2 := xmltree.NewElement("book")
+	_ = root.AppendChild(b1)
+	_ = root.AppendChild(b2)
+	a1 := xmltree.NewElement("author")
+	a2 := xmltree.NewElement("author")
+	_ = b1.AppendChild(a1)
+	_ = b2.AppendChild(a2)
+	doc := xmltree.NewDocument(root)
+	comb, err := NewCombined(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class-level: book is an ancestor class of author — for ANY book and
+	// author pair, because Opt3 trades node identity for compactness.
+	if !comb.ClassAncestor(b1, a1) || !comb.ClassAncestor(b1, a2) {
+		t.Error("book class should be an ancestor class of author")
+	}
+	if comb.ClassAncestor(a1, b1) {
+		t.Error("author class must not be an ancestor of book")
+	}
+	// Position information preserves sibling order.
+	if comb.Positions[b1] != 1 || comb.Positions[b2] != 2 {
+		t.Errorf("positions = %d,%d; want 1,2", comb.Positions[b1], comb.Positions[b2])
+	}
+}
+
+func TestCombinedPositionsCoverAllElements(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	doc := randomTree(rng, 100)
+	comb, err := NewCombined(doc, Options{PowerOfTwoLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range xmltree.Elements(doc.Root) {
+		if comb.Positions[n] < 1 {
+			t.Fatalf("node %s has no position", xmltree.PathTo(n))
+		}
+		if comb.ClassOf[n] == nil {
+			t.Fatalf("node %s has no class", xmltree.PathTo(n))
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package prime
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/primes"
+	"primelabel/internal/xmltree"
+)
+
+// Tree decomposition (Section 3.2, citing Kaplan/Milo/Shabo [10]).
+//
+// For deep trees the top-down label — a product of one prime per ancestor —
+// grows linearly with depth. Decomposition cuts the tree into layers of
+// height h: a node's label becomes a *chain* of small integers, one per
+// layer crossed on the way down, where each element is the prime-product
+// label local to that layer's subtree. Self-primes are unique within each
+// layer (and reused across layers — the source of the size reduction), so
+// divisibility still decides within-layer ancestry, and the chain elements
+// record exactly which exit node each layer was left through:
+//
+//	a (layer i) is an ancestor of b (layer j) ⇔
+//	  i <  j and local(a) divides chain(b)[i], or
+//	  i == j and local(a) properly divides local(b).
+//
+// Insertions stay relabel-free exactly as in the flat scheme. The ablation
+// benchmark compares chain storage against flat labels on deep documents.
+
+// DecomposedScheme labels documents with layered prime labels.
+type DecomposedScheme struct {
+	// LayerHeight is the number of tree levels per layer (h). 0 means 4.
+	LayerHeight int
+}
+
+func (s DecomposedScheme) layerHeight() int {
+	if s.LayerHeight <= 0 {
+		return 4
+	}
+	return s.LayerHeight
+}
+
+// Name implements labeling.Scheme.
+func (s DecomposedScheme) Name() string {
+	return fmt.Sprintf("prime-decomposed(h=%d)", s.layerHeight())
+}
+
+type decomposedLabel struct {
+	chain []*big.Int // chain[0..k-1] are exit locals, chain[k] is the node's own local
+	prime uint64     // the node's own self-prime (0 for the document root)
+}
+
+func (d *decomposedLabel) local() *big.Int { return d.chain[len(d.chain)-1] }
+
+// DecomposedLabeling is a decomposition-labeled document. Each layer owns
+// an independent prime source: divisibility comparisons only ever happen
+// between labels of the same layer, so primes need only be unique within a
+// layer — that reuse of small primes across layers is where the size
+// reduction over the flat scheme comes from.
+type DecomposedLabeling struct {
+	doc    *xmltree.Document
+	h      int
+	labels map[*xmltree.Node]*decomposedLabel
+	srcs   []*primes.Source // one per layer
+}
+
+// layerSource returns (creating on demand) the prime source for a layer.
+func (l *DecomposedLabeling) layerSource(layer int) *primes.Source {
+	for len(l.srcs) <= layer {
+		l.srcs = append(l.srcs, primes.NewSource())
+	}
+	return l.srcs[layer]
+}
+
+var _ labeling.Labeling = (*DecomposedLabeling)(nil)
+
+// Label implements labeling.Scheme.
+func (s DecomposedScheme) Label(doc *xmltree.Document) (labeling.Labeling, error) {
+	l, err := s.New(doc)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// New labels doc and returns the concrete labeling.
+func (s DecomposedScheme) New(doc *xmltree.Document) (*DecomposedLabeling, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, errors.New("prime: nil document")
+	}
+	l := &DecomposedLabeling{
+		doc:    doc,
+		h:      s.layerHeight(),
+		labels: make(map[*xmltree.Node]*decomposedLabel),
+	}
+	l.labels[doc.Root] = &decomposedLabel{chain: []*big.Int{big.NewInt(1)}}
+	var walk func(n *xmltree.Node, depth int)
+	walk = func(n *xmltree.Node, depth int) {
+		for _, c := range n.Children {
+			if c.Kind != xmltree.ElementNode {
+				continue
+			}
+			l.assignChild(n, c, depth+1)
+			walk(c, depth+1)
+		}
+	}
+	walk(doc.Root, 0)
+	return l, nil
+}
+
+// assignChild labels c (at the given depth) from its already-labeled
+// parent. Layer k covers depths [k*h+1, (k+1)*h] with the document root
+// alone above layer 0.
+func (l *DecomposedLabeling) assignChild(parent, c *xmltree.Node, depth int) {
+	pl := l.labels[parent]
+	p := l.layerSource((depth - 1) / l.h).Next()
+	dl := &decomposedLabel{prime: p}
+	if (depth-1)%l.h == 0 {
+		// c starts a new layer: its chain extends the parent's full chain.
+		dl.chain = append(append([]*big.Int{}, pl.chain...), new(big.Int).SetUint64(p))
+	} else {
+		// Same layer as parent: multiply into the local element.
+		dl.chain = append([]*big.Int{}, pl.chain[:len(pl.chain)-1]...)
+		local := new(big.Int).Mul(pl.local(), new(big.Int).SetUint64(p))
+		dl.chain = append(dl.chain, local)
+	}
+	l.labels[c] = dl
+}
+
+// SchemeName implements labeling.Labeling.
+func (l *DecomposedLabeling) SchemeName() string {
+	return fmt.Sprintf("prime-decomposed(h=%d)", l.h)
+}
+
+// Doc implements labeling.Labeling.
+func (l *DecomposedLabeling) Doc() *xmltree.Document { return l.doc }
+
+// ChainOf returns a copy of n's label chain, or nil.
+func (l *DecomposedLabeling) ChainOf(n *xmltree.Node) []*big.Int {
+	dl, ok := l.labels[n]
+	if !ok {
+		return nil
+	}
+	out := make([]*big.Int, len(dl.chain))
+	for i, e := range dl.chain {
+		out[i] = new(big.Int).Set(e)
+	}
+	return out
+}
+
+// IsAncestor implements the layered divisibility test.
+func (l *DecomposedLabeling) IsAncestor(a, b *xmltree.Node) bool {
+	la, ok := l.labels[a]
+	if !ok {
+		return false
+	}
+	lb, ok := l.labels[b]
+	if !ok {
+		return false
+	}
+	i, j := len(la.chain), len(lb.chain)
+	var r big.Int
+	switch {
+	case i > j:
+		return false
+	case i == j:
+		if la.local().Cmp(lb.local()) == 0 {
+			return false // identical chain length and local ⇒ same node
+		}
+		return r.Rem(lb.local(), la.local()).Sign() == 0
+	default:
+		return r.Rem(lb.chain[i-1], la.local()).Sign() == 0
+	}
+}
+
+// IsParent reports whether a is b's parent: ancestor with quotient equal to
+// b's own self-prime.
+func (l *DecomposedLabeling) IsParent(a, b *xmltree.Node) bool {
+	if !l.IsAncestor(a, b) {
+		return false
+	}
+	la, lb := l.labels[a], l.labels[b]
+	i, j := len(la.chain), len(lb.chain)
+	var q big.Int
+	switch {
+	case i == j:
+		q.Quo(lb.local(), la.local())
+	case j == i+1:
+		// b must be a layer root (its local is exactly its own prime) and a
+		// the exit node whose local equals chain(b)[i-1].
+		if lb.local().Cmp(new(big.Int).SetUint64(lb.prime)) != 0 {
+			return false
+		}
+		if la.local().Cmp(lb.chain[i-1]) != 0 {
+			return false
+		}
+		q.SetUint64(lb.prime)
+	default:
+		return false
+	}
+	return q.Cmp(new(big.Int).SetUint64(lb.prime)) == 0
+}
+
+// LabelBits is the total storage for the chain: the sum of element bit
+// lengths.
+func (l *DecomposedLabeling) LabelBits(n *xmltree.Node) int {
+	dl, ok := l.labels[n]
+	if !ok {
+		return 0
+	}
+	bits := 0
+	for _, e := range dl.chain {
+		bits += e.BitLen()
+	}
+	return bits
+}
+
+// MaxLabelBits implements labeling.Labeling.
+func (l *DecomposedLabeling) MaxLabelBits() int {
+	max := 0
+	for _, dl := range l.labels {
+		bits := 0
+		for _, e := range dl.chain {
+			bits += e.BitLen()
+		}
+		if bits > max {
+			max = bits
+		}
+	}
+	return max
+}
+
+// Before implements labeling.Labeling; decomposition does not carry order.
+func (l *DecomposedLabeling) Before(a, b *xmltree.Node) (bool, error) {
+	return false, labeling.ErrOrderUnsupported
+}
+
+// InsertChildAt implements labeling.Labeling: only the new node is labeled.
+func (l *DecomposedLabeling) InsertChildAt(parent *xmltree.Node, idx int, n *xmltree.Node) (int, error) {
+	if _, ok := l.labels[parent]; !ok {
+		return 0, fmt.Errorf("prime: insert under unlabeled parent")
+	}
+	if n == nil {
+		return 0, xmltree.ErrNilNode
+	}
+	if n.Kind != xmltree.ElementNode {
+		return 0, ErrNotElement
+	}
+	if len(n.Children) > 0 {
+		return 0, fmt.Errorf("prime: inserted nodes must be childless")
+	}
+	if _, ok := l.labels[n]; ok {
+		return 0, ErrHasLabel
+	}
+	if err := parent.InsertChildAt(idx, n); err != nil {
+		return 0, err
+	}
+	l.assignChild(parent, n, n.Depth())
+	return 1, nil
+}
+
+// WrapNode implements labeling.Labeling. Wrapping shifts the depth of the
+// whole target subtree, moving nodes across layer boundaries, so the
+// subtree is relabeled.
+func (l *DecomposedLabeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
+	if _, ok := l.labels[target]; !ok {
+		return 0, fmt.Errorf("prime: wrap of unlabeled node")
+	}
+	if target == l.doc.Root {
+		return 0, xmltree.ErrIsRoot
+	}
+	if wrapper == nil {
+		return 0, xmltree.ErrNilNode
+	}
+	if _, ok := l.labels[wrapper]; ok {
+		return 0, ErrHasLabel
+	}
+	parent := target.Parent
+	if err := xmltree.WrapChildren(parent, wrapper, target, target); err != nil {
+		return 0, err
+	}
+	l.assignChild(parent, wrapper, wrapper.Depth())
+	relabeled := 1
+	var walk func(p, c *xmltree.Node)
+	walk = func(p, c *xmltree.Node) {
+		// Every subtree node shifted one level deeper, possibly into a
+		// different layer whose primes are drawn from a different source,
+		// so each gets a fresh prime from its new layer.
+		l.assignChild(p, c, c.Depth())
+		relabeled++
+		for _, cc := range c.Children {
+			if cc.Kind == xmltree.ElementNode {
+				walk(c, cc)
+			}
+		}
+	}
+	for _, c := range wrapper.Children {
+		if c.Kind == xmltree.ElementNode {
+			walk(wrapper, c)
+		}
+	}
+	return relabeled, nil
+}
+
+// Delete implements labeling.Labeling.
+func (l *DecomposedLabeling) Delete(n *xmltree.Node) error {
+	if _, ok := l.labels[n]; !ok {
+		return fmt.Errorf("prime: delete of unlabeled node")
+	}
+	if n == l.doc.Root {
+		return xmltree.ErrIsRoot
+	}
+	for _, m := range xmltree.Elements(n) {
+		delete(l.labels, m)
+	}
+	n.Detach()
+	return nil
+}

@@ -1,0 +1,191 @@
+package prime
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+// deepChain builds a single path of the given length.
+func deepChain(depth int) *xmltree.Document {
+	root := xmltree.NewElement("n")
+	cur := root
+	for i := 1; i < depth; i++ {
+		c := xmltree.NewElement("n")
+		_ = cur.AppendChild(c)
+		cur = c
+	}
+	return xmltree.NewDocument(root)
+}
+
+func TestDecomposedAgainstTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, h := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 10; trial++ {
+			doc := randomTree(rng, 70)
+			l, err := DecomposedScheme{LayerHeight: h}.Label(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := labeling.CheckAgainstTree(l); err != nil {
+				t.Fatalf("h=%d trial %d: %v", h, trial, err)
+			}
+		}
+	}
+}
+
+func TestDecomposedDeepChain(t *testing.T) {
+	doc := deepChain(40)
+	l, err := DecomposedScheme{LayerHeight: 4}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+	els := xmltree.Elements(doc.Root)
+	deepest := els[len(els)-1]
+	// Chain length = ceil((depth)/h) + 1 elements (root contributes one).
+	chain := l.ChainOf(deepest)
+	if len(chain) != 11 { // depth 39 → layers 0..9 → 10 chain elements + root's
+		t.Errorf("chain length = %d, want 11", len(chain))
+	}
+}
+
+// Decomposition caps per-element growth: on deep documents the decomposed
+// label needs fewer bits than the flat product label.
+func TestDecomposedSmallerOnDeepDocs(t *testing.T) {
+	doc := deepChain(120)
+	flat, err := Scheme{}.New(doc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecomposedScheme{LayerHeight: 8}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.MaxLabelBits() >= flat.MaxLabelBits() {
+		t.Errorf("decomposed bits %d not below flat %d", dec.MaxLabelBits(), flat.MaxLabelBits())
+	}
+}
+
+func TestDecomposedIsParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	doc := randomTree(rng, 50)
+	l, err := DecomposedScheme{LayerHeight: 3}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := xmltree.Elements(doc.Root)
+	for _, a := range els {
+		for _, b := range els {
+			want := b.Parent == a
+			if got := l.IsParent(a, b); got != want {
+				t.Fatalf("IsParent(%s,%s) = %v, want %v", xmltree.PathTo(a), xmltree.PathTo(b), got, want)
+			}
+		}
+	}
+}
+
+func TestDecomposedInsertNoRelabel(t *testing.T) {
+	doc := deepChain(20)
+	l, err := DecomposedScheme{LayerHeight: 4}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := xmltree.Elements(doc.Root)
+	target := els[10]
+	before := map[*xmltree.Node]string{}
+	for _, e := range els {
+		before[e] = chainString(l, e)
+	}
+	n := xmltree.NewElement("new")
+	count, err := l.InsertChildAt(target, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("insert relabel count = %d, want 1", count)
+	}
+	for _, e := range els {
+		if chainString(l, e) != before[e] {
+			t.Errorf("existing node %v relabeled", xmltree.PathTo(e))
+		}
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chainString(l *DecomposedLabeling, n *xmltree.Node) string {
+	parts := []string{}
+	for _, e := range l.ChainOf(n) {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestDecomposedWrapRelabelsSubtreeOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	doc := randomTree(rng, 40)
+	l, err := DecomposedScheme{LayerHeight: 2}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := xmltree.Elements(doc.Root)
+	var target *xmltree.Node
+	for _, e := range els {
+		if e != doc.Root {
+			target = e
+			break
+		}
+	}
+	w := xmltree.NewElement("w")
+	count, err := l.WrapNode(target, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := 1 + len(xmltree.Elements(target))
+	if count != wantCount {
+		t.Errorf("wrap relabel count = %d, want %d", count, wantCount)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposedDeleteAndErrors(t *testing.T) {
+	doc := deepChain(10)
+	l, err := DecomposedScheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := xmltree.Elements(doc.Root)
+	if err := l.Delete(els[5]); err != nil {
+		t.Fatal(err)
+	}
+	if l.ChainOf(els[6]) != nil {
+		t.Error("descendant of deleted node still labeled")
+	}
+	if err := l.Delete(doc.Root); err != xmltree.ErrIsRoot {
+		t.Errorf("delete root err = %v", err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Before(els[1], els[2]); err != labeling.ErrOrderUnsupported {
+		t.Errorf("Before err = %v", err)
+	}
+}
+
+func TestDecomposedSchemeName(t *testing.T) {
+	if got := (DecomposedScheme{}).Name(); got != "prime-decomposed(h=4)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (DecomposedScheme{LayerHeight: 2}).Name(); got != "prime-decomposed(h=2)" {
+		t.Errorf("Name = %q", got)
+	}
+}

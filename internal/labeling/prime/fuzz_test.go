@@ -1,0 +1,50 @@
+package prime
+
+import (
+	"bytes"
+	"testing"
+
+	"primelabel/internal/xmltree"
+)
+
+// FuzzUnmarshal checks that arbitrary byte streams never panic the
+// persistence decoder and that anything it accepts passes the full
+// consistency check (Unmarshal runs Check internally; this guards that the
+// guard stays in place).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with a couple of valid streams plus noise.
+	for _, opts := range []Options{{}, {TrackOrder: true, PowerOfTwoLeaves: true, SCChunk: 2}} {
+		doc, _ := buildFuzzTree()
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := l.Marshal(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PRIMELBL\x01"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Unmarshal(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("accepted stream fails Check: %v", err)
+		}
+	})
+}
+
+func buildFuzzTree() (*xmltree.Document, struct{}) {
+	r := xmltree.NewElement("r")
+	a := xmltree.NewElement("a")
+	b := xmltree.NewElement("b")
+	_ = r.AppendChild(a)
+	_ = r.AppendChild(b)
+	_ = a.AppendChild(xmltree.NewElement("c"))
+	return xmltree.NewDocument(r), struct{}{}
+}

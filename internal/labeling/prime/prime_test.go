@@ -1,0 +1,550 @@
+package prime
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+// buildTree makes a small fixed tree:
+//
+//	r
+//	├── a
+//	│   ├── c (leaf)
+//	│   └── d (leaf)
+//	└── b (leaf)
+func buildTree(t *testing.T) (*xmltree.Document, map[string]*xmltree.Node) {
+	t.Helper()
+	r := xmltree.NewElement("r")
+	a := xmltree.NewElement("a")
+	b := xmltree.NewElement("b")
+	c := xmltree.NewElement("c")
+	d := xmltree.NewElement("d")
+	for _, s := range []struct{ p, c *xmltree.Node }{{r, a}, {r, b}, {a, c}, {a, d}} {
+		if err := s.p.AppendChild(s.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return xmltree.NewDocument(r), map[string]*xmltree.Node{"r": r, "a": a, "b": b, "c": c, "d": d}
+}
+
+// randomTree builds a random element tree for property tests.
+func randomTree(rng *rand.Rand, n int) *xmltree.Document {
+	root := xmltree.NewElement("root")
+	nodes := []*xmltree.Node{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := xmltree.NewElement("e")
+		_ = p.AppendChild(c)
+		nodes = append(nodes, c)
+	}
+	return xmltree.NewDocument(root)
+}
+
+var optionMatrix = []Options{
+	{},
+	{ReservedPrimes: 8},
+	{PowerOfTwoLeaves: true},
+	{ReservedPrimes: 8, PowerOfTwoLeaves: true},
+	{PowerOfTwoLeaves: true, Power2Threshold: 2},
+	{TrackOrder: true},
+	{TrackOrder: true, SCChunk: 1},
+	{TrackOrder: true, SCChunk: 20, PowerOfTwoLeaves: true, ReservedPrimes: 4},
+}
+
+func TestTopDownBasicLabels(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LabelOf(ns["r"]); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("root label = %v, want 1", got)
+	}
+	// Preorder prime assignment: a=2, c=3, d=5, b=7.
+	want := map[string]int64{"a": 2, "c": 6, "d": 10, "b": 7}
+	for name, w := range want {
+		if got := l.LabelOf(ns[name]); got.Int64() != w {
+			t.Errorf("label(%s) = %v, want %d", name, got, w)
+		}
+	}
+	if err := l.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The example in the paper's Section 3: the node labeled 10 has
+// parent-label 2 and self-label 5.
+func TestSelfAndParentLabelDecomposition(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ns["d"] // label 10 under parent labeled 2
+	if got := l.SelfLabelOf(d); got.Int64() != 5 {
+		t.Errorf("self-label = %v, want 5", got)
+	}
+	if got := l.LabelOf(d.Parent); got.Int64() != 2 {
+		t.Errorf("parent-label = %v, want 2", got)
+	}
+}
+
+func TestProperty2AllPairsAllOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, opts := range optionMatrix {
+		for trial := 0; trial < 10; trial++ {
+			doc := randomTree(rng, 80)
+			l, err := Scheme{Opts: opts}.Label(doc)
+			if err != nil {
+				t.Fatalf("opts %+v: %v", opts, err)
+			}
+			if err := labeling.CheckAgainstTree(l); err != nil {
+				t.Fatalf("opts %+v trial %d: %v", opts, trial, err)
+			}
+		}
+	}
+}
+
+func TestIsParentAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, opts := range []Options{{}, {PowerOfTwoLeaves: true}} {
+		doc := randomTree(rng, 60)
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		els := xmltree.Elements(doc.Root)
+		for _, a := range els {
+			for _, b := range els {
+				want := b.Parent == a
+				if got := l.IsParent(a, b); got != want {
+					t.Fatalf("opts %+v: IsParent(%s,%s) = %v, want %v",
+						opts, xmltree.PathTo(a), xmltree.PathTo(b), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOpt2LeavesArePowersOfTwo(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{Opts: Options{PowerOfTwoLeaves: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c and d are leaves under a: self-labels 2^1, 2^2. b is a leaf under
+	// r: self-label 2^1 (counter is per parent).
+	if got := l.SelfLabelOf(ns["c"]); got.Int64() != 2 {
+		t.Errorf("self(c) = %v, want 2", got)
+	}
+	if got := l.SelfLabelOf(ns["d"]); got.Int64() != 4 {
+		t.Errorf("self(d) = %v, want 4", got)
+	}
+	if got := l.SelfLabelOf(ns["b"]); got.Int64() != 2 {
+		t.Errorf("self(b) = %v, want 2", got)
+	}
+	// Non-leaf a gets an odd prime (2 is never used for interior nodes).
+	if got := l.SelfLabelOf(ns["a"]); got.Int64()%2 == 0 {
+		t.Errorf("self(a) = %v, want odd", got)
+	}
+	if err := l.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpt2Threshold(t *testing.T) {
+	root := xmltree.NewElement("r")
+	for i := 0; i < 6; i++ {
+		_ = root.AppendChild(xmltree.NewElement("leaf"))
+	}
+	doc := xmltree.NewDocument(root)
+	l, err := Scheme{Opts: Options{PowerOfTwoLeaves: true, Power2Threshold: 3}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := root.ElementChildren()
+	for i := 0; i < 3; i++ {
+		if got := l.SelfLabelOf(kids[i]); got.Int64() != 1<<(i+1) {
+			t.Errorf("leaf %d self = %v, want %d", i, got, 1<<(i+1))
+		}
+	}
+	for i := 3; i < 6; i++ {
+		got := l.SelfLabelOf(kids[i])
+		if got.Int64()%2 == 0 {
+			t.Errorf("leaf %d beyond threshold: self = %v, want odd prime", i, got)
+		}
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpt1UsesSmallPrimesForTopLevel(t *testing.T) {
+	// A wide shallow tree where the first top-level subtree consumes many
+	// primes: without Opt1 the later top-level nodes get large primes.
+	root := xmltree.NewElement("r")
+	first := xmltree.NewElement("big")
+	_ = root.AppendChild(first)
+	for i := 0; i < 50; i++ {
+		inner := xmltree.NewElement("x")
+		_ = first.AppendChild(inner)
+		_ = inner.AppendChild(xmltree.NewElement("y"))
+	}
+	for i := 0; i < 3; i++ {
+		sec := xmltree.NewElement("sec")
+		_ = root.AppendChild(sec)
+		_ = sec.AppendChild(xmltree.NewElement("z"))
+	}
+	doc := xmltree.NewDocument(root)
+
+	plain, err := Scheme{}.New(doc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt1, err := Scheme{Opts: Options{ReservedPrimes: 4}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secNodes := xmltree.ElementsByName(doc.Root, "sec")
+	for _, sn := range secNodes {
+		if got := opt1.SelfLabelOf(sn); got.Int64() > 7 {
+			t.Errorf("Opt1 top-level self = %v, want one of the 4 reserved primes", got)
+		}
+	}
+	if opt1.MaxLabelBits() > plain.MaxLabelBits() {
+		t.Errorf("Opt1 max bits %d > plain %d", opt1.MaxLabelBits(), plain.MaxLabelBits())
+	}
+	if err := labeling.CheckAgainstTree(opt1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpt2ReducesLabelSize(t *testing.T) {
+	// Leaf-heavy document with moderate fan-out: Opt2 should shrink labels
+	// substantially (the paper reports up to 63%). Note Opt2 loses when
+	// fan-out is huge — the exponent grows linearly — which the paper
+	// acknowledges and the Power2Threshold option mitigates.
+	root := xmltree.NewElement("r")
+	for i := 0; i < 100; i++ {
+		ch := xmltree.NewElement("c")
+		_ = root.AppendChild(ch)
+		for j := 0; j < 8; j++ {
+			_ = ch.AppendChild(xmltree.NewElement("leaf"))
+		}
+	}
+	doc := xmltree.NewDocument(root)
+	plain, err := Scheme{}.New(doc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2, err := Scheme{Opts: Options{PowerOfTwoLeaves: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2.MaxLabelBits() >= plain.MaxLabelBits() {
+		t.Errorf("Opt2 max bits %d not below plain %d", opt2.MaxLabelBits(), plain.MaxLabelBits())
+	}
+}
+
+func TestInsertLeafDoesNotRelabelOthers(t *testing.T) {
+	for _, opts := range optionMatrix {
+		doc, ns := buildTree(t)
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := map[string]*big.Int{}
+		for name, n := range ns {
+			before[name] = l.LabelOf(n)
+		}
+		n := xmltree.NewElement("new")
+		if _, err := l.InsertChildAt(ns["a"], 1, n); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		for name, n := range ns {
+			if l.LabelOf(n).Cmp(before[name]) != 0 {
+				t.Errorf("opts %+v: label(%s) changed from %v to %v",
+					opts, name, before[name], l.LabelOf(n))
+			}
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if err := labeling.CheckAgainstTree(l); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// Section 5.3 / Figure 16: the original scheme relabels only the new node
+// (count 1); with Opt2 the parent of a new node was a 2^k leaf and must be
+// converted, so the count is 2.
+func TestInsertRelabelCounts(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := l.InsertChildAt(ns["c"], 0, xmltree.NewElement("u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("original scheme relabel count = %d, want 1", count)
+	}
+
+	doc2, ns2 := buildTree(t)
+	l2, err := Scheme{Opts: Options{PowerOfTwoLeaves: true}}.New(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count2, err := l2.InsertChildAt(ns2["c"], 0, xmltree.NewElement("u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count2 != 2 {
+		t.Errorf("Opt2 leaf-parent relabel count = %d, want 2", count2)
+	}
+	// Inserting under an existing interior node costs 1 even with Opt2.
+	count3, err := l2.InsertChildAt(ns2["a"], 0, xmltree.NewElement("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count3 != 1 {
+		t.Errorf("Opt2 interior insert relabel count = %d, want 1", count3)
+	}
+	if err := labeling.CheckAgainstTree(l2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.InsertChildAt(ns["a"], 0, nil); err == nil {
+		t.Error("nil insert should fail")
+	}
+	if _, err := l.InsertChildAt(ns["a"], 0, xmltree.NewText("t")); err != ErrNotElement {
+		t.Errorf("text insert err = %v", err)
+	}
+	if _, err := l.InsertChildAt(ns["a"], 0, ns["b"].Detach()); err != ErrHasLabel {
+		t.Errorf("re-insert of labeled node err = %v", err)
+	}
+	withKids := xmltree.NewElement("p")
+	_ = withKids.AppendChild(xmltree.NewElement("q"))
+	if _, err := l.InsertChildAt(ns["a"], 0, withKids); err == nil {
+		t.Error("insert of non-childless node should fail")
+	}
+	outsider := xmltree.NewElement("o")
+	if _, err := l.InsertChildAt(outsider, 0, xmltree.NewElement("n")); err == nil {
+		t.Error("insert under unlabeled parent should fail")
+	}
+}
+
+// Figure 17: wrapping a node relabels the wrapper plus exactly the target
+// subtree; nothing else changes.
+func TestWrapNode(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelB := l.LabelOf(ns["b"])
+	labelR := l.LabelOf(ns["r"])
+	w := xmltree.NewElement("wrap")
+	count, err := l.WrapNode(ns["a"], w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wrapper + subtree {a, c, d} = 4.
+	if count != 4 {
+		t.Errorf("wrap relabel count = %d, want 4", count)
+	}
+	if l.LabelOf(ns["b"]).Cmp(labelB) != 0 || l.LabelOf(ns["r"]).Cmp(labelR) != 0 {
+		t.Error("wrap relabeled nodes outside the target subtree")
+	}
+	if ns["a"].Parent != w || w.Parent != ns["r"] {
+		t.Error("tree structure after wrap wrong")
+	}
+	if err := l.Check(); err != nil {
+		t.Error(err)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapRootFails(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.WrapNode(ns["r"], xmltree.NewElement("w")); err != xmltree.ErrIsRoot {
+		t.Errorf("wrap root err = %v, want ErrIsRoot", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for _, opts := range optionMatrix {
+		doc, ns := buildTree(t)
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Delete(ns["a"]); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if l.LabelOf(ns["a"]) != nil || l.LabelOf(ns["c"]) != nil {
+			t.Error("deleted subtree still labeled")
+		}
+		if l.LabelOf(ns["b"]) == nil {
+			t.Error("sibling lost its label")
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if err := l.Delete(ns["r"]); err != xmltree.ErrIsRoot {
+			t.Errorf("delete root err = %v", err)
+		}
+	}
+}
+
+func TestOrderTracking(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{Opts: Options{TrackOrder: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preorder: r(0), a(1), c(2), d(3), b(4).
+	wantOrder := map[string]int{"r": 0, "a": 1, "c": 2, "d": 3, "b": 4}
+	for name, want := range wantOrder {
+		got, err := l.OrderOf(ns[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("OrderOf(%s) = %d, want %d", name, got, want)
+		}
+	}
+	if before, err := l.Before(ns["c"], ns["b"]); err != nil || !before {
+		t.Errorf("Before(c,b) = %v,%v; want true", before, err)
+	}
+	if before, err := l.Before(ns["b"], ns["a"]); err != nil || before {
+		t.Errorf("Before(b,a) = %v,%v; want false", before, err)
+	}
+}
+
+func TestOrderUnsupportedWithoutTracking(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Before(ns["a"], ns["b"]); err != labeling.ErrOrderUnsupported {
+		t.Errorf("Before err = %v, want ErrOrderUnsupported", err)
+	}
+}
+
+func TestOrderedInsertMaintainsOrder(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{Opts: Options{TrackOrder: true, SCChunk: 2}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert new element between c and d.
+	mid := xmltree.NewElement("mid")
+	if _, err := l.InsertChildAt(ns["a"], 1, mid); err != nil {
+		t.Fatal(err)
+	}
+	want := []*xmltree.Node{ns["a"], ns["c"], mid, ns["d"], ns["b"]}
+	for i := 0; i < len(want)-1; i++ {
+		before, err := l.Before(want[i], want[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !before {
+			t.Errorf("order wrong at position %d", i)
+		}
+	}
+	if err := l.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDynamicMixAllOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, opts := range optionMatrix {
+		doc := randomTree(rng, 20)
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := xmltree.Elements(doc.Root)
+		for step := 0; step < 80; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // insert
+				p := live[rng.Intn(len(live))]
+				n := xmltree.NewElement("n")
+				idx := rng.Intn(len(p.ElementChildren()) + 1)
+				if _, err := l.InsertChildAt(p, idx, n); err != nil {
+					t.Fatalf("opts %+v step %d insert: %v", opts, step, err)
+				}
+				live = append(live, n)
+			case op < 8: // wrap
+				target := live[rng.Intn(len(live))]
+				if target == doc.Root {
+					continue
+				}
+				w := xmltree.NewElement("w")
+				if _, err := l.WrapNode(target, w); err != nil {
+					t.Fatalf("opts %+v step %d wrap: %v", opts, step, err)
+				}
+				live = append(live, w)
+			default: // delete
+				if len(live) < 5 {
+					continue
+				}
+				victim := live[rng.Intn(len(live))]
+				if victim == doc.Root || victim.Parent == nil {
+					continue
+				}
+				if err := l.Delete(victim); err != nil {
+					t.Fatalf("opts %+v step %d delete: %v", opts, step, err)
+				}
+				live = xmltree.Elements(doc.Root)
+			}
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if err := labeling.CheckAgainstTree(l); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+func TestMaxLabelBitsAndLabelBits(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LabelBits(ns["r"]); got != 1 {
+		t.Errorf("root LabelBits = %d, want 1", got)
+	}
+	// d has label 10 = 0b1010 → 4 bits; max over {1,2,6,10,7} is 4.
+	if got := l.MaxLabelBits(); got != 4 {
+		t.Errorf("MaxLabelBits = %d, want 4", got)
+	}
+	if got := l.LabelBits(xmltree.NewElement("ghost")); got != 0 {
+		t.Errorf("unlabeled LabelBits = %d, want 0", got)
+	}
+}

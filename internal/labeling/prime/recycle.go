@@ -1,0 +1,73 @@
+package prime
+
+import "container/heap"
+
+// Prime recycling — an extension beyond the paper.
+//
+// The paper notes that "each prime number can only be used once", so under
+// sustained insert/delete churn the self-labels of new nodes keep growing
+// even when the live document stays the same size. Nothing actually
+// requires retiring a deleted node's prime forever: divisibility-based
+// ancestor tests only need self-labels to be unique among *live* nodes, and
+// deletion removes the prime from both the label map and the SC table. With
+// Options.RecyclePrimes, freed primes return to a min-heap and are handed
+// out again (smallest first) before the source mints new ones, keeping the
+// label size bounded by the live-document size instead of the insert count.
+// TestRecyclingBoundsLabelGrowth and BenchmarkAblationRecycling measure the
+// effect.
+
+// primeHeap is a min-heap of freed primes.
+type primeHeap []uint64
+
+func (h primeHeap) Len() int            { return len(h) }
+func (h primeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h primeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *primeHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *primeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// freePrime returns a retired prime to the pool (no-op unless recycling is
+// enabled).
+func (l *Labeling) freePrime(p uint64) {
+	if !l.opts.RecyclePrimes || p == 0 {
+		return
+	}
+	heap.Push(&l.free, p)
+}
+
+// recycledPrime pops the smallest pooled prime, or 0 if the pool is empty
+// or recycling is off.
+func (l *Labeling) recycledPrime() uint64 {
+	if !l.opts.RecyclePrimes || l.free.Len() == 0 {
+		return 0
+	}
+	return heap.Pop(&l.free).(uint64)
+}
+
+// recycledPrimeAbove pops the smallest pooled prime strictly greater than
+// min, or 0 if none qualifies. Smaller pooled primes stay pooled.
+func (l *Labeling) recycledPrimeAbove(min uint64) uint64 {
+	if !l.opts.RecyclePrimes || l.free.Len() == 0 {
+		return 0
+	}
+	// Pop until a qualifying prime appears, keeping the rejects.
+	var rejected []uint64
+	var found uint64
+	for l.free.Len() > 0 {
+		p := heap.Pop(&l.free).(uint64)
+		if p > min {
+			found = p
+			break
+		}
+		rejected = append(rejected, p)
+	}
+	for _, p := range rejected {
+		heap.Push(&l.free, p)
+	}
+	return found
+}

@@ -1,0 +1,201 @@
+package prime
+
+import (
+	"math/rand"
+	"testing"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xmltree"
+)
+
+// Sustained churn at constant live size: with recycling the maximum label
+// stays bounded; without it the labels keep growing as primes are retired.
+func TestRecyclingBoundsLabelGrowth(t *testing.T) {
+	churn := func(recycle bool) int {
+		root := xmltree.NewElement("r")
+		for i := 0; i < 20; i++ {
+			_ = root.AppendChild(xmltree.NewElement("c"))
+		}
+		doc := xmltree.NewDocument(root)
+		l, err := Scheme{Opts: Options{RecyclePrimes: recycle}}.New(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			kids := root.ElementChildren()
+			if err := l.Delete(kids[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.InsertChildAt(root, len(root.Children), xmltree.NewElement("c")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return l.MaxLabelBits()
+	}
+	with := churn(true)
+	without := churn(false)
+	if with >= without {
+		t.Errorf("recycling max bits %d not below retiring max bits %d", with, without)
+	}
+	// 20 live leaves only ever need the first ~21 primes when recycled.
+	if with > 8 {
+		t.Errorf("recycled labels grew to %d bits; should stay near the live-size bound", with)
+	}
+	if without < 12 {
+		t.Errorf("non-recycled labels only reached %d bits; churn should have grown them", without)
+	}
+}
+
+// Recycled labelings must stay correct through a random mix of operations,
+// including order tracking (where freed order keys also recycle).
+func TestPropertyRecyclingDynamicMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for _, opts := range []Options{
+		{RecyclePrimes: true},
+		{RecyclePrimes: true, PowerOfTwoLeaves: true},
+		{RecyclePrimes: true, TrackOrder: true, SCChunk: 3},
+		{RecyclePrimes: true, TrackOrder: true, OrderSpacing: 8, PowerOfTwoLeaves: true},
+	} {
+		doc := randomTree(rng, 25)
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 150; step++ {
+			els := xmltree.Elements(doc.Root)
+			switch op := rng.Intn(10); {
+			case op < 5:
+				p := els[rng.Intn(len(els))]
+				if _, err := l.InsertChildAt(p, rng.Intn(len(p.ElementChildren())+1), xmltree.NewElement("n")); err != nil {
+					t.Fatalf("opts %+v step %d insert: %v", opts, step, err)
+				}
+			case op < 7:
+				tgt := els[rng.Intn(len(els))]
+				if tgt == doc.Root {
+					continue
+				}
+				if _, err := l.WrapNode(tgt, xmltree.NewElement("w")); err != nil {
+					t.Fatalf("opts %+v step %d wrap: %v", opts, step, err)
+				}
+			default:
+				if len(els) < 8 {
+					continue
+				}
+				v := els[rng.Intn(len(els))]
+				if v == doc.Root {
+					continue
+				}
+				if err := l.Delete(v); err != nil {
+					t.Fatalf("opts %+v step %d delete: %v", opts, step, err)
+				}
+			}
+			if step%25 == 0 {
+				if err := l.Check(); err != nil {
+					t.Fatalf("opts %+v step %d: %v", opts, step, err)
+				}
+			}
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if err := labeling.CheckAgainstTree(l); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// A freed prime must actually be handed out again.
+func TestRecycledPrimeIsReused(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{Opts: Options{RecyclePrimes: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b has self-label 7 (preorder assignment a=2,c=3,d=5,b=7).
+	freed := l.SelfLabelOf(ns["b"]).Uint64()
+	if err := l.Delete(ns["b"]); err != nil {
+		t.Fatal(err)
+	}
+	n := xmltree.NewElement("n")
+	if _, err := l.InsertChildAt(ns["a"], 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SelfLabelOf(n).Uint64(); got != freed {
+		t.Errorf("new node self = %d, want recycled %d", got, freed)
+	}
+	if err := labeling.CheckAgainstTree(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deleting a subtree frees every prime inside it, smallest reused first.
+func TestRecyclePoolOrdering(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{Opts: Options{RecyclePrimes: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete subtree a: frees a=2, c=3, d=5.
+	if err := l.Delete(ns["a"]); err != nil {
+		t.Fatal(err)
+	}
+	got := []uint64{}
+	for i := 0; i < 3; i++ {
+		n := xmltree.NewElement("n")
+		if _, err := l.InsertChildAt(ns["r"], 0, n); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, l.SelfLabelOf(n).Uint64())
+	}
+	want := []uint64{2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("reuse %d = %d, want %d (smallest-first)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecycledPrimeAbove(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{Opts: Options{RecyclePrimes: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(ns["a"]); err != nil { // frees 2, 3, 5
+		t.Fatal(err)
+	}
+	if p := l.recycledPrimeAbove(3); p != 5 {
+		t.Errorf("recycledPrimeAbove(3) = %d, want 5", p)
+	}
+	// 2 and 3 must still be pooled.
+	if p := l.recycledPrime(); p != 2 {
+		t.Errorf("pool head = %d, want 2", p)
+	}
+	if p := l.recycledPrimeAbove(100); p != 0 {
+		t.Errorf("recycledPrimeAbove(100) = %d, want 0", p)
+	}
+}
+
+func TestRecyclingOffKeepsPoolEmpty(t *testing.T) {
+	doc, ns := buildTree(t)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.src.Issued()
+	if err := l.Delete(ns["b"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.InsertChildAt(ns["a"], 0, xmltree.NewElement("n")); err != nil {
+		t.Fatal(err)
+	}
+	if l.src.Issued() != before+1 {
+		t.Error("without recycling, the source should mint a fresh prime")
+	}
+	if l.free.Len() != 0 {
+		t.Error("pool should stay empty with recycling off")
+	}
+}

@@ -1,0 +1,129 @@
+package numtheory
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Congruence is one equation x ≡ Rem (mod Mod) in a simultaneous system.
+type Congruence struct {
+	Mod uint64 // modulus, must be pairwise coprime with all others
+	Rem uint64 // remainder, reduced mod Mod by the solvers
+}
+
+// CRT solves the simultaneous congruence system x ≡ cs[i].Rem (mod
+// cs[i].Mod) and returns the unique solution x in [0, C) together with
+// C = ∏ Mod. This is Theorem 1 of the paper: the SC value for a list of
+// (self-label, order-number) pairs.
+//
+// It combines the congruences pairwise with extended-GCD arithmetic over
+// math/big, so the product of moduli may exceed 64 bits. It returns
+// ErrNotCoprime if the moduli are not pairwise coprime (for distinct prime
+// moduli this cannot happen).
+func CRT(cs []Congruence) (x, mod *big.Int, err error) {
+	x = big.NewInt(0)
+	mod = big.NewInt(1)
+	var (
+		m, r, g, p, q, diff, tmp big.Int
+	)
+	for _, c := range cs {
+		if c.Mod == 0 {
+			return nil, nil, fmt.Errorf("numtheory: zero modulus in congruence system")
+		}
+		m.SetUint64(c.Mod)
+		r.SetUint64(c.Rem % c.Mod)
+		// Solve x' ≡ x (mod mod), x' ≡ r (mod m).
+		g.GCD(&p, &q, mod, &m)
+		if g.Cmp(bigOne) != 0 {
+			// Only solvable if (r - x) divisible by g; the labeling scheme
+			// never produces that case, so reject outright.
+			return nil, nil, ErrNotCoprime
+		}
+		// x' = x + mod * p * (r - x) mod (mod*m)
+		diff.Sub(&r, x)
+		tmp.Mul(mod, &p)
+		tmp.Mul(&tmp, &diff)
+		x.Add(x, &tmp)
+		mod.Mul(mod, &m)
+		x.Mod(x, mod)
+	}
+	return x, mod, nil
+}
+
+var bigOne = big.NewInt(1)
+
+// CRTGarner solves the same system using Garner's mixed-radix algorithm,
+// which performs all per-step arithmetic modulo single uint64 moduli and
+// only assembles the big result at the end. For many small prime moduli it
+// is substantially faster than pairwise big.Int combination; the ablation
+// benchmark BenchmarkAblationCRT compares the two.
+func CRTGarner(cs []Congruence) (x, mod *big.Int, err error) {
+	n := len(cs)
+	// Mixed-radix digits: v[i] so that
+	// x = v[0] + v[1]*m[0] + v[2]*m[0]*m[1] + ...
+	v := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		mi := cs[i].Mod
+		if mi == 0 {
+			return nil, nil, fmt.Errorf("numtheory: zero modulus in congruence system")
+		}
+		// Evaluate current partial x modulo mi.
+		cur := uint64(0)
+		coeff := uint64(1) % mi
+		for j := 0; j < i; j++ {
+			cur = (cur + mulmod64(v[j], coeff, mi)) % mi
+			coeff = mulmod64(coeff, cs[j].Mod%mi, mi)
+		}
+		target := cs[i].Rem % mi
+		diff := (target + mi - cur) % mi
+		inv, ierr := ModInverse(prodMod(cs[:i], mi), mi)
+		if ierr != nil {
+			return nil, nil, ErrNotCoprime
+		}
+		v[i] = mulmod64(diff, inv, mi)
+	}
+	// Assemble.
+	x = big.NewInt(0)
+	mod = big.NewInt(1)
+	var term, m big.Int
+	for i := 0; i < n; i++ {
+		term.SetUint64(v[i])
+		term.Mul(&term, mod)
+		x.Add(x, &term)
+		m.SetUint64(cs[i].Mod)
+		mod.Mul(mod, &m)
+	}
+	return x, mod, nil
+}
+
+// prodMod returns (∏ cs[j].Mod) mod m.
+func prodMod(cs []Congruence, m uint64) uint64 {
+	p := uint64(1) % m
+	for _, c := range cs {
+		p = mulmod64(p, c.Mod%m, m)
+	}
+	return p
+}
+
+// Verify reports whether x satisfies every congruence in cs. Used by tests
+// and by the SC table's internal consistency checks.
+func Verify(x *big.Int, cs []Congruence) bool {
+	var m, r big.Int
+	for _, c := range cs {
+		m.SetUint64(c.Mod)
+		r.Mod(x, &m)
+		if r.Uint64() != c.Rem%c.Mod {
+			return false
+		}
+	}
+	return true
+}
+
+// RemUint64 returns x mod m for a big x and uint64 m — the paper's
+// order-number lookup `SC mod self-label`.
+func RemUint64(x *big.Int, m uint64) uint64 {
+	var mm, r big.Int
+	mm.SetUint64(m)
+	r.Mod(x, &mm)
+	return r.Uint64()
+}

@@ -1,0 +1,36 @@
+package numtheory
+
+import "math/big"
+
+// bigInt aliases math/big.Int so totient.go can reference it without a
+// second import block.
+type bigInt = big.Int
+
+func eulerCRTImpl(cs []Congruence) (x, mod *big.Int, err error) {
+	mod = big.NewInt(1)
+	var m big.Int
+	for _, c := range cs {
+		if c.Mod == 0 {
+			return nil, nil, ErrNotCoprime
+		}
+		m.SetUint64(c.Mod)
+		mod.Mul(mod, &m)
+	}
+	x = big.NewInt(0)
+	var quot, phi, term, rem big.Int
+	for _, c := range cs {
+		m.SetUint64(c.Mod)
+		quot.Div(mod, &m) // C / mᵢ
+		phi.SetUint64(Totient(c.Mod))
+		// (C/mᵢ)^φ(mᵢ) mod C
+		term.Exp(&quot, &phi, mod)
+		rem.SetUint64(c.Rem % c.Mod)
+		term.Mul(&term, &rem)
+		x.Add(x, &term)
+		x.Mod(x, mod)
+	}
+	if !Verify(x, cs) {
+		return nil, nil, ErrNotCoprime
+	}
+	return x, mod, nil
+}

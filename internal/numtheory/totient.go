@@ -1,0 +1,47 @@
+package numtheory
+
+import "math/bits"
+
+// mulmod64 computes a*b mod m without overflow (duplicated from
+// internal/primes to keep the packages independent; both are trivial
+// wrappers over math/bits 128-bit arithmetic).
+func mulmod64(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// Totient returns Euler's totient φ(n): the count of integers in [1, n]
+// coprime to n. The paper cites φ in its Euler-quotient CRT formula
+// X = Σ (C/mᵢ)^φ(mᵢ) · nᵢ mod C; we expose it both for that formula
+// (EulerCRT below) and for tests.
+func Totient(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	result := n
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			for n%p == 0 {
+				n /= p
+			}
+			result -= result / p
+		}
+	}
+	if n > 1 {
+		result -= result / n
+	}
+	return result
+}
+
+// EulerCRT solves the congruence system with the Euler-quotient formula the
+// paper quotes in Section 4:
+//
+//	X = Σᵢ (C/mᵢ)^φ(mᵢ) · nᵢ  (mod C),  C = ∏ mᵢ
+//
+// By Euler's theorem (C/mᵢ)^φ(mᵢ) ≡ 1 (mod mᵢ) and ≡ 0 (mod mⱼ, j≠i), so the
+// sum satisfies every congruence. It requires pairwise-coprime moduli and is
+// slower than CRT/CRTGarner; it exists to validate the paper's formula.
+func EulerCRT(cs []Congruence) (x, mod *bigInt, err error) {
+	return eulerCRTImpl(cs)
+}

@@ -1,0 +1,68 @@
+package order
+
+import "fmt"
+
+// Member is one persisted SC-table entry: a prime key and its current
+// order number.
+type Member struct {
+	Prime uint64
+	Order int
+}
+
+// Snapshot returns the persistable state of the table: chunk, spacing, the
+// high-water order mark, and every record's members in record order.
+func (t *Table) Snapshot() (chunk, spacing, nextOrd int, records [][]Member) {
+	records = make([][]Member, len(t.records))
+	for i, r := range t.records {
+		ms := make([]Member, len(r.primes))
+		for j, p := range r.primes {
+			ms[j] = Member{Prime: p, Order: r.orders[j]}
+		}
+		records[i] = ms
+	}
+	return t.chunk, t.Spacing(), t.nextOrd, records
+}
+
+// Restore rebuilds a table from a Snapshot, recomputing every SC value and
+// verifying consistency. newKey plays the same role as in NewTable.
+func Restore(chunk, spacing, nextOrd int, records [][]Member, newKey KeyFunc) (*Table, error) {
+	t, err := NewTableSpaced(chunk, spacing, newKey)
+	if err != nil {
+		return nil, err
+	}
+	if nextOrd < 1 {
+		return nil, fmt.Errorf("order: restore: nextOrd %d", nextOrd)
+	}
+	for _, ms := range records {
+		if len(ms) > chunk {
+			return nil, fmt.Errorf("order: restore: record of %d members exceeds chunk %d", len(ms), chunk)
+		}
+		r := &record{}
+		for _, m := range ms {
+			if m.Prime < 2 {
+				return nil, ErrNotPrimeModulus
+			}
+			if _, dup := t.byPrime[m.Prime]; dup {
+				return nil, fmt.Errorf("%w: %d", ErrDuplicatePrime, m.Prime)
+			}
+			r.primes = append(r.primes, m.Prime)
+			r.orders = append(r.orders, m.Order)
+			if m.Prime > r.maxPrime {
+				r.maxPrime = m.Prime
+			}
+			t.byPrime[m.Prime] = len(t.records)
+			if m.Order >= nextOrd {
+				return nil, fmt.Errorf("order: restore: order %d >= nextOrd %d", m.Order, nextOrd)
+			}
+		}
+		if err := r.recompute(); err != nil {
+			return nil, err
+		}
+		t.records = append(t.records, r)
+	}
+	t.nextOrd = nextOrd
+	if err := t.Verify(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,363 @@
+// Package order implements the paper's simultaneous congruence (SC) table
+// (Section 4): document order for prime-labeled XML trees maintained via
+// the Chinese Remainder Theorem.
+//
+// Every labeled node owns a distinct prime p (its self-label) and a global
+// order number. A group of up to chunk nodes shares one SC value x solving
+// x ≡ order(v) (mod p(v)) for each member, so a node's order is recovered
+// as x mod p. An order-sensitive insertion bumps the order numbers of every
+// node after the insertion point, but only the affected SC *records* are
+// recomputed — the node labels themselves never change. That is the paper's
+// claim in Figure 18: a handful of record updates versus thousands of
+// relabeled nodes for interval/prefix schemes.
+package order
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"primelabel/internal/numtheory"
+)
+
+// Errors returned by Table operations.
+var (
+	ErrDuplicatePrime  = errors.New("order: prime already present in SC table")
+	ErrUnknownPrime    = errors.New("order: prime not present in SC table")
+	ErrBadOrder        = errors.New("order: order number out of range")
+	ErrBadChunk        = errors.New("order: chunk size must be >= 1")
+	ErrNotPrimeModulus = errors.New("order: modulus must be >= 2")
+	// ErrOrderOverflow reports the paper's unstated edge case: SC mod p can
+	// only recover order numbers smaller than p, so when insertions push a
+	// node's order number up to or past its own prime, that prime can no
+	// longer encode the order. Tables constructed without a KeyFunc return
+	// this error; tables with a KeyFunc transparently re-key the node.
+	ErrOrderOverflow = errors.New("order: order number not representable modulo its prime key")
+)
+
+// record is one row of the SC table: an SC value capturing the order
+// numbers of the nodes whose self-labels appear in primes. The paper stores
+// (SC value, max prime); we additionally cache the member primes and their
+// current order numbers so recomputation is direct. The SC value remains
+// authoritative: Verify recovers every order via SC mod p and checks the
+// cache.
+type record struct {
+	primes   []uint64
+	orders   []int
+	maxPrime uint64
+	sc       *big.Int
+	mod      *big.Int
+}
+
+func (r *record) recompute() error {
+	cs := make([]numtheory.Congruence, len(r.primes))
+	for i, p := range r.primes {
+		if uint64(r.orders[i]) >= p {
+			return fmt.Errorf("%w: order %d, key %d", ErrOrderOverflow, r.orders[i], p)
+		}
+		cs[i] = numtheory.Congruence{Mod: p, Rem: uint64(r.orders[i])}
+	}
+	sc, mod, err := numtheory.CRTGarner(cs)
+	if err != nil {
+		return err
+	}
+	r.sc, r.mod = sc, mod
+	return nil
+}
+
+// KeyFunc supplies a fresh, never-before-used prime strictly greater than
+// min. It is called when a node's current prime key overflows (see
+// ErrOrderOverflow); the prime labeling scheme wires this to its own prime
+// source so order keys never collide with self-labels.
+type KeyFunc func(min uint64) uint64
+
+// KeyChange records that a node's order key was replaced during an Insert.
+type KeyChange struct {
+	Old, New uint64
+}
+
+// Table is the SC table for one document.
+type Table struct {
+	chunk   int
+	records []*record
+	byPrime map[uint64]int // prime key -> record index
+	nextOrd int            // one past the largest order value in use
+	newKey  KeyFunc        // nil: overflow is an error
+	spacing int            // order-number spacing; 0/1 = dense (the paper)
+}
+
+// NewTable returns an empty SC table grouping up to chunk nodes per SC
+// value. The paper uses chunk=5 in its Section 5.4 experiment; chunk=1
+// degenerates to storing the order number directly and larger chunks trade
+// bigger SC integers for fewer records.
+//
+// newKey may be nil, in which case an insertion that makes some order
+// number unrepresentable (>= its prime key) fails with ErrOrderOverflow.
+func NewTable(chunk int, newKey KeyFunc) (*Table, error) {
+	if chunk < 1 {
+		return nil, ErrBadChunk
+	}
+	return &Table{chunk: chunk, byPrime: make(map[uint64]int), nextOrd: 1, newKey: newKey}, nil
+}
+
+// Chunk returns the configured record capacity.
+func (t *Table) Chunk() int { return t.chunk }
+
+// Len returns the number of nodes tracked.
+func (t *Table) Len() int { return len(t.byPrime) }
+
+// RecordCount returns the number of SC records (rows of the table).
+func (t *Table) RecordCount() int { return len(t.records) }
+
+// MaxOrder returns the largest order number in use (0 when empty).
+func (t *Table) MaxOrder() int { return t.nextOrd - 1 }
+
+// Append registers prime with the next sequential order number — the bulk
+// path used when labeling a document whose nodes arrive in document order.
+func (t *Table) Append(prime uint64) error {
+	if prime < 2 {
+		return ErrNotPrimeModulus
+	}
+	if _, dup := t.byPrime[prime]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicatePrime, prime)
+	}
+	ord := t.maxOrd() + t.Spacing()
+	if uint64(ord) >= prime {
+		return fmt.Errorf("%w: order %d, key %d", ErrOrderOverflow, ord, prime)
+	}
+	r := t.lastOpenRecord()
+	r.primes = append(r.primes, prime)
+	r.orders = append(r.orders, ord)
+	if prime > r.maxPrime {
+		r.maxPrime = prime
+	}
+	t.byPrime[prime] = len(t.records) - 1
+	t.nextOrd = ord + 1
+	return r.recompute()
+}
+
+// lastOpenRecord returns the last record if it has capacity, otherwise a
+// fresh one.
+func (t *Table) lastOpenRecord() *record {
+	if n := len(t.records); n > 0 && len(t.records[n-1].primes) < t.chunk {
+		return t.records[n-1]
+	}
+	r := &record{}
+	t.records = append(t.records, r)
+	return r
+}
+
+// OrderOf returns the order number of the node whose self-label is prime,
+// recovered from the record's SC value as SC mod prime (the paper's lookup).
+func (t *Table) OrderOf(prime uint64) (int, error) {
+	ri, ok := t.byPrime[prime]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownPrime, prime)
+	}
+	return int(numtheory.RemUint64(t.records[ri].sc, prime)), nil
+}
+
+// Before reports whether the node labeled pa precedes the node labeled pb
+// in document order.
+func (t *Table) Before(pa, pb uint64) (bool, error) {
+	oa, err := t.OrderOf(pa)
+	if err != nil {
+		return false, err
+	}
+	ob, err := t.OrderOf(pb)
+	if err != nil {
+		return false, err
+	}
+	return oa < ob, nil
+}
+
+// Insert registers a newly inserted node with self-label prime at position
+// orderNum (1-based). Every existing node whose order number is >= orderNum
+// is shifted up by one, and each affected SC record is recomputed. The new
+// prime joins the table's last record, as in the paper's Figure 11/12
+// walkthrough ("search for the largest maximum prime ... and update it").
+//
+// It returns the number of SC records written — the paper's re-labeling
+// cost metric for order-sensitive updates — together with any order-key
+// replacements that shifting made necessary (see ErrOrderOverflow).
+func (t *Table) Insert(prime uint64, orderNum int) (recordsUpdated int, rekeys []KeyChange, err error) {
+	if prime < 2 {
+		return 0, nil, ErrNotPrimeModulus
+	}
+	if _, dup := t.byPrime[prime]; dup {
+		return 0, nil, fmt.Errorf("%w: %d", ErrDuplicatePrime, prime)
+	}
+	if orderNum < 1 || orderNum > t.nextOrd {
+		return 0, nil, fmt.Errorf("%w: %d not in [1,%d]", ErrBadOrder, orderNum, t.nextOrd)
+	}
+	if uint64(orderNum) >= prime {
+		if t.newKey == nil {
+			return 0, nil, fmt.Errorf("%w: order %d, key %d", ErrOrderOverflow, orderNum, prime)
+		}
+		np := t.newKey(uint64(orderNum))
+		rekeys = append(rekeys, KeyChange{Old: prime, New: np})
+		prime = np
+	}
+	touched := make(map[*record]bool)
+	// Shift the order numbers of everything at or after the insertion
+	// point, re-keying members whose bumped order outgrows their prime.
+	for _, r := range t.records {
+		for i, o := range r.orders {
+			if o < orderNum {
+				continue
+			}
+			r.orders[i] = o + 1
+			touched[r] = true
+			if uint64(r.orders[i]) >= r.primes[i] {
+				if t.newKey == nil {
+					return 0, nil, fmt.Errorf("%w: order %d, key %d", ErrOrderOverflow, r.orders[i], r.primes[i])
+				}
+				np := t.newKey(uint64(r.orders[i]))
+				rekeys = append(rekeys, KeyChange{Old: r.primes[i], New: np})
+				ri := t.byPrime[r.primes[i]]
+				delete(t.byPrime, r.primes[i])
+				t.byPrime[np] = ri
+				r.primes[i] = np
+				if np > r.maxPrime {
+					r.maxPrime = np
+				}
+			}
+		}
+	}
+	// Place the new congruence in the last record (opening a new one only
+	// when the last is full).
+	r := t.lastOpenRecord()
+	r.primes = append(r.primes, prime)
+	r.orders = append(r.orders, orderNum)
+	if prime > r.maxPrime {
+		r.maxPrime = prime
+	}
+	t.byPrime[prime] = len(t.records) - 1
+	touched[r] = true
+	t.nextOrd++
+	for rec := range touched {
+		if err := rec.recompute(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return len(touched), rekeys, nil
+}
+
+// Delete removes the node labeled prime from the table. Deletion never
+// changes any other node's order number (Section 4.2); only the record that
+// held the prime is recomputed.
+func (t *Table) Delete(prime uint64) error {
+	ri, ok := t.byPrime[prime]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPrime, prime)
+	}
+	r := t.records[ri]
+	for i, p := range r.primes {
+		if p == prime {
+			r.primes = append(r.primes[:i], r.primes[i+1:]...)
+			r.orders = append(r.orders[:i], r.orders[i+1:]...)
+			break
+		}
+	}
+	delete(t.byPrime, prime)
+	r.maxPrime = 0
+	for _, p := range r.primes {
+		if p > r.maxPrime {
+			r.maxPrime = p
+		}
+	}
+	return r.recompute()
+}
+
+// Compact re-packs the table after deletions: members are gathered in
+// order-number order and refilled into full records, dropping emptied rows.
+// Lookup results are unchanged; only the row layout (and therefore the cost
+// of future shifting inserts) improves. Returns the number of records
+// recomputed.
+func (t *Table) Compact() (int, error) {
+	var ms []Member
+	for _, r := range t.records {
+		for i, p := range r.primes {
+			ms = append(ms, Member{Prime: p, Order: r.orders[i]})
+		}
+	}
+	sortMembersByOrder(ms)
+	t.records = nil
+	t.byPrime = make(map[uint64]int, len(ms))
+	for start := 0; start < len(ms); start += t.chunk {
+		end := start + t.chunk
+		if end > len(ms) {
+			end = len(ms)
+		}
+		r := &record{}
+		for _, m := range ms[start:end] {
+			r.primes = append(r.primes, m.Prime)
+			r.orders = append(r.orders, m.Order)
+			if m.Prime > r.maxPrime {
+				r.maxPrime = m.Prime
+			}
+			t.byPrime[m.Prime] = len(t.records)
+		}
+		if err := r.recompute(); err != nil {
+			return 0, err
+		}
+		t.records = append(t.records, r)
+	}
+	return len(t.records), nil
+}
+
+// sortMembersByOrder is an insertion sort: compaction inputs are already
+// nearly ordered (records fill in document order).
+func sortMembersByOrder(ms []Member) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Order < ms[j-1].Order; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// SCValues returns a copy of the table rows as (SC value, max prime) pairs
+// — the representation the paper's Figure 10/12 show.
+func (t *Table) SCValues() []SCRow {
+	rows := make([]SCRow, len(t.records))
+	for i, r := range t.records {
+		rows[i] = SCRow{SC: new(big.Int).Set(r.sc), MaxPrime: r.maxPrime, Members: len(r.primes)}
+	}
+	return rows
+}
+
+// SCRow is one visible row of the SC table.
+type SCRow struct {
+	SC       *big.Int
+	MaxPrime uint64
+	Members  int
+}
+
+// Verify checks internal consistency: every cached order number matches
+// the one recovered from its record's SC value, all order numbers are
+// distinct, and every prime maps to the record that contains it.
+func (t *Table) Verify() error {
+	seen := make(map[int]uint64)
+	for ri, r := range t.records {
+		if len(r.primes) > t.chunk {
+			return fmt.Errorf("order: record %d exceeds chunk size", ri)
+		}
+		for i, p := range r.primes {
+			got := int(numtheory.RemUint64(r.sc, p))
+			if got != r.orders[i] {
+				return fmt.Errorf("order: SC mod %d = %d, cached order %d", p, got, r.orders[i])
+			}
+			if other, dup := seen[r.orders[i]]; dup {
+				return fmt.Errorf("order: order number %d held by both %d and %d", r.orders[i], other, p)
+			}
+			seen[r.orders[i]] = p
+			if t.byPrime[p] != ri {
+				return fmt.Errorf("order: prime %d indexed to record %d, found in %d", p, t.byPrime[p], ri)
+			}
+		}
+	}
+	if len(seen) != len(t.byPrime) {
+		return fmt.Errorf("order: index has %d primes, records hold %d", len(t.byPrime), len(seen))
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package order
+
+import "fmt"
+
+// Sparse ordering — an extension beyond the paper.
+//
+// The paper assigns dense order numbers 1, 2, 3, …, so an order-sensitive
+// insertion must shift every following node's order and rewrite the
+// affected SC records (Figure 18 measures exactly that cost). Nothing in
+// the scheme requires density: only *relative* order matters. A table built
+// with spacing G assigns orders G, 2G, 3G, …, and an insertion between two
+// nodes takes the midpoint of their (usually open) gap — touching exactly
+// one SC record. Shifting happens only when a gap is exhausted, and the
+// shift re-opens gaps by moving followers a full spacing step.
+//
+// The price is larger order values: numbers grow toward N·G, so more nodes
+// need order keys larger than their (small) self-labels, and SC values per
+// record grow a few bits. BenchmarkAblationOrderSpacing quantifies the
+// trade-off.
+
+// NewTableSpaced returns an SC table whose order numbers are spaced G
+// apart. spacing 1 is exactly the paper's dense behavior (NewTable).
+func NewTableSpaced(chunk, spacing int, newKey KeyFunc) (*Table, error) {
+	if spacing < 1 {
+		return nil, fmt.Errorf("order: spacing must be >= 1, got %d", spacing)
+	}
+	t, err := NewTable(chunk, newKey)
+	if err != nil {
+		return nil, err
+	}
+	t.spacing = spacing
+	return t, nil
+}
+
+// Spacing returns the configured order-number spacing.
+func (t *Table) Spacing() int {
+	if t.spacing == 0 {
+		return 1
+	}
+	return t.spacing
+}
+
+// InsertBetween registers prime for a node inserted between the nodes with
+// order numbers prevOrder and nextOrder (prevOrder 0 = front, nextOrder 0 =
+// end). When the gap between the two is open, the new node takes the
+// midpoint and only one SC record is written; otherwise the orders at and
+// after nextOrder shift up by a full spacing step (re-opening gaps) before
+// the midpoint is taken.
+//
+// Both orders must be current values from this table. The return values
+// match Insert.
+func (t *Table) InsertBetween(prime uint64, prevOrder, nextOrder int) (recordsUpdated int, rekeys []KeyChange, err error) {
+	if prime < 2 {
+		return 0, nil, ErrNotPrimeModulus
+	}
+	if _, dup := t.byPrime[prime]; dup {
+		return 0, nil, fmt.Errorf("%w: %d", ErrDuplicatePrime, prime)
+	}
+	if prevOrder < 0 || (nextOrder != 0 && nextOrder <= prevOrder) {
+		return 0, nil, fmt.Errorf("%w: between %d and %d", ErrBadOrder, prevOrder, nextOrder)
+	}
+	spacing := t.Spacing()
+	var ord int
+	touched := make(map[*record]bool)
+	switch {
+	case nextOrder == 0:
+		// Append after the current maximum.
+		ord = t.maxOrd() + spacing
+	case nextOrder-prevOrder > 1:
+		// Open gap: take the midpoint, no shifting.
+		ord = prevOrder + (nextOrder-prevOrder)/2
+	default:
+		// Exhausted gap: shift everything from nextOrder up by spacing,
+		// re-keying members whose bumped order outgrows their prime.
+		shifted := false
+		for _, r := range t.records {
+			for i, o := range r.orders {
+				if o < nextOrder {
+					continue
+				}
+				r.orders[i] = o + spacing
+				touched[r] = true
+				shifted = true
+				if kc, rerr := t.rekeyIfNeeded(r, i); rerr != nil {
+					return 0, nil, rerr
+				} else if kc != nil {
+					rekeys = append(rekeys, *kc)
+				}
+			}
+		}
+		if shifted {
+			// The global maximum moved up with the shift.
+			t.nextOrd += spacing
+		}
+		ord = prevOrder + (spacing+1)/2
+		if ord <= prevOrder {
+			ord = prevOrder + 1
+		}
+	}
+	if uint64(ord) >= prime {
+		if t.newKey == nil {
+			return 0, nil, fmt.Errorf("%w: order %d, key %d", ErrOrderOverflow, ord, prime)
+		}
+		np := t.newKey(uint64(ord))
+		rekeys = append(rekeys, KeyChange{Old: prime, New: np})
+		prime = np
+	}
+	r := t.lastOpenRecord()
+	r.primes = append(r.primes, prime)
+	r.orders = append(r.orders, ord)
+	if prime > r.maxPrime {
+		r.maxPrime = prime
+	}
+	t.byPrime[prime] = len(t.records) - 1
+	touched[r] = true
+	if ord >= t.nextOrd {
+		t.nextOrd = ord + 1
+	}
+	for rec := range touched {
+		if err := rec.recompute(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return len(touched), rekeys, nil
+}
+
+// rekeyIfNeeded replaces the i-th member's prime of r when its order can no
+// longer be encoded, returning the change (nil if none).
+func (t *Table) rekeyIfNeeded(r *record, i int) (*KeyChange, error) {
+	if uint64(r.orders[i]) < r.primes[i] {
+		return nil, nil
+	}
+	if t.newKey == nil {
+		return nil, fmt.Errorf("%w: order %d, key %d", ErrOrderOverflow, r.orders[i], r.primes[i])
+	}
+	np := t.newKey(uint64(r.orders[i]))
+	kc := KeyChange{Old: r.primes[i], New: np}
+	ri := t.byPrime[r.primes[i]]
+	delete(t.byPrime, r.primes[i])
+	t.byPrime[np] = ri
+	r.primes[i] = np
+	if np > r.maxPrime {
+		r.maxPrime = np
+	}
+	return &kc, nil
+}
+
+// maxOrd returns the largest live order value (0 when empty).
+func (t *Table) maxOrd() int { return t.nextOrd - 1 }

@@ -1,0 +1,92 @@
+package primes
+
+import "math/bits"
+
+// mulmod computes a*b mod m without overflow using 128-bit intermediate
+// arithmetic.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powmod computes a^e mod m.
+func powmod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulmod(result, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// mrBases is a deterministic witness set: testing against these twelve bases
+// is sufficient to decide primality for every n < 2^64 (Sorenson & Webster).
+var mrBases = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime. It is deterministic for the full
+// uint64 range: trial division by small primes followed by Miller–Rabin
+// with a proven witness set.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d * 2^s with d odd.
+	d := n - 1
+	s := 0
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+witness:
+	for _, a := range mrBases {
+		x := powmod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < s-1; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime strictly greater than n.
+// It panics if the result would overflow uint64 (n >= 18446744073709551557,
+// the largest 64-bit prime), which cannot happen for any realistic document.
+func NextPrime(n uint64) uint64 {
+	const maxPrime = 18446744073709551557
+	if n >= maxPrime {
+		panic("primes: NextPrime overflow")
+	}
+	c := n + 1
+	if c <= 2 {
+		return 2
+	}
+	if c&1 == 0 {
+		c++
+	}
+	for !IsPrime(c) {
+		c += 2
+	}
+	return c
+}

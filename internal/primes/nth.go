@@ -1,0 +1,56 @@
+package primes
+
+import (
+	"math"
+	"math/bits"
+)
+
+// NthEstimate returns the paper's approximation for the n-th prime number:
+// n·ln(n) (Section 3.1). n is 1-based; for n < 2 the estimate degenerates,
+// so small n are clamped to the true values.
+func NthEstimate(n int) float64 {
+	switch {
+	case n <= 0:
+		return 0
+	case n == 1:
+		return 2
+	case n == 2:
+		return 3
+	}
+	fn := float64(n)
+	return fn * math.Log(fn)
+}
+
+// EstimatedBitLen returns the paper's estimate for the number of bits in the
+// binary representation of the n-th prime: log2(n·ln n).
+func EstimatedBitLen(n int) int {
+	e := NthEstimate(n)
+	if e < 2 {
+		return 0
+	}
+	return int(math.Log2(e)) + 1
+}
+
+// ActualBitLen returns the exact bit length of p.
+func ActualBitLen(p uint64) int { return bits.Len64(p) }
+
+// FirstN returns the first n primes. It sizes the sieve with the
+// Rosser–Schoenfeld upper bound p_n < n(ln n + ln ln n) for n >= 6.
+func FirstN(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	small := []uint64{2, 3, 5, 7, 11, 13}
+	if n <= len(small) {
+		return small[:n]
+	}
+	fn := float64(n)
+	limit := uint64(fn*(math.Log(fn)+math.Log(math.Log(fn)))) + 16
+	for {
+		ps := Sieve(limit)
+		if len(ps) >= n {
+			return ps[:n]
+		}
+		limit = limit*3/2 + 64
+	}
+}

@@ -1,0 +1,81 @@
+// Package primes provides the prime-number machinery that underpins the
+// prime number labeling scheme: sieves, primality testing, an incremental
+// prime source, and the n-th prime estimate used by the paper's size model.
+//
+// Everything here works on uint64 self-labels. Full node labels (products of
+// self-labels down a path) may exceed 64 bits and are handled with math/big
+// in the labeling packages; the individual primes handed out never need to.
+package primes
+
+import "math"
+
+// Sieve returns all primes <= limit in ascending order using the classic
+// sieve of Eratosthenes. It is intended for moderate limits (up to a few
+// hundred million); larger ranges should use Segmented.
+func Sieve(limit uint64) []uint64 {
+	if limit < 2 {
+		return nil
+	}
+	composite := make([]bool, limit+1)
+	var out []uint64
+	if limit >= 10 {
+		// π(x) ≈ x/ln x; reserve with a small safety factor.
+		approx := float64(limit) / math.Log(float64(limit))
+		out = make([]uint64, 0, int(approx*1.2)+16)
+	}
+	for p := uint64(2); p <= limit; p++ {
+		if composite[p] {
+			continue
+		}
+		out = append(out, p)
+		if p <= limit/p {
+			for m := p * p; m <= limit; m += p {
+				composite[m] = true
+			}
+		}
+	}
+	return out
+}
+
+// Segmented returns all primes in [lo, hi] (inclusive) using a segmented
+// sieve seeded by the primes up to sqrt(hi). It allocates O(hi-lo) memory
+// regardless of the magnitude of lo and hi.
+func Segmented(lo, hi uint64) []uint64 {
+	if hi < 2 || hi < lo {
+		return nil
+	}
+	if lo < 2 {
+		lo = 2
+	}
+	root := uint64(math.Sqrt(float64(hi))) + 1
+	base := Sieve(root)
+	composite := make([]bool, hi-lo+1)
+	for _, p := range base {
+		// First multiple of p in [lo, hi] that is >= p*p.
+		start := (lo + p - 1) / p * p
+		if start < p*p {
+			start = p * p
+		}
+		if start > hi {
+			continue
+		}
+		for m := start; m <= hi; m += p {
+			composite[m-lo] = true
+		}
+	}
+	var out []uint64
+	for i, c := range composite {
+		if !c {
+			n := lo + uint64(i)
+			if n >= 2 {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// CountBelow returns π(limit): the number of primes <= limit.
+func CountBelow(limit uint64) int {
+	return len(Sieve(limit))
+}

@@ -1,0 +1,405 @@
+// Package rdb is the relational execution substrate for the paper's query
+// experiment (Section 5.2 / Figure 15). The paper stores one row per
+// element in an RDBMS and translates path queries into SQL whose join
+// predicates compare labels — `mod` for the prime scheme, range comparisons
+// for intervals, a prefix UDF for prefix labels. This package reproduces
+// that pipeline in memory: an element table with a tag index, structural
+// join operators (nested-loop and stack-based merge), and a plan executor
+// that runs the same physical plan for every scheme so measured differences
+// come from the label predicates alone.
+package rdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/xpath"
+
+	"primelabel/internal/xmltree"
+)
+
+// Planner selects the structural-join algorithm ExecPath uses for
+// descendant steps.
+type Planner int
+
+const (
+	// NestedLoop tests every (context, candidate) pair — the baseline whose
+	// cost is proportional to predicate evaluations (the Figure 15 setup).
+	NestedLoop Planner = iota
+	// StackTree merges both document-ordered inputs with an ancestor stack:
+	// linear in input plus output instead of the product.
+	StackTree
+)
+
+// Table is the element relation: one row per element in document order.
+type Table struct {
+	// Plan selects the join algorithm for descendant steps (default
+	// NestedLoop).
+	Plan Planner
+
+	lab   labeling.Labeling
+	nodes []*xmltree.Node // row id -> node
+	rowOf map[*xmltree.Node]int
+	byTag map[string][]int // tag index: row ids in document order
+	// ranks memoizes labeling.Orderer lookups (Section 4.3: order numbers
+	// are generated once per candidate list, then compared as integers).
+	ranks map[*xmltree.Node]int
+}
+
+// rank returns a document-order rank from the labeling when available.
+func (t *Table) rank(n *xmltree.Node) (int, bool) {
+	if v, ok := t.ranks[n]; ok {
+		return v, true
+	}
+	or, ok := t.lab.(labeling.Orderer)
+	if !ok {
+		return 0, false
+	}
+	v, err := or.OrderOf(n)
+	if err != nil {
+		return 0, false
+	}
+	if t.ranks == nil {
+		t.ranks = make(map[*xmltree.Node]int)
+	}
+	t.ranks[n] = v
+	return v, true
+}
+
+// Build materializes the element table for a labeled document. Rebuild the
+// table after structural updates.
+func Build(lab labeling.Labeling) *Table {
+	t := &Table{
+		lab:   lab,
+		rowOf: make(map[*xmltree.Node]int),
+		byTag: make(map[string][]int),
+	}
+	xmltree.WalkElements(lab.Doc().Root, func(n *xmltree.Node) bool {
+		id := len(t.nodes)
+		t.nodes = append(t.nodes, n)
+		t.rowOf[n] = id
+		t.byTag[n.Name] = append(t.byTag[n.Name], id)
+		return true
+	})
+	return t
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.nodes) }
+
+// Node returns the node stored at a row id.
+func (t *Table) Node(id int) *xmltree.Node { return t.nodes[id] }
+
+// RowSet is an ordered set of row ids (ascending = document order).
+type RowSet []int
+
+// Scan returns the rows matching a tag name ("*" scans everything).
+func (t *Table) Scan(tag string) RowSet {
+	if tag == "*" {
+		all := make(RowSet, len(t.nodes))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	src := t.byTag[tag]
+	out := make(RowSet, len(src))
+	copy(out, src)
+	return out
+}
+
+// Nodes resolves a RowSet to its nodes.
+func (t *Table) Nodes(rs RowSet) []*xmltree.Node {
+	out := make([]*xmltree.Node, len(rs))
+	for i, id := range rs {
+		out[i] = t.nodes[id]
+	}
+	return out
+}
+
+// Pair is one join result: an outer (context/ancestor) row and an inner
+// (descendant/match) row.
+type Pair struct{ Out, In int }
+
+// Pairs is a join result set.
+type Pairs []Pair
+
+// ProjectIn returns the distinct inner rows in ascending order.
+func (ps Pairs) ProjectIn() RowSet {
+	seen := make(map[int]bool, len(ps))
+	var out RowSet
+	for _, p := range ps {
+		if !seen[p.In] {
+			seen[p.In] = true
+			out = append(out, p.In)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// JoinPred decides whether an (outer, inner) node pair joins.
+type JoinPred func(out, in *xmltree.Node) bool
+
+// AncestorPred returns the labeling's ancestor test as a join predicate —
+// the `mod` predicate for prime labels, range containment for intervals,
+// the prefix UDF for prefix labels.
+func (t *Table) AncestorPred() JoinPred {
+	return func(out, in *xmltree.Node) bool { return t.lab.IsAncestor(out, in) }
+}
+
+// ParentPred returns the labeling's parent test.
+func (t *Table) ParentPred() JoinPred {
+	return func(out, in *xmltree.Node) bool { return t.lab.IsParent(out, in) }
+}
+
+// NLJoin is the baseline nested-loop structural join: every (outer, inner)
+// combination is tested with the predicate. O(|outer|·|inner|) predicate
+// evaluations — this operator is what makes per-scheme predicate cost
+// visible.
+func (t *Table) NLJoin(outer, inner RowSet, pred JoinPred) Pairs {
+	var out Pairs
+	for _, o := range outer {
+		on := t.nodes[o]
+		for _, i := range inner {
+			if pred(on, t.nodes[i]) {
+				out = append(out, Pair{Out: o, In: i})
+			}
+		}
+	}
+	return out
+}
+
+// StackJoin is a stack-based structural join in the spirit of Stack-Tree:
+// both inputs are in document order, so each ancestor is pushed once and
+// popped when the cursor leaves its subtree. O(|outer|+|inner|+|result|)
+// predicate evaluations instead of the nested loop's product.
+func (t *Table) StackJoin(outer, inner RowSet) Pairs {
+	var out Pairs
+	var stack []int // a chain of nested ancestors, outermost first
+	oi := 0
+	pred := t.AncestorPred()
+	for _, in := range inner {
+		// Push every outer row that starts before the current inner row,
+		// popping stack tops whose subtrees ended (they cannot contain the
+		// new candidate, hence no later row either).
+		for oi < len(outer) && outer[oi] < in {
+			cand := outer[oi]
+			for len(stack) > 0 && !pred(t.nodes[stack[len(stack)-1]], t.nodes[cand]) {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, cand)
+			oi++
+		}
+		// Pop outers whose subtree ended before this inner row; the rest
+		// form a nested chain that all contain it.
+		for len(stack) > 0 && !pred(t.nodes[stack[len(stack)-1]], t.nodes[in]) {
+			stack = stack[:len(stack)-1]
+		}
+		for _, o := range stack {
+			out = append(out, Pair{Out: o, In: in})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Out != out[j].Out {
+			return out[i].Out < out[j].Out
+		}
+		return out[i].In < out[j].In
+	})
+	return out
+}
+
+// ExecPath runs a full path query against the table with label-driven
+// joins, returning matching rows in document order. It implements the same
+// semantics as the xpath evaluators (verified against them in tests).
+func (t *Table) ExecPath(q xpath.Query) (RowSet, error) {
+	if len(q.Steps) == 0 {
+		return nil, errors.New("rdb: empty query")
+	}
+	// ctx == nil denotes the document context before the first step.
+	var ctx RowSet
+	atDocument := true
+	for _, step := range q.Steps {
+		cands := t.Scan(step.Name)
+		if len(step.Filters) > 0 {
+			filtered := cands[:0]
+			for _, id := range cands {
+				if step.Matches(t.nodes[id]) {
+					filtered = append(filtered, id)
+				}
+			}
+			cands = filtered
+		}
+		var next RowSet
+		if atDocument {
+			switch step.Axis {
+			case xpath.AxisChild:
+				if len(cands) > 0 && cands[0] == 0 {
+					next = RowSet{0}
+				}
+			case xpath.AxisDescendant:
+				next = cands
+			}
+			if step.Pos > 0 {
+				if step.Pos <= len(next) {
+					next = RowSet{next[step.Pos-1]}
+				} else {
+					next = nil
+				}
+			}
+			atDocument = false
+			ctx = next
+			if len(ctx) == 0 {
+				return nil, nil
+			}
+			continue
+		}
+		pairs, err := t.joinStep(ctx, cands, step)
+		if err != nil {
+			return nil, err
+		}
+		if step.Pos > 0 {
+			pairs = nthPerOuter(pairs, step.Pos)
+		}
+		ctx = pairs.ProjectIn()
+		if len(ctx) == 0 {
+			return nil, nil
+		}
+	}
+	return ctx, nil
+}
+
+// joinStep evaluates one non-initial step as a join between the context
+// rows and the candidate rows.
+func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step) (Pairs, error) {
+	switch step.Axis {
+	case xpath.AxisChild:
+		return t.NLJoin(ctx, cands, t.ParentPred()), nil
+	case xpath.AxisDescendant:
+		if t.Plan == StackTree {
+			return t.StackJoin(ctx, cands), nil
+		}
+		return t.NLJoin(ctx, cands, t.AncestorPred()), nil
+	case xpath.AxisFollowing:
+		return t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
+			after, err := t.before(c, n)
+			if err != nil {
+				return false, err
+			}
+			return after && !t.lab.IsAncestor(c, n), nil
+		})
+	case xpath.AxisPreceding:
+		return t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
+			before, err := t.before(n, c)
+			if err != nil {
+				return false, err
+			}
+			return before && !t.lab.IsAncestor(n, c), nil
+		})
+	case xpath.AxisFollowingSibling:
+		return t.siblingJoin(ctx, cands, true)
+	case xpath.AxisPrecedingSibling:
+		return t.siblingJoin(ctx, cands, false)
+	default:
+		return nil, fmt.Errorf("rdb: unsupported axis %v", step.Axis)
+	}
+}
+
+func (t *Table) orderJoin(ctx, cands RowSet, pred func(c, n *xmltree.Node) (bool, error)) (Pairs, error) {
+	var out Pairs
+	for _, c := range ctx {
+		cn := t.nodes[c]
+		for _, i := range cands {
+			ok, err := pred(cn, t.nodes[i])
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, Pair{Out: c, In: i})
+			}
+		}
+	}
+	return out, nil
+}
+
+// before decides document order, preferring materialized ranks.
+func (t *Table) before(a, b *xmltree.Node) (bool, error) {
+	if ra, ok := t.rank(a); ok {
+		if rb, ok := t.rank(b); ok {
+			return ra < rb, nil
+		}
+	}
+	return t.lab.Before(a, b)
+}
+
+func (t *Table) siblingJoin(ctx, cands RowSet, following bool) (Pairs, error) {
+	// Group candidates by parent: sibling tests only ever join rows that
+	// share a parent, so the per-context probe set shrinks from |cands| to
+	// one sibling list.
+	byParent := make(map[*xmltree.Node]RowSet)
+	for _, i := range cands {
+		if p := t.nodes[i].Parent; p != nil {
+			byParent[p] = append(byParent[p], i)
+		}
+	}
+	var out Pairs
+	for _, c := range ctx {
+		cn := t.nodes[c]
+		if cn.Parent == nil {
+			continue
+		}
+		for _, i := range byParent[cn.Parent] {
+			n := t.nodes[i]
+			if n == cn || !t.lab.IsParent(cn.Parent, n) {
+				continue
+			}
+			var keep bool
+			var err error
+			if following {
+				keep, err = t.before(cn, n)
+			} else {
+				keep, err = t.before(n, cn)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, Pair{Out: c, In: i})
+			}
+		}
+	}
+	return out, nil
+}
+
+// nthPerOuter keeps, for each outer row, its n-th inner row in ascending
+// (document) order — the positional predicate over a context node set.
+func nthPerOuter(ps Pairs, n int) Pairs {
+	byOuter := make(map[int][]int)
+	var outerOrder []int
+	for _, p := range ps {
+		if _, ok := byOuter[p.Out]; !ok {
+			outerOrder = append(outerOrder, p.Out)
+		}
+		byOuter[p.Out] = append(byOuter[p.Out], p.In)
+	}
+	var out Pairs
+	for _, o := range outerOrder {
+		ins := byOuter[o]
+		sort.Ints(ins)
+		if n <= len(ins) {
+			out = append(out, Pair{Out: o, In: ins[n-1]})
+		}
+	}
+	return out
+}
+
+// ExecPathString parses and executes a query.
+func (t *Table) ExecPathString(query string) (RowSet, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return t.ExecPath(q)
+}

@@ -1,0 +1,105 @@
+// Package sizemodel implements the analytical label-size model of
+// Section 3.1: the maximum label sizes of the interval, Prefix-1, Prefix-2
+// and prime number labeling schemes as functions of the tree's depth D,
+// fan-out F and node count N, plus the n-th prime estimate behind Figure 3.
+package sizemodel
+
+import (
+	"math"
+
+	"primelabel/internal/primes"
+)
+
+// IntervalMaxBits is the interval scheme bound: 2·(1 + log2 N).
+func IntervalMaxBits(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return 2 * (1 + math.Log2(float64(n)))
+}
+
+// Prefix1MaxBits is Equation 1: Lmax = D·F.
+func Prefix1MaxBits(depth, fanout int) float64 {
+	return float64(depth) * float64(fanout)
+}
+
+// Prefix2MaxBits is Equation 2: Lmax = D·4·log2 F.
+func Prefix2MaxBits(depth, fanout int) float64 {
+	if fanout < 2 {
+		return float64(depth)
+	}
+	return float64(depth) * 4 * math.Log2(float64(fanout))
+}
+
+// PerfectTreeNodes is N = Σ_{i=0..D} F^i, the node count of the worst-case
+// perfect tree.
+func PerfectTreeNodes(depth, fanout int) float64 {
+	total := 0.0
+	pow := 1.0
+	for i := 0; i <= depth; i++ {
+		total += pow
+		pow *= float64(fanout)
+	}
+	return total
+}
+
+// PrimeMaxBits is Equation 3: Lmax = D·log2(N·log2 N) over the perfect
+// tree's N — each of the D+1 path factors is bounded by the largest prime
+// used, estimated as N·log N.
+func PrimeMaxBits(depth, fanout int) float64 {
+	n := PerfectTreeNodes(depth, fanout)
+	if n < 2 {
+		return 1
+	}
+	return float64(depth) * math.Log2(n*math.Log2(n))
+}
+
+// SelfLabelBits gives the per-scheme maximum *self label* size that
+// Figures 4 and 5 plot (the full label is depth × self label; the figures
+// isolate the per-level component).
+func SelfLabelBits(scheme string, depth, fanout int) float64 {
+	switch scheme {
+	case "prefix-1":
+		return float64(fanout)
+	case "prefix-2":
+		if fanout < 2 {
+			return 1
+		}
+		return 4 * math.Log2(float64(fanout))
+	case "prime":
+		n := PerfectTreeNodes(depth, fanout)
+		if n < 2 {
+			return 1
+		}
+		return math.Log2(n * math.Log2(n))
+	default:
+		return 0
+	}
+}
+
+// NthPrimeEstimateBits is the Figure 3 estimate: log2(n·ln n) bits for the
+// n-th prime.
+func NthPrimeEstimateBits(n int) int {
+	return primes.EstimatedBitLen(n)
+}
+
+// NthPrimeActualBits is the exact bit length of the n-th prime (1-based).
+func NthPrimeActualBits(n int) int {
+	if n < 1 {
+		return 0
+	}
+	ps := primes.FirstN(n)
+	return primes.ActualBitLen(ps[n-1])
+}
+
+// Fig3Series returns both Figure 3 series over the first n primes, sampled
+// every step (the paper plots the first 10000).
+func Fig3Series(n, step int) (idx []int, actual, estimated []int) {
+	ps := primes.FirstN(n)
+	for i := step; i <= n; i += step {
+		idx = append(idx, i)
+		actual = append(actual, primes.ActualBitLen(ps[i-1]))
+		estimated = append(estimated, primes.EstimatedBitLen(i))
+	}
+	return idx, actual, estimated
+}

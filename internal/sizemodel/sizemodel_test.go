@@ -1,0 +1,119 @@
+package sizemodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalMaxBits(t *testing.T) {
+	if got := IntervalMaxBits(0); got != 0 {
+		t.Errorf("IntervalMaxBits(0) = %v", got)
+	}
+	// N = 1024: 2·(1+10) = 22.
+	if got := IntervalMaxBits(1024); math.Abs(got-22) > 1e-9 {
+		t.Errorf("IntervalMaxBits(1024) = %v, want 22", got)
+	}
+}
+
+func TestPrefixFormulas(t *testing.T) {
+	if got := Prefix1MaxBits(3, 10); got != 30 {
+		t.Errorf("Prefix1MaxBits(3,10) = %v, want 30 (D·F)", got)
+	}
+	// D=2, F=16: 2·4·log2(16) = 32.
+	if got := Prefix2MaxBits(2, 16); math.Abs(got-32) > 1e-9 {
+		t.Errorf("Prefix2MaxBits(2,16) = %v, want 32", got)
+	}
+	if got := Prefix2MaxBits(5, 1); got != 5 {
+		t.Errorf("Prefix2MaxBits(5,1) = %v, want 5", got)
+	}
+}
+
+func TestPerfectTreeNodes(t *testing.T) {
+	// F=2, D=3: 1+2+4+8 = 15.
+	if got := PerfectTreeNodes(3, 2); got != 15 {
+		t.Errorf("PerfectTreeNodes(3,2) = %v, want 15", got)
+	}
+	if got := PerfectTreeNodes(0, 5); got != 1 {
+		t.Errorf("PerfectTreeNodes(0,5) = %v, want 1", got)
+	}
+}
+
+// Figure 4's qualitative claim: with D=2, Prefix-1 grows linearly with
+// fan-out while Prime is nearly flat, crossing somewhere below F=50.
+func TestFigure4Shape(t *testing.T) {
+	const d = 2
+	primeAt10 := SelfLabelBits("prime", d, 10)
+	primeAt50 := SelfLabelBits("prime", d, 50)
+	p1At10 := SelfLabelBits("prefix-1", d, 10)
+	p1At50 := SelfLabelBits("prefix-1", d, 50)
+	if p1At50-p1At10 != 40 {
+		t.Errorf("Prefix-1 growth = %v, want exactly linear (40)", p1At50-p1At10)
+	}
+	if primeAt50-primeAt10 > 6 {
+		t.Errorf("Prime growth = %v bits over F∈[10,50], want nearly flat", primeAt50-primeAt10)
+	}
+	if SelfLabelBits("prefix-1", d, 50) <= SelfLabelBits("prime", d, 50) {
+		t.Error("at F=50 Prefix-1 should exceed Prime")
+	}
+}
+
+// Figure 5's qualitative claim: with F=15, the prefix self-label sizes are
+// depth-independent while Prime's grows with depth.
+func TestFigure5Shape(t *testing.T) {
+	const f = 15
+	if SelfLabelBits("prefix-1", 1, f) != SelfLabelBits("prefix-1", 10, f) {
+		t.Error("Prefix-1 self label should not depend on depth")
+	}
+	if SelfLabelBits("prefix-2", 1, f) != SelfLabelBits("prefix-2", 10, f) {
+		t.Error("Prefix-2 self label should not depend on depth")
+	}
+	if SelfLabelBits("prime", 10, f) <= SelfLabelBits("prime", 2, f) {
+		t.Error("Prime self label should grow with depth (more nodes → larger primes)")
+	}
+}
+
+func TestPrimeMaxBitsMonotone(t *testing.T) {
+	prev := 0.0
+	for d := 1; d <= 8; d++ {
+		got := PrimeMaxBits(d, 5)
+		if got <= prev {
+			t.Errorf("PrimeMaxBits(%d,5) = %v not increasing", d, got)
+		}
+		prev = got
+	}
+}
+
+func TestFig3Series(t *testing.T) {
+	idx, actual, estimated := Fig3Series(10000, 500)
+	if len(idx) != 20 || len(actual) != 20 || len(estimated) != 20 {
+		t.Fatalf("series lengths %d/%d/%d, want 20", len(idx), len(actual), len(estimated))
+	}
+	for i := range idx {
+		if diff := estimated[i] - actual[i]; diff < -1 || diff > 1 {
+			t.Errorf("n=%d: estimate %d vs actual %d, off by more than 1 bit",
+				idx[i], estimated[i], actual[i])
+		}
+	}
+	// The 10000th prime is 104729 → 17 bits.
+	if actual[len(actual)-1] != 17 {
+		t.Errorf("actual bits at n=10000 = %d, want 17", actual[len(actual)-1])
+	}
+}
+
+func TestNthPrimeHelpers(t *testing.T) {
+	if NthPrimeActualBits(0) != 0 {
+		t.Error("NthPrimeActualBits(0) should be 0")
+	}
+	if NthPrimeActualBits(1) != 2 { // prime 2 → 2 bits
+		t.Errorf("NthPrimeActualBits(1) = %d", NthPrimeActualBits(1))
+	}
+	if NthPrimeEstimateBits(10000) < 15 || NthPrimeEstimateBits(10000) > 18 {
+		t.Errorf("NthPrimeEstimateBits(10000) = %d", NthPrimeEstimateBits(10000))
+	}
+}
+
+func TestSelfLabelBitsUnknownScheme(t *testing.T) {
+	if SelfLabelBits("nope", 2, 10) != 0 {
+		t.Error("unknown scheme should yield 0")
+	}
+}

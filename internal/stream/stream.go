@@ -1,0 +1,191 @@
+// Package stream labels XML documents in a single pass over the parse
+// events, without materializing a DOM — the mode a bulk loader would use to
+// populate a label table for a document too large to hold as a tree.
+//
+// The top-down prime scheme is naturally streamable: a node's label depends
+// only on its ancestors' labels, all of which are on the open-element stack
+// when its start tag arrives. The one wrinkle is Opt2: whether an element
+// is a leaf is unknown at its start tag, so its label is finalized lazily —
+// at its first child's start tag (interior: prime) or at its end tag
+// (leaf: power of two) — and emitted in *end-tag* order. Callers that need
+// start order sort by the emitted Order field, which is also what the SC
+// table consumes.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"primelabel/internal/primes"
+	"primelabel/internal/xmlparse"
+	"primelabel/internal/xmltree"
+)
+
+// Element is one labeled element produced by the streaming labeler.
+type Element struct {
+	// Path is the slash-separated tag path from the root.
+	Path string
+	// Name is the tag name.
+	Name string
+	// Order is the 0-based document (start-tag) order of the element.
+	Order int
+	// Depth is the number of ancestor elements.
+	Depth int
+	// Label is the full prime label.
+	Label *big.Int
+	// Self is the self-label (prime, or power of two for Opt2 leaves).
+	Self *big.Int
+}
+
+// Options mirrors the prime scheme options that make sense in a stream.
+type Options struct {
+	// ReservedPrimes reserves small primes for top-level elements (Opt1).
+	// Negative values are not supported in streaming mode: the top-level
+	// width is unknown in advance.
+	ReservedPrimes int
+	// PowerOfTwoLeaves labels leaves 2^1, 2^2, … (Opt2).
+	PowerOfTwoLeaves bool
+	// Power2Threshold caps the Opt2 exponent (0 = 16).
+	Power2Threshold int
+}
+
+func (o Options) threshold() int {
+	if o.Power2Threshold <= 0 {
+		return 16
+	}
+	return o.Power2Threshold
+}
+
+// Label parses XML from r and calls emit for every element with its prime
+// label. Elements are emitted at their end tags (when leaf status is
+// known); use the Order field to recover document order.
+func Label(r io.Reader, opts Options, emit func(Element) error) error {
+	if opts.ReservedPrimes < 0 {
+		return fmt.Errorf("stream: automatic Opt1 sizing needs the whole document; pass an explicit count")
+	}
+	var src *primes.Source
+	if opts.PowerOfTwoLeaves {
+		src = primes.NewSourceStartingAt(3)
+	} else {
+		src = primes.NewSource()
+	}
+	if opts.ReservedPrimes > 0 {
+		src.Reserve(opts.ReservedPrimes)
+	}
+	h := &labelHandler{opts: opts, src: src, emit: emit}
+	return xmlparse.Parse(r, h)
+}
+
+// frame is one open element on the stack.
+type frame struct {
+	name       string
+	path       string
+	order      int
+	label      *big.Int // nil until finalized
+	self       *big.Int
+	power2Used int // Opt2 childNum counter for this element's leaf children
+	hasElement bool
+}
+
+type labelHandler struct {
+	xmlparse.BaseHandler
+	opts  Options
+	src   *primes.Source
+	emit  func(Element) error
+	stack []frame
+	seq   int
+}
+
+// finalizeInterior assigns the top-of-stack frame its (prime) label if it
+// does not have one yet. Called when the frame turns out to be interior.
+func (h *labelHandler) finalizeInterior() error {
+	top := &h.stack[len(h.stack)-1]
+	if top.label != nil {
+		return nil
+	}
+	var p uint64
+	if h.opts.ReservedPrimes > 0 && len(h.stack) == 2 {
+		p = h.src.NextReserved()
+	} else {
+		p = h.src.Next()
+	}
+	top.self = new(big.Int).SetUint64(p)
+	return h.assignAndEmitTop()
+}
+
+// assignAndEmitTop computes the top frame's full label from its parent and
+// emits it.
+func (h *labelHandler) assignAndEmitTop() error {
+	top := &h.stack[len(h.stack)-1]
+	parentLabel := big.NewInt(1)
+	if len(h.stack) > 1 {
+		parentLabel = h.stack[len(h.stack)-2].label
+	}
+	top.label = new(big.Int).Mul(parentLabel, top.self)
+	return h.emit(Element{
+		Path:  top.path,
+		Name:  top.name,
+		Order: top.order,
+		Depth: len(h.stack) - 1,
+		Label: new(big.Int).Set(top.label),
+		Self:  new(big.Int).Set(top.self),
+	})
+}
+
+func (h *labelHandler) StartElement(name string, _ []xmltree.Attr) error {
+	if len(h.stack) > 0 {
+		parent := &h.stack[len(h.stack)-1]
+		parent.hasElement = true
+		// The parent is now known to be interior; finalize it so this
+		// child can inherit its label.
+		if err := h.finalizeInterior(); err != nil {
+			return err
+		}
+	}
+	path := name
+	if len(h.stack) > 0 {
+		path = h.stack[len(h.stack)-1].path + "/" + name
+	}
+	f := frame{name: name, path: path, order: h.seq}
+	h.seq++
+	if len(h.stack) == 0 {
+		// The root's label is 1, final immediately.
+		f.self = big.NewInt(1)
+		h.stack = append(h.stack, f)
+		return h.assignAndEmitTop()
+	}
+	h.stack = append(h.stack, f)
+	return nil
+}
+
+func (h *labelHandler) EndElement(string) error {
+	top := &h.stack[len(h.stack)-1]
+	if top.label == nil {
+		// A leaf: under Opt2 take the next power of two (within the
+		// threshold) from the parent's counter, else a prime.
+		assigned := false
+		if h.opts.PowerOfTwoLeaves && len(h.stack) > 1 {
+			parent := &h.stack[len(h.stack)-2]
+			if parent.power2Used < h.opts.threshold() {
+				parent.power2Used++
+				top.self = new(big.Int).Lsh(big.NewInt(1), uint(parent.power2Used))
+				assigned = true
+			}
+		}
+		if !assigned {
+			var p uint64
+			if h.opts.ReservedPrimes > 0 && len(h.stack) == 2 {
+				p = h.src.NextReserved()
+			} else {
+				p = h.src.Next()
+			}
+			top.self = new(big.Int).SetUint64(p)
+		}
+		if err := h.assignAndEmitTop(); err != nil {
+			return err
+		}
+	}
+	h.stack = h.stack[:len(h.stack)-1]
+	return nil
+}

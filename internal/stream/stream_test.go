@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"math/big"
+	"sort"
+	"strings"
+	"testing"
+
+	"primelabel/internal/datasets"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xmlparse"
+	"primelabel/internal/xmltree"
+)
+
+// collect labels a document via the stream and returns the elements in
+// document order.
+func collect(t *testing.T, src string, opts Options) []Element {
+	t.Helper()
+	var out []Element
+	if err := Label(strings.NewReader(src), opts, func(e Element) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	return out
+}
+
+// The streaming labeler must produce byte-identical labels to the DOM
+// labeler: finalization order equals preorder, so the prime draws line up.
+func TestStreamMatchesDOM(t *testing.T) {
+	docs := []string{
+		`<r><a><c/><d/></a><b/></r>`,
+		`<r><a/><b><c/></b></r>`,
+		`<deep><a><b><c><d/></c></b></a></deep>`,
+		datasets.D1().String(),
+		datasets.D2().String(),
+	}
+	configs := []struct {
+		stream Options
+		dom    prime.Options
+	}{
+		{Options{}, prime.Options{}},
+		{Options{PowerOfTwoLeaves: true}, prime.Options{PowerOfTwoLeaves: true}},
+		{Options{PowerOfTwoLeaves: true, Power2Threshold: 2}, prime.Options{PowerOfTwoLeaves: true, Power2Threshold: 2}},
+		{Options{ReservedPrimes: 4}, prime.Options{ReservedPrimes: 4}},
+		{Options{ReservedPrimes: 4, PowerOfTwoLeaves: true}, prime.Options{ReservedPrimes: 4, PowerOfTwoLeaves: true}},
+	}
+	for di, src := range docs {
+		for ci, cfg := range configs {
+			got := collect(t, src, cfg.stream)
+			tree, err := xmlparse.ParseString(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lab, err := (prime.Scheme{Opts: cfg.dom}).New(tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			els := xmltree.Elements(tree.Root)
+			if len(got) != len(els) {
+				t.Fatalf("doc %d cfg %d: %d streamed, %d in tree", di, ci, len(got), len(els))
+			}
+			for i, e := range got {
+				want := lab.LabelOf(els[i])
+				if e.Label.Cmp(want) != 0 {
+					t.Errorf("doc %d cfg %d: element %d (%s) label %v, want %v",
+						di, ci, i, e.Path, e.Label, want)
+				}
+				if e.Self.Cmp(lab.SelfLabelOf(els[i])) != 0 {
+					t.Errorf("doc %d cfg %d: element %d self %v, want %v",
+						di, ci, i, e.Self, lab.SelfLabelOf(els[i]))
+				}
+				if e.Name != els[i].Name || e.Path != xmltree.PathTo(els[i]) {
+					t.Errorf("doc %d cfg %d: element %d identity mismatch", di, ci, i)
+				}
+				if e.Depth != els[i].Depth() {
+					t.Errorf("doc %d cfg %d: element %d depth %d, want %d", di, ci, i, e.Depth, els[i].Depth())
+				}
+			}
+		}
+	}
+}
+
+func TestStreamLargeDataset(t *testing.T) {
+	src := datasets.D8().String()
+	count := 0
+	if err := Label(strings.NewReader(src), Options{PowerOfTwoLeaves: true}, func(e Element) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6636 {
+		t.Errorf("streamed %d elements, want 6636", count)
+	}
+}
+
+func TestStreamDivisibilityInvariant(t *testing.T) {
+	// Every emitted label must be divisible by the labels of all its path
+	// prefixes (its ancestors).
+	src := datasets.D3().String()
+	byPath := map[string]Element{}
+	if err := Label(strings.NewReader(src), Options{}, func(e Element) error {
+		// Paths are not unique (siblings share them); keep the first.
+		if _, ok := byPath[e.Path]; !ok {
+			byPath[e.Path] = e
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for path, e := range byPath {
+		parts := strings.Split(path, "/")
+		for i := 1; i < len(parts); i++ {
+			anc, ok := byPath[strings.Join(parts[:i], "/")]
+			if !ok {
+				continue
+			}
+			// The first element with this ancestor path is not necessarily
+			// the actual ancestor of e, so only check the root prefix.
+			if i == 1 {
+				var r big.Int
+				if r.Rem(e.Label, anc.Label).Sign() != 0 {
+					t.Errorf("%s label %v not divisible by root %v", path, e.Label, anc.Label)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("nothing checked")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if err := Label(strings.NewReader("<a><b></a>"), Options{}, func(Element) error { return nil }); err == nil {
+		t.Error("malformed XML should fail")
+	}
+	if err := Label(strings.NewReader("<a/>"), Options{ReservedPrimes: -1}, func(Element) error { return nil }); err == nil {
+		t.Error("auto Opt1 should be rejected in streaming mode")
+	}
+	sentinel := strings.NewReader("<a><b/></a>")
+	calls := 0
+	err := Label(sentinel, Options{}, func(Element) error {
+		calls++
+		if calls == 2 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Errorf("emit error not propagated: %v", err)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

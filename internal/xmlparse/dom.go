@@ -1,0 +1,82 @@
+package xmlparse
+
+import (
+	"io"
+	"strings"
+
+	"primelabel/internal/xmltree"
+)
+
+// Options controls DOM construction.
+type Options struct {
+	// KeepWhitespace retains whitespace-only text nodes. By default they
+	// are dropped, matching how the paper's datasets treat indentation.
+	KeepWhitespace bool
+}
+
+// domBuilder assembles an xmltree.Document from SAX events.
+type domBuilder struct {
+	opts  Options
+	root  *xmltree.Node
+	stack []*xmltree.Node
+}
+
+func (b *domBuilder) top() *xmltree.Node {
+	if len(b.stack) == 0 {
+		return nil
+	}
+	return b.stack[len(b.stack)-1]
+}
+
+func (b *domBuilder) StartElement(name string, attrs []xmltree.Attr) error {
+	n := xmltree.NewElement(name)
+	n.Attrs = attrs
+	if p := b.top(); p != nil {
+		if err := p.AppendChild(n); err != nil {
+			return err
+		}
+	} else {
+		b.root = n
+	}
+	b.stack = append(b.stack, n)
+	return nil
+}
+
+func (b *domBuilder) EndElement(string) error {
+	b.stack = b.stack[:len(b.stack)-1]
+	return nil
+}
+
+func (b *domBuilder) Text(data string) error {
+	if !b.opts.KeepWhitespace && strings.TrimSpace(data) == "" {
+		return nil
+	}
+	p := b.top()
+	if p == nil {
+		return nil // Parse already rejects non-space text outside the root
+	}
+	// Merge adjacent text (e.g. around entity references) into one node.
+	if k := len(p.Children); k > 0 && p.Children[k-1].Kind == xmltree.TextNode {
+		p.Children[k-1].Data += data
+		return nil
+	}
+	return p.AppendChild(xmltree.NewText(data))
+}
+
+func (b *domBuilder) Comment(string) error          { return nil }
+func (b *domBuilder) ProcInst(string, string) error { return nil }
+
+// ParseDocument parses a full XML document from r into a DOM tree.
+func ParseDocument(r io.Reader, opts Options) (*xmltree.Document, error) {
+	b := &domBuilder{opts: opts}
+	if err := Parse(r, b); err != nil {
+		return nil, err
+	}
+	return xmltree.NewDocument(b.root), nil
+}
+
+// ParseString is a convenience wrapper over ParseDocument for in-memory
+// documents.
+func ParseString(s string) (*xmltree.Document, error) {
+	return ParseDocument(strings.NewReader(s), Options{})
+}

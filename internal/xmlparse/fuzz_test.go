@@ -1,0 +1,90 @@
+package xmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"primelabel/internal/xmltree"
+)
+
+// FuzzParse checks that the parser never panics and that every document it
+// accepts round-trips losslessly through our own serializer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>text</b><c x="1"/></a>`,
+		`<?xml version="1.0"?><!DOCTYPE a [<!ENTITY x "y">]><a><!-- c --><![CDATA[<raw>]]></a>`,
+		`<a>&amp;&lt;&gt;&#65;&#x42;</a>`,
+		`<a b='1' c="2"><d/><d/></a>`,
+		`<a><b></a>`,
+		`<a x="1" x="2"/>`,
+		`&bogus;<a/>`,
+		`<a>` + strings.Repeat("<b>", 50) + strings.Repeat("</b>", 50) + `</a>`,
+		"",
+		"<",
+		"<a ",
+		"<a><![CDATA[",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseDocument(strings.NewReader(src), Options{KeepWhitespace: true})
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := doc.String()
+		back, err := ParseDocument(strings.NewReader(out), Options{KeepWhitespace: true})
+		if err != nil {
+			t.Fatalf("accepted %q, serialized to %q, which does not reparse: %v", src, out, err)
+		}
+		if !equalModuloTextMerge(doc.Root, back.Root) {
+			t.Fatalf("round trip changed structure:\n in  %q\n xml %q\n out %q", src, out, back.String())
+		}
+	})
+}
+
+// equalModuloTextMerge compares trees, tolerating the one lossy XML
+// artifact: adjacent text nodes merge on reparse.
+func equalModuloTextMerge(a, b *xmltree.Node) bool {
+	return normText(a) == normText(b)
+}
+
+// normText renders a canonical form with merged text.
+func normText(n *xmltree.Node) string {
+	var sb strings.Builder
+	var walk func(m *xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		if m.Kind == xmltree.TextNode {
+			sb.WriteString("T(")
+			sb.WriteString(m.Data)
+			sb.WriteString(")")
+			return
+		}
+		sb.WriteString("<" + m.Name)
+		for _, a := range m.Attrs {
+			sb.WriteString(" " + a.Name + "=" + a.Value)
+		}
+		sb.WriteString(">")
+		lastText := false
+		for _, c := range m.Children {
+			if c.Kind == xmltree.TextNode {
+				if lastText {
+					// merge representation: strip the boundary
+					s := sb.String()
+					sb.Reset()
+					sb.WriteString(strings.TrimSuffix(s, ")"))
+					sb.WriteString(c.Data + ")")
+					continue
+				}
+				lastText = true
+			} else {
+				lastText = false
+			}
+			walk(c)
+		}
+		sb.WriteString("</" + m.Name + ">")
+	}
+	walk(n)
+	return sb.String()
+}

@@ -1,0 +1,228 @@
+// Package xmlparse implements a from-scratch streaming XML parser: a
+// tokenizer with well-formedness checking, a SAX-style event interface, and
+// a DOM builder producing xmltree documents. It supports the XML subset
+// exercised by data-oriented documents — elements, attributes, character
+// data, CDATA sections, comments, processing instructions, predefined and
+// numeric entity references, and DOCTYPE declarations (skipped) — without
+// depending on encoding/xml.
+//
+// The tokenizer is incremental: it reads through a bufio.Reader and holds
+// only the current token's text in memory, so arbitrarily large documents
+// can be streamed through the SAX interface (see internal/stream) in
+// constant memory.
+package xmlparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a well-formedness violation with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlparse: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer scans the byte stream incrementally.
+type lexer struct {
+	r    *bufio.Reader
+	line int
+	col  int
+	done bool // EOF reached
+}
+
+func newLexer(r io.Reader) (*lexer, error) {
+	return &lexer{r: bufio.NewReaderSize(r, 4096), line: 1, col: 1}, nil
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// eof reports whether the input is exhausted.
+func (l *lexer) eof() bool {
+	if l.done {
+		return true
+	}
+	if _, err := l.r.Peek(1); err != nil {
+		l.done = true
+		return true
+	}
+	return false
+}
+
+// peek returns the current byte without consuming it; 0 at EOF.
+func (l *lexer) peek() byte {
+	b, err := l.r.Peek(1)
+	if err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// next consumes and returns the current byte; 0 at EOF.
+func (l *lexer) next() byte {
+	c, err := l.r.ReadByte()
+	if err != nil {
+		l.done = true
+		return 0
+	}
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// advance consumes n bytes.
+func (l *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		l.next()
+	}
+}
+
+// hasPrefix reports whether the upcoming bytes start with s (s must fit the
+// reader's buffer, which holds all the fixed markup tokens easily).
+func (l *lexer) hasPrefix(s string) bool {
+	b, err := l.r.Peek(len(s))
+	if err != nil {
+		return false
+	}
+	return string(b) == s
+}
+
+// skipWS consumes XML whitespace.
+func (l *lexer) skipWS() {
+	for {
+		switch l.peek() {
+		case ' ', '\t', '\n', '\r':
+			l.next()
+		default:
+			return
+		}
+	}
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+// peekRune decodes the next rune without consuming it.
+func (l *lexer) peekRune() (rune, int) {
+	b, _ := l.r.Peek(utf8.UTFMax)
+	if len(b) == 0 {
+		return utf8.RuneError, 0
+	}
+	return utf8.DecodeRune(b)
+}
+
+// readName consumes an XML Name.
+func (l *lexer) readName() (string, error) {
+	r, size := l.peekRune()
+	if size == 0 || !isNameStart(r) {
+		return "", l.errf("expected name")
+	}
+	var sb strings.Builder
+	sb.WriteRune(r)
+	l.advance(size)
+	for {
+		r, size = l.peekRune()
+		if size == 0 || !isNameChar(r) {
+			break
+		}
+		sb.WriteRune(r)
+		l.advance(size)
+	}
+	return sb.String(), nil
+}
+
+// readUntil consumes input until the delimiter string, returning the text
+// before it. The delimiter itself is consumed too.
+func (l *lexer) readUntil(delim string, what string) (string, error) {
+	var sb strings.Builder
+	first := delim[0]
+	for {
+		if l.eof() {
+			return "", l.errf("unterminated %s: missing %q", what, delim)
+		}
+		if l.peek() == first && l.hasPrefix(delim) {
+			l.advance(len(delim))
+			return sb.String(), nil
+		}
+		sb.WriteByte(l.next())
+	}
+}
+
+// readText consumes character data up to the next '<' (or EOF).
+func (l *lexer) readText() string {
+	var sb strings.Builder
+	for !l.eof() && l.peek() != '<' {
+		sb.WriteByte(l.next())
+	}
+	return sb.String()
+}
+
+// decodeEntities expands predefined and numeric character references in s.
+func (l *lexer) decodeEntities(s string) (string, error) {
+	if !strings.ContainsRune(s, '&') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			return "", l.errf("unterminated entity reference")
+		}
+		ref := s[i+1 : i+end]
+		switch {
+		case ref == "amp":
+			b.WriteByte('&')
+		case ref == "lt":
+			b.WriteByte('<')
+		case ref == "gt":
+			b.WriteByte('>')
+		case ref == "apos":
+			b.WriteByte('\'')
+		case ref == "quot":
+			b.WriteByte('"')
+		case strings.HasPrefix(ref, "#x") || strings.HasPrefix(ref, "#X"):
+			n, err := strconv.ParseUint(ref[2:], 16, 32)
+			if err != nil || n == 0 || !utf8.ValidRune(rune(n)) {
+				return "", l.errf("invalid character reference &%s;", ref)
+			}
+			b.WriteRune(rune(n))
+		case strings.HasPrefix(ref, "#"):
+			n, err := strconv.ParseUint(ref[1:], 10, 32)
+			if err != nil || n == 0 || !utf8.ValidRune(rune(n)) {
+				return "", l.errf("invalid character reference &%s;", ref)
+			}
+			b.WriteRune(rune(n))
+		default:
+			return "", l.errf("unknown entity &%s;", ref)
+		}
+		i += end + 1
+	}
+	return b.String(), nil
+}

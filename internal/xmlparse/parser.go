@@ -1,0 +1,247 @@
+package xmlparse
+
+import (
+	"io"
+	"strings"
+	"unicode/utf8"
+
+	"primelabel/internal/xmltree"
+)
+
+// Handler receives SAX-style parse events in document order. Any non-nil
+// error aborts the parse and is returned from Parse.
+type Handler interface {
+	StartElement(name string, attrs []xmltree.Attr) error
+	EndElement(name string) error
+	Text(data string) error
+	Comment(data string) error
+	ProcInst(target, data string) error
+}
+
+// BaseHandler is a Handler that ignores every event; embed it to implement
+// only the events you care about.
+type BaseHandler struct{}
+
+func (BaseHandler) StartElement(string, []xmltree.Attr) error { return nil }
+func (BaseHandler) EndElement(string) error                   { return nil }
+func (BaseHandler) Text(string) error                         { return nil }
+func (BaseHandler) Comment(string) error                      { return nil }
+func (BaseHandler) ProcInst(string, string) error             { return nil }
+
+// Parse tokenizes the XML document from r and streams events to h. It
+// enforces well-formedness: a single root element, properly nested and
+// matching tags, unique attribute names, and valid entity references.
+func Parse(r io.Reader, h Handler) error {
+	l, err := newLexer(r)
+	if err != nil {
+		return err
+	}
+	var stack []string
+	seenRoot := false
+	for !l.eof() {
+		if l.peek() != '<' {
+			if err := parseText(l, h, len(stack) > 0); err != nil {
+				return err
+			}
+			continue
+		}
+		switch {
+		case l.hasPrefix("<!--"):
+			l.advance(4)
+			data, err := l.readUntil("-->", "comment")
+			if err != nil {
+				return err
+			}
+			if strings.Contains(data, "--") {
+				return l.errf("'--' not allowed inside comment")
+			}
+			if err := h.Comment(data); err != nil {
+				return err
+			}
+		case l.hasPrefix("<![CDATA["):
+			if len(stack) == 0 {
+				return l.errf("CDATA section outside root element")
+			}
+			l.advance(9)
+			data, err := l.readUntil("]]>", "CDATA section")
+			if err != nil {
+				return err
+			}
+			if !utf8.ValidString(data) {
+				return l.errf("invalid UTF-8 in CDATA section")
+			}
+			if err := h.Text(data); err != nil {
+				return err
+			}
+		case l.hasPrefix("<!DOCTYPE"):
+			if err := skipDoctype(l); err != nil {
+				return err
+			}
+		case l.hasPrefix("<?"):
+			l.advance(2)
+			target, err := l.readName()
+			if err != nil {
+				return err
+			}
+			data, err := l.readUntil("?>", "processing instruction")
+			if err != nil {
+				return err
+			}
+			if err := h.ProcInst(target, strings.TrimLeft(data, " \t\r\n")); err != nil {
+				return err
+			}
+		case l.hasPrefix("</"):
+			l.advance(2)
+			name, err := l.readName()
+			if err != nil {
+				return err
+			}
+			l.skipWS()
+			if l.eof() || l.next() != '>' {
+				return l.errf("malformed end tag </%s", name)
+			}
+			if len(stack) == 0 {
+				return l.errf("unexpected end tag </%s>", name)
+			}
+			top := stack[len(stack)-1]
+			if top != name {
+				return l.errf("end tag </%s> does not match <%s>", name, top)
+			}
+			stack = stack[:len(stack)-1]
+			if err := h.EndElement(name); err != nil {
+				return err
+			}
+		default:
+			name, attrs, selfClose, err := parseStartTag(l)
+			if err != nil {
+				return err
+			}
+			if len(stack) == 0 {
+				if seenRoot {
+					return l.errf("multiple root elements: second root <%s>", name)
+				}
+				seenRoot = true
+			}
+			if err := h.StartElement(name, attrs); err != nil {
+				return err
+			}
+			if selfClose {
+				if err := h.EndElement(name); err != nil {
+					return err
+				}
+			} else {
+				stack = append(stack, name)
+			}
+		}
+	}
+	if len(stack) > 0 {
+		return l.errf("unexpected EOF: unclosed element <%s>", stack[len(stack)-1])
+	}
+	if !seenRoot {
+		return l.errf("no root element")
+	}
+	return nil
+}
+
+// parseText consumes character data up to the next '<'.
+func parseText(l *lexer, h Handler, insideRoot bool) error {
+	raw := l.readText()
+	if !insideRoot {
+		if strings.TrimSpace(raw) != "" {
+			return l.errf("character data outside root element")
+		}
+		return nil
+	}
+	if !utf8.ValidString(raw) {
+		return l.errf("invalid UTF-8 in character data")
+	}
+	text, err := l.decodeEntities(raw)
+	if err != nil {
+		return err
+	}
+	return h.Text(text)
+}
+
+// parseStartTag parses "<name attr=.. ...>" or "<name .../>" with the
+// leading '<' not yet consumed.
+func parseStartTag(l *lexer) (name string, attrs []xmltree.Attr, selfClose bool, err error) {
+	l.advance(1) // '<'
+	name, err = l.readName()
+	if err != nil {
+		return "", nil, false, err
+	}
+	for {
+		l.skipWS()
+		if l.eof() {
+			return "", nil, false, l.errf("unexpected EOF in tag <%s", name)
+		}
+		switch l.peek() {
+		case '>':
+			l.next()
+			return name, attrs, false, nil
+		case '/':
+			l.next()
+			if l.eof() || l.next() != '>' {
+				return "", nil, false, l.errf("expected '>' after '/' in tag <%s", name)
+			}
+			return name, attrs, true, nil
+		}
+		aname, aerr := l.readName()
+		if aerr != nil {
+			return "", nil, false, l.errf("malformed attribute in <%s>", name)
+		}
+		for _, a := range attrs {
+			if a.Name == aname {
+				return "", nil, false, l.errf("duplicate attribute %q in <%s>", aname, name)
+			}
+		}
+		l.skipWS()
+		if l.eof() || l.next() != '=' {
+			return "", nil, false, l.errf("attribute %q missing '='", aname)
+		}
+		l.skipWS()
+		if l.eof() {
+			return "", nil, false, l.errf("attribute %q missing value", aname)
+		}
+		quote := l.next()
+		if quote != '"' && quote != '\'' {
+			return "", nil, false, l.errf("attribute %q value must be quoted", aname)
+		}
+		raw, rerr := l.readUntil(string(quote), "attribute value")
+		if rerr != nil {
+			return "", nil, false, rerr
+		}
+		if strings.ContainsRune(raw, '<') {
+			return "", nil, false, l.errf("'<' not allowed in attribute value")
+		}
+		if !utf8.ValidString(raw) {
+			return "", nil, false, l.errf("invalid UTF-8 in attribute value")
+		}
+		val, derr := l.decodeEntities(raw)
+		if derr != nil {
+			return "", nil, false, derr
+		}
+		attrs = append(attrs, xmltree.Attr{Name: aname, Value: val})
+	}
+}
+
+// skipDoctype skips a DOCTYPE declaration, including an internal subset in
+// square brackets.
+func skipDoctype(l *lexer) error {
+	l.advance(len("<!DOCTYPE"))
+	depth := 0
+	for !l.eof() {
+		c := l.next()
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				return nil
+			}
+		}
+	}
+	return l.errf("unterminated DOCTYPE")
+}

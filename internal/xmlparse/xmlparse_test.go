@@ -1,0 +1,336 @@
+package xmlparse
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"primelabel/internal/xmltree"
+)
+
+func mustParse(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	doc, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", s, err)
+	}
+	return doc
+}
+
+func TestParseSimple(t *testing.T) {
+	doc := mustParse(t, `<book><title>Go</title><author>Pike</author></book>`)
+	if doc.Root.Name != "book" || len(doc.Root.Children) != 2 {
+		t.Fatalf("root = %s with %d children", doc.Root.Name, len(doc.Root.Children))
+	}
+	if doc.Root.Children[0].Text() != "Go" {
+		t.Errorf("title text = %q", doc.Root.Children[0].Text())
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := mustParse(t, `<e a="1" b='two' c="x &amp; y"/>`)
+	for _, want := range []struct{ k, v string }{{"a", "1"}, {"b", "two"}, {"c", "x & y"}} {
+		if v, ok := doc.Root.Attr(want.k); !ok || v != want.v {
+			t.Errorf("attr %s = %q,%v; want %q", want.k, v, ok, want.v)
+		}
+	}
+}
+
+func TestParseSelfClosingAndNesting(t *testing.T) {
+	doc := mustParse(t, `<a><b/><c><d/></c></a>`)
+	names := []string{}
+	xmltree.WalkElements(doc.Root, func(n *xmltree.Node) bool {
+		names = append(names, n.Name)
+		return true
+	})
+	if got := strings.Join(names, ","); got != "a,b,c,d" {
+		t.Errorf("structure = %s", got)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := mustParse(t, `<t>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos; &#65;&#x42;</t>`)
+	want := `<tag> & "q" 'a' AB`
+	if got := doc.Root.Text(); got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	doc := mustParse(t, `<t><![CDATA[<not-a-tag> & raw]]></t>`)
+	if got := doc.Root.Text(); got != "<not-a-tag> & raw" {
+		t.Errorf("CDATA text = %q", got)
+	}
+}
+
+func TestParseCommentsAndPIs(t *testing.T) {
+	var comments, pis []string
+	h := &recordingHandler{onComment: func(s string) { comments = append(comments, s) },
+		onPI: func(target, data string) { pis = append(pis, target+"|"+data) }}
+	src := `<?xml version="1.0"?><!-- top --><r><!-- in --><?php echo ?></r>`
+	if err := Parse(strings.NewReader(src), h); err != nil {
+		t.Fatal(err)
+	}
+	if len(comments) != 2 || comments[0] != " top " {
+		t.Errorf("comments = %q", comments)
+	}
+	if len(pis) != 2 || pis[0] != "xml|version=\"1.0\"" {
+		t.Errorf("PIs = %q", pis)
+	}
+}
+
+type recordingHandler struct {
+	BaseHandler
+	onComment func(string)
+	onPI      func(string, string)
+}
+
+func (h *recordingHandler) Comment(s string) error     { h.onComment(s); return nil }
+func (h *recordingHandler) ProcInst(t, d string) error { h.onPI(t, d); return nil }
+
+func TestParseDoctypeSkipped(t *testing.T) {
+	src := `<!DOCTYPE play SYSTEM "play.dtd" [<!ENTITY x "y">]><play><act/></play>`
+	doc := mustParse(t, src)
+	if doc.Root.Name != "play" {
+		t.Errorf("root = %s", doc.Root.Name)
+	}
+}
+
+func TestParseWhitespaceHandling(t *testing.T) {
+	src := "<a>\n  <b>hi</b>\n</a>"
+	doc := mustParse(t, src)
+	if len(doc.Root.Children) != 1 {
+		t.Errorf("whitespace-only text should be dropped, got %d children", len(doc.Root.Children))
+	}
+	kept, err := ParseDocument(strings.NewReader(src), Options{KeepWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept.Root.Children) != 3 {
+		t.Errorf("KeepWhitespace: got %d children, want 3", len(kept.Root.Children))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"mismatched tags", `<a><b></a></b>`},
+		{"unclosed element", `<a><b>`},
+		{"unexpected end tag", `</a>`},
+		{"multiple roots", `<a/><b/>`},
+		{"no root", `   `},
+		{"text outside root", `hello<a/>`},
+		{"duplicate attribute", `<a x="1" x="2"/>`},
+		{"unquoted attribute", `<a x=1/>`},
+		{"attr missing equals", `<a x"1"/>`},
+		{"lt in attribute", `<a x="a<b"/>`},
+		{"unknown entity", `<a>&nope;</a>`},
+		{"bad char ref", `<a>&#xZZ;</a>`},
+		{"unterminated entity", `<a>&amp</a>`},
+		{"unterminated comment", `<a><!-- foo </a>`},
+		{"double dash comment", `<a><!-- a -- b --></a>`},
+		{"unterminated cdata", `<a><![CDATA[x</a>`},
+		{"cdata outside root", `<![CDATA[x]]><a/>`},
+		{"unterminated doctype", `<!DOCTYPE a [ <a/>`},
+		{"bad name", `<1abc/>`},
+		{"eof in tag", `<a `},
+		{"bad end tag", `<a></a x>`},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src); err == nil {
+			t.Errorf("%s: ParseString(%q) succeeded, want error", c.name, c.src)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := ParseString("<a>\n<b></c>\n</a>")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	src := `<catalog><book id="1"><title>A &amp; B</title></book><book id="2"/></catalog>`
+	doc := mustParse(t, src)
+	if got := doc.String(); got != src {
+		t.Errorf("round trip:\n in  %s\n out %s", src, got)
+	}
+}
+
+// randomDoc builds a random document for the round-trip property test.
+func randomDoc(rng *rand.Rand) *xmltree.Document {
+	names := []string{"a", "bb", "c-c", "d.e", "_f", "g1"}
+	texts := []string{"hello", "x & y", "a<b", `"quoted"`, "tab\tdata", "é∂ƒ"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := xmltree.NewElement(names[rng.Intn(len(names))])
+		for i := 0; i < rng.Intn(3); i++ {
+			n.SetAttr(names[rng.Intn(len(names))], texts[rng.Intn(len(texts))])
+		}
+		kids := rng.Intn(4)
+		if depth > 3 {
+			kids = 0
+		}
+		for i := 0; i < kids; i++ {
+			// Avoid adjacent text children: XML cannot represent the
+			// boundary between them, so they merge on reparse.
+			lastIsText := len(n.Children) > 0 && n.Children[len(n.Children)-1].Kind == xmltree.TextNode
+			if rng.Intn(3) == 0 && !lastIsText {
+				_ = n.AppendChild(xmltree.NewText(texts[rng.Intn(len(texts))]))
+			} else {
+				_ = n.AppendChild(build(depth + 1))
+			}
+		}
+		return n
+	}
+	return xmltree.NewDocument(build(0))
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	// parse(serialize(tree)) must reproduce the tree exactly.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		doc := randomDoc(rng)
+		out := doc.String()
+		back, err := ParseDocument(strings.NewReader(out), Options{KeepWhitespace: true})
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\nxml: %s", trial, err, out)
+		}
+		if !xmltree.Equal(doc.Root, back.Root) {
+			t.Fatalf("trial %d: round trip mismatch\n in  %s\n out %s", trial, out, back.String())
+		}
+	}
+}
+
+func TestParseDeeplyNested(t *testing.T) {
+	var b strings.Builder
+	const depth = 2000
+	for i := 0; i < depth; i++ {
+		b.WriteString("<d>")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</d>")
+	}
+	doc := mustParse(t, b.String())
+	st := xmltree.ComputeStats(doc)
+	if st.Nodes != depth || st.MaxDepth != depth-1 {
+		t.Errorf("nodes=%d depth=%d", st.Nodes, st.MaxDepth)
+	}
+}
+
+func TestParseLargeFanout(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 10000; i++ {
+		b.WriteString("<c/>")
+	}
+	b.WriteString("</r>")
+	doc := mustParse(t, b.String())
+	st := xmltree.ComputeStats(doc)
+	if st.MaxFan != 10000 {
+		t.Errorf("fanout = %d", st.MaxFan)
+	}
+}
+
+func TestTextMerging(t *testing.T) {
+	doc := mustParse(t, `<t>a&amp;b<![CDATA[c]]>d</t>`)
+	if len(doc.Root.Children) != 1 {
+		t.Fatalf("adjacent text not merged: %d children", len(doc.Root.Children))
+	}
+	if doc.Root.Text() != "a&bcd" {
+		t.Errorf("text = %q", doc.Root.Text())
+	}
+}
+
+// synthReader produces a large document incrementally, without ever holding
+// it in memory — the lexer must parse straight off the stream.
+type synthReader struct {
+	pre, post string
+	items     int
+	state     int // 0=pre, 1=items, 2=post, 3=done
+	emitted   int
+	partial   string
+}
+
+func (s *synthReader) Read(p []byte) (int, error) {
+	for {
+		if s.partial != "" {
+			n := copy(p, s.partial)
+			s.partial = s.partial[n:]
+			return n, nil
+		}
+		switch s.state {
+		case 0:
+			s.partial = s.pre
+			s.state = 1
+		case 1:
+			if s.emitted >= s.items {
+				s.state = 2
+				continue
+			}
+			s.emitted++
+			s.partial = `<item n="` + strings.Repeat("x", s.emitted%50) + `">value &amp; more</item>`
+		case 2:
+			s.partial = s.post
+			s.state = 3
+		default:
+			return 0, io.EOF
+		}
+	}
+}
+
+func TestParseFromUnbufferedStream(t *testing.T) {
+	src := &synthReader{pre: "<feed>", post: "</feed>", items: 20000}
+	count := 0
+	h := &countingHandler{count: &count}
+	if err := Parse(src, h); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20001 {
+		t.Errorf("streamed %d elements, want 20001", count)
+	}
+}
+
+type countingHandler struct {
+	BaseHandler
+	count *int
+}
+
+func (h *countingHandler) StartElement(string, []xmltree.Attr) error {
+	*h.count++
+	return nil
+}
+
+// Markup tokens crossing the 4 KiB buffer boundary must still tokenize:
+// pad with text so a comment and a CDATA straddle the boundary.
+func TestParseTokensAcrossBufferBoundary(t *testing.T) {
+	for _, pad := range []int{4090, 4091, 4092, 4093, 4094, 4095, 4096} {
+		src := "<a>" + strings.Repeat("t", pad) + "<!-- comment -->" +
+			strings.Repeat("u", 4090) + "<![CDATA[cd]]>" + "</a>"
+		doc, err := ParseString(src)
+		if err != nil {
+			t.Fatalf("pad %d: %v", pad, err)
+		}
+		if !strings.Contains(doc.Root.Text(), "cd") {
+			t.Fatalf("pad %d: CDATA lost", pad)
+		}
+	}
+}
+
+// A huge attribute value (larger than the reader's buffer) must survive.
+func TestParseHugeAttribute(t *testing.T) {
+	val := strings.Repeat("v", 100000)
+	doc, err := ParseString(`<a x="` + val + `"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := doc.Root.Attr("x"); got != val {
+		t.Errorf("attribute truncated: %d bytes", len(got))
+	}
+}

@@ -1,0 +1,149 @@
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mutation errors.
+var (
+	ErrNotChild     = errors.New("xmltree: node is not a child of the given parent")
+	ErrHasParent    = errors.New("xmltree: node already has a parent")
+	ErrIsRoot       = errors.New("xmltree: operation not valid on the root")
+	ErrOutOfRange   = errors.New("xmltree: child index out of range")
+	ErrSelfInsert   = errors.New("xmltree: cannot insert a node into itself")
+	ErrNilNode      = errors.New("xmltree: nil node")
+	ErrWrongSubtree = errors.New("xmltree: nodes belong to different parents")
+)
+
+// AppendChild attaches c as the last child of n.
+func (n *Node) AppendChild(c *Node) error {
+	if c == nil {
+		return ErrNilNode
+	}
+	if c.Parent != nil {
+		return ErrHasParent
+	}
+	if c == n {
+		return ErrSelfInsert
+	}
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return nil
+}
+
+// InsertChildAt attaches c as the idx-th child of n (0-based); existing
+// children from idx onward shift right. idx == len(children) appends.
+func (n *Node) InsertChildAt(idx int, c *Node) error {
+	if c == nil {
+		return ErrNilNode
+	}
+	if c.Parent != nil {
+		return ErrHasParent
+	}
+	if c == n {
+		return ErrSelfInsert
+	}
+	if idx < 0 || idx > len(n.Children) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, idx, len(n.Children))
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[idx+1:], n.Children[idx:])
+	n.Children[idx] = c
+	return nil
+}
+
+// InsertBefore inserts c as the sibling immediately preceding ref.
+func (n *Node) InsertBefore(ref, c *Node) error {
+	i := n.ChildIndex(ref)
+	if i < 0 {
+		return ErrNotChild
+	}
+	return n.InsertChildAt(i, c)
+}
+
+// InsertAfter inserts c as the sibling immediately following ref.
+func (n *Node) InsertAfter(ref, c *Node) error {
+	i := n.ChildIndex(ref)
+	if i < 0 {
+		return ErrNotChild
+	}
+	return n.InsertChildAt(i+1, c)
+}
+
+// RemoveChild detaches c from n. The subtree rooted at c stays intact.
+func (n *Node) RemoveChild(c *Node) error {
+	i := n.ChildIndex(c)
+	if i < 0 {
+		return ErrNotChild
+	}
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return nil
+}
+
+// WrapChildren inserts wrapper as a new child of parent at the position of
+// first, and reparents the consecutive children [first..last] under
+// wrapper. This is the paper's "insert a node as a parent of existing
+// nodes" update (Figure 17: a new node becomes the parent of the first
+// level-4 node).
+func WrapChildren(parent, wrapper, first, last *Node) error {
+	if wrapper == nil || first == nil || last == nil {
+		return ErrNilNode
+	}
+	if wrapper.Parent != nil {
+		return ErrHasParent
+	}
+	i := parent.ChildIndex(first)
+	j := parent.ChildIndex(last)
+	if i < 0 || j < 0 {
+		return ErrWrongSubtree
+	}
+	if j < i {
+		i, j = j, i
+	}
+	moved := make([]*Node, j-i+1)
+	copy(moved, parent.Children[i:j+1])
+	// Remove the span.
+	parent.Children = append(parent.Children[:i], parent.Children[j+1:]...)
+	// Insert the wrapper where the span began.
+	if err := parent.InsertChildAt(i, wrapper); err != nil {
+		return err
+	}
+	for _, m := range moved {
+		m.Parent = wrapper
+		wrapper.Children = append(wrapper.Children, m)
+	}
+	return nil
+}
+
+// Detach removes n from its parent (no-op for roots) and returns n.
+func (n *Node) Detach() *Node {
+	if n.Parent != nil {
+		_ = n.Parent.RemoveChild(n)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy has no
+// parent.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	for _, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the document.
+func (d *Document) Clone() *Document {
+	return &Document{Root: d.Root.Clone()}
+}

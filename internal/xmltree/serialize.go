@@ -1,0 +1,144 @@
+package xmltree
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// escapeText escapes character data for XML output.
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeAttr escapes an attribute value for double-quoted output.
+func escapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<\"") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WriteOptions controls serialization.
+type WriteOptions struct {
+	// Indent, when non-empty, pretty-prints with the given unit. Mixed
+	// content (elements with both text and element children) is never
+	// reindented, so round-tripping stays lossless for data-oriented
+	// documents.
+	Indent string
+}
+
+// Write serializes the document as XML to w.
+func (d *Document) Write(w io.Writer, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	writeNode(bw, d.Root, opts.Indent, 0)
+	return bw.Flush()
+}
+
+// String serializes the document compactly (no indentation).
+func (d *Document) String() string {
+	var b strings.Builder
+	_ = d.Write(&b, WriteOptions{})
+	return b.String()
+}
+
+func hasElementChild(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			return true
+		}
+	}
+	return false
+}
+
+func hasTextChild(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			return true
+		}
+	}
+	return false
+}
+
+func writeNode(w *bufio.Writer, n *Node, indent string, depth int) {
+	if n.Kind == TextNode {
+		w.WriteString(escapeText(n.Data))
+		return
+	}
+	pad := func(d int) {
+		if indent == "" {
+			return
+		}
+		for i := 0; i < d; i++ {
+			w.WriteString(indent)
+		}
+	}
+	pad(depth)
+	w.WriteByte('<')
+	w.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		w.WriteByte(' ')
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		w.WriteString(escapeAttr(a.Value))
+		w.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		w.WriteString("/>")
+		if indent != "" {
+			w.WriteByte('\n')
+		}
+		return
+	}
+	w.WriteByte('>')
+	mixed := hasTextChild(n)
+	blockChildren := indent != "" && !mixed && hasElementChild(n)
+	if blockChildren {
+		w.WriteByte('\n')
+	}
+	for _, c := range n.Children {
+		if blockChildren {
+			writeNode(w, c, indent, depth+1)
+		} else {
+			writeNode(w, c, "", 0)
+		}
+	}
+	if blockChildren {
+		pad(depth)
+	}
+	w.WriteString("</")
+	w.WriteString(n.Name)
+	w.WriteByte('>')
+	if indent != "" {
+		w.WriteByte('\n')
+	}
+}

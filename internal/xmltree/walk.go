@@ -1,0 +1,173 @@
+package xmltree
+
+// Walk visits every node of the subtree rooted at n in document (preorder)
+// order. Returning false from visit stops the walk.
+func Walk(n *Node, visit func(*Node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !visit(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !Walk(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkElements visits only element nodes, preorder.
+func WalkElements(n *Node, visit func(*Node) bool) bool {
+	return Walk(n, func(m *Node) bool {
+		if m.Kind != ElementNode {
+			return true
+		}
+		return visit(m)
+	})
+}
+
+// Elements returns all element nodes of the subtree in document order.
+// This is the SAX parse order the paper's update experiments reference.
+func Elements(n *Node) []*Node {
+	var out []*Node
+	WalkElements(n, func(m *Node) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// ElementsByName returns all elements with the given tag, document order.
+func ElementsByName(n *Node, name string) []*Node {
+	var out []*Node
+	WalkElements(n, func(m *Node) bool {
+		if m.Name == name {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// DocOrderIndex assigns each element its 0-based position in document
+// order. It is recomputed from scratch and used as ground truth by tests
+// and by static labeling passes.
+func DocOrderIndex(d *Document) map[*Node]int {
+	idx := make(map[*Node]int)
+	i := 0
+	WalkElements(d.Root, func(m *Node) bool {
+		idx[m] = i
+		i++
+		return true
+	})
+	return idx
+}
+
+// FollowingSiblings returns n's element siblings after n, document order.
+func FollowingSiblings(n *Node) []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	var out []*Node
+	seen := false
+	for _, s := range n.Parent.Children {
+		if s == n {
+			seen = true
+			continue
+		}
+		if seen && s.Kind == ElementNode {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PrecedingSiblings returns n's element siblings before n, document order.
+func PrecedingSiblings(n *Node) []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	var out []*Node
+	for _, s := range n.Parent.Children {
+		if s == n {
+			break
+		}
+		if s.Kind == ElementNode {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the structural parameters the size model depends on.
+type Stats struct {
+	Nodes    int // element count N
+	TextLen  int // total character data bytes
+	MaxDepth int // D: maximum depth over element nodes (root = 0)
+	MaxFan   int // F: maximum element fan-out of any element
+	Leaves   int // elements with no element children
+}
+
+// ComputeStats walks the document once and returns its Stats.
+func ComputeStats(d *Document) Stats {
+	var st Stats
+	Walk(d.Root, func(n *Node) bool {
+		if n.Kind == TextNode {
+			st.TextLen += len(n.Data)
+			return true
+		}
+		st.Nodes++
+		if depth := n.Depth(); depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		fan := 0
+		for _, c := range n.Children {
+			if c.Kind == ElementNode {
+				fan++
+			}
+		}
+		if fan > st.MaxFan {
+			st.MaxFan = fan
+		}
+		if fan == 0 {
+			st.Leaves++
+		}
+		return true
+	})
+	return st
+}
+
+// PathTo returns the slash-separated tag path from the root to n, e.g.
+// "book/author". Used by Opt3 (combining repeated paths).
+func PathTo(n *Node) string {
+	if n.Parent == nil {
+		return n.Name
+	}
+	return PathTo(n.Parent) + "/" + n.Name
+}
+
+// Equal reports deep structural equality of two subtrees: kind, name, data,
+// attributes and child order all match.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

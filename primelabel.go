@@ -1,0 +1,605 @@
+// Package primelabel is a library for labeling dynamic ordered XML trees
+// with the prime number labeling scheme of Wu, Lee & Hsu (ICDE 2004), plus
+// the interval, prefix, Dewey and float baselines the paper evaluates
+// against.
+//
+// A labeled Document answers structural queries — ancestor tests, document
+// order, and an XPath subset with the order-sensitive axes following,
+// preceding, following-sibling and preceding-sibling — purely from node
+// labels, and absorbs insertions without relabeling existing nodes (the
+// prime scheme's defining property). Global document order is maintained
+// through a simultaneous-congruence (SC) table built on the Chinese
+// Remainder Theorem, so order-sensitive insertions update a handful of SC
+// records instead of renumbering the tree.
+//
+// Quick start:
+//
+//	doc, err := primelabel.LoadString(xml, primelabel.Config{
+//		Scheme:     primelabel.Prime,
+//		TrackOrder: true,
+//	})
+//	hits, err := doc.Query("/library//book[2]//following::book")
+package primelabel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/floatlab"
+	"primelabel/internal/labeling/interval"
+	"primelabel/internal/labeling/prefix"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xmlparse"
+	"primelabel/internal/xmltree"
+	"primelabel/internal/xpath"
+)
+
+// SchemeKind selects a labeling scheme.
+type SchemeKind string
+
+// The available labeling schemes.
+const (
+	// Prime is the paper's top-down prime number scheme (the default).
+	Prime SchemeKind = "prime"
+	// PrimeBottomUp is the Figure 1 bottom-up variant (static).
+	PrimeBottomUp SchemeKind = "prime-bottomup"
+	// PrimeDecomposed is the layered variant for deep trees (Section 3.2's
+	// tree decomposition).
+	PrimeDecomposed SchemeKind = "prime-decomposed"
+	// Interval is the XISS (order, size) baseline.
+	Interval SchemeKind = "interval"
+	// XRel is the (start, end) region baseline.
+	XRel SchemeKind = "xrel"
+	// Prefix1 is the unary-coded prefix baseline.
+	Prefix1 SchemeKind = "prefix-1"
+	// Prefix2 is the Cohen/Kaplan/Milo binary prefix baseline.
+	Prefix2 SchemeKind = "prefix-2"
+	// Dewey is the Dewey order labeling of Tatarinov et al.
+	Dewey SchemeKind = "dewey"
+	// Float is the QRS floating-point interval labeling.
+	Float SchemeKind = "float"
+)
+
+// Schemes lists every supported scheme kind.
+func Schemes() []SchemeKind {
+	return []SchemeKind{Prime, PrimeBottomUp, PrimeDecomposed, Interval, XRel, Prefix1, Prefix2, Dewey, Float}
+}
+
+// Config selects a scheme and its options.
+type Config struct {
+	// Scheme defaults to Prime.
+	Scheme SchemeKind
+
+	// TrackOrder enables document-order queries (Before, the ordered XPath
+	// axes) for the prime scheme via the SC table. The interval, prefix
+	// (with OrderPreserving), Dewey and float schemes carry order in their
+	// labels regardless.
+	TrackOrder bool
+
+	// ReservedPrimes is the prime scheme's Opt1: how many small primes to
+	// reserve for top-level nodes.
+	ReservedPrimes int
+
+	// PowerOfTwoLeaves is the prime scheme's Opt2.
+	PowerOfTwoLeaves bool
+
+	// Power2Threshold caps Opt2 exponents (0 = 16).
+	Power2Threshold int
+
+	// SCChunk is the number of nodes per SC record (0 = 5).
+	SCChunk int
+
+	// OrderSpacing spaces the prime scheme's order numbers apart so
+	// order-sensitive inserts into open gaps touch a single SC record
+	// (0 or 1 = the paper's dense numbering).
+	OrderSpacing int
+
+	// RecyclePrimes lets the prime scheme reuse the primes of deleted
+	// nodes, bounding label growth under insert/delete churn.
+	RecyclePrimes bool
+
+	// OrderPreserving keeps prefix-scheme sibling codes in document order.
+	OrderPreserving bool
+
+	// LayerHeight is the decomposed scheme's layer height (0 = 4).
+	LayerHeight int
+
+	// KeepWhitespace retains whitespace-only text nodes when parsing.
+	KeepWhitespace bool
+}
+
+// scheme materializes the configured labeling.Scheme.
+func (c Config) scheme() (labeling.Scheme, error) {
+	kind := c.Scheme
+	if kind == "" {
+		kind = Prime
+	}
+	switch kind {
+	case Prime:
+		return prime.Scheme{Opts: prime.Options{
+			ReservedPrimes:   c.ReservedPrimes,
+			PowerOfTwoLeaves: c.PowerOfTwoLeaves,
+			Power2Threshold:  c.Power2Threshold,
+			TrackOrder:       c.TrackOrder,
+			SCChunk:          c.SCChunk,
+			OrderSpacing:     c.OrderSpacing,
+			RecyclePrimes:    c.RecyclePrimes,
+		}}, nil
+	case PrimeBottomUp:
+		return prime.BottomUpScheme{}, nil
+	case PrimeDecomposed:
+		return prime.DecomposedScheme{LayerHeight: c.LayerHeight}, nil
+	case Interval:
+		return interval.Scheme{Variant: interval.XISS}, nil
+	case XRel:
+		return interval.Scheme{Variant: interval.XRel}, nil
+	case Prefix1:
+		return prefix.Scheme{Variant: prefix.Prefix1, OrderPreserving: c.OrderPreserving}, nil
+	case Prefix2:
+		return prefix.Scheme{Variant: prefix.Prefix2, OrderPreserving: c.OrderPreserving}, nil
+	case Dewey:
+		return prefix.DeweyScheme{}, nil
+	case Float:
+		return floatlab.Scheme{}, nil
+	default:
+		return nil, fmt.Errorf("primelabel: unknown scheme %q", kind)
+	}
+}
+
+// Node is a handle to one element of a labeled document. The zero Node is
+// invalid.
+type Node struct {
+	n *xmltree.Node
+}
+
+// IsZero reports whether the handle is empty.
+func (n Node) IsZero() bool { return n.n == nil }
+
+// Name returns the element's tag name.
+func (n Node) Name() string {
+	if n.n == nil {
+		return ""
+	}
+	return n.n.Name
+}
+
+// Text returns the element's direct character data.
+func (n Node) Text() string {
+	if n.n == nil {
+		return ""
+	}
+	return n.n.Text()
+}
+
+// Attr returns the named attribute value.
+func (n Node) Attr(name string) (string, bool) {
+	if n.n == nil {
+		return "", false
+	}
+	return n.n.Attr(name)
+}
+
+// Path returns the slash-separated tag path from the root.
+func (n Node) Path() string {
+	if n.n == nil {
+		return ""
+	}
+	return xmltree.PathTo(n.n)
+}
+
+// Parent returns the parent element (zero for the root).
+func (n Node) Parent() Node {
+	if n.n == nil || n.n.Parent == nil {
+		return Node{}
+	}
+	return Node{n: n.n.Parent}
+}
+
+// Children returns the element children in document order.
+func (n Node) Children() []Node {
+	if n.n == nil {
+		return nil
+	}
+	kids := n.n.ElementChildren()
+	out := make([]Node, len(kids))
+	for i, k := range kids {
+		out[i] = Node{n: k}
+	}
+	return out
+}
+
+// Depth returns the number of edges to the root.
+func (n Node) Depth() int {
+	if n.n == nil {
+		return 0
+	}
+	return n.n.Depth()
+}
+
+// Document is a labeled XML document. All methods are safe for concurrent
+// use: an internal mutex serializes every operation (including queries,
+// which maintain internal caches).
+type Document struct {
+	mu  sync.Mutex
+	cfg Config
+	doc *xmltree.Document
+	lab labeling.Labeling
+	ev  *xpath.Evaluator
+}
+
+// Load parses XML from r and labels it according to cfg.
+func Load(r io.Reader, cfg Config) (*Document, error) {
+	tree, err := xmlparse.ParseDocument(r, xmlparse.Options{KeepWhitespace: cfg.KeepWhitespace})
+	if err != nil {
+		return nil, err
+	}
+	return fromTree(tree, cfg)
+}
+
+// LoadString labels an in-memory XML document.
+func LoadString(s string, cfg Config) (*Document, error) {
+	return Load(strings.NewReader(s), cfg)
+}
+
+// fromTree labels an already-built tree.
+func fromTree(tree *xmltree.Document, cfg Config) (*Document, error) {
+	s, err := cfg.scheme()
+	if err != nil {
+		return nil, err
+	}
+	lab, err := s.Label(tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{cfg: cfg, doc: tree, lab: lab, ev: xpath.New(lab)}, nil
+}
+
+// SchemeName returns the active scheme identifier (including optimization
+// suffixes for the prime scheme).
+func (d *Document) SchemeName() string { return d.lab.SchemeName() }
+
+// Root returns the root element.
+func (d *Document) Root() Node { return Node{n: d.doc.Root} }
+
+// Find returns all elements with the given tag name in document order.
+func (d *Document) Find(tag string) []Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	els := xmltree.ElementsByName(d.doc.Root, tag)
+	out := make([]Node, len(els))
+	for i, e := range els {
+		out[i] = Node{n: e}
+	}
+	return out
+}
+
+// Stats summarizes the document's structural parameters.
+type Stats struct {
+	Elements  int
+	MaxDepth  int
+	MaxFanout int
+	Leaves    int
+}
+
+// Stats computes the document's structural summary.
+func (d *Document) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := xmltree.ComputeStats(d.doc)
+	return Stats{Elements: st.Nodes, MaxDepth: st.MaxDepth, MaxFanout: st.MaxFan, Leaves: st.Leaves}
+}
+
+// IsAncestor reports, from labels alone, whether a is a proper ancestor of
+// b.
+func (d *Document) IsAncestor(a, b Node) bool {
+	if a.n == nil || b.n == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lab.IsAncestor(a.n, b.n)
+}
+
+// IsParent reports, from labels, whether a is b's parent.
+func (d *Document) IsParent(a, b Node) bool {
+	if a.n == nil || b.n == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lab.IsParent(a.n, b.n)
+}
+
+// Before reports whether a precedes b in document order. It requires an
+// order-carrying configuration (TrackOrder for the prime scheme).
+func (d *Document) Before(a, b Node) (bool, error) {
+	if a.n == nil || b.n == nil {
+		return false, errors.New("primelabel: zero node")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lab.Before(a.n, b.n)
+}
+
+// Query evaluates an XPath-subset expression, e.g.
+//
+//	/play//act[3]//following::act
+//
+// and returns matches in document order.
+func (d *Document) Query(q string) ([]Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ns, err := d.ev.EvalString(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Node, len(ns))
+	for i, n := range ns {
+		out[i] = Node{n: n}
+	}
+	return out, nil
+}
+
+// InsertChild inserts a new element with the given tag as the idx-th child
+// of parent, returning the new node and the number of labels written —
+// including the new node's — which for the prime scheme stays O(1)
+// regardless of document size.
+func (d *Document) InsertChild(parent Node, idx int, tag string) (Node, int, error) {
+	if parent.n == nil {
+		return Node{}, 0, errors.New("primelabel: zero parent")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := xmltree.NewElement(tag)
+	// Convert the element-index to a raw child index (text nodes
+	// interleave).
+	raw := rawChildIndex(parent.n, idx)
+	count, err := d.lab.InsertChildAt(parent.n, raw, n)
+	if err != nil {
+		return Node{}, count, err
+	}
+	d.ev.Reindex()
+	return Node{n: n}, count, nil
+}
+
+// rawChildIndex maps an index among element children to an index among all
+// children.
+func rawChildIndex(parent *xmltree.Node, elemIdx int) int {
+	if elemIdx <= 0 {
+		return 0
+	}
+	seen := 0
+	for i, c := range parent.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		seen++
+		if seen == elemIdx {
+			return i + 1
+		}
+	}
+	return len(parent.Children)
+}
+
+// InsertBefore inserts a new element with the given tag immediately before
+// sibling.
+func (d *Document) InsertBefore(sibling Node, tag string) (Node, int, error) {
+	if sibling.n == nil || sibling.n.Parent == nil {
+		return Node{}, 0, errors.New("primelabel: node has no parent")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	parent := sibling.n.Parent
+	n := xmltree.NewElement(tag)
+	count, err := d.lab.InsertChildAt(parent, parent.ChildIndex(sibling.n), n)
+	if err != nil {
+		return Node{}, count, err
+	}
+	d.ev.Reindex()
+	return Node{n: n}, count, nil
+}
+
+// InsertAfter inserts a new element with the given tag immediately after
+// sibling.
+func (d *Document) InsertAfter(sibling Node, tag string) (Node, int, error) {
+	if sibling.n == nil || sibling.n.Parent == nil {
+		return Node{}, 0, errors.New("primelabel: node has no parent")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	parent := sibling.n.Parent
+	n := xmltree.NewElement(tag)
+	count, err := d.lab.InsertChildAt(parent, parent.ChildIndex(sibling.n)+1, n)
+	if err != nil {
+		return Node{}, count, err
+	}
+	d.ev.Reindex()
+	return Node{n: n}, count, nil
+}
+
+// WrapParent inserts a new element with the given tag as target's parent
+// (target becomes its only child).
+func (d *Document) WrapParent(target Node, tag string) (Node, int, error) {
+	if target.n == nil {
+		return Node{}, 0, errors.New("primelabel: zero node")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := xmltree.NewElement(tag)
+	count, err := d.lab.WrapNode(target.n, n)
+	if err != nil {
+		return Node{}, count, err
+	}
+	d.ev.Reindex()
+	return Node{n: n}, count, nil
+}
+
+// Delete removes the subtree rooted at n. No other labels change.
+func (d *Document) Delete(n Node) error {
+	if n.n == nil {
+		return errors.New("primelabel: zero node")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.lab.Delete(n.n); err != nil {
+		return err
+	}
+	d.ev.Reindex()
+	return nil
+}
+
+// LabelBits returns the size in bits of n's label.
+func (d *Document) LabelBits(n Node) int {
+	if n.n == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lab.LabelBits(n.n)
+}
+
+// MaxLabelBits returns the fixed-length label size of the document.
+func (d *Document) MaxLabelBits() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lab.MaxLabelBits()
+}
+
+// Label renders n's label in scheme-specific human-readable form: the
+// integer label for the prime schemes, "(a,b)" for interval schemes, the
+// bit string for prefix schemes, the dotted path for Dewey.
+func (d *Document) Label(n Node) string {
+	if n.n == nil {
+		return ""
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch l := d.lab.(type) {
+	case *prime.Labeling:
+		return l.LabelOf(n.n).String()
+	case *prime.BottomUpLabeling:
+		return l.LabelOf(n.n).String()
+	case *prime.DecomposedLabeling:
+		parts := []string{}
+		for _, e := range l.ChainOf(n.n) {
+			parts = append(parts, e.String())
+		}
+		return strings.Join(parts, ".")
+	case *interval.Labeling:
+		a, b, ok := l.Interval(n.n)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("(%d,%d)", a, b)
+	case *prefix.Labeling:
+		bits, ok := l.BitsOf(n.n)
+		if !ok {
+			return ""
+		}
+		if bits.Len() == 0 {
+			return "ε"
+		}
+		return bits.String()
+	case *prefix.DeweyLabeling:
+		s, _ := l.DeweyOf(n.n)
+		if s == "" {
+			return "ε"
+		}
+		return s
+	case *floatlab.Labeling:
+		a, b, ok := l.Interval(n.n)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("(%g,%g)", a, b)
+	default:
+		return fmt.Sprintf("<%d bits>", d.lab.LabelBits(n.n))
+	}
+}
+
+// SelfLabel returns the prime scheme's self-label for n (empty for other
+// schemes).
+func (d *Document) SelfLabel(n Node) string {
+	if n.n == nil {
+		return ""
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l, ok := d.lab.(*prime.Labeling); ok {
+		return l.SelfLabelOf(n.n).String()
+	}
+	return ""
+}
+
+// Save persists the labeled document — tree, labels, allocation state and
+// SC table — in a compact binary format, so LoadSaved can restore it
+// without relabeling (dynamic updates produce labels no relabeling pass
+// would regenerate). Only the prime scheme supports persistence.
+func (d *Document) Save(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.lab.(*prime.Labeling)
+	if !ok {
+		return fmt.Errorf("primelabel: Save supports only the prime scheme (have %s)", d.lab.SchemeName())
+	}
+	return l.Marshal(w)
+}
+
+// LoadSaved restores a document persisted with Save and verifies its
+// consistency.
+func LoadSaved(r io.Reader) (*Document, error) {
+	l, err := prime.Unmarshal(r)
+	if err != nil {
+		return nil, err
+	}
+	o := l.Options()
+	cfg := Config{
+		Scheme:           Prime,
+		TrackOrder:       o.TrackOrder,
+		ReservedPrimes:   o.ReservedPrimes,
+		PowerOfTwoLeaves: o.PowerOfTwoLeaves,
+		Power2Threshold:  o.Power2Threshold,
+		SCChunk:          o.SCChunk,
+		OrderSpacing:     o.OrderSpacing,
+		RecyclePrimes:    o.RecyclePrimes,
+	}
+	return &Document{cfg: cfg, doc: l.Doc(), lab: l, ev: xpath.New(l)}, nil
+}
+
+// WriteXML serializes the document.
+func (d *Document) WriteXML(w io.Writer, indent string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Write(w, xmltree.WriteOptions{Indent: indent})
+}
+
+// XML returns the document serialized compactly.
+func (d *Document) XML() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.String()
+}
+
+// Validate verifies the labeling's internal invariants. For the prime
+// scheme this checks every label against its parent-product definition,
+// self-prime uniqueness, and SC-table consistency; for all schemes on
+// documents up to exhaustiveLimit elements it additionally compares every
+// IsAncestor answer against tree ground truth (O(n²)).
+func (d *Document) Validate() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l, ok := d.lab.(*prime.Labeling); ok {
+		if err := l.Check(); err != nil {
+			return err
+		}
+	}
+	const exhaustiveLimit = 2000
+	if len(xmltree.Elements(d.doc.Root)) <= exhaustiveLimit {
+		return labeling.CheckAgainstTree(d.lab)
+	}
+	return nil
+}
