@@ -1,0 +1,22 @@
+# Tier-1 verification flow. `make verify` is what CI and pre-merge checks
+# run: build, vet, the full test suite, and the test suite again under the
+# race detector (the server and primes packages are exercised by
+# multi-goroutine tests, so -race is load-bearing, not ceremony).
+
+GO ?= go
+
+.PHONY: build vet test race verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race

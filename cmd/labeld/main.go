@@ -1,0 +1,87 @@
+// Command labeld serves labeled XML documents over HTTP/JSON: load a
+// document, ask ancestor/parent/order questions answered purely from labels,
+// evaluate XPath-subset queries, and apply dynamic updates (insert, wrap,
+// delete) that report the paper's cost metric — how many nodes were
+// relabeled. See README.md "Running the server" for the endpoint reference.
+//
+// Usage:
+//
+//	labeld -addr :8080
+//	labeld -addr :8080 -preload catalog.xml -scheme prime
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, completing in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"primelabel/internal/server"
+	"primelabel/internal/server/api"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "labeld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("labeld", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache", 256, "per-document query cache capacity (negative disables)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request handling timeout")
+	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown grace period")
+	preload := fs.String("preload", "", "XML file to load at startup (document name = file basename)")
+	scheme := fs.String("scheme", "prime", "labeling scheme for -preload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		ShutdownGrace:  *grace,
+	})
+
+	if *preload != "" {
+		xml, err := os.ReadFile(*preload)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(*preload), filepath.Ext(*preload))
+		info, err := srv.Store().Load(name, api.LoadRequest{
+			XML:        string(xml),
+			Scheme:     *scheme,
+			TrackOrder: true,
+		})
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", *preload, err)
+		}
+		fmt.Fprintf(stdout, "labeld: preloaded %q (%d elements, scheme %s)\n",
+			info.Name, info.Elements, info.Scheme)
+	}
+
+	bound, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "labeld: listening on %s\n", bound)
+
+	<-ctx.Done()
+	fmt.Fprintln(stdout, "labeld: shutting down")
+	return srv.Shutdown(context.Background())
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
+)
+
+// startRun launches run() with the given extra args, waits for the
+// "listening on" line, and returns a client plus the run error channel. The
+// remaining output keeps draining in the background (the pipe would
+// otherwise block run's shutdown message) and is available via rest after
+// errc yields.
+func startRun(t *testing.T, ctx context.Context, extra ...string) (*client.Client, chan error, func() string) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		err := run(ctx, args, pw)
+		pw.Close()
+		errc <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.TrimSpace(line[i+len("listening on "):])
+			var mu sync.Mutex
+			var tail strings.Builder
+			go func() {
+				for sc.Scan() {
+					mu.Lock()
+					tail.WriteString(sc.Text() + "\n")
+					mu.Unlock()
+				}
+			}()
+			rest := func() string {
+				mu.Lock()
+				defer mu.Unlock()
+				return tail.String()
+			}
+			return client.New("http://"+addr, nil), errc, rest
+		}
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("run exited before listening: %v", err)
+	default:
+		t.Fatal("output closed before listening line")
+	}
+	return nil, nil, nil
+}
+
+func TestRunServesAndStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, errc, rest := startRun(t, ctx)
+
+	h, err := c.Healthz()
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("healthz: %+v, %v", h, err)
+	}
+	if _, err := c.Load("d", api.LoadRequest{XML: "<a><b/></a>"}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.IsAncestor("d", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("ancestor: %v, %v", ok, err)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after cancel")
+	}
+	if !strings.Contains(rest(), "shutting down") {
+		t.Errorf("shutdown message missing from output: %q", rest())
+	}
+}
+
+// TestRunStopsOnSIGINT exercises the same signal wiring main installs.
+func TestRunStopsOnSIGINT(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c, errc, _ := startRun(t, ctx)
+	if _, err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after SIGINT")
+	}
+}
+
+func TestRunPreload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.xml")
+	if err := os.WriteFile(path, []byte("<c><x/><y/></c>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, errc, _ := startRun(t, ctx, "-preload", path)
+
+	info, err := c.Info("catalog")
+	if err != nil || info.Elements != 3 {
+		t.Fatalf("preloaded doc: %+v, %v", info, err)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-preload", "/does/not/exist.xml", "-addr", "127.0.0.1:0"}, io.Discard); err == nil {
+		t.Fatal("missing preload file accepted")
+	}
+}

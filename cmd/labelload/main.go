@@ -1,0 +1,180 @@
+// Command labelload is a load generator for labeld. It loads a synthetic
+// bookstore document, then drives the server with a mixed workload: worker
+// goroutines issue XPath queries and label-relation probes while a
+// configurable fraction of operations are order-sensitive inserts. It
+// reports throughput, latency percentiles, and the server-side cache hit
+// rate and relabel totals — the dynamic-update cost metric the paper
+// optimizes.
+//
+// Usage:
+//
+//	labelload -addr http://127.0.0.1:8080 -workers 8 -ops 500 -write-ratio 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
+)
+
+// queryMix is the rotating set of read operations each worker cycles
+// through; the mix covers exact paths, descendant scans, positional steps,
+// and order axes so both the cache and the structural-join planner see
+// traffic.
+var queryMix = []string{
+	"//book",
+	"//title",
+	"/store/shelf[1]/book",
+	"//book/price",
+	"/store/shelf[2]//title",
+	"/store/shelf[1]/book[1]/following-sibling::book",
+}
+
+func buildStore(shelves, books int) string {
+	var b strings.Builder
+	b.WriteString("<store>")
+	for s := 0; s < shelves; s++ {
+		b.WriteString("<shelf>")
+		for i := 0; i < books; i++ {
+			b.WriteString("<book><title>t</title><price>p</price></book>")
+		}
+		b.WriteString("</shelf>")
+	}
+	b.WriteString("</store>")
+	return b.String()
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "labelload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("labelload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "labeld base URL")
+	doc := fs.String("doc", "loadtest", "document name to create and drive")
+	workers := fs.Int("workers", 8, "concurrent workers")
+	ops := fs.Int("ops", 400, "operations per worker")
+	writeRatio := fs.Float64("write-ratio", 0.05, "fraction of operations that are inserts")
+	shelves := fs.Int("shelves", 4, "shelves in the generated document")
+	books := fs.Int("books", 25, "books per shelf in the generated document")
+	scheme := fs.String("scheme", "prime", "labeling scheme for the document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 || *ops < 1 {
+		return fmt.Errorf("workers and ops must be positive")
+	}
+
+	c := client.New(*addr, nil)
+	info, err := c.Load(*doc, api.LoadRequest{
+		XML:        buildStore(*shelves, *books),
+		Scheme:     *scheme,
+		TrackOrder: true,
+	})
+	if err != nil {
+		return fmt.Errorf("load document: %w", err)
+	}
+	fmt.Fprintf(stdout, "loaded %q: %d elements, scheme %s, max label %d bits\n",
+		info.Name, info.Elements, info.Scheme, info.MaxLabelBits)
+
+	// Every writeEvery-th operation is an insert between existing siblings
+	// — the paper's worst case for order maintenance.
+	writeEvery := 0
+	if *writeRatio > 0 {
+		writeEvery = int(1 / *writeRatio)
+	}
+
+	type result struct {
+		latencies []time.Duration
+		queries   int
+		inserts   int
+		err       error
+	}
+	results := make([]result, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.latencies = make([]time.Duration, 0, *ops)
+			for i := 0; i < *ops; i++ {
+				t0 := time.Now()
+				var err error
+				if writeEvery > 0 && i%writeEvery == writeEvery-1 {
+					// Always insert into the last shelf: its document-order
+					// row id is unaffected by the new rows (they all land
+					// inside its own subtree), so the id stays valid across
+					// generations without re-resolving it.
+					shelf := 1 + (*shelves-1)*(1+*books*3)
+					_, err = c.Insert(*doc, shelf, 0, "book")
+					res.inserts++
+				} else {
+					_, err = c.Query(*doc, queryMix[(w+i)%len(queryMix)])
+					res.queries++
+				}
+				res.latencies = append(res.latencies, time.Since(t0))
+				if err != nil {
+					res.err = fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	queries, inserts := 0, 0
+	for i := range results {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		all = append(all, results[i].latencies...)
+		queries += results[i].queries
+		inserts += results[i].inserts
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	fmt.Fprintf(stdout, "%d ops (%d queries, %d inserts) in %v: %.0f ops/s\n",
+		len(all), queries, inserts, elapsed.Round(time.Millisecond),
+		float64(len(all))/elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+
+	final, err := c.Info(*doc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "document now at generation %d; %d nodes relabeled by %d inserts\n",
+		final.Generation, final.Relabeled, inserts)
+	if metrics, err := c.Metrics(); err == nil {
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.HasPrefix(line, "labeld_query_cache_hit_rate ") {
+				fmt.Fprintf(stdout, "server cache hit rate: %s\n",
+					strings.TrimPrefix(line, "labeld_query_cache_hit_rate "))
+			}
+		}
+	}
+	return nil
+}

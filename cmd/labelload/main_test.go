@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"primelabel/internal/server"
+)
+
+func TestRunAgainstInProcessServer(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	var out strings.Builder
+	err = run([]string{
+		"-addr", "http://" + addr,
+		"-workers", "4", "-ops", "30",
+		"-shelves", "2", "-books", "5",
+		"-write-ratio", "0.1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"loaded \"loadtest\"", "ops/s", "latency p50", "relabeled"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// 4 workers x 30 ops at ratio 0.1 -> every 10th op is an insert.
+	if !strings.Contains(text, "12 inserts") {
+		t.Errorf("expected 12 inserts:\n%s", text)
+	}
+	info, err := srv.Store().Info("loadtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 12 {
+		t.Errorf("generation = %d, want 12", info.Generation)
+	}
+}
+
+func TestRunReadOnly(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	var out strings.Builder
+	err = run([]string{
+		"-addr", "http://" + addr,
+		"-doc", "ro", "-workers", "2", "-ops", "12",
+		"-write-ratio", "0",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 inserts") {
+		t.Errorf("expected read-only run:\n%s", out.String())
+	}
+	info, err := srv.Store().Info("ro")
+	if err != nil || info.Generation != 0 {
+		t.Fatalf("read-only run mutated the document: %+v, %v", info, err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run([]string{"-workers", "0"}, &strings.Builder{}); err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1"}, &strings.Builder{}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

@@ -134,6 +134,12 @@ type nodeLabel struct {
 // setLabel stores the full label and refreshes the uint64 fast path. Most
 // real documents have labels well under 64 bits (Section 3.1's size model),
 // so ancestor tests usually reduce to one machine modulo.
+//
+// setLabel also materializes selfCache eagerly (the self-label fields are
+// always final when the full label is computed). That keeps every read path
+// — IsAncestor, IsParent, SelfLabelOf — free of writes, so a quiescent
+// Labeling is safe for any number of concurrent readers; see the type's doc
+// comment.
 func (nl *nodeLabel) setLabel(v *big.Int) {
 	nl.label = v
 	if v.BitLen() <= 64 {
@@ -142,6 +148,9 @@ func (nl *nodeLabel) setLabel(v *big.Int) {
 	} else {
 		nl.u64 = 0
 		nl.small = false
+	}
+	if nl.selfCache == nil {
+		nl.selfBig()
 	}
 }
 
@@ -163,6 +172,14 @@ func (nl *nodeLabel) selfBig() *big.Int {
 }
 
 // Labeling is a prime-labeled document.
+//
+// Concurrency: a Labeling is not internally synchronized, but all query
+// methods (IsAncestor, IsParent, Before, OrderOf, LabelBits, MaxLabelBits,
+// LabelOf, SelfLabelOf) are strictly read-only — no lazy memoization runs
+// during reads — so any number of goroutines may query concurrently as long
+// as no mutation (InsertChildAt, WrapNode, Delete) is in flight. Callers
+// that mix queries and updates must serialize with an external lock such as
+// a sync.RWMutex; the label server in internal/server does exactly that.
 type Labeling struct {
 	doc    *xmltree.Document
 	opts   Options

@@ -1,6 +1,9 @@
 package primes
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Source hands out primes in ascending order, never repeating one. It is the
 // allocator behind the labeling scheme's getPrime()/getReservedPrime()
@@ -9,8 +12,12 @@ import "fmt"
 //
 // Primes are produced from a growing sieve in batches so that labeling a
 // large document costs amortized O(n log log n) rather than a Miller–Rabin
-// test per node. A Source is not safe for concurrent use.
+// test per node. A Source is safe for concurrent use: every method holds an
+// internal mutex, so concurrent allocators (e.g. the label server applying
+// inserts from several requests) can share one source without ever being
+// handed the same prime twice.
 type Source struct {
+	mu       sync.Mutex
 	buf      []uint64 // sieved primes not yet handed out
 	pos      int      // next index in buf
 	sievedTo uint64   // everything <= sievedTo has been sieved
@@ -48,10 +55,13 @@ func Resume(nextAt uint64, reserved []uint64, issued int) *Source {
 // SnapshotState returns the persistable state of the source: the next
 // prime, the remaining reserved pool, and the issue count.
 func (s *Source) SnapshotState() (nextAt uint64, reserved []uint64, issued int) {
-	return s.Peek(), append([]uint64(nil), s.reserved...), s.issued
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peek(), append([]uint64(nil), s.reserved...), s.issued
 }
 
-// grow extends the sieve so buf has at least one unconsumed prime.
+// grow extends the sieve so buf has at least one unconsumed prime. Callers
+// must hold mu.
 func (s *Source) grow() {
 	for s.pos >= len(s.buf) {
 		lo := s.sievedTo + 1
@@ -65,8 +75,8 @@ func (s *Source) grow() {
 	}
 }
 
-// Next returns the next unused prime.
-func (s *Source) Next() uint64 {
+// next returns the next unused prime. Callers must hold mu.
+func (s *Source) next() uint64 {
 	s.grow()
 	p := s.buf[s.pos]
 	s.pos++
@@ -74,16 +84,32 @@ func (s *Source) Next() uint64 {
 	return p
 }
 
-// Peek returns the prime Next would return, without consuming it.
-func (s *Source) Peek() uint64 {
+// peek returns the prime next would return. Callers must hold mu.
+func (s *Source) peek() uint64 {
 	s.grow()
 	return s.buf[s.pos]
+}
+
+// Next returns the next unused prime.
+func (s *Source) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next()
+}
+
+// Peek returns the prime Next would return, without consuming it.
+func (s *Source) Peek() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peek()
 }
 
 // Reserve sets aside the next n primes for later retrieval via NextReserved.
 // The paper's Opt1 reserves a pool of small primes for the root's children
 // so that top-level labels — inherited by every descendant — stay short.
 func (s *Source) Reserve(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := 0; i < n; i++ {
 		s.grow()
 		s.reserved = append(s.reserved, s.buf[s.pos])
@@ -95,22 +121,34 @@ func (s *Source) Reserve(n int) {
 // exhausted it falls back to Next, mirroring the paper's algorithm which
 // only benefits while small primes remain in the pool.
 func (s *Source) NextReserved() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.reserved) > 0 {
 		p := s.reserved[0]
 		s.reserved = s.reserved[1:]
 		s.issued++
 		return p
 	}
-	return s.Next()
+	return s.next()
 }
 
 // ReservedLeft returns how many reserved primes remain unconsumed.
-func (s *Source) ReservedLeft() int { return len(s.reserved) }
+func (s *Source) ReservedLeft() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reserved)
+}
 
 // Issued returns how many primes this source has handed out in total.
-func (s *Source) Issued() int { return s.issued }
+func (s *Source) Issued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.issued
+}
 
 // String implements fmt.Stringer for diagnostics.
 func (s *Source) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return fmt.Sprintf("primes.Source{issued=%d reserved=%d sievedTo=%d}", s.issued, len(s.reserved), s.sievedTo)
 }

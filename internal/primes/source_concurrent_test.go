@@ -1,0 +1,95 @@
+package primes
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSourceConcurrentNext hammers one Source from many goroutines and
+// checks that no prime is ever handed out twice — the property the label
+// server relies on when concurrent inserts share an allocator. Run under
+// -race this also proves the internal locking is complete.
+func TestSourceConcurrentNext(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 500
+	)
+	src := NewSource()
+	src.Reserve(20)
+
+	var wg sync.WaitGroup
+	got := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]uint64, 0, perW)
+			for i := 0; i < perW; i++ {
+				// Mix the allocation entry points, including the ones that
+				// only read, so every lock path is exercised.
+				switch i % 4 {
+				case 0:
+					out = append(out, src.NextReserved())
+				case 1:
+					src.Peek()
+					out = append(out, src.Next())
+				case 2:
+					src.ReservedLeft()
+					out = append(out, src.Next())
+				default:
+					out = append(out, src.Next())
+				}
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, workers*perW)
+	for _, out := range got {
+		for _, p := range out {
+			if seen[p] {
+				t.Fatalf("prime %d issued twice", p)
+			}
+			seen[p] = true
+			if !IsPrime(p) {
+				t.Fatalf("issued composite %d", p)
+			}
+		}
+	}
+	if want := workers * perW; src.Issued() != want {
+		t.Fatalf("Issued() = %d, want %d", src.Issued(), want)
+	}
+}
+
+// TestSourceConcurrentSnapshot checks SnapshotState can run concurrently
+// with allocation and always reports a nextAt the source has not issued
+// before the snapshot was taken.
+func TestSourceConcurrentSnapshot(t *testing.T) {
+	src := NewSourceStartingAt(100)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				src.Next()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		nextAt, _, issued := src.SnapshotState()
+		if nextAt < 101 {
+			t.Fatalf("snapshot nextAt %d below start", nextAt)
+		}
+		if issued < 0 {
+			t.Fatalf("negative issued %d", issued)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

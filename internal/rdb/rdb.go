@@ -46,6 +46,11 @@ type Table struct {
 	// ranks memoizes labeling.Orderer lookups (Section 4.3: order numbers
 	// are generated once per candidate list, then compared as integers).
 	ranks map[*xmltree.Node]int
+	// warmed marks that Warm pre-filled ranks for every row; from then on
+	// query execution performs no internal writes, so the table is safe for
+	// concurrent readers until the next structural update (which requires a
+	// rebuild anyway — see Build).
+	warmed bool
 }
 
 // rank returns a document-order rank from the labeling when available.
@@ -61,11 +66,30 @@ func (t *Table) rank(n *xmltree.Node) (int, bool) {
 	if err != nil {
 		return 0, false
 	}
-	if t.ranks == nil {
-		t.ranks = make(map[*xmltree.Node]int)
+	if !t.warmed {
+		if t.ranks == nil {
+			t.ranks = make(map[*xmltree.Node]int)
+		}
+		t.ranks[n] = v
 	}
-	t.ranks[n] = v
 	return v, true
+}
+
+// Warm pre-materializes the rank memo for every row and freezes it, so
+// subsequent queries (ExecPath, the join operators) perform no internal
+// writes. A warmed table is safe for any number of concurrent reader
+// goroutines as long as the labeling is quiescent; the label server warms
+// each table right after Build and rebuilds (and re-warms) after every
+// structural update. Rank staleness is impossible by construction: the memo
+// is only ever filled here, from the labeling the table was built over.
+func (t *Table) Warm() {
+	if t.ranks == nil {
+		t.ranks = make(map[*xmltree.Node]int, len(t.nodes))
+	}
+	for _, n := range t.nodes {
+		t.rank(n)
+	}
+	t.warmed = true
 }
 
 // Build materializes the element table for a labeled document. Rebuild the
@@ -91,6 +115,16 @@ func (t *Table) Len() int { return len(t.nodes) }
 
 // Node returns the node stored at a row id.
 func (t *Table) Node(id int) *xmltree.Node { return t.nodes[id] }
+
+// RowOf returns the row id of a node, or (-1, false) if the node is not in
+// the table (e.g. it was inserted after Build).
+func (t *Table) RowOf(n *xmltree.Node) (int, bool) {
+	id, ok := t.rowOf[n]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
 
 // RowSet is an ordered set of row ids (ascending = document order).
 type RowSet []int

@@ -1,0 +1,149 @@
+// Package api defines the JSON wire types of the labeld HTTP service. The
+// server (internal/server), the Go client (internal/server/client) and the
+// load generator (cmd/labelload) all share these definitions, so a field
+// added here is immediately visible on both sides of the wire.
+package api
+
+// LoadRequest loads (or replaces) a named document: the XML source plus the
+// labeling configuration — scheme selection and the paper's optimizations,
+// mirroring primelabel.Config.
+type LoadRequest struct {
+	// XML is the document source.
+	XML string `json:"xml"`
+	// Scheme is the labeling scheme: prime (default), prime-bottomup,
+	// prime-decomposed, interval, xrel, prefix-1, prefix-2, dewey, float.
+	Scheme string `json:"scheme,omitempty"`
+	// TrackOrder builds the prime scheme's SC table so the document can
+	// answer order queries (before, the ordered XPath axes).
+	TrackOrder bool `json:"track_order,omitempty"`
+	// ReservedPrimes is the prime scheme's Opt1 pool (-1 = auto).
+	ReservedPrimes int `json:"reserved_primes,omitempty"`
+	// PowerOfTwoLeaves is the prime scheme's Opt2.
+	PowerOfTwoLeaves bool `json:"power_of_two_leaves,omitempty"`
+	// Power2Threshold caps Opt2 exponents (0 = 16).
+	Power2Threshold int `json:"power2_threshold,omitempty"`
+	// SCChunk is the number of nodes per SC record (0 = 5).
+	SCChunk int `json:"sc_chunk,omitempty"`
+	// OrderSpacing spaces order numbers apart so mid-sibling inserts touch
+	// one SC record (0 or 1 = the paper's dense numbering).
+	OrderSpacing int `json:"order_spacing,omitempty"`
+	// RecyclePrimes reuses the primes of deleted nodes.
+	RecyclePrimes bool `json:"recycle_primes,omitempty"`
+	// OrderPreserving keeps prefix-scheme sibling codes in document order.
+	OrderPreserving bool `json:"order_preserving,omitempty"`
+	// Planner selects the structural-join algorithm for descendant steps:
+	// "stacktree" (default) or "nestedloop".
+	Planner string `json:"planner,omitempty"`
+}
+
+// DocInfo describes one hosted document.
+type DocInfo struct {
+	Name         string `json:"name"`
+	Scheme       string `json:"scheme"`
+	Planner      string `json:"planner"`
+	Elements     int    `json:"elements"`
+	MaxLabelBits int    `json:"max_label_bits"`
+	// Generation counts structural updates applied since load. Node ids are
+	// document-order ordinals and are only stable within one generation.
+	Generation uint64 `json:"generation"`
+	// Relabeled is the cumulative relabel count over all updates — the
+	// paper's headline cost metric, observed online.
+	Relabeled uint64 `json:"relabeled"`
+}
+
+// QueryRequest evaluates an XPath-subset expression against a document.
+type QueryRequest struct {
+	XPath string `json:"xpath"`
+}
+
+// NodeRef identifies one element in a query result. ID is the node's
+// document-order ordinal (0 = root) in the generation the response reports;
+// it is the handle relation and update requests use.
+type NodeRef struct {
+	ID    int    `json:"id"`
+	Path  string `json:"path"`
+	Label string `json:"label,omitempty"`
+	Text  string `json:"text,omitempty"`
+}
+
+// QueryResponse is a query result set in document order.
+type QueryResponse struct {
+	Generation uint64    `json:"generation"`
+	Count      int       `json:"count"`
+	Cached     bool      `json:"cached"`
+	Nodes      []NodeRef `json:"nodes,omitempty"`
+}
+
+// Relation kinds.
+const (
+	RelAncestor = "ancestor"
+	RelParent   = "parent"
+	RelBefore   = "before"
+)
+
+// RelationRequest asks a label-only relationship question about two nodes,
+// identified by their document-order ids.
+type RelationRequest struct {
+	// Kind is one of the Rel* constants.
+	Kind string `json:"kind"`
+	A    int    `json:"a"`
+	B    int    `json:"b"`
+	// Generation, when set, makes the request conditional: if the document
+	// has moved on (ids may refer to different nodes), the server answers
+	// 409 instead of silently resolving stale ids.
+	Generation *uint64 `json:"generation,omitempty"`
+}
+
+// RelationResponse is the answer to a RelationRequest.
+type RelationResponse struct {
+	Generation uint64 `json:"generation"`
+	Result     bool   `json:"result"`
+}
+
+// Update operations.
+const (
+	OpInsert = "insert"
+	OpWrap   = "wrap"
+	OpDelete = "delete"
+)
+
+// UpdateRequest applies one dynamic update.
+type UpdateRequest struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Parent and Index position an insert: the new element becomes the
+	// Index-th element child (0-based) of the node with id Parent.
+	Parent int `json:"parent,omitempty"`
+	Index  int `json:"index,omitempty"`
+	// Tag names the new element for insert and wrap.
+	Tag string `json:"tag,omitempty"`
+	// Target is the node to wrap or delete.
+	Target int `json:"target,omitempty"`
+	// Generation, when set, makes the update conditional (see
+	// RelationRequest.Generation).
+	Generation *uint64 `json:"generation,omitempty"`
+}
+
+// UpdateResponse reports the outcome of an update.
+type UpdateResponse struct {
+	// Generation is the document's generation after the update.
+	Generation uint64 `json:"generation"`
+	// Relabeled is how many labels were written by this update (including
+	// the new node and any SC record updates) — the paper's cost metric.
+	Relabeled int `json:"relabeled"`
+	// Node is the affected node's id in the new generation: the inserted
+	// element, the wrapper, or -1 for a delete.
+	Node int `json:"node"`
+}
+
+// Health is the /healthz response.
+type Health struct {
+	Status        string  `json:"status"`
+	Documents     int     `json:"documents"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}

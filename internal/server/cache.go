@@ -1,0 +1,91 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"primelabel/internal/server/api"
+)
+
+// queryCache is a fixed-capacity LRU of query results for one document.
+// Entries are stored by query string; the whole cache is cleared when the
+// document mutates (the generation bump makes every cached result stale at
+// once, so per-entry invalidation would buy nothing).
+//
+// The cache has its own mutex so readers holding the document's RLock can
+// share it: lookups and fills interleave freely across concurrent queries.
+// Cached *api.QueryResponse values are shared between requests and must be
+// treated as immutable by all callers.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // query -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	resp *api.QueryResponse
+}
+
+// newQueryCache returns an LRU holding up to capacity results; capacity <= 0
+// disables caching (every lookup misses, puts are dropped).
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached response for a query, promoting it to most
+// recently used.
+func (c *queryCache) get(query string) (*api.QueryResponse, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[query]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores a response, evicting the least recently used entry when full.
+func (c *queryCache) put(query string, resp *api.QueryResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[query]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[query] = c.ll.PushFront(&cacheEntry{key: query, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// clear drops every entry (called under the document's write lock after a
+// structural update).
+func (c *queryCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// len returns the number of cached results.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"primelabel/internal/server/api"
+)
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	c := newQueryCache(2)
+	r := func(n int) *api.QueryResponse { return &api.QueryResponse{Count: n} }
+	c.put("a", r(1))
+	c.put("b", r(2))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a was just used, so adding c must evict b.
+	c.put("c", r(3))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if got, ok := c.get("a"); !ok || got.Count != 1 {
+		t.Fatalf("a = %+v, %v", got, ok)
+	}
+	if got, ok := c.get("c"); !ok || got.Count != 3 {
+		t.Fatalf("c = %+v, %v", got, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestQueryCacheClearAndReplace(t *testing.T) {
+	c := newQueryCache(4)
+	c.put("q", &api.QueryResponse{Count: 1})
+	c.put("q", &api.QueryResponse{Count: 2}) // replace in place
+	if got, _ := c.get("q"); got.Count != 2 {
+		t.Fatalf("replace kept old value %d", got.Count)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d after replace, want 1", c.len())
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Fatalf("len = %d after clear", c.len())
+	}
+	if _, ok := c.get("q"); ok {
+		t.Fatal("hit after clear")
+	}
+}
+
+func TestQueryCacheDisabled(t *testing.T) {
+	c := newQueryCache(0)
+	c.put("q", &api.QueryResponse{Count: 1})
+	if _, ok := c.get("q"); ok {
+		t.Fatal("capacity 0 must never cache")
+	}
+}
+
+// TestQueryCacheConcurrent exercises the cache's own lock under -race.
+func TestQueryCacheConcurrent(t *testing.T) {
+	c := newQueryCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("q%d", (w+i)%12)
+				if _, ok := c.get(key); !ok {
+					c.put(key, &api.QueryResponse{Count: i})
+				}
+				if i%50 == 0 {
+					c.clear()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,189 @@
+// Package client is the Go client for the labeld HTTP service. It speaks
+// the JSON wire format of internal/server/api and is what cmd/labelload and
+// examples/server drive the service with.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// Client talks to one labeld server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil, in which case a client with a 30s timeout is used.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("labeld: %d: %s", e.Status, e.Message)
+}
+
+// IsStale reports whether err is the server's stale-generation conflict.
+func IsStale(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusConflict
+}
+
+// do performs one round trip; out (when non-nil) receives the decoded JSON
+// body of a 2xx response.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr api.Error
+		msg := ""
+		if derr := json.NewDecoder(resp.Body).Decode(&apiErr); derr == nil {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Load loads (or replaces) a named document.
+func (c *Client) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
+	var info api.DocInfo
+	err := c.do(http.MethodPut, "/docs/"+name, req, &info)
+	return info, err
+}
+
+// List describes all hosted documents.
+func (c *Client) List() ([]api.DocInfo, error) {
+	var out []api.DocInfo
+	err := c.do(http.MethodGet, "/docs", nil, &out)
+	return out, err
+}
+
+// Info describes one document.
+func (c *Client) Info(name string) (api.DocInfo, error) {
+	var info api.DocInfo
+	err := c.do(http.MethodGet, "/docs/"+name, nil, &info)
+	return info, err
+}
+
+// Delete removes a document.
+func (c *Client) Delete(name string) error {
+	return c.do(http.MethodDelete, "/docs/"+name, nil, nil)
+}
+
+// Query evaluates an XPath-subset expression.
+func (c *Client) Query(name, xpath string) (api.QueryResponse, error) {
+	var resp api.QueryResponse
+	err := c.do(http.MethodPost, "/docs/"+name+"/query", api.QueryRequest{XPath: xpath}, &resp)
+	return resp, err
+}
+
+// Relation answers a label-only relationship probe.
+func (c *Client) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
+	var resp api.RelationResponse
+	err := c.do(http.MethodPost, "/docs/"+name+"/relation", req, &resp)
+	return resp, err
+}
+
+// IsAncestor asks whether node a is a proper ancestor of node b.
+func (c *Client) IsAncestor(name string, a, b int) (bool, error) {
+	resp, err := c.Relation(name, api.RelationRequest{Kind: api.RelAncestor, A: a, B: b})
+	return resp.Result, err
+}
+
+// IsParent asks whether node a is the parent of node b.
+func (c *Client) IsParent(name string, a, b int) (bool, error) {
+	resp, err := c.Relation(name, api.RelationRequest{Kind: api.RelParent, A: a, B: b})
+	return resp.Result, err
+}
+
+// Before asks whether node a precedes node b in document order.
+func (c *Client) Before(name string, a, b int) (bool, error) {
+	resp, err := c.Relation(name, api.RelationRequest{Kind: api.RelBefore, A: a, B: b})
+	return resp.Result, err
+}
+
+// Update applies one dynamic update.
+func (c *Client) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
+	var resp api.UpdateResponse
+	err := c.do(http.MethodPost, "/docs/"+name+"/update", req, &resp)
+	return resp, err
+}
+
+// Insert adds a new element with the given tag as the idx-th element child
+// of the node with id parent.
+func (c *Client) Insert(name string, parent, idx int, tag string) (api.UpdateResponse, error) {
+	return c.Update(name, api.UpdateRequest{Op: api.OpInsert, Parent: parent, Index: idx, Tag: tag})
+}
+
+// Wrap inserts a new parent with the given tag above the node with id
+// target.
+func (c *Client) Wrap(name string, target int, tag string) (api.UpdateResponse, error) {
+	return c.Update(name, api.UpdateRequest{Op: api.OpWrap, Target: target, Tag: tag})
+}
+
+// DeleteNode removes the subtree rooted at the node with id target.
+func (c *Client) DeleteNode(name string, target int) (api.UpdateResponse, error) {
+	return c.Update(name, api.UpdateRequest{Op: api.OpDelete, Target: target})
+}
+
+// Healthz fetches the health summary.
+func (c *Client) Healthz() (api.Health, error) {
+	var h api.Health
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches the raw metrics exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: "metrics fetch failed"}
+	}
+	buf, err := io.ReadAll(resp.Body)
+	return string(buf), err
+}

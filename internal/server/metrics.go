@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds. They span
+// sub-millisecond label probes up to the request timeout; observations above
+// the last bound land in the implicit +Inf bucket.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters, safe
+// for concurrent observation without locks.
+type histogram struct {
+	counts   []atomic.Uint64 // one per bound, plus +Inf at the end
+	sumNanos atomic.Uint64
+	total    atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds, sec)
+	h.counts[i].Add(1)
+	h.sumNanos.Add(uint64(d.Nanoseconds()))
+	h.total.Add(1)
+}
+
+// endpointStats aggregates one logical endpoint (load, query, update, ...).
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	latency  *histogram
+}
+
+// endpointNames is the fixed set of instrumented endpoints; the map of
+// stats is built once at startup and never written again, so handler
+// goroutines can read it without locking.
+var endpointNames = []string{
+	"load", "list", "get", "delete", "query", "relation", "update", "healthz", "metrics",
+}
+
+// Metrics is the server's metric registry: plain counters plus a latency
+// histogram per endpoint, all atomics — no locks on the hot path and no
+// dependencies outside the standard library. WriteText renders the
+// Prometheus text exposition format.
+type Metrics struct {
+	start     time.Time
+	documents atomic.Int64
+
+	queries      atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	updates      atomic.Uint64
+	relabeled    atomic.Uint64
+	endpoints    map[string]*endpointStats
+	endpointList []string
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &endpointStats{latency: newHistogram()}
+	}
+	m.endpointList = endpointNames
+	return m
+}
+
+// observeRequest records one finished HTTP request.
+func (m *Metrics) observeRequest(endpoint string, status int, d time.Duration) {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	es.requests.Add(1)
+	if status >= 400 {
+		es.errors.Add(1)
+	}
+	es.latency.observe(d)
+}
+
+// CacheHitRate returns the query cache hit fraction observed so far
+// (0 when no query has run).
+func (m *Metrics) CacheHitRate() float64 {
+	h, miss := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+miss == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+miss)
+}
+
+// WriteText renders every metric in the Prometheus text exposition format.
+func (m *Metrics) WriteText(w io.Writer) {
+	line := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	line("# HELP labeld_uptime_seconds Seconds since the server started.")
+	line("labeld_uptime_seconds %g", time.Since(m.start).Seconds())
+	line("# HELP labeld_documents Documents currently hosted.")
+	line("labeld_documents %d", m.documents.Load())
+	line("# HELP labeld_queries_total XPath queries served (cache hits included).")
+	line("labeld_queries_total %d", m.queries.Load())
+	line("# HELP labeld_query_cache_hits_total Queries answered from the per-document LRU.")
+	line("labeld_query_cache_hits_total %d", m.cacheHits.Load())
+	line("# HELP labeld_query_cache_misses_total Queries executed against the element table.")
+	line("labeld_query_cache_misses_total %d", m.cacheMisses.Load())
+	line("# HELP labeld_query_cache_hit_rate Hit fraction over all queries.")
+	line("labeld_query_cache_hit_rate %g", m.CacheHitRate())
+	line("# HELP labeld_updates_total Dynamic updates applied (insert, wrap, delete).")
+	line("labeld_updates_total %d", m.updates.Load())
+	line("# HELP labeld_relabeled_nodes_total Labels written by updates — the paper's relabeling cost, accumulated online.")
+	line("labeld_relabeled_nodes_total %d", m.relabeled.Load())
+
+	line("# HELP labeld_requests_total HTTP requests by endpoint.")
+	for _, name := range m.endpointList {
+		line(`labeld_requests_total{endpoint=%q} %d`, name, m.endpoints[name].requests.Load())
+	}
+	line("# HELP labeld_request_errors_total HTTP responses with status >= 400 by endpoint.")
+	for _, name := range m.endpointList {
+		line(`labeld_request_errors_total{endpoint=%q} %d`, name, m.endpoints[name].errors.Load())
+	}
+	line("# HELP labeld_request_duration_seconds Request latency histogram by endpoint.")
+	for _, name := range m.endpointList {
+		h := m.endpoints[name].latency
+		cum := uint64(0)
+		for i, bound := range latencyBounds {
+			cum += h.counts[i].Load()
+			line(`labeld_request_duration_seconds_bucket{endpoint=%q,le=%q} %d`,
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBounds)].Load()
+		line(`labeld_request_duration_seconds_bucket{endpoint=%q,le="+Inf"} %d`, name, cum)
+		line(`labeld_request_duration_seconds_sum{endpoint=%q} %g`, name, float64(h.sumNanos.Load())/1e9)
+		line(`labeld_request_duration_seconds_count{endpoint=%q} %d`, name, h.total.Load())
+	}
+}

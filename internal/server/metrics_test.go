@@ -1,0 +1,77 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	h.observe(50 * time.Microsecond) // below first bound
+	h.observe(3 * time.Millisecond)  // mid-range
+	h.observe(10 * time.Second)      // beyond last bound -> +Inf
+	if h.total.Load() != 3 {
+		t.Fatalf("total = %d", h.total.Load())
+	}
+	if h.counts[0].Load() != 1 {
+		t.Fatalf("first bucket = %d, want 1", h.counts[0].Load())
+	}
+	if h.counts[len(latencyBounds)].Load() != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", h.counts[len(latencyBounds)].Load())
+	}
+	wantSum := uint64((50 * time.Microsecond).Nanoseconds() +
+		(3 * time.Millisecond).Nanoseconds() + (10 * time.Second).Nanoseconds())
+	if h.sumNanos.Load() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.sumNanos.Load(), wantSum)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.documents.Add(2)
+	m.queries.Add(10)
+	m.cacheHits.Add(4)
+	m.cacheMisses.Add(6)
+	m.relabeled.Add(7)
+	m.observeRequest("query", 200, 2*time.Millisecond)
+	m.observeRequest("query", 400, 20*time.Millisecond)
+	m.observeRequest("nosuch", 200, time.Millisecond) // ignored, not registered
+
+	var b strings.Builder
+	m.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"labeld_documents 2",
+		"labeld_queries_total 10",
+		"labeld_query_cache_hits_total 4",
+		"labeld_query_cache_misses_total 6",
+		"labeld_query_cache_hit_rate 0.4",
+		"labeld_relabeled_nodes_total 7",
+		`labeld_requests_total{endpoint="query"} 2`,
+		`labeld_request_errors_total{endpoint="query"} 1`,
+		`labeld_request_duration_seconds_count{endpoint="query"} 2`,
+		`labeld_request_duration_seconds_bucket{endpoint="query",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if m.CacheHitRate() != 0.4 {
+		t.Fatalf("hit rate = %g", m.CacheHitRate())
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	m := NewMetrics()
+	// Two fast observations must both appear in every later bucket
+	// (Prometheus buckets are cumulative).
+	m.observeRequest("load", 200, 50*time.Microsecond)
+	m.observeRequest("load", 200, 60*time.Microsecond)
+	var b strings.Builder
+	m.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `labeld_request_duration_seconds_bucket{endpoint="load",le="1"} 2`) {
+		t.Errorf("le=1 bucket not cumulative:\n%s", out)
+	}
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// Config tunes a Server. The zero value is usable: it listens on a random
+// port with the defaults below.
+type Config struct {
+	// Addr is the listen address (default ":0", an OS-assigned port).
+	Addr string
+	// CacheSize is the per-document query cache capacity (default 256;
+	// negative disables caching).
+	CacheSize int
+	// RequestTimeout bounds each request's handling time (default 10s).
+	// Requests that exceed it receive 503 with a JSON error body.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds how long Shutdown waits for in-flight requests
+	// (default 10s).
+	ShutdownGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":0"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the labeld HTTP service: a Store plus its HTTP surface.
+type Server struct {
+	cfg      Config
+	store    *Store
+	metrics  *Metrics
+	httpSrv  *http.Server
+	ln       net.Listener
+	serveErr chan error
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		store:   NewStore(m, cfg.CacheSize),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Store exposes the underlying registry (used by in-process embedders and
+// tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the metric registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler builds the routed, instrumented HTTP handler. Every endpoint is
+// wrapped with latency/error accounting and the request timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /docs", s.instrument("list", s.handleList))
+	mux.HandleFunc("PUT /docs/{name}", s.instrument("load", s.handleLoad))
+	mux.HandleFunc("GET /docs/{name}", s.instrument("get", s.handleInfo))
+	mux.HandleFunc("DELETE /docs/{name}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("POST /docs/{name}/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /docs/{name}/relation", s.instrument("relation", s.handleRelation))
+	mux.HandleFunc("POST /docs/{name}/update", s.instrument("update", s.handleUpdate))
+	timeoutBody, _ := json.Marshal(api.Error{Error: "request timed out"})
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, string(timeoutBody))
+}
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request counting and latency
+// observation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.observeRequest(endpoint, sw.status, time.Since(start))
+	}
+}
+
+// maxBodyBytes bounds request bodies; documents arrive inline in load
+// requests, so the cap is generous.
+const maxBodyBytes = 64 << 20
+
+// readJSON decodes a request body into v.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, fmt.Errorf("%w: invalid JSON body: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps store errors to HTTP statuses and writes the JSON error
+// envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownDocument):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrStaleGeneration):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, api.Error{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		Documents:     s.store.Count(),
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req api.LoadRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	info, err := s.store.Load(r.PathValue("name"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Info(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req api.QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.store.Query(r.PathValue("name"), req.XPath)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
+	var req api.RelationRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.store.Relation(r.PathValue("name"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req api.UpdateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.store.Update(r.PathValue("name"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Start listens on cfg.Addr and serves in a background goroutine. It
+// returns the bound address (useful with ":0"). Stop the server with
+// Shutdown.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.serveErr = make(chan error, 1)
+	go func() { s.serveErr <- s.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting connections and waits up to ShutdownGrace for
+// in-flight requests to complete — the graceful half of the service's
+// lifecycle contract.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ShutdownGrace)
+		defer cancel()
+	}
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if s.serveErr != nil {
+		if err := <-s.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListenAndServe runs the server until ctx is canceled, then shuts down
+// gracefully. It is the blocking entry point cmd/labeld uses.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	errc := make(chan error, 1)
+	go func() { errc <- s.httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := s.httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

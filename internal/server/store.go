@@ -1,0 +1,489 @@
+// Package server implements labeld, the concurrent label-query service: a
+// registry of labeled XML documents exposed over HTTP/JSON. It is the
+// long-lived store the paper's Section 5.2 experiment presumes — labels live
+// in a table, path queries are answered by label-predicate joins — turned
+// into a network service that also absorbs the paper's dynamic updates
+// (insert, wrap, delete) online and reports their relabeling cost.
+//
+// Concurrency model: each document carries its own sync.RWMutex. Queries
+// and relation probes take the read lock — they are genuinely read-only,
+// because every lazily built cache in the underlying packages is
+// pre-materialized (rdb.Table.Warm, the prime scheme's eager self-label
+// cache) — so any number of readers proceed in parallel. Updates take the
+// write lock, mutate the labeling, rebuild the element table, bump the
+// document's generation and clear its query cache. The registry map has its
+// own lock, held only for lookups and load/delete, never during query
+// evaluation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/floatlab"
+	"primelabel/internal/labeling/interval"
+	"primelabel/internal/labeling/prefix"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/rdb"
+	"primelabel/internal/server/api"
+	"primelabel/internal/xmlparse"
+	"primelabel/internal/xmltree"
+)
+
+// Errors the store maps to HTTP statuses.
+var (
+	// ErrUnknownDocument: no document with that name is loaded (404).
+	ErrUnknownDocument = errors.New("server: unknown document")
+	// ErrStaleGeneration: a conditional request named a generation the
+	// document has moved past (409).
+	ErrStaleGeneration = errors.New("server: stale generation")
+	// ErrBadRequest wraps client-side validation failures (400).
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// document is one hosted labeled document.
+type document struct {
+	mu      sync.RWMutex
+	name    string
+	planner string
+	lab     labeling.Labeling
+	table   *rdb.Table
+	cache   *queryCache
+	gen     uint64
+	// relabeled accumulates the labels written by every update applied to
+	// this document — the paper's Figures 16–18 metric, observed online.
+	relabeled uint64
+}
+
+// Store is the document registry.
+type Store struct {
+	mu      sync.RWMutex
+	docs    map[string]*document
+	metrics *Metrics
+	// cacheCap is the per-document query cache capacity.
+	cacheCap int
+}
+
+// NewStore returns an empty registry reporting into metrics. cacheCap is
+// the per-document LRU capacity (<= 0 disables query caching).
+func NewStore(metrics *Metrics, cacheCap int) *Store {
+	return &Store{docs: make(map[string]*document), metrics: metrics, cacheCap: cacheCap}
+}
+
+// buildScheme materializes the labeling scheme a load request asks for.
+func buildScheme(req api.LoadRequest) (labeling.Scheme, error) {
+	switch req.Scheme {
+	case "", "prime":
+		return prime.Scheme{Opts: prime.Options{
+			ReservedPrimes:   req.ReservedPrimes,
+			PowerOfTwoLeaves: req.PowerOfTwoLeaves,
+			Power2Threshold:  req.Power2Threshold,
+			TrackOrder:       req.TrackOrder,
+			SCChunk:          req.SCChunk,
+			OrderSpacing:     req.OrderSpacing,
+			RecyclePrimes:    req.RecyclePrimes,
+		}}, nil
+	case "prime-bottomup":
+		return prime.BottomUpScheme{}, nil
+	case "prime-decomposed":
+		return prime.DecomposedScheme{}, nil
+	case "interval":
+		return interval.Scheme{Variant: interval.XISS}, nil
+	case "xrel":
+		return interval.Scheme{Variant: interval.XRel}, nil
+	case "prefix-1":
+		return prefix.Scheme{Variant: prefix.Prefix1, OrderPreserving: req.OrderPreserving}, nil
+	case "prefix-2":
+		return prefix.Scheme{Variant: prefix.Prefix2, OrderPreserving: req.OrderPreserving}, nil
+	case "dewey":
+		return prefix.DeweyScheme{}, nil
+	case "float":
+		return floatlab.Scheme{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadRequest, req.Scheme)
+	}
+}
+
+// plannerOf parses the planner selection.
+func plannerOf(name string) (rdb.Planner, string, error) {
+	switch name {
+	case "", "stacktree":
+		return rdb.StackTree, "stacktree", nil
+	case "nestedloop":
+		return rdb.NestedLoop, "nestedloop", nil
+	default:
+		return 0, "", fmt.Errorf("%w: unknown planner %q", ErrBadRequest, name)
+	}
+}
+
+// Load parses, labels and indexes a document, replacing any existing
+// document with the same name. Replacement resets the generation counter:
+// conditional requests against the old instance fail with a stale
+// generation, which is the intended signal.
+func (s *Store) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return api.DocInfo{}, fmt.Errorf("%w: document name must be non-empty without '/' or spaces", ErrBadRequest)
+	}
+	if req.XML == "" {
+		return api.DocInfo{}, fmt.Errorf("%w: empty xml", ErrBadRequest)
+	}
+	scheme, err := buildScheme(req)
+	if err != nil {
+		return api.DocInfo{}, err
+	}
+	plan, planName, err := plannerOf(req.Planner)
+	if err != nil {
+		return api.DocInfo{}, err
+	}
+	tree, err := xmlparse.ParseDocument(strings.NewReader(req.XML), xmlparse.Options{})
+	if err != nil {
+		return api.DocInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	lab, err := scheme.Label(tree)
+	if err != nil {
+		return api.DocInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	table := rdb.Build(lab)
+	table.Plan = plan
+	table.Warm()
+	d := &document{
+		name:    name,
+		planner: planName,
+		lab:     lab,
+		table:   table,
+		cache:   newQueryCache(s.cacheCap),
+	}
+	s.mu.Lock()
+	_, existed := s.docs[name]
+	s.docs[name] = d
+	s.mu.Unlock()
+	if !existed {
+		s.metrics.documents.Add(1)
+	}
+	return d.info(), nil
+}
+
+// get looks a document up.
+func (s *Store) get(name string) (*document, error) {
+	s.mu.RLock()
+	d, ok := s.docs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	return d, nil
+}
+
+// Delete removes a document from the registry. In-flight requests holding
+// the old document finish against it; new requests see 404.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	_, ok := s.docs[name]
+	delete(s.docs, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	s.metrics.documents.Add(-1)
+	return nil
+}
+
+// List describes every hosted document, sorted by name.
+func (s *Store) List() []api.DocInfo {
+	s.mu.RLock()
+	docs := make([]*document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d)
+	}
+	s.mu.RUnlock()
+	out := make([]api.DocInfo, 0, len(docs))
+	for _, d := range docs {
+		d.mu.RLock()
+		out = append(out, d.info())
+		d.mu.RUnlock()
+	}
+	// Registry iteration order is random; stable output is friendlier to
+	// clients and tests.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Count returns the number of hosted documents.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Info describes one document.
+func (s *Store) Info(name string) (api.DocInfo, error) {
+	d, err := s.get(name)
+	if err != nil {
+		return api.DocInfo{}, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.info(), nil
+}
+
+// info snapshots the document's description. Callers hold d.mu (either
+// mode), except during Load where the document is not yet published.
+func (d *document) info() api.DocInfo {
+	return api.DocInfo{
+		Name:         d.name,
+		Scheme:       d.lab.SchemeName(),
+		Planner:      d.planner,
+		Elements:     d.table.Len(),
+		MaxLabelBits: d.lab.MaxLabelBits(),
+		Generation:   d.gen,
+		Relabeled:    d.relabeled,
+	}
+}
+
+// Query evaluates an XPath-subset expression under the document's read
+// lock, consulting the per-document LRU first.
+func (s *Store) Query(name, query string) (*api.QueryResponse, error) {
+	if query == "" {
+		return nil, fmt.Errorf("%w: empty xpath", ErrBadRequest)
+	}
+	d, err := s.get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.queries.Add(1)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if cached, ok := d.cache.get(query); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := *cached
+		resp.Cached = true
+		return &resp, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	rows, err := d.table.ExecPathString(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	resp := &api.QueryResponse{
+		Generation: d.gen,
+		Count:      len(rows),
+		Nodes:      make([]api.NodeRef, len(rows)),
+	}
+	for i, id := range rows {
+		n := d.table.Node(id)
+		resp.Nodes[i] = api.NodeRef{
+			ID:    id,
+			Path:  xmltree.PathTo(n),
+			Label: labelString(d.lab, n),
+			Text:  n.Text(),
+		}
+	}
+	d.cache.put(query, resp)
+	return resp, nil
+}
+
+// node resolves a document-order id under the caller-held lock.
+func (d *document) node(id int) (*xmltree.Node, error) {
+	if id < 0 || id >= d.table.Len() {
+		return nil, fmt.Errorf("%w: node id %d out of range [0,%d)", ErrBadRequest, id, d.table.Len())
+	}
+	return d.table.Node(id), nil
+}
+
+// checkGeneration enforces a conditional request's generation pin.
+func (d *document) checkGeneration(want *uint64) error {
+	if want != nil && *want != d.gen {
+		return fmt.Errorf("%w: have %d, request pinned %d", ErrStaleGeneration, d.gen, *want)
+	}
+	return nil
+}
+
+// Relation answers an ancestor/parent/before probe from labels alone.
+func (s *Store) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
+	d, err := s.get(name)
+	if err != nil {
+		return api.RelationResponse{}, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkGeneration(req.Generation); err != nil {
+		return api.RelationResponse{}, err
+	}
+	a, err := d.node(req.A)
+	if err != nil {
+		return api.RelationResponse{}, err
+	}
+	b, err := d.node(req.B)
+	if err != nil {
+		return api.RelationResponse{}, err
+	}
+	var result bool
+	switch req.Kind {
+	case api.RelAncestor:
+		result = d.lab.IsAncestor(a, b)
+	case api.RelParent:
+		result = d.lab.IsParent(a, b)
+	case api.RelBefore:
+		result, err = d.lab.Before(a, b)
+		if err != nil {
+			return api.RelationResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	default:
+		return api.RelationResponse{}, fmt.Errorf("%w: unknown relation %q", ErrBadRequest, req.Kind)
+	}
+	return api.RelationResponse{Generation: d.gen, Result: result}, nil
+}
+
+// Update applies one dynamic update under the document's write lock, then
+// reindexes: the element table is rebuilt and re-warmed, the query cache is
+// cleared, and the generation advances — even if the labeling operation
+// failed partway, so a half-applied mutation can never serve stale rows.
+func (s *Store) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
+	d, err := s.get(name)
+	if err != nil {
+		return api.UpdateResponse{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkGeneration(req.Generation); err != nil {
+		return api.UpdateResponse{}, err
+	}
+
+	var (
+		count   int
+		touched *xmltree.Node
+	)
+	switch req.Op {
+	case api.OpInsert:
+		if req.Tag == "" {
+			return api.UpdateResponse{}, fmt.Errorf("%w: insert needs a tag", ErrBadRequest)
+		}
+		parent, nerr := d.node(req.Parent)
+		if nerr != nil {
+			return api.UpdateResponse{}, nerr
+		}
+		if req.Index < 0 {
+			return api.UpdateResponse{}, fmt.Errorf("%w: negative index", ErrBadRequest)
+		}
+		touched = xmltree.NewElement(req.Tag)
+		count, err = d.lab.InsertChildAt(parent, rawChildIndex(parent, req.Index), touched)
+	case api.OpWrap:
+		if req.Tag == "" {
+			return api.UpdateResponse{}, fmt.Errorf("%w: wrap needs a tag", ErrBadRequest)
+		}
+		target, nerr := d.node(req.Target)
+		if nerr != nil {
+			return api.UpdateResponse{}, nerr
+		}
+		touched = xmltree.NewElement(req.Tag)
+		count, err = d.lab.WrapNode(target, touched)
+	case api.OpDelete:
+		target, nerr := d.node(req.Target)
+		if nerr != nil {
+			return api.UpdateResponse{}, nerr
+		}
+		err = d.lab.Delete(target)
+	default:
+		return api.UpdateResponse{}, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
+	}
+
+	// Reindex unconditionally: the table must reflect whatever state the
+	// labeling is in now.
+	d.reindex()
+	d.relabeled += uint64(count)
+	s.metrics.updates.Add(1)
+	s.metrics.relabeled.Add(uint64(count))
+	if err != nil {
+		return api.UpdateResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	nodeID := -1
+	if touched != nil {
+		if id, ok := d.table.RowOf(touched); ok {
+			nodeID = id
+		}
+	}
+	return api.UpdateResponse{Generation: d.gen, Relabeled: count, Node: nodeID}, nil
+}
+
+// reindex rebuilds the document's derived read-only state after a
+// mutation. Callers hold the write lock.
+func (d *document) reindex() {
+	plan := d.table.Plan
+	d.table = rdb.Build(d.lab)
+	d.table.Plan = plan
+	d.table.Warm()
+	d.cache.clear()
+	d.gen++
+}
+
+// rawChildIndex maps an index among element children to an index among all
+// children (text nodes interleave).
+func rawChildIndex(parent *xmltree.Node, elemIdx int) int {
+	if elemIdx <= 0 {
+		return 0
+	}
+	seen := 0
+	for i, c := range parent.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		seen++
+		if seen == elemIdx {
+			return i + 1
+		}
+	}
+	return len(parent.Children)
+}
+
+// labelString renders a node's label in scheme-specific human-readable
+// form, mirroring primelabel.Document.Label.
+func labelString(lab labeling.Labeling, n *xmltree.Node) string {
+	switch l := lab.(type) {
+	case *prime.Labeling:
+		return l.LabelOf(n).String()
+	case *prime.BottomUpLabeling:
+		return l.LabelOf(n).String()
+	case *prime.DecomposedLabeling:
+		parts := []string{}
+		for _, e := range l.ChainOf(n) {
+			parts = append(parts, e.String())
+		}
+		return strings.Join(parts, ".")
+	case *interval.Labeling:
+		a, b, ok := l.Interval(n)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("(%d,%d)", a, b)
+	case *prefix.Labeling:
+		bits, ok := l.BitsOf(n)
+		if !ok {
+			return ""
+		}
+		if bits.Len() == 0 {
+			return "ε"
+		}
+		return bits.String()
+	case *prefix.DeweyLabeling:
+		s, _ := l.DeweyOf(n)
+		if s == "" {
+			return "ε"
+		}
+		return s
+	case *floatlab.Labeling:
+		a, b, ok := l.Interval(n)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("(%g,%g)", a, b)
+	default:
+		return fmt.Sprintf("<%d bits>", lab.LabelBits(n))
+	}
+}

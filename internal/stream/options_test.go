@@ -1,0 +1,34 @@
+package stream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestNegativeReservedPrimesRejected is the regression test for the typed
+// rejection of automatic Opt1 sizing: streaming cannot know the top-level
+// width in advance, so a negative pool size must fail up front with
+// ErrNegativeReservedPrimes — before any input is consumed.
+func TestNegativeReservedPrimesRejected(t *testing.T) {
+	for _, n := range []int{-1, -7} {
+		calls := 0
+		err := Label(strings.NewReader("<a><b/></a>"), Options{ReservedPrimes: n}, func(Element) error {
+			calls++
+			return nil
+		})
+		if !errors.Is(err, ErrNegativeReservedPrimes) {
+			t.Fatalf("ReservedPrimes=%d: err = %v, want ErrNegativeReservedPrimes", n, err)
+		}
+		if calls != 0 {
+			t.Fatalf("ReservedPrimes=%d: emit called %d times before rejection", n, calls)
+		}
+	}
+
+	// Zero and positive pools must still work.
+	for _, n := range []int{0, 2} {
+		if err := Label(strings.NewReader("<a><b/><c/></a>"), Options{ReservedPrimes: n}, func(Element) error { return nil }); err != nil {
+			t.Fatalf("ReservedPrimes=%d: unexpected error %v", n, err)
+		}
+	}
+}

@@ -13,7 +13,7 @@
 package stream
 
 import (
-	"fmt"
+	"errors"
 	"io"
 	"math/big"
 
@@ -21,6 +21,12 @@ import (
 	"primelabel/internal/xmlparse"
 	"primelabel/internal/xmltree"
 )
+
+// ErrNegativeReservedPrimes is returned by Label when Options.ReservedPrimes
+// is negative: the DOM labeler's automatic Opt1 sizing needs the whole
+// document, which a single-pass stream never has. Callers detect it with
+// errors.Is and fall back to an explicit pool size.
+var ErrNegativeReservedPrimes = errors.New("stream: automatic Opt1 sizing (negative ReservedPrimes) needs the whole document; pass an explicit count")
 
 // Element is one labeled element produced by the streaming labeler.
 type Element struct {
@@ -42,7 +48,8 @@ type Element struct {
 type Options struct {
 	// ReservedPrimes reserves small primes for top-level elements (Opt1).
 	// Negative values are not supported in streaming mode: the top-level
-	// width is unknown in advance.
+	// width is unknown in advance, so Label rejects them with
+	// ErrNegativeReservedPrimes.
 	ReservedPrimes int
 	// PowerOfTwoLeaves labels leaves 2^1, 2^2, … (Opt2).
 	PowerOfTwoLeaves bool
@@ -62,7 +69,7 @@ func (o Options) threshold() int {
 // known); use the Order field to recover document order.
 func Label(r io.Reader, opts Options, emit func(Element) error) error {
 	if opts.ReservedPrimes < 0 {
-		return fmt.Errorf("stream: automatic Opt1 sizing needs the whole document; pass an explicit count")
+		return ErrNegativeReservedPrimes
 	}
 	var src *primes.Source
 	if opts.PowerOfTwoLeaves {

@@ -24,11 +24,16 @@ type Evaluator struct {
 	// sibIndex groups candidates of a tag by parent node, so sibling axes
 	// touch only same-parent candidates instead of the whole tag list.
 	sibIndex map[string]map[*xmltree.Node][]*xmltree.Node
+	// warmed marks that Warm pre-filled every lazy index; from then on Eval
+	// performs no internal writes (lookups that would miss compute locally
+	// instead of caching), making the evaluator safe for concurrent use
+	// until the next Reindex.
+	warmed bool
 }
 
 // siblingsOf returns the candidates with the given tag under parent.
 func (e *Evaluator) siblingsOf(tag string, parent *xmltree.Node) []*xmltree.Node {
-	if e.sibIndex == nil {
+	if e.sibIndex == nil && !e.warmed {
 		e.sibIndex = make(map[string]map[*xmltree.Node][]*xmltree.Node)
 	}
 	byParent, ok := e.sibIndex[tag]
@@ -39,7 +44,9 @@ func (e *Evaluator) siblingsOf(tag string, parent *xmltree.Node) []*xmltree.Node
 				byParent[n.Parent] = append(byParent[n.Parent], n)
 			}
 		}
-		e.sibIndex[tag] = byParent
+		if !e.warmed {
+			e.sibIndex[tag] = byParent
+		}
 	}
 	return byParent[parent]
 }
@@ -61,17 +68,40 @@ func New(lab labeling.Labeling) *Evaluator {
 }
 
 // Reindex rebuilds the tag index (and drops cached order ranks) after the
-// document was mutated.
+// document was mutated. It also drops Warm's frozen state; call Warm again
+// before resuming concurrent reads.
 func (e *Evaluator) Reindex() {
 	e.byTag = make(map[string][]*xmltree.Node)
 	e.all = nil
 	e.ordCache = make(map[*xmltree.Node]int)
 	e.sibIndex = nil
+	e.warmed = false
 	xmltree.WalkElements(e.doc.Root, func(n *xmltree.Node) bool {
 		e.byTag[n.Name] = append(e.byTag[n.Name], n)
 		e.all = append(e.all, n)
 		return true
 	})
+}
+
+// Warm pre-materializes every lazily built index — the per-node order
+// ranks and the per-tag sibling index — and freezes them. After Warm
+// returns, Eval and EvalString perform no internal writes, so the evaluator
+// is safe for concurrent use by any number of reader goroutines, provided
+// the underlying labeling and document are quiescent. Mutating the document
+// requires Reindex, which thaws the evaluator; call Warm again afterwards.
+func (e *Evaluator) Warm() {
+	if _, ok := e.lab.(labeling.Orderer); ok {
+		for _, n := range e.all {
+			e.rank(n)
+		}
+	}
+	if e.sibIndex == nil {
+		e.sibIndex = make(map[string]map[*xmltree.Node][]*xmltree.Node)
+	}
+	for tag := range e.byTag {
+		e.siblingsOf(tag, nil)
+	}
+	e.warmed = true
 }
 
 // candidates returns all elements matching the name test, document order.
@@ -279,7 +309,9 @@ func (e *Evaluator) rank(n *xmltree.Node) (int, bool) {
 	if err != nil {
 		return 0, false
 	}
-	e.ordCache[n] = v
+	if !e.warmed {
+		e.ordCache[n] = v
+	}
 	return v, true
 }
 
