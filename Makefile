@@ -1,11 +1,14 @@
 # Tier-1 verification flow. `make verify` is what CI and pre-merge checks
-# run: build, vet, the full test suite, and the test suite again under the
-# race detector (the server and primes packages are exercised by
-# multi-goroutine tests, so -race is load-bearing, not ceremony).
+# run: build, vet, the godoc lint over the server packages, the full test
+# suite, the test suite again under the race detector (the server and primes
+# packages are exercised by multi-goroutine tests, so -race is load-bearing,
+# not ceremony), and a short fuzz pass over the journal record codec — the
+# frame scanner is the single parser standing between a crashed process's
+# half-written bytes and the recovery path.
 
 GO ?= go
 
-.PHONY: build vet test race verify
+.PHONY: build vet lint test race fuzz verify clean
 
 build:
 	$(GO) build ./...
@@ -13,10 +16,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint enforces the godoc contract on the server packages: every exported
+# identifier must document its concurrency/durability behavior.
+lint:
+	$(GO) run ./cmd/doccheck ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+# fuzz seeds the journal frame scanner with 10s of random torn/corrupt
+# inputs on top of the checked-in corpus.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzJournalFrames -fuzztime 10s ./internal/server/persist
+
+verify: build vet lint test race fuzz
+
+# clean removes build products and stray test data directories.
+clean:
+	$(GO) clean ./...
+	rm -rf cmd/labeld/testdata/data internal/server/persist/testdata/fuzz.tmp

@@ -8,9 +8,16 @@
 //
 //	labeld -addr :8080
 //	labeld -addr :8080 -preload catalog.xml -scheme prime
+//	labeld -addr :8080 -data-dir /var/lib/labeld
+//
+// With -data-dir the server is durable: every document is snapshotted and
+// every acknowledged update is journaled (fsync'd by default), so a crash —
+// even kill -9 — loses nothing; on the next start the same -data-dir
+// restores every document, labels and relabel counters intact. See
+// docs/OPERATIONS.md for the full operational reference.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, completing in-flight
-// requests before exiting.
+// requests and writing final snapshots before exiting.
 package main
 
 import (
@@ -46,16 +53,36 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown grace period")
 	preload := fs.String("preload", "", "XML file to load at startup (document name = file basename)")
 	scheme := fs.String("scheme", "prime", "labeling scheme for -preload")
+	dataDir := fs.String("data-dir", "", "directory for snapshots and update journals (empty = in-memory only)")
+	fsync := fs.Bool("fsync", true, "flush journal appends and snapshots to stable storage before acknowledging")
+	snapshotEvery := fs.Int("snapshot-every", 1024, "journal records per document before a background snapshot compaction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Addr:           *addr,
 		CacheSize:      *cache,
 		RequestTimeout: *timeout,
 		ShutdownGrace:  *grace,
+		DataDir:        *dataDir,
+		NoFsync:        !*fsync,
+		SnapshotEvery:  *snapshotEvery,
 	})
+	if err != nil {
+		return err
+	}
+
+	if *dataDir != "" {
+		names, err := srv.Recover()
+		if err != nil {
+			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		}
+		fmt.Fprintf(stdout, "labeld: recovered %d document(s) from %s\n", len(names), *dataDir)
+		for _, n := range names {
+			fmt.Fprintf(stdout, "labeld: recovered %q\n", n)
+		}
+	}
 
 	if *preload != "" {
 		xml, err := os.ReadFile(*preload)

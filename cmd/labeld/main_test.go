@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"strings"
@@ -141,5 +142,183 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-preload", "/does/not/exist.xml", "-addr", "127.0.0.1:0"}, io.Discard); err == nil {
 		t.Fatal("missing preload file accepted")
+	}
+}
+
+// startBinary launches a labeld binary with the given flags, waits for its
+// "listening on" line, and returns a client plus the running process.
+func startBinary(t *testing.T, bin string, flags ...string) (*client.Client, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, flags...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.TrimSpace(line[i+len("listening on "):])
+			go func() { // keep draining so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			return client.New("http://"+addr, nil), cmd
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("labeld binary exited before listening")
+	return nil, nil
+}
+
+// TestKillDashNineRecovery is the acceptance test for the durability layer:
+// build the real binary, drive an update burst over HTTP, SIGKILL the
+// process with no warning, restart it on the same -data-dir, and require
+// labels, relabel counters and SC order answers to match the last
+// acknowledged pre-crash state exactly.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	work := t.TempDir()
+	bin := filepath.Join(work, "labeld.test.bin")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(work, "data")
+
+	c, proc := startBinary(t, bin, "-data-dir", dataDir)
+	killed := false
+	defer func() {
+		if !killed {
+			proc.Process.Kill()
+			proc.Wait()
+		}
+	}()
+
+	xml := "<store><shelf><book><title>A</title></book><book><title>B</title></book></shelf><shelf><book><title>C</title></book></shelf></store>"
+	if _, err := c.Load("books", api.LoadRequest{XML: xml, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Update burst: every acknowledged response was journaled and fsync'd
+	// before the server answered, so all of it must survive the kill.
+	for i := 0; i < 12; i++ {
+		if _, err := c.Insert("books", 0, i%3, "shelf"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Wrap("books", 2, "featured"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteNode("books", 5); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Info("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ, err := c.Query("books", "//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBefore []bool
+	for b := 1; b <= 5; b++ {
+		ok, err := c.Before("books", 0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBefore = append(wantBefore, ok)
+	}
+
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+	killed = true
+
+	c2, proc2 := startBinary(t, bin, "-data-dir", dataDir)
+	defer func() {
+		proc2.Process.Kill()
+		proc2.Wait()
+	}()
+	got, err := c2.Info("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("info after kill -9 restart = %+v, want %+v", got, want)
+	}
+	gotQ, err := c2.Query("books", "//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotQ.Nodes) != len(wantQ.Nodes) {
+		t.Fatalf("element count %d, want %d", len(gotQ.Nodes), len(wantQ.Nodes))
+	}
+	for i := range wantQ.Nodes {
+		if gotQ.Nodes[i] != wantQ.Nodes[i] {
+			t.Errorf("node %d = %+v, want %+v", i, gotQ.Nodes[i], wantQ.Nodes[i])
+		}
+	}
+	for b := 1; b <= 5; b++ {
+		ok, err := c2.Before("books", 0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantBefore[b-1] {
+			t.Errorf("before(0,%d) = %v, want %v", b, ok, wantBefore[b-1])
+		}
+	}
+	// The restarted server keeps taking durable updates.
+	if _, err := c2.Insert("books", 0, 0, "shelf"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDataDirRestart drives the in-process run() path: durable flags,
+// graceful shutdown (final snapshot), recovery log lines on restart.
+func TestRunDataDirRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, errc, _ := startRun(t, ctx, "-data-dir", dataDir, "-snapshot-every", "4")
+	if _, err := c.Load("d", api.LoadRequest{XML: "<a><b/><c/></a>"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("d", 0, 0, "n"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Healthz()
+	if err != nil || !h.Durable {
+		t.Fatalf("healthz = %+v, %v; want durable", h, err)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	c2, errc2, _ := startRun(t, ctx2, "-data-dir", dataDir)
+	info, err := c2.Info("d")
+	if err != nil || info.Elements != 4 || info.Generation != 1 || !info.Durable {
+		t.Fatalf("recovered info = %+v, %v", info, err)
+	}
+	metrics, err := c2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "labeld_recovered_documents_total 1") {
+		t.Error("metrics missing recovered-documents count")
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -10,7 +10,10 @@ import (
 )
 
 func TestRunAgainstInProcessServer(t *testing.T) {
-	srv := server.New(server.Config{})
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := srv.Start()
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +54,10 @@ func TestRunAgainstInProcessServer(t *testing.T) {
 }
 
 func TestRunReadOnly(t *testing.T) {
-	srv := server.New(server.Config{})
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := srv.Start()
 	if err != nil {
 		t.Fatal(err)

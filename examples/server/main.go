@@ -34,7 +34,10 @@ func buildStore() string {
 }
 
 func main() {
-	srv := server.New(server.Config{Addr: "127.0.0.1:0"})
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
 	addr, err := srv.Start()
 	if err != nil {
 		log.Fatal(err)

@@ -241,7 +241,7 @@ func (l *Labeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
 		changed := l.renumberAll()
 		return changed + 1, nil
 	}
-	l.labels[wrapper] = &fLabel{start: s, end: e, level: pl.level}
+	l.labels[wrapper] = &fLabel{start: s, end: e, level: pl.level + 1}
 	// The target subtree's levels all shift down by one.
 	count := 1
 	for _, m := range xmltree.Elements(target) {

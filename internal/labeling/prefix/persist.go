@@ -1,0 +1,185 @@
+package prefix
+
+import (
+	"fmt"
+	"io"
+
+	"primelabel/internal/labeling/wire"
+	"primelabel/internal/xmltree"
+)
+
+// Persistence for prefix- and Dewey-labeled documents.
+//
+// Prefix sibling codes are history-dependent: unordered inserts take the
+// next unused code past whatever was ever issued under a parent, and deletes
+// leave gaps, so no relabeling pass regenerates them. Marshal stores each
+// node's own sibling code plus the per-parent last-issued code (the
+// allocator state appends resume from); full labels are parent label +
+// code and are recomputed in one top-down pass on load. Dewey labels store
+// the node's own path component the same way.
+
+// pfxMagic and dwyMagic identify the two persistence formats and versions.
+var (
+	pfxMagic = []byte("PFXLBL\x01")
+	dwyMagic = []byte("DWYLBL\x01")
+)
+
+// writeBits appends one bit string (length in bits plus packed bytes).
+func writeBits(w *wire.Writer, b Bits) {
+	w.Int(b.n)
+	w.Bytes(b.data)
+}
+
+// readBits reads a bit string written by writeBits.
+func readBits(r *wire.Reader) Bits {
+	n := r.Int()
+	data := r.Bytes()
+	if r.Err() != nil {
+		return Bits{}
+	}
+	if len(data) != (n+7)/8 {
+		r.Fail("bit string length %d does not match %d data bytes", n, len(data))
+		return Bits{}
+	}
+	return Bits{data: data, n: n}
+}
+
+// Marshal writes the prefix-labeled document — variant configuration, tree,
+// each node's sibling code, and the per-parent code allocator state — to out
+// in the internal binary format read by Unmarshal.
+func (l *Labeling) Marshal(out io.Writer) error {
+	w := wire.NewWriter(out)
+	w.Raw(pfxMagic)
+	w.Int(int(l.scheme.Variant))
+	w.Bool(l.scheme.OrderPreserving)
+	wire.WriteTree(w, l.doc.Root, func(n *xmltree.Node) {
+		nl := l.labels[n]
+		if nl == nil {
+			w.Fail("prefix: unlabeled element %s", xmltree.PathTo(n))
+			return
+		}
+		writeBits(w, nl.code)
+		writeBits(w, l.lastCode[n])
+	})
+	return w.Flush()
+}
+
+// Unmarshal reads a prefix labeling produced by Marshal, recomputing full
+// labels from the stored sibling codes and verifying that every non-root
+// element carries a non-empty code.
+func Unmarshal(in io.Reader) (*Labeling, error) {
+	r := wire.NewReader(in)
+	r.Expect(pfxMagic)
+	variant := Variant(r.Int())
+	if variant != Prefix1 && variant != Prefix2 {
+		r.Fail("unknown prefix variant %d", int(variant))
+	}
+	l := &Labeling{
+		scheme:   Scheme{Variant: variant, OrderPreserving: r.Bool()},
+		labels:   make(map[*xmltree.Node]*pfxLabel),
+		lastCode: make(map[*xmltree.Node]Bits),
+	}
+	root, err := wire.ReadTree(r, func(n *xmltree.Node) error {
+		l.labels[n] = &pfxLabel{code: readBits(r)}
+		l.lastCode[n] = readBits(r)
+		return r.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	l.doc = xmltree.NewDocument(root)
+	// Second pass: full label = parent's full label + own code.
+	var relabel func(n *xmltree.Node) error
+	relabel = func(n *xmltree.Node) error {
+		nl := l.labels[n]
+		if n.Parent != nil {
+			if nl.code.Len() == 0 {
+				return fmt.Errorf("%w: empty sibling code on non-root %s", wire.ErrBadFormat, xmltree.PathTo(n))
+			}
+			nl.label = l.labels[n.Parent].label.Append(nl.code)
+		}
+		for _, c := range n.ElementChildren() {
+			if err := relabel(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := relabel(root); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Scheme returns the variant configuration this labeling was built with.
+func (l *Labeling) Scheme() Scheme { return l.scheme }
+
+// Marshal writes the Dewey-labeled document — tree plus each node's own
+// path component — to out in the internal binary format read by
+// UnmarshalDewey.
+func (l *DeweyLabeling) Marshal(out io.Writer) error {
+	w := wire.NewWriter(out)
+	w.Raw(dwyMagic)
+	wire.WriteTree(w, l.doc.Root, func(n *xmltree.Node) {
+		d, ok := l.labels[n]
+		if !ok {
+			w.Fail("prefix: unlabeled element %s", xmltree.PathTo(n))
+			return
+		}
+		if len(d) == 0 {
+			w.Int(0) // root: empty label
+			return
+		}
+		w.Int(d[len(d)-1])
+	})
+	return w.Flush()
+}
+
+// UnmarshalDewey reads a Dewey labeling produced by DeweyLabeling.Marshal,
+// rebuilding full labels top-down and verifying that sibling components stay
+// strictly increasing (the order invariant deletes and inserts preserve).
+func UnmarshalDewey(in io.Reader) (*DeweyLabeling, error) {
+	r := wire.NewReader(in)
+	r.Expect(dwyMagic)
+	components := make(map[*xmltree.Node]int)
+	root, err := wire.ReadTree(r, func(n *xmltree.Node) error {
+		components[n] = r.Int()
+		return r.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	l := &DeweyLabeling{doc: xmltree.NewDocument(root), labels: make(map[*xmltree.Node]deweyLabel)}
+	l.labels[root] = deweyLabel{}
+	var build func(n *xmltree.Node) error
+	build = func(n *xmltree.Node) error {
+		base := l.labels[n]
+		prev := 0
+		for _, c := range n.ElementChildren() {
+			comp := components[c]
+			if comp <= prev {
+				return fmt.Errorf("%w: sibling component %d not increasing (prev %d) under %s",
+					wire.ErrBadFormat, comp, prev, xmltree.PathTo(n))
+			}
+			prev = comp
+			lbl := make(deweyLabel, len(base)+1)
+			copy(lbl, base)
+			lbl[len(base)] = comp
+			l.labels[c] = lbl
+			if err := build(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(root); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -49,6 +49,11 @@ type DocInfo struct {
 	// Relabeled is the cumulative relabel count over all updates — the
 	// paper's headline cost metric, observed online.
 	Relabeled uint64 `json:"relabeled"`
+	// Durable reports whether updates to this document are journaled to the
+	// server's data directory and will survive a restart. False when the
+	// server runs without -data-dir or the scheme has no persistence codec
+	// (prime-bottomup, prime-decomposed).
+	Durable bool `json:"durable"`
 }
 
 // QueryRequest evaluates an XPath-subset expression against a document.
@@ -138,8 +143,11 @@ type UpdateResponse struct {
 
 // Health is the /healthz response.
 type Health struct {
-	Status        string  `json:"status"`
-	Documents     int     `json:"documents"`
+	Status    string `json:"status"`
+	Documents int    `json:"documents"`
+	// Durable reports whether the server persists documents to a data
+	// directory.
+	Durable       bool    `json:"durable"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 

@@ -16,7 +16,9 @@ import (
 	"primelabel/internal/server/api"
 )
 
-// Client talks to one labeld server.
+// Client talks to one labeld server. It is stateless and safe for
+// concurrent use by multiple goroutines; concurrency is bounded only by the
+// underlying http.Client.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -37,6 +39,7 @@ type APIError struct {
 	Message string
 }
 
+// Error renders the status and server-reported message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("labeld: %d: %s", e.Status, e.Message)
 }
@@ -85,7 +88,9 @@ func (c *Client) do(method, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Load loads (or replaces) a named document.
+// Load loads (or replaces) a named document. On a durable server (running
+// with -data-dir) a successful Load means the document's initial snapshot is
+// on disk; DocInfo.Durable reports whether subsequent updates are journaled.
 func (c *Client) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
 	var info api.DocInfo
 	err := c.do(http.MethodPut, "/docs/"+name, req, &info)
@@ -106,7 +111,8 @@ func (c *Client) Info(name string) (api.DocInfo, error) {
 	return info, err
 }
 
-// Delete removes a document.
+// Delete removes a document, including its persisted snapshot and journal
+// on a durable server — a deleted document does not come back on restart.
 func (c *Client) Delete(name string) error {
 	return c.do(http.MethodDelete, "/docs/"+name, nil, nil)
 }
@@ -143,7 +149,10 @@ func (c *Client) Before(name string, a, b int) (bool, error) {
 	return resp.Result, err
 }
 
-// Update applies one dynamic update.
+// Update applies one dynamic update. On a durable document a successful
+// response means the update was journaled (and, unless the server runs
+// -fsync=false, on stable storage) before the server answered: an
+// acknowledged update survives a crash.
 func (c *Client) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
 	var resp api.UpdateResponse
 	err := c.do(http.MethodPost, "/docs/"+name+"/update", req, &resp)

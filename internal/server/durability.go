@@ -1,0 +1,287 @@
+package server
+
+// Durability wiring: how the Store drives the persist package. The division
+// of labor is strict — persist knows files and framing, this file knows
+// locking and document lifecycle. Every on-disk mutation happens with the
+// affected document's mutex held in a mode that excludes conflicting
+// writers: journal appends under the write lock (Store.Update), snapshots
+// under at least the read lock (which excludes appends, so a snapshot and a
+// journal truncation form one atomic compaction from the journal's point of
+// view).
+
+import (
+	"fmt"
+	"time"
+
+	"primelabel/internal/rdb"
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/persist"
+)
+
+// defaultSnapshotEvery is the journal-records-per-snapshot compaction
+// threshold used when EnablePersistence is given a non-positive value.
+const defaultSnapshotEvery = 1024
+
+// EnablePersistence attaches a data directory to the store: subsequently
+// loaded documents with persistable schemes are snapshotted and journaled,
+// and Recover can rebuild previously persisted documents. Call before the
+// store starts serving; it is not safe to enable persistence concurrently
+// with requests. snapshotEvery is the number of journal records that
+// triggers a background snapshot compaction (<= 0 uses the default, 1024).
+func (s *Store) EnablePersistence(mgr *persist.Manager, snapshotEvery int) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = defaultSnapshotEvery
+	}
+	s.persist = mgr
+	s.snapshotEvery = snapshotEvery
+}
+
+// Durable reports whether the store has a data directory attached.
+func (s *Store) Durable() bool { return s.persist != nil }
+
+// makeDurable writes a freshly loaded document's initial snapshot and opens
+// its (empty) journal. The snapshot-first order matters: a journal is only
+// meaningful relative to a base snapshot, and recovery treats a journal
+// without one as corruption.
+func (s *Store) makeDurable(d *document) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := s.writeSnapshotLocked(d); err != nil {
+		return err
+	}
+	j, err := s.persist.CreateJournal(d.name)
+	if err != nil {
+		return err
+	}
+	d.journal = j
+	d.durable = true
+	d.sinceSnap = 0
+	return nil
+}
+
+// writeSnapshotLocked snapshots d through the store's manager, recording
+// metrics. Callers hold d.mu in either mode.
+func (s *Store) writeSnapshotLocked(d *document) error {
+	start := time.Now()
+	size, err := s.persist.WriteSnapshot(persist.Meta{
+		Name:       d.name,
+		Planner:    d.planner,
+		Generation: d.gen,
+		Relabeled:  d.relabeled,
+	}, d.lab)
+	if err != nil {
+		return err
+	}
+	s.metrics.snapshots.Add(1)
+	s.metrics.snapshotBytes.Add(uint64(size))
+	s.metrics.snapshotNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	return nil
+}
+
+// journalUpdate appends one applied update to d's journal and schedules
+// compaction when due. Called from Update with the write lock held, after
+// the in-memory state (including d.gen and d.relabeled) reflects the
+// update. On append failure the journal is retired — the document keeps
+// serving but turns non-durable — because a journal with a hole would
+// replay into a state that diverges from what clients observed.
+func (s *Store) journalUpdate(d *document, req api.UpdateRequest, count int, opErr error) error {
+	rec := persist.Record{
+		Gen:       d.gen,
+		Relabeled: d.relabeled,
+		Count:     count,
+		Failed:    opErr != nil,
+		Req:       req,
+	}
+	rec.Req.Generation = nil // replay applies records unconditionally
+	stats, err := d.journal.Append(rec)
+	if err != nil {
+		s.metrics.persistErrors.Add(1)
+		d.journal.Close()
+		d.journal = nil
+		d.durable = false
+		return fmt.Errorf("server: journal append failed, document %q is now non-durable: %v", d.name, err)
+	}
+	s.metrics.journalRecords.Add(1)
+	s.metrics.journalBytes.Add(uint64(stats.Bytes))
+	if stats.Fsynced {
+		s.metrics.journalFsyncs.Add(1)
+		s.metrics.journalFsyncNanos.Add(uint64(stats.FsyncDuration.Nanoseconds()))
+	}
+	d.sinceSnap++
+	if d.sinceSnap >= s.snapshotEvery && d.compacting.CompareAndSwap(false, true) {
+		go s.compact(d)
+	}
+	return nil
+}
+
+// compact runs one background snapshot compaction: snapshot the document,
+// then truncate its journal. It holds the read lock throughout, which
+// excludes updates (and therefore journal appends), so the snapshot and the
+// truncation see the same state; the compacting flag serializes compactions
+// so at most one runs per document.
+func (s *Store) compact(d *document) {
+	defer d.compacting.Store(false)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.journal == nil {
+		return // retired (replaced, deleted, or append failure) meanwhile
+	}
+	if err := s.writeSnapshotLocked(d); err != nil {
+		s.metrics.persistErrors.Add(1)
+		return // keep the journal: the old snapshot + full journal still recover
+	}
+	if err := d.journal.Reset(); err != nil {
+		s.metrics.persistErrors.Add(1)
+		return // harmless: records at or below the snapshot's gen replay as no-ops
+	}
+	d.sinceSnap = 0
+}
+
+// retire detaches a document's journal under its write lock, turning it
+// non-durable. The caller closes the returned journal (nil if the document
+// had none) outside the lock. Used when a document is replaced or deleted
+// so the outgoing instance cannot write to files the successor owns.
+func retire(d *document) *persist.Journal {
+	d.mu.Lock()
+	j := d.journal
+	d.journal = nil
+	d.durable = false
+	d.mu.Unlock()
+	return j
+}
+
+// Close flushes a final snapshot for every durable document and closes its
+// journal. Called on graceful shutdown, it makes the subsequent recovery a
+// pure snapshot load with nothing to replay. The store keeps serving after
+// Close, but no longer durably; Close is idempotent.
+func (s *Store) Close() error {
+	if s.persist == nil {
+		return nil
+	}
+	s.mu.RLock()
+	docs := make([]*document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d)
+	}
+	s.mu.RUnlock()
+	var first error
+	keep := func(err error) {
+		if err != nil {
+			s.metrics.persistErrors.Add(1)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	for _, d := range docs {
+		d.mu.Lock()
+		if d.journal != nil {
+			if err := s.writeSnapshotLocked(d); err != nil {
+				keep(err)
+			} else {
+				keep(d.journal.Reset())
+			}
+			keep(d.journal.Close())
+			d.journal = nil
+			d.durable = false
+		}
+		d.mu.Unlock()
+	}
+	return first
+}
+
+// Recover rebuilds every persisted document from its snapshot plus journal
+// replay and publishes them into the registry, returning the recovered
+// names. Call before the store starts serving. Recovery is strict: a
+// journal without a snapshot, a replay that diverges from the journaled
+// outcome, or corruption anywhere but a torn journal tail aborts with an
+// error rather than silently serving wrong labels.
+func (s *Store) Recover() ([]string, error) {
+	if s.persist == nil {
+		return nil, nil
+	}
+	names, err := s.persist.List()
+	if err != nil {
+		return nil, err
+	}
+	recovered := make([]string, 0, len(names))
+	for _, name := range names {
+		if err := s.recoverOne(name); err != nil {
+			return recovered, fmt.Errorf("recover %q: %w", name, err)
+		}
+		recovered = append(recovered, name)
+	}
+	return recovered, nil
+}
+
+// recoverOne restores a single document: load its snapshot, replay the
+// journal records past the snapshot's generation through the same applyOp
+// path live updates use, verify each record's journaled outcome (gen,
+// relabel counts, failure flag) against what replay produced, then reopen
+// the journal for appending with any torn tail truncated.
+func (s *Store) recoverOne(name string) error {
+	meta, lab, err := s.persist.LoadSnapshot(name)
+	if err != nil {
+		return err
+	}
+	if meta.Name != name {
+		return fmt.Errorf("%w: snapshot meta names %q", persist.ErrCorrupt, meta.Name)
+	}
+	plan, planName, err := plannerOf(meta.Planner)
+	if err != nil {
+		return fmt.Errorf("%w: snapshot planner: %v", persist.ErrCorrupt, err)
+	}
+	d := &document{
+		name:      name,
+		planner:   planName,
+		lab:       lab,
+		cache:     newQueryCache(s.cacheCap),
+		gen:       meta.Generation,
+		relabeled: meta.Relabeled,
+	}
+	d.table = rdb.Build(lab)
+	d.table.Plan = plan
+
+	records, validEnd, err := s.persist.ReplayJournal(name)
+	if err != nil {
+		return err
+	}
+	replayed := 0
+	for i, rec := range records {
+		if rec.Gen <= meta.Generation {
+			// Already captured by the snapshot — the residue of a crash
+			// between snapshot rename and journal truncation.
+			continue
+		}
+		count, _, applied, opErr := d.applyOp(rec.Req)
+		if !applied {
+			return fmt.Errorf("%w: journal record %d rejected on replay: %v", persist.ErrCorrupt, i, opErr)
+		}
+		d.reindexLight()
+		d.relabeled += uint64(count)
+		if d.gen != rec.Gen || count != rec.Count || d.relabeled != rec.Relabeled || (opErr != nil) != rec.Failed {
+			return fmt.Errorf("%w: journal record %d replay diverged (gen %d want %d, count %d want %d, relabeled %d want %d, failed %v want %v)",
+				persist.ErrCorrupt, i, d.gen, rec.Gen, count, rec.Count, d.relabeled, rec.Relabeled, opErr != nil, rec.Failed)
+		}
+		replayed++
+	}
+	d.table.Warm()
+
+	j, err := s.persist.OpenJournalAt(name, validEnd)
+	if err != nil {
+		return err
+	}
+	d.journal = j
+	d.durable = true
+
+	s.mu.Lock()
+	_, existed := s.docs[name]
+	s.docs[name] = d
+	s.mu.Unlock()
+	if !existed {
+		s.metrics.documents.Add(1)
+	}
+	s.metrics.replayedRecords.Add(uint64(replayed))
+	s.metrics.recoveredDocs.Add(1)
+	return nil
+}

@@ -67,6 +67,19 @@ type Metrics struct {
 	relabeled    atomic.Uint64
 	endpoints    map[string]*endpointStats
 	endpointList []string
+
+	// Durability counters (see internal/server/persist). All zero when the
+	// server runs without a data directory.
+	snapshots         atomic.Uint64
+	snapshotBytes     atomic.Uint64
+	snapshotNanos     atomic.Uint64
+	journalRecords    atomic.Uint64
+	journalBytes      atomic.Uint64
+	journalFsyncs     atomic.Uint64
+	journalFsyncNanos atomic.Uint64
+	replayedRecords   atomic.Uint64
+	recoveredDocs     atomic.Uint64
+	persistErrors     atomic.Uint64
 }
 
 // NewMetrics returns an empty registry.
@@ -122,6 +135,27 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_updates_total %d", m.updates.Load())
 	line("# HELP labeld_relabeled_nodes_total Labels written by updates — the paper's relabeling cost, accumulated online.")
 	line("labeld_relabeled_nodes_total %d", m.relabeled.Load())
+
+	line("# HELP labeld_snapshots_total Document snapshots written (initial, compaction, shutdown).")
+	line("labeld_snapshots_total %d", m.snapshots.Load())
+	line("# HELP labeld_snapshot_bytes_total Bytes of snapshot data written.")
+	line("labeld_snapshot_bytes_total %d", m.snapshotBytes.Load())
+	line("# HELP labeld_snapshot_seconds_total Time spent writing snapshots.")
+	line("labeld_snapshot_seconds_total %g", float64(m.snapshotNanos.Load())/1e9)
+	line("# HELP labeld_journal_records_total Update records appended to journals.")
+	line("labeld_journal_records_total %d", m.journalRecords.Load())
+	line("# HELP labeld_journal_bytes_total Bytes of framed journal records written.")
+	line("labeld_journal_bytes_total %d", m.journalBytes.Load())
+	line("# HELP labeld_journal_fsyncs_total Journal appends flushed to stable storage.")
+	line("labeld_journal_fsyncs_total %d", m.journalFsyncs.Load())
+	line("# HELP labeld_journal_fsync_seconds_total Time spent in journal fsyncs.")
+	line("labeld_journal_fsync_seconds_total %g", float64(m.journalFsyncNanos.Load())/1e9)
+	line("# HELP labeld_replayed_records_total Journal records replayed during recovery.")
+	line("labeld_replayed_records_total %d", m.replayedRecords.Load())
+	line("# HELP labeld_recovered_documents_total Documents restored from the data directory at startup.")
+	line("labeld_recovered_documents_total %d", m.recoveredDocs.Load())
+	line("# HELP labeld_persist_errors_total Durability-layer failures (snapshot, journal, cleanup).")
+	line("labeld_persist_errors_total %d", m.persistErrors.Load())
 
 	line("# HELP labeld_requests_total HTTP requests by endpoint.")
 	for _, name := range m.endpointList {

@@ -1,0 +1,266 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// journalMagic identifies a journal file (version 1).
+var journalMagic = []byte("LBLDJNL\x01")
+
+// maxRecordLen bounds a single journal record. Update requests are small
+// (an op, a couple of node ids, a tag); anything near this bound is
+// corruption, not data.
+const maxRecordLen = 1 << 20
+
+// frameHeaderLen is the per-record framing overhead: a 4-byte little-endian
+// payload length followed by a 4-byte CRC-32 (IEEE) of the payload.
+const frameHeaderLen = 8
+
+// Record is one journaled update: the request that was applied plus the
+// state counters it produced, which recovery uses both to skip records
+// already covered by a snapshot (Gen) and to verify that replay reproduced
+// the original outcome exactly (Count, Relabeled, Failed).
+type Record struct {
+	// Gen is the document generation after this update was applied.
+	Gen uint64 `json:"gen"`
+	// Relabeled is the document's cumulative relabel counter after this
+	// update.
+	Relabeled uint64 `json:"relabeled"`
+	// Count is this update's own relabel count.
+	Count int `json:"count"`
+	// Failed records that the labeling operation returned an error after
+	// mutating state (the server still advances the generation in that
+	// case, so replay must reproduce the failure too).
+	Failed bool `json:"failed,omitempty"`
+	// Req is the update request as applied, with any generation pin
+	// stripped (replay applies records unconditionally, in order).
+	Req api.UpdateRequest `json:"req"`
+}
+
+// AppendStats reports the cost of one journal append, for metrics.
+type AppendStats struct {
+	// Bytes is the framed record size written.
+	Bytes int
+	// Fsynced reports whether the append was flushed to stable storage.
+	Fsynced bool
+	// FsyncDuration is how long the fsync took (zero when fsync is
+	// disabled).
+	FsyncDuration time.Duration
+}
+
+// Journal is the append side of one document's update journal. It is not
+// safe for concurrent use: the server calls Append only inside the
+// document's write-lock critical section, which is also what orders journal
+// records consistently with the in-memory state.
+type Journal struct {
+	f     *os.File
+	path  string
+	fsync bool
+}
+
+// CreateJournal truncates (or creates) the named document's journal,
+// leaving it empty and durable. Called when a document is (re)loaded: a
+// fresh snapshot makes all prior records obsolete.
+func (m *Manager) CreateJournal(name string) (*Journal, error) {
+	path := m.journalPath(name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, fsync: m.fsync}
+	if _, err := f.Write(journalMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if m.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// OpenJournalAt opens the named document's journal for appending after
+// recovery, truncating it to validEnd first (the offset ReplayJournal
+// reported — everything past it is a torn tail). A missing journal is
+// created empty.
+func (m *Manager) OpenJournalAt(name string, validEnd int64) (*Journal, error) {
+	path := m.journalPath(name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, fsync: m.fsync}
+	if validEnd < int64(len(journalMagic)) {
+		// Torn or missing header: rewrite from scratch.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(journalMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(validEnd, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if m.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Append writes one record and, when fsync is enabled, returns only after
+// it is on stable storage — the moment an update becomes crash-durable.
+func (j *Journal) Append(rec Record) (AppendStats, error) {
+	if j.f == nil {
+		return AppendStats{}, errors.New("persist: journal closed")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return AppendStats{}, err
+	}
+	frame := encodeFrame(payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return AppendStats{}, err
+	}
+	stats := AppendStats{Bytes: len(frame)}
+	if j.fsync {
+		start := time.Now()
+		if err := j.f.Sync(); err != nil {
+			return stats, err
+		}
+		stats.Fsynced = true
+		stats.FsyncDuration = time.Since(start)
+	}
+	return stats, nil
+}
+
+// Reset truncates the journal to empty. Called after a snapshot has been
+// made durable: every journaled update is now covered by the snapshot.
+func (j *Journal) Reset() error {
+	if j.f == nil {
+		return errors.New("persist: journal closed")
+	}
+	if err := j.f.Truncate(int64(len(journalMagic))); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(int64(len(journalMagic)), 0); err != nil {
+		return err
+	}
+	if j.fsync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Close releases the journal's file handle. Further Appends fail.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReplayJournal reads the named document's journal and returns its records
+// plus the offset of the last valid byte. A torn final record — the residue
+// of a crash mid-append — is detected and excluded (pass the offset to
+// OpenJournalAt to truncate it); corruption anywhere before the tail is an
+// ErrCorrupt error. A missing journal yields no records and offset 0.
+func (m *Manager) ReplayJournal(name string) ([]Record, int64, error) {
+	data, err := os.ReadFile(m.journalPath(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	payloads, validEnd, err := scanFrames(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: journal %s: %v", ErrCorrupt, name, err)
+	}
+	records := make([]Record, 0, len(payloads))
+	for i, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			// The CRC matched, so this is not a torn write: the payload
+			// itself is damaged.
+			return nil, 0, fmt.Errorf("%w: journal %s: record %d: %v", ErrCorrupt, name, i, err)
+		}
+		records = append(records, rec)
+	}
+	return records, validEnd, nil
+}
+
+// encodeFrame wraps a payload in the journal's record framing.
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	return frame
+}
+
+// scanFrames walks a journal image and returns the framed payloads plus the
+// offset just past the last valid frame. A malformed frame that extends to
+// (or past) the end of the image is a torn write and terminates the scan
+// cleanly; a malformed frame with valid data after it is corruption.
+func scanFrames(data []byte) ([][]byte, int64, error) {
+	if len(data) < len(journalMagic) {
+		// Torn header: nothing valid yet.
+		return nil, 0, nil
+	}
+	if string(data[:len(journalMagic)]) != string(journalMagic) {
+		return nil, 0, errors.New("bad magic")
+	}
+	var payloads [][]byte
+	off := len(journalMagic)
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < frameHeaderLen {
+			return payloads, int64(off), nil // torn mid-header
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxRecordLen {
+			if frameHeaderLen+length >= rest {
+				return payloads, int64(off), nil // garbage length from a torn write
+			}
+			return nil, 0, fmt.Errorf("record at offset %d: unreasonable length %d", off, length)
+		}
+		if rest < frameHeaderLen+length {
+			return payloads, int64(off), nil // torn mid-payload
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+length]
+		if crc32.ChecksumIEEE(payload) != want {
+			if off+frameHeaderLen+length == len(data) {
+				return payloads, int64(off), nil // torn final record
+			}
+			return nil, 0, fmt.Errorf("record at offset %d: checksum mismatch", off)
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderLen + length
+	}
+	return payloads, int64(off), nil
+}

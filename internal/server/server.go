@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"primelabel/internal/server/api"
+	"primelabel/internal/server/persist"
 )
 
 // Config tunes a Server. The zero value is usable: it listens on a random
@@ -26,6 +27,18 @@ type Config struct {
 	// ShutdownGrace bounds how long Shutdown waits for in-flight requests
 	// (default 10s).
 	ShutdownGrace time.Duration
+	// DataDir, when set, enables durability: documents are snapshotted and
+	// updates journaled under this directory, and Recover restores them on
+	// the next start. Empty (the default) runs the server purely in memory.
+	DataDir string
+	// NoFsync disables flushing journal appends and snapshots to stable
+	// storage before acknowledging — faster, but acknowledged updates may be
+	// lost on a crash. Only meaningful with DataDir.
+	NoFsync bool
+	// SnapshotEvery is the number of journal records per document that
+	// triggers a background snapshot compaction (default 1024). Only
+	// meaningful with DataDir.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -41,6 +54,9 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1024
+	}
 	return c
 }
 
@@ -54,8 +70,10 @@ type Server struct {
 	serveErr chan error
 }
 
-// New returns an unstarted server.
-func New(cfg Config) *Server {
+// New returns an unstarted server. When cfg.DataDir is set it opens (and if
+// needed creates) the data directory; call Recover before Start to restore
+// previously persisted documents.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	s := &Server{
@@ -63,11 +81,26 @@ func New(cfg Config) *Server {
 		metrics: m,
 		store:   NewStore(m, cfg.CacheSize),
 	}
+	if cfg.DataDir != "" {
+		mgr, err := persist.Open(cfg.DataDir, !cfg.NoFsync)
+		if err != nil {
+			return nil, fmt.Errorf("server: open data dir: %w", err)
+		}
+		s.store.EnablePersistence(mgr, cfg.SnapshotEvery)
+	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return s
+	return s, nil
+}
+
+// Recover restores every document persisted in the configured data
+// directory (snapshot load plus journal replay) and returns their names.
+// It is a no-op without a data directory. Call it after New and before
+// Start, so recovered documents are visible from the first request.
+func (s *Server) Recover() ([]string, error) {
+	return s.store.Recover()
 }
 
 // Store exposes the underlying registry (used by in-process embedders and
@@ -157,6 +190,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.Health{
 		Status:        "ok",
 		Documents:     s.store.Count(),
+		Durable:       s.store.Durable(),
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 	})
 }
@@ -261,9 +295,9 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown stops accepting connections and waits up to ShutdownGrace for
-// in-flight requests to complete — the graceful half of the service's
-// lifecycle contract.
+// Shutdown stops accepting connections, waits up to ShutdownGrace for
+// in-flight requests to complete, then writes a final snapshot of every
+// durable document — the graceful half of the service's lifecycle contract.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
@@ -271,14 +305,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		defer cancel()
 	}
 	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		s.store.Close()
 		return err
 	}
 	if s.serveErr != nil {
 		if err := <-s.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.store.Close()
 			return err
 		}
 	}
-	return nil
+	return s.store.Close()
 }
 
 // ListenAndServe runs the server until ctx is canceled, then shuts down
@@ -299,10 +335,12 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	if err := s.httpSrv.Shutdown(shutdownCtx); err != nil {
+		s.store.Close()
 		return err
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		s.store.Close()
 		return err
 	}
-	return nil
+	return s.store.Close()
 }

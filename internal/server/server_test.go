@@ -20,7 +20,10 @@ const sampleXML = `<store><shelf><book><title>A</title></book><book><title>B</ti
 // startTestServer boots a server on a random port and returns a client.
 func startTestServer(t *testing.T) *client.Client {
 	t.Helper()
-	srv := New(Config{RequestTimeout: 30 * time.Second})
+	srv, err := New(Config{RequestTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := srv.Start()
 	if err != nil {
 		t.Fatal(err)
@@ -354,7 +357,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 // TestGracefulShutdown verifies a request admitted before Shutdown is
 // served to completion, and that the listener refuses connections after.
 func TestGracefulShutdown(t *testing.T) {
-	srv := New(Config{})
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := srv.Start()
 	if err != nil {
 		t.Fatal(err)

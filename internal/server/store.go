@@ -21,14 +21,17 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/codec"
 	"primelabel/internal/labeling/floatlab"
 	"primelabel/internal/labeling/interval"
 	"primelabel/internal/labeling/prefix"
 	"primelabel/internal/labeling/prime"
 	"primelabel/internal/rdb"
 	"primelabel/internal/server/api"
+	"primelabel/internal/server/persist"
 	"primelabel/internal/xmlparse"
 	"primelabel/internal/xmltree"
 )
@@ -56,6 +59,19 @@ type document struct {
 	// relabeled accumulates the labels written by every update applied to
 	// this document — the paper's Figures 16–18 metric, observed online.
 	relabeled uint64
+
+	// journal is the document's update journal when persistence is enabled
+	// and the scheme is persistable; nil otherwise. Appends happen inside
+	// the write-lock critical section, which orders records consistently
+	// with in-memory state.
+	journal *persist.Journal
+	// durable reports whether updates to this document are journaled.
+	durable bool
+	// sinceSnap counts journal records since the last snapshot; compaction
+	// triggers when it reaches the store's snapshotEvery threshold.
+	sinceSnap int
+	// compacting serializes background snapshot compactions.
+	compacting atomic.Bool
 }
 
 // Store is the document registry.
@@ -65,6 +81,12 @@ type Store struct {
 	metrics *Metrics
 	// cacheCap is the per-document query cache capacity.
 	cacheCap int
+	// persist, when non-nil, is the durability layer every persistable
+	// document writes through. See durability.go.
+	persist *persist.Manager
+	// snapshotEvery is the journal-records-per-snapshot compaction
+	// threshold.
+	snapshotEvery int
 }
 
 // NewStore returns an empty registry reporting into metrics. cacheCap is
@@ -157,13 +179,35 @@ func (s *Store) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
 		cache:   newQueryCache(s.cacheCap),
 	}
 	s.mu.Lock()
-	_, existed := s.docs[name]
+	old, existed := s.docs[name]
 	s.docs[name] = d
 	s.mu.Unlock()
 	if !existed {
 		s.metrics.documents.Add(1)
 	}
-	return d.info(), nil
+	if existed {
+		// The replaced instance must stop journaling before the new one
+		// takes over the on-disk files.
+		if j := retire(old); j != nil {
+			j.Close()
+		}
+	}
+	if s.persist != nil {
+		if !codec.Supported(lab) {
+			// Hosted non-durable; clear any persisted state from a previous
+			// durable instance so recovery cannot resurrect it.
+			if err := s.persist.Remove(name); err != nil {
+				s.metrics.persistErrors.Add(1)
+			}
+		} else if err := s.makeDurable(d); err != nil {
+			s.metrics.persistErrors.Add(1)
+			return api.DocInfo{}, fmt.Errorf("server: document %q loaded but not durable: %v", name, err)
+		}
+	}
+	d.mu.RLock()
+	info := d.info()
+	d.mu.RUnlock()
+	return info, nil
 }
 
 // get looks a document up.
@@ -177,17 +221,26 @@ func (s *Store) get(name string) (*document, error) {
 	return d, nil
 }
 
-// Delete removes a document from the registry. In-flight requests holding
-// the old document finish against it; new requests see 404.
+// Delete removes a document from the registry along with its persisted
+// state. In-flight requests holding the old document finish against it; new
+// requests see 404.
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
-	_, ok := s.docs[name]
+	d, ok := s.docs[name]
 	delete(s.docs, name)
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
 	}
 	s.metrics.documents.Add(-1)
+	if j := retire(d); j != nil {
+		j.Close()
+	}
+	if s.persist != nil {
+		if err := s.persist.Remove(name); err != nil {
+			s.metrics.persistErrors.Add(1)
+		}
+	}
 	return nil
 }
 
@@ -244,6 +297,7 @@ func (d *document) info() api.DocInfo {
 		MaxLabelBits: d.lab.MaxLabelBits(),
 		Generation:   d.gen,
 		Relabeled:    d.relabeled,
+		Durable:      d.durable,
 	}
 }
 
@@ -341,10 +395,59 @@ func (s *Store) Relation(name string, req api.RelationRequest) (api.RelationResp
 	return api.RelationResponse{Generation: d.gen, Result: result}, nil
 }
 
+// applyOp performs one update's mutation against the labeling. It returns
+// the relabel count, the touched node (inserted element or wrapper, nil for
+// delete), whether the operation reached the labeling (validation failures
+// do not, and must not be journaled), and the labeling error if any. A
+// labeling error with applied=true means state may have mutated partway —
+// the caller must still reindex. Callers hold the write lock. Replay during
+// recovery runs the same code path, which is what makes journal replay
+// reproduce live behavior exactly.
+func (d *document) applyOp(req api.UpdateRequest) (count int, touched *xmltree.Node, applied bool, err error) {
+	switch req.Op {
+	case api.OpInsert:
+		if req.Tag == "" {
+			return 0, nil, false, fmt.Errorf("%w: insert needs a tag", ErrBadRequest)
+		}
+		parent, nerr := d.node(req.Parent)
+		if nerr != nil {
+			return 0, nil, false, nerr
+		}
+		if req.Index < 0 {
+			return 0, nil, false, fmt.Errorf("%w: negative index", ErrBadRequest)
+		}
+		touched = xmltree.NewElement(req.Tag)
+		count, err = d.lab.InsertChildAt(parent, rawChildIndex(parent, req.Index), touched)
+		return count, touched, true, err
+	case api.OpWrap:
+		if req.Tag == "" {
+			return 0, nil, false, fmt.Errorf("%w: wrap needs a tag", ErrBadRequest)
+		}
+		target, nerr := d.node(req.Target)
+		if nerr != nil {
+			return 0, nil, false, nerr
+		}
+		touched = xmltree.NewElement(req.Tag)
+		count, err = d.lab.WrapNode(target, touched)
+		return count, touched, true, err
+	case api.OpDelete:
+		target, nerr := d.node(req.Target)
+		if nerr != nil {
+			return 0, nil, false, nerr
+		}
+		return 0, nil, true, d.lab.Delete(target)
+	default:
+		return 0, nil, false, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
+	}
+}
+
 // Update applies one dynamic update under the document's write lock, then
 // reindexes: the element table is rebuilt and re-warmed, the query cache is
 // cleared, and the generation advances — even if the labeling operation
 // failed partway, so a half-applied mutation can never serve stale rows.
+// When the document is durable the update is journaled (and, with fsync on,
+// on stable storage) before the response is written; a journal failure fails
+// the request and retires the journal so recovery never replays past a hole.
 func (s *Store) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
 	d, err := s.get(name)
 	if err != nil {
@@ -356,42 +459,9 @@ func (s *Store) Update(name string, req api.UpdateRequest) (api.UpdateResponse, 
 		return api.UpdateResponse{}, err
 	}
 
-	var (
-		count   int
-		touched *xmltree.Node
-	)
-	switch req.Op {
-	case api.OpInsert:
-		if req.Tag == "" {
-			return api.UpdateResponse{}, fmt.Errorf("%w: insert needs a tag", ErrBadRequest)
-		}
-		parent, nerr := d.node(req.Parent)
-		if nerr != nil {
-			return api.UpdateResponse{}, nerr
-		}
-		if req.Index < 0 {
-			return api.UpdateResponse{}, fmt.Errorf("%w: negative index", ErrBadRequest)
-		}
-		touched = xmltree.NewElement(req.Tag)
-		count, err = d.lab.InsertChildAt(parent, rawChildIndex(parent, req.Index), touched)
-	case api.OpWrap:
-		if req.Tag == "" {
-			return api.UpdateResponse{}, fmt.Errorf("%w: wrap needs a tag", ErrBadRequest)
-		}
-		target, nerr := d.node(req.Target)
-		if nerr != nil {
-			return api.UpdateResponse{}, nerr
-		}
-		touched = xmltree.NewElement(req.Tag)
-		count, err = d.lab.WrapNode(target, touched)
-	case api.OpDelete:
-		target, nerr := d.node(req.Target)
-		if nerr != nil {
-			return api.UpdateResponse{}, nerr
-		}
-		err = d.lab.Delete(target)
-	default:
-		return api.UpdateResponse{}, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
+	count, touched, applied, opErr := d.applyOp(req)
+	if !applied {
+		return api.UpdateResponse{}, opErr
 	}
 
 	// Reindex unconditionally: the table must reflect whatever state the
@@ -400,8 +470,13 @@ func (s *Store) Update(name string, req api.UpdateRequest) (api.UpdateResponse, 
 	d.relabeled += uint64(count)
 	s.metrics.updates.Add(1)
 	s.metrics.relabeled.Add(uint64(count))
-	if err != nil {
-		return api.UpdateResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	if d.journal != nil {
+		if err := s.journalUpdate(d, req, count, opErr); err != nil {
+			return api.UpdateResponse{}, err
+		}
+	}
+	if opErr != nil {
+		return api.UpdateResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, opErr)
 	}
 	nodeID := -1
 	if touched != nil {
@@ -415,10 +490,16 @@ func (s *Store) Update(name string, req api.UpdateRequest) (api.UpdateResponse, 
 // reindex rebuilds the document's derived read-only state after a
 // mutation. Callers hold the write lock.
 func (d *document) reindex() {
+	d.reindexLight()
+	d.table.Warm()
+}
+
+// reindexLight is reindex without the Warm pass — recovery replay uses it
+// because no queries run until replay finishes, so one final Warm suffices.
+func (d *document) reindexLight() {
 	plan := d.table.Plan
 	d.table = rdb.Build(d.lab)
 	d.table.Plan = plan
-	d.table.Warm()
 	d.cache.clear()
 	d.gen++
 }

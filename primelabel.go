@@ -22,6 +22,7 @@
 package primelabel
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 	"sync"
 
 	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/codec"
 	"primelabel/internal/labeling/floatlab"
 	"primelabel/internal/labeling/interval"
 	"primelabel/internal/labeling/prefix"
@@ -535,39 +537,77 @@ func (d *Document) SelfLabel(n Node) string {
 	return ""
 }
 
-// Save persists the labeled document — tree, labels, allocation state and
-// SC table — in a compact binary format, so LoadSaved can restore it
-// without relabeling (dynamic updates produce labels no relabeling pass
-// would regenerate). Only the prime scheme supports persistence.
+// ErrUnsupportedPersist reports a Save on a scheme with no persistence
+// codec (the static study variants prime-bottomup and prime-decomposed).
+var ErrUnsupportedPersist = codec.ErrUnsupported
+
+// Save persists the labeled document — tree, labels, allocation state and,
+// for the prime scheme, the SC table — in a compact binary format, so
+// LoadSaved can restore it without relabeling (dynamic updates produce
+// labels no relabeling pass would regenerate). The prime, interval, XRel,
+// prefix, Dewey and float schemes are persistable; Save returns
+// ErrUnsupportedPersist for the static study variants prime-bottomup and
+// prime-decomposed.
 func (d *Document) Save(w io.Writer) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	l, ok := d.lab.(*prime.Labeling)
-	if !ok {
-		return fmt.Errorf("primelabel: Save supports only the prime scheme (have %s)", d.lab.SchemeName())
-	}
-	return l.Marshal(w)
+	return codec.Marshal(d.lab, w)
 }
 
 // LoadSaved restores a document persisted with Save and verifies its
-// consistency.
+// consistency. Streams written by older versions of Save (which emitted the
+// prime scheme's bare format without the codec header) load transparently.
 func LoadSaved(r io.Reader) (*Document, error) {
-	l, err := prime.Unmarshal(r)
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(codec.Magic))
+	legacyPrime := err != nil || string(head) != string(codec.Magic)
+	var lab labeling.Labeling
+	if legacyPrime {
+		lab, err = prime.Unmarshal(br)
+	} else {
+		lab, err = codec.Unmarshal(br)
+	}
 	if err != nil {
 		return nil, err
 	}
-	o := l.Options()
-	cfg := Config{
-		Scheme:           Prime,
-		TrackOrder:       o.TrackOrder,
-		ReservedPrimes:   o.ReservedPrimes,
-		PowerOfTwoLeaves: o.PowerOfTwoLeaves,
-		Power2Threshold:  o.Power2Threshold,
-		SCChunk:          o.SCChunk,
-		OrderSpacing:     o.OrderSpacing,
-		RecyclePrimes:    o.RecyclePrimes,
+	return &Document{cfg: configOf(lab), doc: lab.Doc(), lab: lab, ev: xpath.New(lab)}, nil
+}
+
+// configOf reconstructs the Config a restored labeling was built with, as
+// far as the labeling records it.
+func configOf(lab labeling.Labeling) Config {
+	switch l := lab.(type) {
+	case *prime.Labeling:
+		o := l.Options()
+		return Config{
+			Scheme:           Prime,
+			TrackOrder:       o.TrackOrder,
+			ReservedPrimes:   o.ReservedPrimes,
+			PowerOfTwoLeaves: o.PowerOfTwoLeaves,
+			Power2Threshold:  o.Power2Threshold,
+			SCChunk:          o.SCChunk,
+			OrderSpacing:     o.OrderSpacing,
+			RecyclePrimes:    o.RecyclePrimes,
+		}
+	case *interval.Labeling:
+		if l.Variant() == interval.XRel {
+			return Config{Scheme: XRel}
+		}
+		return Config{Scheme: Interval}
+	case *prefix.Labeling:
+		sc := l.Scheme()
+		kind := Prefix1
+		if sc.Variant == prefix.Prefix2 {
+			kind = Prefix2
+		}
+		return Config{Scheme: kind, OrderPreserving: sc.OrderPreserving}
+	case *prefix.DeweyLabeling:
+		return Config{Scheme: Dewey}
+	case *floatlab.Labeling:
+		return Config{Scheme: Float}
+	default:
+		return Config{}
 	}
-	return &Document{cfg: cfg, doc: l.Doc(), lab: l, ev: xpath.New(l)}, nil
 }
 
 // WriteXML serializes the document.

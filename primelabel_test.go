@@ -1,6 +1,7 @@
 package primelabel
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -378,10 +379,15 @@ func TestSaveAndLoadSaved(t *testing.T) {
 	if err != nil || len(hits) != 1 {
 		t.Errorf("query after restore: %d hits, err %v", len(hits), err)
 	}
-	// Non-prime schemes refuse to Save.
+	// Baseline schemes round-trip too (the full matrix lives in
+	// TestSaveRoundTripAllSchemes); only the static study variants refuse.
 	iv := loadLibrary(t, Config{Scheme: Interval})
-	if err := iv.Save(&strings.Builder{}); err == nil {
-		t.Error("interval Save should fail")
+	if err := iv.Save(&strings.Builder{}); err != nil {
+		t.Errorf("interval Save: %v", err)
+	}
+	bu := loadLibrary(t, Config{Scheme: PrimeBottomUp})
+	if err := bu.Save(&strings.Builder{}); !errors.Is(err, ErrUnsupportedPersist) {
+		t.Errorf("bottom-up Save = %v, want ErrUnsupportedPersist", err)
 	}
 	if _, err := LoadSaved(strings.NewReader("junk")); err == nil {
 		t.Error("LoadSaved of junk should fail")
