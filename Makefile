@@ -19,7 +19,7 @@ vet:
 # lint enforces the godoc contract on the server packages: every exported
 # identifier must document its concurrency/durability behavior.
 lint:
-	$(GO) run ./cmd/doccheck ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist
+	$(GO) run ./cmd/doccheck ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/trace ./internal/hist ./internal/buildinfo
 
 test:
 	$(GO) test ./...

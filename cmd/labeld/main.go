@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,9 +33,38 @@ import (
 	"syscall"
 	"time"
 
+	"primelabel/internal/buildinfo"
 	"primelabel/internal/server"
 	"primelabel/internal/server/api"
 )
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags. Records go to w (the same stream as the startup lines, so one
+// pipeline captures both).
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -56,7 +86,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	dataDir := fs.String("data-dir", "", "directory for snapshots and update journals (empty = in-memory only)")
 	fsync := fs.Bool("fsync", true, "flush journal appends and snapshots to stable storage before acknowledging")
 	snapshotEvery := fs.Int("snapshot-every", 1024, "journal records per document before a background snapshot compaction")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this in full, with their span breakdown (0 disables)")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces (negative disables)")
+	debugAddr := fs.String("debug-addr", "", "extra listener serving net/http/pprof plus /debug/traces and /metrics (empty disables)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("labeld"))
+		return nil
+	}
+
+	logger, err := newLogger(stdout, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 
@@ -68,6 +113,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		DataDir:        *dataDir,
 		NoFsync:        !*fsync,
 		SnapshotEvery:  *snapshotEvery,
+		Logger:         logger,
+		SlowRequest:    *slowRequest,
+		TraceBuffer:    *traceBuffer,
+		DebugAddr:      *debugAddr,
 	})
 	if err != nil {
 		return err
@@ -90,7 +139,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 		name := strings.TrimSuffix(filepath.Base(*preload), filepath.Ext(*preload))
-		info, err := srv.Store().Load(name, api.LoadRequest{
+		info, err := srv.Store().Load(ctx, name, api.LoadRequest{
 			XML:        string(xml),
 			Scheme:     *scheme,
 			TrackOrder: true,

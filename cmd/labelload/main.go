@@ -6,6 +6,10 @@
 // rate and relabel totals — the dynamic-update cost metric the paper
 // optimizes.
 //
+// Every operation carries an X-Trace-Id of the form <run>-w<worker>-<op>,
+// so any latency outlier in the report can be looked up in the server's
+// /debug/traces buffer for a span-level breakdown.
+//
 // Usage:
 //
 //	labelload -addr http://127.0.0.1:8080 -workers 8 -ops 500 -write-ratio 0.05
@@ -16,13 +20,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"primelabel/internal/buildinfo"
+	"primelabel/internal/hist"
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/client"
+	"primelabel/internal/server/trace"
 )
 
 // queryMix is the rotating set of read operations each worker cycles
@@ -59,6 +65,23 @@ func main() {
 	}
 }
 
+// report renders one latency histogram line: count plus interpolated
+// percentiles from the same fixed-bucket histogram type the server exposes
+// on /metrics, so labelload's numbers and the server's stage histograms are
+// directly comparable.
+func report(stdout io.Writer, kind string, h *hist.Histogram, max time.Duration) {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "%-8s %6d ops  p50 %v  p95 %v  p99 %v  max %v\n",
+		kind, snap.Count,
+		snap.Quantile(0.50).Round(time.Microsecond),
+		snap.Quantile(0.95).Round(time.Microsecond),
+		snap.Quantile(0.99).Round(time.Microsecond),
+		max.Round(time.Microsecond))
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("labelload", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "labeld base URL")
@@ -69,15 +92,21 @@ func run(args []string, stdout io.Writer) error {
 	shelves := fs.Int("shelves", 4, "shelves in the generated document")
 	books := fs.Int("books", 25, "books per shelf in the generated document")
 	scheme := fs.String("scheme", "prime", "labeling scheme for the document")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("labelload"))
+		return nil
 	}
 	if *workers < 1 || *ops < 1 {
 		return fmt.Errorf("workers and ops must be positive")
 	}
 
 	c := client.New(*addr, nil)
-	info, err := c.Load(*doc, api.LoadRequest{
+	runID := trace.GenID()
+	info, err := c.WithTraceID(runID+"-load").Load(*doc, api.LoadRequest{
 		XML:        buildStore(*shelves, *books),
 		Scheme:     *scheme,
 		TrackOrder: true,
@@ -87,6 +116,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "loaded %q: %d elements, scheme %s, max label %d bits\n",
 		info.Name, info.Elements, info.Scheme, info.MaxLabelBits)
+	fmt.Fprintf(stdout, "trace run id %s (look up ops at /debug/traces)\n", runID)
 
 	// Every writeEvery-th operation is an insert between existing siblings
 	// — the paper's worst case for order maintenance.
@@ -95,10 +125,15 @@ func run(args []string, stdout io.Writer) error {
 		writeEvery = int(1 / *writeRatio)
 	}
 
+	// Shared histograms: Observe is atomic, so workers record concurrently.
+	queryHist := hist.NewDefault()
+	insertHist := hist.NewDefault()
+
 	type result struct {
-		latencies []time.Duration
 		queries   int
 		inserts   int
+		queryMax  time.Duration
+		insertMax time.Duration
 		err       error
 	}
 	results := make([]result, *workers)
@@ -109,8 +144,8 @@ func run(args []string, stdout io.Writer) error {
 		go func(w int) {
 			defer wg.Done()
 			res := &results[w]
-			res.latencies = make([]time.Duration, 0, *ops)
 			for i := 0; i < *ops; i++ {
+				tc := c.WithTraceID(fmt.Sprintf("%s-w%d-%d", runID, w, i))
 				t0 := time.Now()
 				var err error
 				if writeEvery > 0 && i%writeEvery == writeEvery-1 {
@@ -119,13 +154,22 @@ func run(args []string, stdout io.Writer) error {
 					// inside its own subtree), so the id stays valid across
 					// generations without re-resolving it.
 					shelf := 1 + (*shelves-1)*(1+*books*3)
-					_, err = c.Insert(*doc, shelf, 0, "book")
+					_, err = tc.Insert(*doc, shelf, 0, "book")
+					d := time.Since(t0)
+					insertHist.Observe(d)
+					if d > res.insertMax {
+						res.insertMax = d
+					}
 					res.inserts++
 				} else {
-					_, err = c.Query(*doc, queryMix[(w+i)%len(queryMix)])
+					_, err = tc.Query(*doc, queryMix[(w+i)%len(queryMix)])
+					d := time.Since(t0)
+					queryHist.Observe(d)
+					if d > res.queryMax {
+						res.queryMax = d
+					}
 					res.queries++
 				}
-				res.latencies = append(res.latencies, time.Since(t0))
 				if err != nil {
 					res.err = fmt.Errorf("worker %d op %d: %w", w, i, err)
 					return
@@ -136,31 +180,28 @@ func run(args []string, stdout io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
 	queries, inserts := 0, 0
+	var queryMax, insertMax time.Duration
 	for i := range results {
 		if results[i].err != nil {
 			return results[i].err
 		}
-		all = append(all, results[i].latencies...)
 		queries += results[i].queries
 		inserts += results[i].inserts
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
+		if results[i].queryMax > queryMax {
+			queryMax = results[i].queryMax
 		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
+		if results[i].insertMax > insertMax {
+			insertMax = results[i].insertMax
+		}
 	}
+	total := queries + inserts
 
 	fmt.Fprintf(stdout, "%d ops (%d queries, %d inserts) in %v: %.0f ops/s\n",
-		len(all), queries, inserts, elapsed.Round(time.Millisecond),
-		float64(len(all))/elapsed.Seconds())
-	fmt.Fprintf(stdout, "latency p50 %v  p95 %v  p99 %v  max %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+		total, queries, inserts, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	report(stdout, "queries", queryHist, queryMax)
+	report(stdout, "inserts", insertHist, insertMax)
 
 	final, err := c.Info(*doc)
 	if err != nil {

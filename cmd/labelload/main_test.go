@@ -35,7 +35,7 @@ func TestRunAgainstInProcessServer(t *testing.T) {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 	text := out.String()
-	for _, want := range []string{"loaded \"loadtest\"", "ops/s", "latency p50", "relabeled"} {
+	for _, want := range []string{"loaded \"loadtest\"", "ops/s", "p50", "trace run id", "relabeled"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}

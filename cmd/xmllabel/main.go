@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"primelabel"
+	"primelabel/internal/buildinfo"
 	"primelabel/internal/stream"
 )
 
@@ -32,8 +33,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opt2 := fs.Bool("opt2", false, "label leaves with powers of two")
 	summary := fs.Bool("summary", false, "print only the storage summary")
 	streaming := fs.Bool("stream", false, "one-pass streaming labeler (prime scheme only, no DOM)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("xmllabel"))
+		return nil
 	}
 
 	in := stdin

@@ -1,0 +1,142 @@
+// Package hist provides the fixed-bucket latency histogram shared by the
+// labeld server's metric registry and the labelload load generator. The
+// implementation is all atomics — concurrent Observe calls never contend on
+// a lock — which is what lets the server record every request and every
+// traced stage on the hot path, and what lets labelload aggregate latencies
+// across worker goroutines without a mutex around a sample slice.
+package hist
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are the bucket upper bounds, in seconds, used for
+// request and stage latencies. They span sub-millisecond label probes up to
+// multi-second outliers; observations above the last bound land in the
+// implicit +Inf bucket.
+var DefaultLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket duration histogram with atomic counters, safe
+// for concurrent observation without locks. The zero value is not usable;
+// construct with New or NewDefault.
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Uint64 // one per bound, plus +Inf at the end
+	sumNanos atomic.Uint64
+	total    atomic.Uint64
+}
+
+// New returns a histogram over the given ascending bucket upper bounds (in
+// seconds). The bounds slice is retained; callers must not mutate it.
+func New(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// NewDefault returns a histogram over DefaultLatencyBounds.
+func NewDefault() *Histogram { return New(DefaultLatencyBounds) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, sec)
+	h.counts[i].Add(1)
+	h.sumNanos.Add(uint64(d.Nanoseconds()))
+	h.total.Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// SumSeconds returns the sum of all observed durations in seconds.
+func (h *Histogram) SumSeconds() float64 { return float64(h.sumNanos.Load()) / 1e9 }
+
+// Bounds returns the bucket upper bounds (shared, do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Snapshot captures a point-in-time view of the histogram for exposition or
+// quantile estimation. Concurrent Observe calls may tear across buckets —
+// the snapshot is a consistent-enough view for monitoring, not an atomic
+// cut — but Count is recomputed from the bucket sum so cumulative buckets
+// and the count always agree.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+		SumSeconds: h.SumSeconds(),
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = cum
+	return s
+}
+
+// Snapshot is a frozen view of a Histogram: cumulative bucket counts (the
+// Prometheus _bucket convention, +Inf last), the total count, and the sum of
+// observations in seconds.
+type Snapshot struct {
+	// Bounds are the bucket upper bounds in seconds (+Inf implicit).
+	Bounds []float64
+	// Cumulative holds, for each bound plus the final +Inf bucket, the
+	// number of observations at or below it.
+	Cumulative []uint64
+	// Count is the total number of observations (equals the +Inf bucket).
+	Count uint64
+	// SumSeconds is the sum of all observations in seconds.
+	SumSeconds float64
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket containing the target rank. Observations beyond the last
+// bound are clamped to it, so tail quantiles that land in the +Inf bucket
+// report the last finite bound — a lower bound on the true value. Returns 0
+// when the histogram is empty.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	for i, cum := range s.Cumulative {
+		if cum < target {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			return secondsToDuration(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		prev := uint64(0)
+		if i > 0 {
+			prev = s.Cumulative[i-1]
+		}
+		inBucket := cum - prev
+		if inBucket == 0 {
+			return secondsToDuration(hi)
+		}
+		frac := float64(target-prev) / float64(inBucket)
+		return secondsToDuration(lo + (hi-lo)*frac)
+	}
+	return secondsToDuration(s.Bounds[len(s.Bounds)-1])
+}
+
+// secondsToDuration converts float seconds to a time.Duration.
+func secondsToDuration(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

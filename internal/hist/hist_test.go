@@ -1,0 +1,91 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveBuckets(t *testing.T) {
+	h := NewDefault()
+	h.Observe(50 * time.Microsecond) // below first bound
+	h.Observe(3 * time.Millisecond)  // mid-range
+	h.Observe(10 * time.Second)      // beyond last bound -> +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	s := h.Snapshot()
+	if s.Cumulative[0] != 1 {
+		t.Fatalf("first bucket = %d, want 1", s.Cumulative[0])
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3", s.Cumulative[len(s.Cumulative)-1])
+	}
+	wantSum := (50*time.Microsecond + 3*time.Millisecond + 10*time.Second).Seconds()
+	if diff := s.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+}
+
+func TestCumulativeMonotonic(t *testing.T) {
+	h := NewDefault()
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, 20 * time.Millisecond, time.Minute} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("bucket %d (%d) < bucket %d (%d): not cumulative", i, s.Cumulative[i], i-1, s.Cumulative[i-1])
+		}
+	}
+	if s.Count != s.Cumulative[len(s.Cumulative)-1] {
+		t.Fatalf("count %d != +Inf bucket %d", s.Count, s.Cumulative[len(s.Cumulative)-1])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewDefault()
+	// 100 observations in the (0.0005, 0.001] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(700 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 <= 500*time.Microsecond || p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want within (0.5ms, 1ms]", p50)
+	}
+	// Quantiles must be monotone in q.
+	if s.Quantile(0.99) < s.Quantile(0.50) {
+		t.Fatalf("p99 %v < p50 %v", s.Quantile(0.99), s.Quantile(0.50))
+	}
+	if (Snapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile != 0")
+	}
+	// +Inf observations clamp to the last finite bound.
+	h2 := NewDefault()
+	h2.Observe(time.Hour)
+	got := h2.Snapshot().Quantile(0.99)
+	want := secondsToDuration(DefaultLatencyBounds[len(DefaultLatencyBounds)-1])
+	if got != want {
+		t.Fatalf("+Inf quantile = %v, want clamp to %v", got, want)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := NewDefault()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -4,6 +4,12 @@
 // added here is immediately visible on both sides of the wire.
 package api
 
+// TraceIDHeader is the HTTP header carrying a request's trace ID. Clients
+// may set it to correlate their own records with the server's trace buffer
+// and logs; the server generates an ID when the header is absent and always
+// echoes the effective ID on the response.
+const TraceIDHeader = "X-Trace-Id"
+
 // LoadRequest loads (or replaces) a named document: the XML source plus the
 // labeling configuration — scheme selection and the paper's optimizations,
 // mirroring primelabel.Config.

@@ -10,18 +10,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"primelabel/internal/server/api"
+	"primelabel/internal/server/trace"
 )
 
 // Client talks to one labeld server. It is stateless and safe for
 // concurrent use by multiple goroutines; concurrency is bounded only by the
 // underlying http.Client.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	traceID string
 }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
@@ -31,6 +35,17 @@ func New(base string, httpClient *http.Client) *Client {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// WithTraceID returns a copy of the client that sends id as the X-Trace-Id
+// header on every request, correlating the caller's records with the
+// server's trace buffer and logs. The server echoes the effective ID back
+// on each response; an empty id reverts to server-generated IDs. The copy
+// shares the receiver's HTTP client.
+func (c *Client) WithTraceID(id string) *Client {
+	dup := *c
+	dup.traceID = id
+	return &dup
 }
 
 // APIError is a non-2xx response from the server.
@@ -67,6 +82,9 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.traceID != "" {
+		req.Header.Set(api.TraceIDHeader, c.traceID)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -181,6 +199,33 @@ func (c *Client) Healthz() (api.Health, error) {
 	var h api.Health
 	err := c.do(http.MethodGet, "/healthz", nil, &h)
 	return h, err
+}
+
+// Traces fetches the server's completed-trace buffer (newest first). The
+// filters mirror /debug/traces query parameters: endpoint and doc select by
+// name (empty matches all), min keeps only traces at least that slow, and
+// limit caps the count (0 = no cap).
+func (c *Client) Traces(endpoint, doc string, min time.Duration, limit int) (trace.Dump, error) {
+	q := url.Values{}
+	if endpoint != "" {
+		q.Set("endpoint", endpoint)
+	}
+	if doc != "" {
+		q.Set("doc", doc)
+	}
+	if min > 0 {
+		q.Set("min", min.String())
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/debug/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var dump trace.Dump
+	err := c.do(http.MethodGet, path, nil, &dump)
+	return dump, err
 }
 
 // Metrics fetches the raw metrics exposition text.

@@ -1,0 +1,124 @@
+package server
+
+// Runtime introspection surface: the /debug/traces endpoint over the
+// completed-trace ring buffer, and the optional debug listener carrying
+// net/http/pprof. Both are read-only windows into a running server — the
+// tracing layer records, this file exposes.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"primelabel/internal/server/trace"
+)
+
+// handleTraces serves the completed-trace ring buffer as JSON, newest
+// first. Query parameters filter the dump:
+//
+//	endpoint=query      only traces of the named endpoint
+//	doc=books           only traces that addressed the named document
+//	min=25ms            only traces at least this slow (Go duration syntax)
+//	limit=50            at most this many traces
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	endpoint := q.Get("endpoint")
+	doc := q.Get("doc")
+	var min time.Duration
+	if v := q.Get("min"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: bad min duration %q: %v", ErrBadRequest, v, err))
+			return
+		}
+		min = d
+	}
+	limit := -1
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("%w: bad limit %q", ErrBadRequest, v))
+			return
+		}
+		limit = n
+	}
+
+	dump := trace.Dump{Traces: []trace.TraceJSON{}}
+	for _, tr := range s.traces.Snapshot() {
+		if endpoint != "" && tr.Endpoint != endpoint {
+			continue
+		}
+		if doc != "" && tr.Doc() != doc {
+			continue
+		}
+		if min > 0 && tr.Duration() < min {
+			continue
+		}
+		dump.Traces = append(dump.Traces, tr.JSON())
+		if limit >= 0 && len(dump.Traces) >= limit {
+			break
+		}
+	}
+	dump.Count = len(dump.Traces)
+	writeJSON(w, http.StatusOK, dump)
+}
+
+// debugHandler builds the debug listener's mux: pprof under /debug/pprof/
+// plus mirrors of /debug/traces and /metrics, so profiling and trace
+// inspection stay reachable even when the public listener is saturated.
+func (s *Server) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// startDebug opens the debug listener when cfg.DebugAddr is set. Failure
+// to bind is an error: an operator who asked for pprof should not discover
+// at incident time that the flag silently did nothing.
+func (s *Server) startDebug() error {
+	if s.cfg.DebugAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.DebugAddr)
+	if err != nil {
+		return err
+	}
+	s.debugLn = ln
+	s.debugSrv = &http.Server{Handler: s.debugHandler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// The error is expected at shutdown (listener closed); anything
+		// else is logged rather than crashing the main service.
+		if err := s.debugSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logger.Error("debug listener failed", "addr", s.cfg.DebugAddr, "err", err)
+		}
+	}()
+	s.logger.Info("debug listener started", "addr", ln.Addr().String())
+	return nil
+}
+
+// stopDebug closes the debug listener if one is running.
+func (s *Server) stopDebug() {
+	if s.debugSrv != nil {
+		s.debugSrv.Close()
+		s.debugSrv = nil
+		s.debugLn = nil
+	}
+}
+
+// DebugAddr returns the bound debug listener address ("" when disabled or
+// before Start).
+func (s *Server) DebugAddr() string {
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
+}

@@ -10,12 +10,14 @@ package server
 // view).
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"primelabel/internal/rdb"
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
+	"primelabel/internal/server/trace"
 )
 
 // defaultSnapshotEvery is the journal-records-per-snapshot compaction
@@ -43,10 +45,10 @@ func (s *Store) Durable() bool { return s.persist != nil }
 // its (empty) journal. The snapshot-first order matters: a journal is only
 // meaningful relative to a base snapshot, and recovery treats a journal
 // without one as corruption.
-func (s *Store) makeDurable(d *document) error {
+func (s *Store) makeDurable(ctx context.Context, d *document) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := s.writeSnapshotLocked(d); err != nil {
+	if err := s.writeSnapshotLocked(ctx, d); err != nil {
 		return err
 	}
 	j, err := s.persist.CreateJournal(d.name)
@@ -60,15 +62,18 @@ func (s *Store) makeDurable(d *document) error {
 }
 
 // writeSnapshotLocked snapshots d through the store's manager, recording
-// metrics. Callers hold d.mu in either mode.
-func (s *Store) writeSnapshotLocked(d *document) error {
+// metrics and a snapshot_write span on any trace ctx carries. Callers hold
+// d.mu in either mode.
+func (s *Store) writeSnapshotLocked(ctx context.Context, d *document) error {
 	start := time.Now()
-	size, err := s.persist.WriteSnapshot(persist.Meta{
+	endSnap := trace.Start(ctx, trace.StageSnapshotWrite)
+	size, err := s.persist.WriteSnapshot(ctx, persist.Meta{
 		Name:       d.name,
 		Planner:    d.planner,
 		Generation: d.gen,
 		Relabeled:  d.relabeled,
 	}, d.lab)
+	endSnap()
 	if err != nil {
 		return err
 	}
@@ -84,7 +89,7 @@ func (s *Store) writeSnapshotLocked(d *document) error {
 // update. On append failure the journal is retired — the document keeps
 // serving but turns non-durable — because a journal with a hole would
 // replay into a state that diverges from what clients observed.
-func (s *Store) journalUpdate(d *document, req api.UpdateRequest, count int, opErr error) error {
+func (s *Store) journalUpdate(ctx context.Context, d *document, req api.UpdateRequest, count int, opErr error) error {
 	rec := persist.Record{
 		Gen:       d.gen,
 		Relabeled: d.relabeled,
@@ -93,12 +98,14 @@ func (s *Store) journalUpdate(d *document, req api.UpdateRequest, count int, opE
 		Req:       req,
 	}
 	rec.Req.Generation = nil // replay applies records unconditionally
-	stats, err := d.journal.Append(rec)
+	stats, err := d.journal.Append(ctx, rec)
 	if err != nil {
 		s.metrics.persistErrors.Add(1)
 		d.journal.Close()
 		d.journal = nil
 		d.durable = false
+		s.logger.Error("journal append failed; document now non-durable",
+			"doc", d.name, "err", err, "trace_id", trace.ID(ctx))
 		return fmt.Errorf("server: journal append failed, document %q is now non-durable: %v", d.name, err)
 	}
 	s.metrics.journalRecords.Add(1)
@@ -126,15 +133,18 @@ func (s *Store) compact(d *document) {
 	if d.journal == nil {
 		return // retired (replaced, deleted, or append failure) meanwhile
 	}
-	if err := s.writeSnapshotLocked(d); err != nil {
+	if err := s.writeSnapshotLocked(context.Background(), d); err != nil {
 		s.metrics.persistErrors.Add(1)
+		s.logger.Error("compaction snapshot failed; keeping journal", "doc", d.name, "err", err)
 		return // keep the journal: the old snapshot + full journal still recover
 	}
 	if err := d.journal.Reset(); err != nil {
 		s.metrics.persistErrors.Add(1)
+		s.logger.Error("compaction journal reset failed", "doc", d.name, "err", err)
 		return // harmless: records at or below the snapshot's gen replay as no-ops
 	}
 	d.sinceSnap = 0
+	s.logger.Debug("compacted document", "doc", d.name)
 }
 
 // retire detaches a document's journal under its write lock, turning it
@@ -176,7 +186,7 @@ func (s *Store) Close() error {
 	for _, d := range docs {
 		d.mu.Lock()
 		if d.journal != nil {
-			if err := s.writeSnapshotLocked(d); err != nil {
+			if err := s.writeSnapshotLocked(context.Background(), d); err != nil {
 				keep(err)
 			} else {
 				keep(d.journal.Reset())

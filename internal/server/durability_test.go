@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -42,13 +43,13 @@ func captureState(t *testing.T, st *Store, name string) docState {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := st.Query(name, "//*")
+	q, err := st.Query(context.Background(), name, "//*")
 	if err != nil {
 		t.Fatal(err)
 	}
 	state := docState{info: info, nodes: q.Nodes}
 	for b := 1; b < len(q.Nodes) && b < 6; b++ {
-		resp, err := st.Relation(name, api.RelationRequest{Kind: api.RelBefore, A: 0, B: b})
+		resp, err := st.Relation(context.Background(), name, api.RelationRequest{Kind: api.RelBefore, A: 0, B: b})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func captureState(t *testing.T, st *Store, name string) docState {
 
 func mustUpdate(t *testing.T, st *Store, name string, req api.UpdateRequest) api.UpdateResponse {
 	t.Helper()
-	resp, err := st.Update(name, req)
+	resp, err := st.Update(context.Background(), name, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func burst(t *testing.T, st *Store, name string) {
 
 func loadBooks(t *testing.T, st *Store, name string) {
 	t.Helper()
-	if _, err := st.Load(name, api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+	if _, err := st.Load(context.Background(), name, api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -300,7 +301,7 @@ func TestDeleteRemovesPersistedState(t *testing.T) {
 	st := newPersistentStore(t, dir, 1000)
 	loadBooks(t, st, "books")
 	burst(t, st, "books")
-	if err := st.Delete("books"); err != nil {
+	if err := st.Delete(context.Background(), "books"); err != nil {
 		t.Fatal(err)
 	}
 	names, err := mustManager(t, dir).List()
@@ -320,7 +321,7 @@ func TestReplaceResetsPersistedState(t *testing.T) {
 	loadBooks(t, st, "books")
 	burst(t, st, "books")
 	// Replace with a different document under the same name.
-	if _, err := st.Load("books", api.LoadRequest{XML: "<tiny><leaf/></tiny>"}); err != nil {
+	if _, err := st.Load(context.Background(), "books", api.LoadRequest{XML: "<tiny><leaf/></tiny>"}); err != nil {
 		t.Fatal(err)
 	}
 	st2 := newPersistentStore(t, dir, 1000)
@@ -339,7 +340,7 @@ func TestReplaceResetsPersistedState(t *testing.T) {
 func TestUnsupportedSchemeHostedNonDurable(t *testing.T) {
 	dir := t.TempDir()
 	st := newPersistentStore(t, dir, 1000)
-	info, err := st.Load("static", api.LoadRequest{XML: sampleXML, Scheme: "prime-bottomup"})
+	info, err := st.Load(context.Background(), "static", api.LoadRequest{XML: sampleXML, Scheme: "prime-bottomup"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func TestUnsupportedSchemeHostedNonDurable(t *testing.T) {
 	// Replacing a durable document with a non-persistable scheme clears the
 	// old on-disk state so recovery cannot resurrect it.
 	loadBooks(t, st, "books")
-	if _, err := st.Load("books", api.LoadRequest{XML: sampleXML, Scheme: "prime-decomposed"}); err != nil {
+	if _, err := st.Load(context.Background(), "books", api.LoadRequest{XML: sampleXML, Scheme: "prime-decomposed"}); err != nil {
 		t.Fatal(err)
 	}
 	if mustManager(t, dir).HasJournal("books") {
@@ -375,7 +376,7 @@ func TestRecoverAllSchemes(t *testing.T) {
 			if scheme == "prefix-1" || scheme == "prefix-2" {
 				req.OrderPreserving = true
 			}
-			if _, err := st.Load("d", req); err != nil {
+			if _, err := st.Load(context.Background(), "d", req); err != nil {
 				t.Fatal(err)
 			}
 			mustUpdate(t, st, "d", api.UpdateRequest{Op: api.OpInsert, Parent: 1, Index: 1, Tag: "book"})
@@ -384,7 +385,7 @@ func TestRecoverAllSchemes(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			q, err := st.Query("d", "//book")
+			q, err := st.Query(context.Background(), "d", "//book")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -399,7 +400,7 @@ func TestRecoverAllSchemes(t *testing.T) {
 			if info2 != info {
 				t.Errorf("info differs: %+v vs %+v", info2, info)
 			}
-			q2, err := st2.Query("d", "//book")
+			q2, err := st2.Query(context.Background(), "d", "//book")
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -3,59 +3,36 @@ package server
 import (
 	"fmt"
 	"io"
-	"sort"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"primelabel/internal/buildinfo"
+	"primelabel/internal/hist"
+	"primelabel/internal/server/trace"
 )
-
-// latencyBounds are the histogram bucket upper bounds in seconds. They span
-// sub-millisecond label probes up to the request timeout; observations above
-// the last bound land in the implicit +Inf bucket.
-var latencyBounds = []float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
-}
-
-// histogram is a fixed-bucket latency histogram with atomic counters, safe
-// for concurrent observation without locks.
-type histogram struct {
-	counts   []atomic.Uint64 // one per bound, plus +Inf at the end
-	sumNanos atomic.Uint64
-	total    atomic.Uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Uint64, len(latencyBounds)+1)}
-}
-
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	i := sort.SearchFloat64s(latencyBounds, sec)
-	h.counts[i].Add(1)
-	h.sumNanos.Add(uint64(d.Nanoseconds()))
-	h.total.Add(1)
-}
 
 // endpointStats aggregates one logical endpoint (load, query, update, ...).
 type endpointStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64 // responses with status >= 400
-	latency  *histogram
+	latency  *hist.Histogram
 }
 
 // endpointNames is the fixed set of instrumented endpoints; the map of
 // stats is built once at startup and never written again, so handler
 // goroutines can read it without locking.
 var endpointNames = []string{
-	"load", "list", "get", "delete", "query", "relation", "update", "healthz", "metrics",
+	"load", "list", "get", "delete", "query", "relation", "update", "healthz", "metrics", "traces",
 }
 
 // Metrics is the server's metric registry: plain counters plus a latency
-// histogram per endpoint, all atomics — no locks on the hot path and no
-// dependencies outside the standard library. WriteText renders the
-// Prometheus text exposition format.
+// histogram per endpoint and per traced stage, all atomics — no locks on
+// the hot path and no dependencies outside the standard library. WriteText
+// renders the Prometheus text exposition format, including Go runtime
+// series (goroutines, heap, GC) sampled at scrape time.
 type Metrics struct {
 	start     time.Time
 	documents atomic.Int64
@@ -65,8 +42,13 @@ type Metrics struct {
 	cacheMisses  atomic.Uint64
 	updates      atomic.Uint64
 	relabeled    atomic.Uint64
+	slowRequests atomic.Uint64
 	endpoints    map[string]*endpointStats
 	endpointList []string
+
+	// stages holds one duration histogram per traced stage (the closed set
+	// in trace.Stages), built once at startup and read without locking.
+	stages map[string]*hist.Histogram
 
 	// Durability counters (see internal/server/persist). All zero when the
 	// server runs without a data directory.
@@ -84,11 +66,18 @@ type Metrics struct {
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	m := &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+		stages:    make(map[string]*hist.Histogram),
+	}
 	for _, name := range endpointNames {
-		m.endpoints[name] = &endpointStats{latency: newHistogram()}
+		m.endpoints[name] = &endpointStats{latency: hist.NewDefault()}
 	}
 	m.endpointList = endpointNames
+	for _, stage := range trace.Stages {
+		m.stages[stage] = hist.NewDefault()
+	}
 	return m
 }
 
@@ -102,7 +91,18 @@ func (m *Metrics) observeRequest(endpoint string, status int, d time.Duration) {
 	if status >= 400 {
 		es.errors.Add(1)
 	}
-	es.latency.observe(d)
+	es.latency.Observe(d)
+}
+
+// observeSpans folds a completed trace's spans into the per-stage duration
+// histograms. Stages outside the fixed set are skipped (the set is closed;
+// a skip means a stage constant was added without registering it).
+func (m *Metrics) observeSpans(spans []trace.Span) {
+	for _, s := range spans {
+		if h, ok := m.stages[s.Stage]; ok {
+			h.Observe(s.Duration)
+		}
+	}
 }
 
 // CacheHitRate returns the query cache hit fraction observed so far
@@ -119,6 +119,9 @@ func (m *Metrics) CacheHitRate() float64 {
 func (m *Metrics) WriteText(w io.Writer) {
 	line := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
 
+	line("# HELP labeld_build_info Build identity (value is always 1; the information is in the labels).")
+	line(`labeld_build_info{version=%q,go_version=%q,schemes=%q} 1`,
+		buildinfo.Version, buildinfo.GoVersion(), strings.Join(buildinfo.Schemes, ","))
 	line("# HELP labeld_uptime_seconds Seconds since the server started.")
 	line("labeld_uptime_seconds %g", time.Since(m.start).Seconds())
 	line("# HELP labeld_documents Documents currently hosted.")
@@ -135,6 +138,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_updates_total %d", m.updates.Load())
 	line("# HELP labeld_relabeled_nodes_total Labels written by updates — the paper's relabeling cost, accumulated online.")
 	line("labeld_relabeled_nodes_total %d", m.relabeled.Load())
+	line("# HELP labeld_slow_requests_total Requests that exceeded the slow-request threshold and were logged in full.")
+	line("labeld_slow_requests_total %d", m.slowRequests.Load())
 
 	line("# HELP labeld_snapshots_total Document snapshots written (initial, compaction, shutdown).")
 	line("labeld_snapshots_total %d", m.snapshots.Load())
@@ -157,6 +162,20 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("# HELP labeld_persist_errors_total Durability-layer failures (snapshot, journal, cleanup).")
 	line("labeld_persist_errors_total %d", m.persistErrors.Load())
 
+	// Go runtime series, sampled at scrape time.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	line("# HELP labeld_go_goroutines Goroutines currently running.")
+	line("labeld_go_goroutines %d", runtime.NumGoroutine())
+	line("# HELP labeld_go_heap_alloc_bytes Bytes of allocated heap objects.")
+	line("labeld_go_heap_alloc_bytes %d", ms.HeapAlloc)
+	line("# HELP labeld_go_heap_objects Allocated heap objects.")
+	line("labeld_go_heap_objects %d", ms.HeapObjects)
+	line("# HELP labeld_go_gc_cycles_total Completed GC cycles.")
+	line("labeld_go_gc_cycles_total %d", ms.NumGC)
+	line("# HELP labeld_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.")
+	line("labeld_go_gc_pause_seconds_total %g", float64(ms.PauseTotalNs)/1e9)
+
 	line("# HELP labeld_requests_total HTTP requests by endpoint.")
 	for _, name := range m.endpointList {
 		line(`labeld_requests_total{endpoint=%q} %d`, name, m.endpoints[name].requests.Load())
@@ -167,16 +186,22 @@ func (m *Metrics) WriteText(w io.Writer) {
 	}
 	line("# HELP labeld_request_duration_seconds Request latency histogram by endpoint.")
 	for _, name := range m.endpointList {
-		h := m.endpoints[name].latency
-		cum := uint64(0)
-		for i, bound := range latencyBounds {
-			cum += h.counts[i].Load()
-			line(`labeld_request_duration_seconds_bucket{endpoint=%q,le=%q} %d`,
-				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
-		}
-		cum += h.counts[len(latencyBounds)].Load()
-		line(`labeld_request_duration_seconds_bucket{endpoint=%q,le="+Inf"} %d`, name, cum)
-		line(`labeld_request_duration_seconds_sum{endpoint=%q} %g`, name, float64(h.sumNanos.Load())/1e9)
-		line(`labeld_request_duration_seconds_count{endpoint=%q} %d`, name, h.total.Load())
+		writeHistogram(line, "labeld_request_duration_seconds", "endpoint", name, m.endpoints[name].latency.Snapshot())
 	}
+	line("# HELP labeld_stage_duration_seconds Traced stage latency histogram (lock waits, XPath evaluation, relabeling, journal fsyncs, ...).")
+	for _, stage := range trace.Stages {
+		writeHistogram(line, "labeld_stage_duration_seconds", "stage", stage, m.stages[stage].Snapshot())
+	}
+}
+
+// writeHistogram renders one histogram in Prometheus exposition form:
+// cumulative _bucket lines, then _sum and _count.
+func writeHistogram(line func(string, ...any), family, labelKey, labelVal string, s hist.Snapshot) {
+	for i, bound := range s.Bounds {
+		line(`%s_bucket{%s=%q,le=%q} %d`,
+			family, labelKey, labelVal, strconv.FormatFloat(bound, 'g', -1, 64), s.Cumulative[i])
+	}
+	line(`%s_bucket{%s=%q,le="+Inf"} %d`, family, labelKey, labelVal, s.Cumulative[len(s.Cumulative)-1])
+	line(`%s_sum{%s=%q} %g`, family, labelKey, labelVal, s.SumSeconds)
+	line(`%s_count{%s=%q} %d`, family, labelKey, labelVal, s.Count)
 }

@@ -4,28 +4,9 @@ import (
 	"strings"
 	"testing"
 	"time"
-)
 
-func TestHistogramBuckets(t *testing.T) {
-	h := newHistogram()
-	h.observe(50 * time.Microsecond) // below first bound
-	h.observe(3 * time.Millisecond)  // mid-range
-	h.observe(10 * time.Second)      // beyond last bound -> +Inf
-	if h.total.Load() != 3 {
-		t.Fatalf("total = %d", h.total.Load())
-	}
-	if h.counts[0].Load() != 1 {
-		t.Fatalf("first bucket = %d, want 1", h.counts[0].Load())
-	}
-	if h.counts[len(latencyBounds)].Load() != 1 {
-		t.Fatalf("+Inf bucket = %d, want 1", h.counts[len(latencyBounds)].Load())
-	}
-	wantSum := uint64((50 * time.Microsecond).Nanoseconds() +
-		(3 * time.Millisecond).Nanoseconds() + (10 * time.Second).Nanoseconds())
-	if h.sumNanos.Load() != wantSum {
-		t.Fatalf("sum = %d, want %d", h.sumNanos.Load(), wantSum)
-	}
-}
+	"primelabel/internal/server/trace"
+)
 
 func TestMetricsExposition(t *testing.T) {
 	m := NewMetrics()
@@ -34,9 +15,14 @@ func TestMetricsExposition(t *testing.T) {
 	m.cacheHits.Add(4)
 	m.cacheMisses.Add(6)
 	m.relabeled.Add(7)
+	m.slowRequests.Add(1)
 	m.observeRequest("query", 200, 2*time.Millisecond)
 	m.observeRequest("query", 400, 20*time.Millisecond)
 	m.observeRequest("nosuch", 200, time.Millisecond) // ignored, not registered
+	m.observeSpans([]trace.Span{
+		{Stage: trace.StageXPathEval, Duration: time.Millisecond},
+		{Stage: "nosuch", Duration: time.Millisecond}, // ignored, not registered
+	})
 
 	var b strings.Builder
 	m.WriteText(&b)
@@ -48,10 +34,17 @@ func TestMetricsExposition(t *testing.T) {
 		"labeld_query_cache_misses_total 6",
 		"labeld_query_cache_hit_rate 0.4",
 		"labeld_relabeled_nodes_total 7",
+		"labeld_slow_requests_total 1",
+		"labeld_build_info{",
+		"labeld_go_goroutines ",
+		"labeld_go_heap_alloc_bytes ",
+		"labeld_go_gc_pause_seconds_total ",
 		`labeld_requests_total{endpoint="query"} 2`,
 		`labeld_request_errors_total{endpoint="query"} 1`,
 		`labeld_request_duration_seconds_count{endpoint="query"} 2`,
 		`labeld_request_duration_seconds_bucket{endpoint="query",le="+Inf"} 2`,
+		`labeld_stage_duration_seconds_count{stage="xpath_eval"} 1`,
+		`labeld_stage_duration_seconds_bucket{stage="xpath_eval",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"primelabel/internal/server/api"
+	"primelabel/internal/server/trace"
 )
 
 // journalMagic identifies a journal file (version 1).
@@ -130,27 +132,37 @@ func (m *Manager) OpenJournalAt(name string, validEnd int64) (*Journal, error) {
 }
 
 // Append writes one record and, when fsync is enabled, returns only after
-// it is on stable storage — the moment an update becomes crash-durable.
-func (j *Journal) Append(rec Record) (AppendStats, error) {
+// it is on stable storage — the moment an update becomes crash-durable. A
+// trace carried by ctx receives journal_append (marshal + write) and
+// journal_fsync spans, so a slow durable update shows where the time went.
+func (j *Journal) Append(ctx context.Context, rec Record) (AppendStats, error) {
 	if j.f == nil {
 		return AppendStats{}, errors.New("persist: journal closed")
 	}
+	endAppend := trace.Start(ctx, trace.StageJournalAppend)
 	payload, err := json.Marshal(rec)
 	if err != nil {
+		endAppend()
 		return AppendStats{}, err
 	}
 	frame := encodeFrame(payload)
 	if _, err := j.f.Write(frame); err != nil {
+		endAppend()
 		return AppendStats{}, err
 	}
+	endAppend()
 	stats := AppendStats{Bytes: len(frame)}
 	if j.fsync {
+		endFsync := trace.Start(ctx, trace.StageJournalFsync)
 		start := time.Now()
-		if err := j.f.Sync(); err != nil {
+		err := j.f.Sync()
+		stats.FsyncDuration = time.Since(start)
+		endFsync()
+		if err != nil {
+			stats.FsyncDuration = 0
 			return stats, err
 		}
 		stats.Fsynced = true
-		stats.FsyncDuration = time.Since(start)
 	}
 	return stats, nil
 }

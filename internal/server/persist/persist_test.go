@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"reflect"
@@ -54,7 +55,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	m := openManager(t)
 	lab := sampleLabeling(t)
 	meta := Meta{Name: "books", Planner: "stacktree", Generation: 7, Relabeled: 12}
-	size, err := m.WriteSnapshot(meta, lab)
+	size, err := m.WriteSnapshot(context.Background(), meta, lab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,10 +77,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotReplaceIsAtomic(t *testing.T) {
 	m := openManager(t)
 	lab := sampleLabeling(t)
-	if _, err := m.WriteSnapshot(Meta{Name: "d", Planner: "stacktree", Generation: 1}, lab); err != nil {
+	if _, err := m.WriteSnapshot(context.Background(), Meta{Name: "d", Planner: "stacktree", Generation: 1}, lab); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.WriteSnapshot(Meta{Name: "d", Planner: "stacktree", Generation: 2}, lab); err != nil {
+	if _, err := m.WriteSnapshot(context.Background(), Meta{Name: "d", Planner: "stacktree", Generation: 2}, lab); err != nil {
 		t.Fatal(err)
 	}
 	meta, _, err := m.LoadSnapshot("d")
@@ -104,7 +105,7 @@ func TestLoadSnapshotMissing(t *testing.T) {
 func TestLoadSnapshotCorrupt(t *testing.T) {
 	m := openManager(t)
 	lab := sampleLabeling(t)
-	if _, err := m.WriteSnapshot(Meta{Name: "d", Planner: "stacktree"}, lab); err != nil {
+	if _, err := m.WriteSnapshot(context.Background(), Meta{Name: "d", Planner: "stacktree"}, lab); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(m.snapPath("d"))
@@ -144,7 +145,7 @@ func TestJournalAppendReplay(t *testing.T) {
 	defer j.Close()
 	want := testRecords()
 	for _, rec := range want {
-		stats, err := j.Append(rec)
+		stats, err := j.Append(context.Background(), rec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func appendAll(t *testing.T, m *Manager, name string, recs []Record) (string, []
 	path := m.journalPath(name)
 	sizes := []int64{int64(len(journalMagic))}
 	for _, rec := range recs {
-		if _, err := j.Append(rec); err != nil {
+		if _, err := j.Append(context.Background(), rec); err != nil {
 			t.Fatal(err)
 		}
 		fi, err := os.Stat(path)
@@ -264,7 +265,7 @@ func TestJournalReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j.Close()
-	if _, err := j.Append(testRecords()[0]); err != nil {
+	if _, err := j.Append(context.Background(), testRecords()[0]); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Reset(); err != nil {
@@ -275,7 +276,7 @@ func TestJournalReset(t *testing.T) {
 		t.Fatalf("after reset: %v, %d, %v", recs, validEnd, err)
 	}
 	// Appends continue to work after a reset.
-	if _, err := j.Append(testRecords()[1]); err != nil {
+	if _, err := j.Append(context.Background(), testRecords()[1]); err != nil {
 		t.Fatal(err)
 	}
 	recs, _, err = m.ReplayJournal("d")
@@ -301,7 +302,7 @@ func TestOpenJournalAtTruncatesTornTail(t *testing.T) {
 	}
 	defer j.Close()
 	extra := Record{Gen: 3, Req: api.UpdateRequest{Op: api.OpInsert, Tag: "z"}}
-	if _, err := j.Append(extra); err != nil {
+	if _, err := j.Append(context.Background(), extra); err != nil {
 		t.Fatal(err)
 	}
 	recs, _, err = m.ReplayJournal("d")
@@ -316,7 +317,7 @@ func TestOpenJournalAtTruncatesTornTail(t *testing.T) {
 func TestListRemoveHasJournal(t *testing.T) {
 	m := openManager(t)
 	lab := sampleLabeling(t)
-	if _, err := m.WriteSnapshot(Meta{Name: "a", Planner: "stacktree"}, lab); err != nil {
+	if _, err := m.WriteSnapshot(context.Background(), Meta{Name: "a", Planner: "stacktree"}, lab); err != nil {
 		t.Fatal(err)
 	}
 	j, err := m.CreateJournal("b")

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
+	"primelabel/internal/server/trace"
 )
 
 // Config tunes a Server. The zero value is usable: it listens on a random
@@ -39,6 +43,22 @@ type Config struct {
 	// triggers a background snapshot compaction (default 1024). Only
 	// meaningful with DataDir.
 	SnapshotEvery int
+	// Logger receives the server's structured log records (per-request
+	// debug lines, slow-request reports, durability errors). Nil discards
+	// all logging.
+	Logger *slog.Logger
+	// SlowRequest is the duration beyond which a request is logged in full
+	// — trace ID, endpoint, document, and every recorded span. Zero
+	// disables slow-request logging.
+	SlowRequest time.Duration
+	// TraceBuffer is the capacity of the completed-trace ring buffer served
+	// by /debug/traces (default 256; negative disables trace retention —
+	// requests still carry trace IDs, but /debug/traces stays empty).
+	TraceBuffer int
+	// DebugAddr, when set, starts a second listener serving net/http/pprof
+	// under /debug/pprof/ plus mirrors of /debug/traces and /metrics. Keep
+	// it off the public address: pprof exposes heap and goroutine dumps.
+	DebugAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +77,12 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 1024
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	}
 	return c
 }
 
@@ -65,9 +91,13 @@ type Server struct {
 	cfg      Config
 	store    *Store
 	metrics  *Metrics
+	logger   *slog.Logger
+	traces   *trace.Ring
 	httpSrv  *http.Server
 	ln       net.Listener
 	serveErr chan error
+	debugSrv *http.Server
+	debugLn  net.Listener
 }
 
 // New returns an unstarted server. When cfg.DataDir is set it opens (and if
@@ -79,8 +109,11 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
+		logger:  cfg.Logger,
+		traces:  trace.NewRing(cfg.TraceBuffer),
 		store:   NewStore(m, cfg.CacheSize),
 	}
+	s.store.SetLogger(cfg.Logger)
 	if cfg.DataDir != "" {
 		mgr, err := persist.Open(cfg.DataDir, !cfg.NoFsync)
 		if err != nil {
@@ -111,11 +144,13 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler builds the routed, instrumented HTTP handler. Every endpoint is
-// wrapped with latency/error accounting and the request timeout.
+// wrapped with tracing (X-Trace-Id honor/generate/echo, span collection,
+// slow-request logging), latency/error accounting, and the request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraces))
 	mux.HandleFunc("GET /docs", s.instrument("list", s.handleList))
 	mux.HandleFunc("PUT /docs/{name}", s.instrument("load", s.handleLoad))
 	mux.HandleFunc("GET /docs/{name}", s.instrument("get", s.handleInfo))
@@ -138,15 +173,69 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-endpoint request counting and latency
-// observation.
+// requestTraceID extracts a usable trace ID from the request, generating
+// one when the caller sent none (or sent something abusive: over-long or
+// containing control characters).
+func requestTraceID(r *http.Request) string {
+	id := strings.TrimSpace(r.Header.Get(api.TraceIDHeader))
+	if id == "" || len(id) > trace.MaxIDLen {
+		return trace.GenID()
+	}
+	for _, c := range id {
+		if c < 0x20 || c == 0x7f {
+			return trace.GenID()
+		}
+	}
+	return id
+}
+
+// instrument wraps a handler with request tracing plus per-endpoint request
+// counting and latency observation. Each request gets a Trace (honoring an
+// incoming X-Trace-Id, always echoing the ID in the response header)
+// carried via the request context; when the handler returns, the trace is
+// sealed, its spans feed the stage-duration histograms, the completed trace
+// lands in the /debug/traces ring (except traces of /debug/traces itself),
+// and requests over the slow threshold are logged in full.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		tr := trace.New(requestTraceID(r), endpoint)
+		tr.SetDoc(r.PathValue("name"))
+		w.Header().Set(api.TraceIDHeader, tr.ID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		s.metrics.observeRequest(endpoint, sw.status, time.Since(start))
+		h(sw, r.WithContext(trace.NewContext(r.Context(), tr)))
+		tr.Finish(sw.status)
+		dur := tr.Duration()
+		s.metrics.observeRequest(endpoint, sw.status, dur)
+		s.metrics.observeSpans(tr.Spans())
+		if endpoint != "traces" {
+			s.traces.Add(tr)
+		}
+		if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
+			s.metrics.slowRequests.Add(1)
+			s.logger.Warn("slow request",
+				"trace_id", tr.ID, "endpoint", endpoint, "doc", tr.Doc(),
+				"status", sw.status, "duration", dur, "spans", spanAttrs(tr.Spans()))
+		} else {
+			s.logger.Debug("request",
+				"trace_id", tr.ID, "endpoint", endpoint, "doc", tr.Doc(),
+				"status", sw.status, "duration", dur)
+		}
 	}
+}
+
+// spanAttrs renders spans as a compact stage=duration list for log records.
+func spanAttrs(spans []trace.Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Stage, sp.Duration)
+	}
+	return b.String()
 }
 
 // maxBodyBytes bounds request bodies; documents arrive inline in load
@@ -209,7 +298,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	info, err := s.store.Load(r.PathValue("name"), req)
+	info, err := s.store.Load(r.Context(), r.PathValue("name"), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -227,7 +316,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("name")); err != nil {
+	if err := s.store.Delete(r.Context(), r.PathValue("name")); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -239,7 +328,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.store.Query(r.PathValue("name"), req.XPath)
+	resp, err := s.store.Query(r.Context(), r.PathValue("name"), req.XPath)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -252,7 +341,7 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.store.Relation(r.PathValue("name"), req)
+	resp, err := s.store.Relation(r.Context(), r.PathValue("name"), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -265,7 +354,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.store.Update(r.PathValue("name"), req)
+	resp, err := s.store.Update(r.Context(), r.PathValue("name"), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -280,6 +369,10 @@ func (s *Server) Start() (string, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return "", err
+	}
+	if err := s.startDebug(); err != nil {
+		ln.Close()
+		return "", fmt.Errorf("server: debug listener: %w", err)
 	}
 	s.ln = ln
 	s.serveErr = make(chan error, 1)
@@ -304,6 +397,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.ShutdownGrace)
 		defer cancel()
 	}
+	s.stopDebug()
 	if err := s.httpSrv.Shutdown(ctx); err != nil {
 		s.store.Close()
 		return err
@@ -324,14 +418,20 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if err := s.startDebug(); err != nil {
+		ln.Close()
+		return fmt.Errorf("server: debug listener: %w", err)
+	}
 	s.ln = ln
 	errc := make(chan error, 1)
 	go func() { errc <- s.httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		s.stopDebug()
 		return err
 	case <-ctx.Done():
 	}
+	s.stopDebug()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	if err := s.httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -17,8 +17,11 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +35,7 @@ import (
 	"primelabel/internal/rdb"
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
+	"primelabel/internal/server/trace"
 	"primelabel/internal/xmlparse"
 	"primelabel/internal/xmltree"
 )
@@ -79,6 +83,10 @@ type Store struct {
 	mu      sync.RWMutex
 	docs    map[string]*document
 	metrics *Metrics
+	// logger receives structured records for store-level events that are
+	// not tied to a request's response (journal failures, compaction
+	// errors). Never nil; defaults to a discarding logger.
+	logger *slog.Logger
 	// cacheCap is the per-document query cache capacity.
 	cacheCap int
 	// persist, when non-nil, is the durability layer every persistable
@@ -92,7 +100,22 @@ type Store struct {
 // NewStore returns an empty registry reporting into metrics. cacheCap is
 // the per-document LRU capacity (<= 0 disables query caching).
 func NewStore(metrics *Metrics, cacheCap int) *Store {
-	return &Store{docs: make(map[string]*document), metrics: metrics, cacheCap: cacheCap}
+	return &Store{
+		docs:     make(map[string]*document),
+		metrics:  metrics,
+		logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		cacheCap: cacheCap,
+	}
+}
+
+// SetLogger directs the store's structured log output. Call before the
+// store starts serving; it is not safe to swap the logger concurrently
+// with requests. A nil logger restores the discarding default.
+func (s *Store) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.logger = l
 }
 
 // buildScheme materializes the labeling scheme a load request asks for.
@@ -144,8 +167,9 @@ func plannerOf(name string) (rdb.Planner, string, error) {
 // Load parses, labels and indexes a document, replacing any existing
 // document with the same name. Replacement resets the generation counter:
 // conditional requests against the old instance fail with a stale
-// generation, which is the intended signal.
-func (s *Store) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
+// generation, which is the intended signal. A trace carried by ctx records
+// parse, label, index and (on a durable server) snapshot_write spans.
+func (s *Store) Load(ctx context.Context, name string, req api.LoadRequest) (api.DocInfo, error) {
 	if name == "" || strings.ContainsAny(name, "/ ") {
 		return api.DocInfo{}, fmt.Errorf("%w: document name must be non-empty without '/' or spaces", ErrBadRequest)
 	}
@@ -160,17 +184,23 @@ func (s *Store) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
 	if err != nil {
 		return api.DocInfo{}, err
 	}
+	endParse := trace.Start(ctx, trace.StageParse)
 	tree, err := xmlparse.ParseDocument(strings.NewReader(req.XML), xmlparse.Options{})
+	endParse()
 	if err != nil {
 		return api.DocInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	endLabel := trace.Start(ctx, trace.StageLabel)
 	lab, err := scheme.Label(tree)
+	endLabel()
 	if err != nil {
 		return api.DocInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	endIndex := trace.Start(ctx, trace.StageIndex)
 	table := rdb.Build(lab)
 	table.Plan = plan
 	table.Warm()
+	endIndex()
 	d := &document{
 		name:    name,
 		planner: planName,
@@ -199,7 +229,7 @@ func (s *Store) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
 			if err := s.persist.Remove(name); err != nil {
 				s.metrics.persistErrors.Add(1)
 			}
-		} else if err := s.makeDurable(d); err != nil {
+		} else if err := s.makeDurable(ctx, d); err != nil {
 			s.metrics.persistErrors.Add(1)
 			return api.DocInfo{}, fmt.Errorf("server: document %q loaded but not durable: %v", name, err)
 		}
@@ -224,7 +254,7 @@ func (s *Store) get(name string) (*document, error) {
 // Delete removes a document from the registry along with its persisted
 // state. In-flight requests holding the old document finish against it; new
 // requests see 404.
-func (s *Store) Delete(name string) error {
+func (s *Store) Delete(ctx context.Context, name string) error {
 	s.mu.Lock()
 	d, ok := s.docs[name]
 	delete(s.docs, name)
@@ -302,8 +332,9 @@ func (d *document) info() api.DocInfo {
 }
 
 // Query evaluates an XPath-subset expression under the document's read
-// lock, consulting the per-document LRU first.
-func (s *Store) Query(name, query string) (*api.QueryResponse, error) {
+// lock, consulting the per-document LRU first. A trace carried by ctx
+// records lock_wait, cache_lookup and (on a miss) xpath_eval spans.
+func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryResponse, error) {
 	if query == "" {
 		return nil, fmt.Errorf("%w: empty xpath", ErrBadRequest)
 	}
@@ -312,16 +343,23 @@ func (s *Store) Query(name, query string) (*api.QueryResponse, error) {
 		return nil, err
 	}
 	s.metrics.queries.Add(1)
+	endLock := trace.Start(ctx, trace.StageLockWait)
 	d.mu.RLock()
+	endLock()
 	defer d.mu.RUnlock()
-	if cached, ok := d.cache.get(query); ok {
+	endCache := trace.Start(ctx, trace.StageCacheLookup)
+	cached, ok := d.cache.get(query)
+	endCache()
+	if ok {
 		s.metrics.cacheHits.Add(1)
 		resp := *cached
 		resp.Cached = true
 		return &resp, nil
 	}
 	s.metrics.cacheMisses.Add(1)
+	endEval := trace.Start(ctx, trace.StageXPathEval)
 	rows, err := d.table.ExecPathString(query)
+	endEval()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -359,13 +397,16 @@ func (d *document) checkGeneration(want *uint64) error {
 	return nil
 }
 
-// Relation answers an ancestor/parent/before probe from labels alone.
-func (s *Store) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
+// Relation answers an ancestor/parent/before probe from labels alone. A
+// trace carried by ctx records lock_wait and label_probe spans.
+func (s *Store) Relation(ctx context.Context, name string, req api.RelationRequest) (api.RelationResponse, error) {
 	d, err := s.get(name)
 	if err != nil {
 		return api.RelationResponse{}, err
 	}
+	endLock := trace.Start(ctx, trace.StageLockWait)
 	d.mu.RLock()
+	endLock()
 	defer d.mu.RUnlock()
 	if err := d.checkGeneration(req.Generation); err != nil {
 		return api.RelationResponse{}, err
@@ -378,6 +419,8 @@ func (s *Store) Relation(name string, req api.RelationRequest) (api.RelationResp
 	if err != nil {
 		return api.RelationResponse{}, err
 	}
+	endProbe := trace.Start(ctx, trace.StageLabelProbe)
+	defer endProbe()
 	var result bool
 	switch req.Kind {
 	case api.RelAncestor:
@@ -448,30 +491,39 @@ func (d *document) applyOp(req api.UpdateRequest) (count int, touched *xmltree.N
 // When the document is durable the update is journaled (and, with fsync on,
 // on stable storage) before the response is written; a journal failure fails
 // the request and retires the journal so recovery never replays past a hole.
-func (s *Store) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
+// A trace carried by ctx records lock_wait, relabel, reindex and — on a
+// durable document — journal_append and journal_fsync spans, the breakdown
+// that answers "why was this update slow?".
+func (s *Store) Update(ctx context.Context, name string, req api.UpdateRequest) (api.UpdateResponse, error) {
 	d, err := s.get(name)
 	if err != nil {
 		return api.UpdateResponse{}, err
 	}
+	endLock := trace.Start(ctx, trace.StageLockWait)
 	d.mu.Lock()
+	endLock()
 	defer d.mu.Unlock()
 	if err := d.checkGeneration(req.Generation); err != nil {
 		return api.UpdateResponse{}, err
 	}
 
+	endRelabel := trace.Start(ctx, trace.StageRelabel)
 	count, touched, applied, opErr := d.applyOp(req)
+	endRelabel()
 	if !applied {
 		return api.UpdateResponse{}, opErr
 	}
 
 	// Reindex unconditionally: the table must reflect whatever state the
 	// labeling is in now.
+	endReindex := trace.Start(ctx, trace.StageReindex)
 	d.reindex()
+	endReindex()
 	d.relabeled += uint64(count)
 	s.metrics.updates.Add(1)
 	s.metrics.relabeled.Add(uint64(count))
 	if d.journal != nil {
-		if err := s.journalUpdate(d, req, count, opErr); err != nil {
+		if err := s.journalUpdate(ctx, d, req, count, opErr); err != nil {
 			return api.UpdateResponse{}, err
 		}
 	}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a fixed-size lock-free buffer of completed traces. Writers claim
+// a slot with one atomic increment and publish with one atomic pointer
+// store, so recording a finished request never blocks another; the buffer
+// keeps the most recent capacity traces and overwrites the oldest. Snapshot
+// is best-effort by design: a reader racing a writer sees either the old or
+// the new trace in a slot, never a torn one.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// NewRing returns a ring holding up to capacity completed traces.
+// capacity <= 0 returns a nil ring, on which Add and Snapshot are safe
+// no-ops — the "tracing buffer disabled" configuration.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Add publishes a completed trace, overwriting the oldest entry when full.
+// Safe for concurrent use; nil-safe on both receiver and argument.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// Len returns the number of traces currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the buffered traces, newest first.
+func (r *Ring) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}

@@ -1,0 +1,63 @@
+package trace
+
+import "time"
+
+// SpanJSON is the wire form of one span as served by /debug/traces.
+// Durations are float milliseconds — the unit operators reason in.
+type SpanJSON struct {
+	// Stage is the span's stage name.
+	Stage string `json:"stage"`
+	// OffsetMS is the span's start relative to the trace start.
+	OffsetMS float64 `json:"offset_ms"`
+	// DurationMS is the span's duration.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// TraceJSON is the wire form of one completed trace as served by
+// /debug/traces.
+type TraceJSON struct {
+	// ID is the trace ID (caller-supplied or server-generated).
+	ID string `json:"id"`
+	// Endpoint is the logical endpoint name.
+	Endpoint string `json:"endpoint"`
+	// Doc is the document the request addressed, if any.
+	Doc string `json:"doc,omitempty"`
+	// Status is the HTTP response status.
+	Status int `json:"status"`
+	// Start is when handling began.
+	Start time.Time `json:"start"`
+	// DurationMS is the total handling time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Spans are the timed stages, in recording order.
+	Spans []SpanJSON `json:"spans"`
+}
+
+// Dump is the /debug/traces response envelope.
+type Dump struct {
+	// Count is the number of traces returned (after filtering).
+	Count int `json:"count"`
+	// Traces are the matching traces, newest first.
+	Traces []TraceJSON `json:"traces"`
+}
+
+// JSON renders the trace in its wire form.
+func (t *Trace) JSON() TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceJSON{
+		ID:         t.ID,
+		Endpoint:   t.Endpoint,
+		Doc:        t.doc,
+		Status:     t.status,
+		Start:      t.Start,
+		DurationMS: ms(t.duration),
+		Spans:      make([]SpanJSON, len(t.spans)),
+	}
+	for i, s := range t.spans {
+		out.Spans[i] = SpanJSON{Stage: s.Stage, OffsetMS: ms(s.Offset), DurationMS: ms(s.Duration)}
+	}
+	return out
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
