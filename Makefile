@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race fuzz verify clean
+.PHONY: build vet lint test race fuzz verify bench-update clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJournalFrames -fuzztime 10s ./internal/server/persist
 
 verify: build vet lint test race fuzz
+
+# bench-update measures the batched-update pipeline: batch-vs-single insert
+# throughput under fsync and incremental-vs-full reindex scaling, written as
+# machine-readable JSON to BENCH_update.json. Informational, not a gate —
+# CI runs it non-blocking because shared runners make timings noisy.
+bench-update:
+	BENCH_UPDATE_JSON=$(CURDIR)/BENCH_update.json $(GO) test ./internal/server -run '^TestUpdateBenchReport$$' -v -timeout 900s
 
 # clean removes build products and stray test data directories.
 clean:

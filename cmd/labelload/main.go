@@ -89,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 8, "concurrent workers")
 	ops := fs.Int("ops", 400, "operations per worker")
 	writeRatio := fs.Float64("write-ratio", 0.05, "fraction of operations that are inserts")
+	batch := fs.Int("batch", 1, "inserts per write operation; >1 sends them as one batch update request")
 	shelves := fs.Int("shelves", 4, "shelves in the generated document")
 	books := fs.Int("books", 25, "books per shelf in the generated document")
 	scheme := fs.String("scheme", "prime", "labeling scheme for the document")
@@ -152,15 +153,30 @@ func run(args []string, stdout io.Writer) error {
 					// Always insert into the last shelf: its document-order
 					// row id is unaffected by the new rows (they all land
 					// inside its own subtree), so the id stays valid across
-					// generations without re-resolving it.
+					// generations without re-resolving it — and within a
+					// batch, so every op can name the same parent.
 					shelf := 1 + (*shelves-1)*(1+*books*3)
-					_, err = tc.Insert(*doc, shelf, 0, "book")
+					if *batch > 1 {
+						breq := api.BatchUpdateRequest{Ops: make([]api.UpdateRequest, *batch)}
+						for k := range breq.Ops {
+							breq.Ops[k] = api.UpdateRequest{Op: api.OpInsert, Parent: shelf, Index: 0, Tag: "book"}
+						}
+						var bresp api.BatchUpdateResponse
+						bresp, err = tc.UpdateBatch(*doc, breq)
+						if err == nil && bresp.Failed >= 0 {
+							err = fmt.Errorf("batch stopped at op %d: %s",
+								bresp.Failed, bresp.Results[bresp.Failed].Error)
+						}
+						res.inserts += *batch
+					} else {
+						_, err = tc.Insert(*doc, shelf, 0, "book")
+						res.inserts++
+					}
 					d := time.Since(t0)
 					insertHist.Observe(d)
 					if d > res.insertMax {
 						res.insertMax = d
 					}
-					res.inserts++
 				} else {
 					_, err = tc.Query(*doc, queryMix[(w+i)%len(queryMix)])
 					d := time.Since(t0)

@@ -49,6 +49,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.total.Add(1)
 }
 
+// ObserveValue records one unitless observation against the same buckets,
+// for histograms whose bounds are plain counts rather than seconds (e.g.
+// the server's journal group-commit batch size). The value is stored at
+// nanosecond resolution internally so SumSeconds returns the plain sum of
+// observed values; Quantile results are likewise plain values dressed as a
+// time.Duration in seconds. Safe for concurrent use, like Observe.
+func (h *Histogram) ObserveValue(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sumNanos.Add(uint64(v * 1e9))
+	h.total.Add(1)
+}
+
 // Count returns the number of observations so far.
 func (h *Histogram) Count() uint64 { return h.total.Load() }
 

@@ -31,34 +31,78 @@ func (l *Labeling) validateFresh(n *xmltree.Node) error {
 // orderBounds returns the order numbers of the elements surrounding a
 // just-inserted node n in document order (0 for a missing neighbor).
 // Positions cannot be used directly because deletions — and sparse spacing
-// — leave gaps in the order numbering.
+// — leave gaps in the order numbering. Both neighbors are found by local
+// tree navigation (previous sibling's deepest descendant, first child, or
+// an ancestor's following sibling), so the cost is O(depth + fan-in) per
+// update, not a walk over the whole document.
 func (l *Labeling) orderBounds(n *xmltree.Node) (prev, next int, err error) {
-	seen := false
-	var fail error
-	xmltree.WalkElements(l.doc.Root, func(m *xmltree.Node) bool {
-		if m == n {
-			seen = true
-			return true // continue into the next preorder element
+	if p := precedingElement(n, l.doc.Root); p != nil {
+		if prev, err = l.OrderOf(p); err != nil {
+			return 0, 0, err
 		}
-		if m == l.doc.Root {
-			return true
+	}
+	if s := followingElement(n); s != nil {
+		if next, err = l.OrderOf(s); err != nil {
+			return 0, 0, err
 		}
-		o, oerr := l.OrderOf(m)
-		if oerr != nil {
-			fail = oerr
-			return false
-		}
-		if seen {
-			next = o
-			return false
-		}
-		prev = o
-		return true
-	})
-	if fail != nil {
-		return 0, 0, fail
 	}
 	return prev, next, nil
+}
+
+// precedingElement returns n's preorder predecessor element, or nil when
+// the predecessor is root (which carries no order number) or absent.
+func precedingElement(n, root *xmltree.Node) *xmltree.Node {
+	p := n.Parent
+	if p == nil {
+		return nil
+	}
+	for i := p.ChildIndex(n) - 1; i >= 0; i-- {
+		c := p.Children[i]
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		// The predecessor is the deepest last element in this subtree.
+		for {
+			last := lastElementChild(c)
+			if last == nil {
+				return c
+			}
+			c = last
+		}
+	}
+	if p == root {
+		return nil
+	}
+	return p
+}
+
+func lastElementChild(n *xmltree.Node) *xmltree.Node {
+	for i := len(n.Children) - 1; i >= 0; i-- {
+		if n.Children[i].Kind == xmltree.ElementNode {
+			return n.Children[i]
+		}
+	}
+	return nil
+}
+
+// followingElement returns n's preorder successor element: its first
+// element child, or the nearest following element sibling of n or of one
+// of its ancestors.
+func followingElement(n *xmltree.Node) *xmltree.Node {
+	for _, c := range n.Children {
+		if c.Kind == xmltree.ElementNode {
+			return c
+		}
+	}
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		p := cur.Parent
+		for _, c := range p.Children[p.ChildIndex(cur)+1:] {
+			if c.Kind == xmltree.ElementNode {
+				return c
+			}
+		}
+	}
+	return nil
 }
 
 // insertTracked registers a freshly labeled node in the SC table between
@@ -172,24 +216,12 @@ func (l *Labeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		// The wrapper slots in immediately before the target.
-		xmltree.WalkElements(l.doc.Root, func(m *xmltree.Node) bool {
-			if m == target {
-				return false
+		// The wrapper slots in immediately before the target, so its
+		// predecessor in document order is the target's.
+		if p := precedingElement(target, l.doc.Root); p != nil {
+			if prevOrd, err = l.OrderOf(p); err != nil {
+				return 0, err
 			}
-			if m == l.doc.Root {
-				return true
-			}
-			if o, oerr := l.OrderOf(m); oerr == nil {
-				prevOrd = o
-			} else {
-				err = oerr
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			return 0, err
 		}
 	}
 	if err := xmltree.WrapChildren(parent, wrapper, target, target); err != nil {

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"primelabel/internal/numtheory"
 )
@@ -76,6 +77,15 @@ type KeyChange struct {
 	Old, New uint64
 }
 
+// ShiftInfo describes the order-number shift a successful insertion
+// performed on pre-existing nodes: every node whose order number was >= From
+// had it raised by Delta. A zero ShiftInfo (Delta == 0) means the insertion
+// found room without moving anyone — the sparse midpoint or append case.
+type ShiftInfo struct {
+	From  int
+	Delta int
+}
+
 // Table is the SC table for one document.
 type Table struct {
 	chunk   int
@@ -84,6 +94,9 @@ type Table struct {
 	nextOrd int            // one past the largest order value in use
 	newKey  KeyFunc        // nil: overflow is an error
 	spacing int            // order-number spacing; 0/1 = dense (the paper)
+	// lastShift records the shift performed by the most recent successful
+	// Append/Insert/InsertBetween (see LastShift).
+	lastShift ShiftInfo
 }
 
 // NewTable returns an empty SC table grouping up to chunk nodes per SC
@@ -112,6 +125,15 @@ func (t *Table) RecordCount() int { return len(t.records) }
 // MaxOrder returns the largest order number in use (0 when empty).
 func (t *Table) MaxOrder() int { return t.nextOrd - 1 }
 
+// LastShift reports the order-number shift performed by the most recent
+// successful Append, Insert, or InsertBetween. Callers that mirror order
+// numbers elsewhere (the server's rdb rank memo) use it to patch their copy
+// instead of recomputing every order: because order numbers are strictly
+// increasing in document order, "order >= From" identifies exactly the nodes
+// at or after the insertion point. The value is only meaningful immediately
+// after a successful insertion; failed operations leave it unspecified.
+func (t *Table) LastShift() ShiftInfo { return t.lastShift }
+
 // Append registers prime with the next sequential order number — the bulk
 // path used when labeling a document whose nodes arrive in document order.
 func (t *Table) Append(prime uint64) error {
@@ -133,6 +155,7 @@ func (t *Table) Append(prime uint64) error {
 	}
 	t.byPrime[prime] = len(t.records) - 1
 	t.nextOrd = ord + 1
+	t.lastShift = ShiftInfo{}
 	return r.recompute()
 }
 
@@ -240,12 +263,17 @@ func (t *Table) Insert(prime uint64, orderNum int) (recordsUpdated int, rekeys [
 			return 0, nil, err
 		}
 	}
+	t.lastShift = ShiftInfo{From: orderNum, Delta: 1}
 	return len(touched), rekeys, nil
 }
 
 // Delete removes the node labeled prime from the table. Deletion never
 // changes any other node's order number (Section 4.2); only the record that
-// held the prime is recomputed.
+// held the prime is recomputed. A record whose last member is deleted is
+// dropped from the table entirely: CRT over zero congruences solves to the
+// degenerate (SC=0 mod 1) row, which would otherwise sit in the table
+// forever — lastOpenRecord only ever refills the final record, so an empty
+// row in the middle is dead weight for every future shifting insert.
 func (t *Table) Delete(prime uint64) error {
 	ri, ok := t.byPrime[prime]
 	if !ok {
@@ -260,6 +288,15 @@ func (t *Table) Delete(prime uint64) error {
 		}
 	}
 	delete(t.byPrime, prime)
+	if len(r.primes) == 0 {
+		t.records = append(t.records[:ri], t.records[ri+1:]...)
+		for p, idx := range t.byPrime {
+			if idx > ri {
+				t.byPrime[p] = idx - 1
+			}
+		}
+		return nil
+	}
 	r.maxPrime = 0
 	for _, p := range r.primes {
 		if p > r.maxPrime {
@@ -306,14 +343,21 @@ func (t *Table) Compact() (int, error) {
 	return len(t.records), nil
 }
 
-// sortMembersByOrder is an insertion sort: compaction inputs are already
-// nearly ordered (records fill in document order).
+// sortMembersByOrder sorts compaction inputs by order number. Small inputs
+// use an insertion sort (they are usually already nearly ordered — records
+// fill in document order); anything larger goes to sort.SliceStable, because
+// a long history of order-shuffling InsertBetween calls can leave the
+// concatenated member list arbitrarily permuted and insertion sort O(n²).
 func sortMembersByOrder(ms []Member) {
-	for i := 1; i < len(ms); i++ {
-		for j := i; j > 0 && ms[j].Order < ms[j-1].Order; j-- {
-			ms[j], ms[j-1] = ms[j-1], ms[j]
+	if len(ms) <= 32 {
+		for i := 1; i < len(ms); i++ {
+			for j := i; j > 0 && ms[j].Order < ms[j-1].Order; j-- {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
+			}
 		}
+		return
 	}
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Order < ms[j].Order })
 }
 
 // SCValues returns a copy of the table rows as (SC value, max prime) pairs

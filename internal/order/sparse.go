@@ -61,6 +61,7 @@ func (t *Table) InsertBetween(prime uint64, prevOrder, nextOrder int) (recordsUp
 	}
 	spacing := t.Spacing()
 	var ord int
+	var shift ShiftInfo
 	touched := make(map[*record]bool)
 	switch {
 	case nextOrder == 0:
@@ -91,6 +92,7 @@ func (t *Table) InsertBetween(prime uint64, prevOrder, nextOrder int) (recordsUp
 		if shifted {
 			// The global maximum moved up with the shift.
 			t.nextOrd += spacing
+			shift = ShiftInfo{From: nextOrder, Delta: spacing}
 		}
 		ord = prevOrder + (spacing+1)/2
 		if ord <= prevOrder {
@@ -121,6 +123,7 @@ func (t *Table) InsertBetween(prime uint64, prevOrder, nextOrder int) (recordsUp
 			return 0, nil, err
 		}
 	}
+	t.lastShift = shift
 	return len(touched), rekeys, nil
 }
 

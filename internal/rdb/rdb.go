@@ -79,9 +79,11 @@ func (t *Table) rank(n *xmltree.Node) (int, bool) {
 // subsequent queries (ExecPath, the join operators) perform no internal
 // writes. A warmed table is safe for any number of concurrent reader
 // goroutines as long as the labeling is quiescent; the label server warms
-// each table right after Build and rebuilds (and re-warms) after every
-// structural update. Rank staleness is impossible by construction: the memo
-// is only ever filled here, from the labeling the table was built over.
+// each table right after Build and keeps it consistent across structural
+// updates either by rebuilding (and re-warming) or by patching in place
+// (PatchInsert, PatchDelete — which maintain the memo incrementally).
+// Existing memo entries are kept, not recomputed: they are accurate by
+// construction, filled from the labeling and adjusted by every patch.
 func (t *Table) Warm() {
 	if t.ranks == nil {
 		t.ranks = make(map[*xmltree.Node]int, len(t.nodes))
@@ -108,6 +110,166 @@ func Build(lab labeling.Labeling) *Table {
 		return true
 	})
 	return t
+}
+
+// InsertPos returns the row id a freshly inserted childless element will
+// occupy: the row of its preorder successor (found by walking next element
+// siblings up the ancestor chain), or Len() when the new node is the last
+// element in document order. n must be attached to the tree but absent from
+// the table, with every other element present. The second return is false
+// when the position cannot be determined (a detached node, or a successor
+// the table does not know) — callers fall back to a full rebuild.
+func (t *Table) InsertPos(n *xmltree.Node) (int, bool) {
+	for cur := n; ; {
+		p := cur.Parent
+		if p == nil {
+			return len(t.nodes), true
+		}
+		idx := p.ChildIndex(cur)
+		if idx < 0 {
+			return 0, false
+		}
+		for _, c := range p.Children[idx+1:] {
+			if c.Kind == xmltree.ElementNode {
+				row, ok := t.rowOf[c]
+				return row, ok
+			}
+		}
+		cur = p
+	}
+}
+
+// PatchInsert splices one freshly inserted element into the table at row
+// pos instead of rebuilding: rows at and after pos shift up by one, the tag
+// index is patched in place (tag lists are ascending, so only the suffix of
+// ids >= pos moves), and the rank memo is maintained incrementally — rank
+// becomes the new node's memoized document-order rank, and every later row
+// with a memoized rank moves up by shiftDelta, the order-number shift the
+// insertion performed on following nodes (order.Table.LastShift). Order
+// numbers are strictly increasing in document order, so the shifted nodes
+// are exactly the rows after pos. Callers hold the document's write lock; a
+// warmed table stays warmed and complete.
+func (t *Table) PatchInsert(pos int, n *xmltree.Node, rank, shiftDelta int) {
+	if pos < 0 || pos > len(t.nodes) {
+		panic(fmt.Sprintf("rdb: PatchInsert pos %d out of range [0,%d]", pos, len(t.nodes)))
+	}
+	t.nodes = append(t.nodes, nil)
+	copy(t.nodes[pos+1:], t.nodes[pos:])
+	t.nodes[pos] = n
+	for i := pos; i < len(t.nodes); i++ {
+		t.rowOf[t.nodes[i]] = i
+	}
+	// Bump existing ids >= pos before inserting the new node's own id, so
+	// the new id is not double-counted.
+	for _, ids := range t.byTag {
+		for i := sort.SearchInts(ids, pos); i < len(ids); i++ {
+			ids[i]++
+		}
+	}
+	ids := t.byTag[n.Name]
+	at := sort.SearchInts(ids, pos)
+	ids = append(ids, 0)
+	copy(ids[at+1:], ids[at:])
+	ids[at] = pos
+	t.byTag[n.Name] = ids
+	if shiftDelta != 0 {
+		for _, m := range t.nodes[pos+1:] {
+			if r, ok := t.ranks[m]; ok {
+				t.ranks[m] = r + shiftDelta
+			}
+		}
+	}
+	if t.ranks == nil {
+		t.ranks = make(map[*xmltree.Node]int)
+	}
+	t.ranks[n] = rank
+}
+
+// PatchDelete removes the contiguous row range [pos, pos+len(removed))
+// instead of rebuilding — a deleted subtree occupies exactly a contiguous
+// preorder run, with removed holding its elements in that order. Later rows
+// shift down, the tag index drops the removed ids and renumbers its
+// suffixes, and the removed nodes leave the rank memo; surviving ranks are
+// untouched because deletion never changes another node's order number.
+// Callers hold the document's write lock; a warmed table stays warmed.
+func (t *Table) PatchDelete(pos int, removed []*xmltree.Node) {
+	k := len(removed)
+	if k == 0 {
+		return
+	}
+	if pos < 0 || pos+k > len(t.nodes) {
+		panic(fmt.Sprintf("rdb: PatchDelete range [%d,%d) out of range [0,%d)", pos, pos+k, len(t.nodes)))
+	}
+	for _, n := range removed {
+		delete(t.rowOf, n)
+		delete(t.ranks, n)
+	}
+	t.nodes = append(t.nodes[:pos], t.nodes[pos+k:]...)
+	for i := pos; i < len(t.nodes); i++ {
+		t.rowOf[t.nodes[i]] = i
+	}
+	for tag, ids := range t.byTag {
+		lo := sort.SearchInts(ids, pos)
+		hi := sort.SearchInts(ids, pos+k)
+		out := ids[:lo]
+		for _, id := range ids[hi:] {
+			out = append(out, id-k)
+		}
+		if len(out) == 0 {
+			delete(t.byTag, tag)
+		} else {
+			t.byTag[tag] = out
+		}
+	}
+}
+
+// Diff compares t against a reference table over the same labeling and
+// returns the first discrepancy (nil when equivalent): row order, reverse
+// row lookup, the tag index, and — when both tables are warmed — the rank
+// memo. It exists to verify that the incremental patch path (PatchInsert,
+// PatchDelete) is indistinguishable from a fresh Build+Warm.
+func (t *Table) Diff(ref *Table) error {
+	if len(t.nodes) != len(ref.nodes) {
+		return fmt.Errorf("rdb diff: %d rows, reference has %d", len(t.nodes), len(ref.nodes))
+	}
+	for i, n := range t.nodes {
+		if ref.nodes[i] != n {
+			return fmt.Errorf("rdb diff: row %d holds a different node than the reference", i)
+		}
+	}
+	if len(t.rowOf) != len(t.nodes) {
+		return fmt.Errorf("rdb diff: rowOf has %d entries for %d rows", len(t.rowOf), len(t.nodes))
+	}
+	for i, n := range t.nodes {
+		if got, ok := t.rowOf[n]; !ok || got != i {
+			return fmt.Errorf("rdb diff: rowOf[row %d] = %d (present %v)", i, got, ok)
+		}
+	}
+	if len(t.byTag) != len(ref.byTag) {
+		return fmt.Errorf("rdb diff: %d tags indexed, reference has %d", len(t.byTag), len(ref.byTag))
+	}
+	for tag, ids := range ref.byTag {
+		got := t.byTag[tag]
+		if len(got) != len(ids) {
+			return fmt.Errorf("rdb diff: tag %q has %d ids, reference %d", tag, len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				return fmt.Errorf("rdb diff: tag %q id[%d] = %d, reference %d", tag, i, got[i], ids[i])
+			}
+		}
+	}
+	if t.warmed && ref.warmed {
+		for _, n := range t.nodes {
+			tr, tok := t.ranks[n]
+			rr, rok := ref.ranks[n]
+			if tok != rok || tr != rr {
+				return fmt.Errorf("rdb diff: rank of row %d = %d (present %v), reference %d (present %v)",
+					t.rowOf[n], tr, tok, rr, rok)
+			}
+		}
+	}
+	return nil
 }
 
 // Len returns the number of rows.

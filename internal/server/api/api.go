@@ -147,6 +147,52 @@ type UpdateResponse struct {
 	Node int `json:"node"`
 }
 
+// BatchUpdateRequest applies a sequence of dynamic updates in one request:
+// one lock acquisition, one reindex, and — on a durable document — one
+// journal record covering the whole batch, so the batch is atomic on disk
+// (crash recovery replays whole batches, never a prefix of one). Ops are
+// applied in order, each against the document state the previous op left:
+// node ids in later ops must account for rows inserted or removed by
+// earlier ones. The batch stops at the first failing op; earlier ops stay
+// applied.
+type BatchUpdateRequest struct {
+	// Ops are the updates, applied in order. Per-op Generation pins are
+	// rejected; use the batch-level pin below.
+	Ops []UpdateRequest `json:"ops"`
+	// Generation, when set, makes the batch conditional on the document
+	// generation before the first op (see RelationRequest.Generation).
+	Generation *uint64 `json:"generation,omitempty"`
+}
+
+// BatchOpResult reports the outcome of one op within a batch.
+type BatchOpResult struct {
+	// Relabeled is the op's own relabel count.
+	Relabeled int `json:"relabeled"`
+	// Node is the op's affected node id in the generation the batch
+	// response reports (the final state): the inserted element, the
+	// wrapper, or -1 for a delete or a failed op.
+	Node int `json:"node"`
+	// Error is the op's failure message (empty for a successful op). Only
+	// the last attempted op of a batch can carry one.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchUpdateResponse reports the outcome of a batch update. The HTTP
+// status is 200 whenever at least one op was applied, even if a later op
+// failed — check Failed to detect a partially applied batch.
+type BatchUpdateResponse struct {
+	// Generation is the document's generation after the batch; it advances
+	// by one per applied op, exactly as the same ops applied singly would.
+	Generation uint64 `json:"generation"`
+	// Relabeled is the total relabel count across applied ops.
+	Relabeled int `json:"relabeled"`
+	// Failed is the index of the op that stopped the batch, or -1 when
+	// every op succeeded. Ops after Failed were not attempted.
+	Failed int `json:"failed"`
+	// Results holds one entry per attempted op, in request order.
+	Results []BatchOpResult `json:"results"`
+}
+
 // Health is the /healthz response.
 type Health struct {
 	Status    string `json:"status"`

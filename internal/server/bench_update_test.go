@@ -1,0 +1,232 @@
+package server
+
+// Update-pipeline benchmarks: batched vs sequential single updates on a
+// durable (fsync) store, and incremental vs full reindex across document
+// sizes. `make bench-update` runs TestUpdateBenchReport, which executes the
+// same measurements via testing.Benchmark and writes machine-readable
+// results to the path in $BENCH_UPDATE_JSON (BENCH_update.json).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/persist"
+)
+
+// benchXML builds a bookstore-shaped document with roughly n elements:
+// shelves of 100 leaf books each.
+func benchXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<store>")
+	elems := 1
+	for elems < n {
+		b.WriteString("<shelf>")
+		elems++
+		for i := 0; i < 100 && elems < n; i++ {
+			b.WriteString("<book/>")
+			elems++
+		}
+		b.WriteString("</shelf>")
+	}
+	b.WriteString("</store>")
+	return b.String()
+}
+
+// lastShelf returns the row id of the document's last shelf — inserts there
+// leave every earlier row id (including the shelf's own) untouched, so the
+// id stays valid across generations.
+func lastShelf(t testing.TB, st *Store, name string) int {
+	t.Helper()
+	q, err := st.Query(context.Background(), name, "/store/shelf")
+	if err != nil || len(q.Nodes) == 0 {
+		t.Fatalf("locate last shelf: %v", err)
+	}
+	return q.Nodes[len(q.Nodes)-1].ID
+}
+
+// loadBench loads an n-element tracked prime document into a fresh store,
+// durable (fsync on) when dir is non-empty.
+func loadBench(t testing.TB, n int, dir string) (*Store, int) {
+	t.Helper()
+	st := NewStore(NewMetrics(), 16)
+	if dir != "" {
+		mgr, err := persist.Open(dir, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.EnablePersistence(mgr, 1<<30)
+	}
+	if _, err := st.Load(context.Background(), "bench", api.LoadRequest{XML: benchXML(n), TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	return st, lastShelf(t, st, "bench")
+}
+
+// benchGroup is how many inserts one "group" covers in the fsync
+// comparison: N sequential singles pay N fsyncs, one N-op batch pays one.
+const benchGroup = 64
+
+// Every measured insert lands in the benchmark document permanently, so a
+// long run would slowly grow the document and leak that growth into per-op
+// numbers. The harness bounds the drift by swapping in a fresh store (timer
+// stopped) after this many measured iterations.
+const (
+	resetGroups  = 16  // fsync comparison: 64-op groups per store
+	resetInserts = 256 // reindex comparison: inserts per store
+)
+
+// benchAppend appends at the end of the last shelf (the clamped index): the
+// order table's no-shift path. The fsync comparison wants per-commit costs
+// (lock, journal write, fsync) isolated from order-maintenance costs, which
+// the reindex benchmarks measure separately with worst-case front inserts.
+var benchAppend = api.UpdateRequest{Op: api.OpInsert, Index: 1 << 30, Tag: "b"}
+
+// singleGroup applies benchGroup appends one request at a time: benchGroup
+// lock acquisitions, journal records, and fsyncs.
+func singleGroup(b *testing.B, st *Store, shelf int) {
+	req := benchAppend
+	req.Parent = shelf
+	for k := 0; k < benchGroup; k++ {
+		if _, err := st.Update(context.Background(), "bench", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// batchGroup applies the same benchGroup appends as one batch request: one
+// lock acquisition, one journal record, one fsync.
+func batchGroup(b *testing.B, st *Store, shelf int) {
+	req := api.BatchUpdateRequest{Ops: make([]api.UpdateRequest, benchGroup)}
+	for k := range req.Ops {
+		req.Ops[k] = benchAppend
+		req.Ops[k].Parent = shelf
+	}
+	if resp, err := st.UpdateBatch(context.Background(), "bench", req); err != nil || resp.Failed != -1 {
+		b.Fatalf("batch: %v (failed=%d)", err, resp.Failed)
+	}
+}
+
+// runFsync benchmarks one group shape against a durable 10k-element store,
+// resetting the store every resetGroups groups.
+func runFsync(group func(*testing.B, *Store, int)) func(b *testing.B) {
+	return func(b *testing.B) {
+		st, shelf := loadBench(b, 10_000, b.TempDir())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%resetGroups == 0 {
+				b.StopTimer()
+				st, shelf = loadBench(b, 10_000, b.TempDir())
+				b.StartTimer()
+			}
+			group(b, st, shelf)
+		}
+	}
+}
+
+// BenchmarkUpdateSinglesFsync measures 64 sequential single inserts (64
+// fsyncs) against a durable 10k-element document.
+func BenchmarkUpdateSinglesFsync(b *testing.B) { runFsync(singleGroup)(b) }
+
+// BenchmarkUpdateBatchFsync measures one 64-op batch (one fsync) against a
+// durable 10k-element document.
+func BenchmarkUpdateBatchFsync(b *testing.B) { runFsync(batchGroup)(b) }
+
+// benchReindex measures one front insert per iteration — the order-shift
+// worst case — with the incremental patch path either enabled or forced off
+// (full rebuild + warm), resetting the store every resetInserts inserts.
+func benchReindex(n int, noPatch bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		load := func() (*Store, *document, int) {
+			st, shelf := loadBench(b, n, "")
+			d, err := st.get("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.noPatch = noPatch
+			return st, d, shelf
+		}
+		st, _, shelf := load()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%resetInserts == 0 {
+				b.StopTimer()
+				st, _, shelf = load()
+				b.StartTimer()
+			}
+			if _, err := st.Update(context.Background(), "bench",
+				api.UpdateRequest{Op: api.OpInsert, Parent: shelf, Index: 0, Tag: "b"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkReindexIncremental10k(b *testing.B) { benchReindex(10_000, false)(b) }
+func BenchmarkReindexFull10k(b *testing.B)        { benchReindex(10_000, true)(b) }
+
+// TestUpdateBenchReport runs the fsync and reindex comparisons through
+// testing.Benchmark and writes BENCH_update.json to $BENCH_UPDATE_JSON.
+// Skipped unless that variable is set: this is `make bench-update`, not part
+// of the regular test run.
+func TestUpdateBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_UPDATE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_UPDATE_JSON to run the update benchmark report")
+	}
+
+	type reindexRow struct {
+		Elements      int     `json:"elements"`
+		IncrementalNs float64 `json:"incremental_ns_per_update"`
+		FullNs        float64 `json:"full_ns_per_update"`
+		Speedup       float64 `json:"speedup"`
+	}
+	report := struct {
+		BatchGroup    int          `json:"batch_group"`
+		Elements      int          `json:"elements"`
+		SingleNsPerOp float64      `json:"fsync_single_ns_per_update"`
+		BatchNsPerOp  float64      `json:"fsync_batch_ns_per_update"`
+		BatchSpeedup  float64      `json:"batch_speedup"`
+		Reindex       []reindexRow `json:"reindex"`
+	}{BatchGroup: benchGroup, Elements: 10_000}
+
+	// Fsync comparison: 64 singles (64 fsyncs) vs one 64-op batch (one
+	// fsync) against a durable 10k-element document.
+	single := testing.Benchmark(runFsync(singleGroup))
+	batch := testing.Benchmark(runFsync(batchGroup))
+	report.SingleNsPerOp = float64(single.NsPerOp()) / benchGroup
+	report.BatchNsPerOp = float64(batch.NsPerOp()) / benchGroup
+	report.BatchSpeedup = report.SingleNsPerOp / report.BatchNsPerOp
+
+	// Reindex scaling: incremental patching should be roughly flat across
+	// document sizes while full rebuilds grow linearly.
+	for _, n := range []int{1_000, 4_000, 16_000} {
+		incr := testing.Benchmark(benchReindex(n, false))
+		full := testing.Benchmark(benchReindex(n, true))
+		report.Reindex = append(report.Reindex, reindexRow{
+			Elements:      n,
+			IncrementalNs: float64(incr.NsPerOp()),
+			FullNs:        float64(full.NsPerOp()),
+			Speedup:       float64(full.NsPerOp()) / float64(incr.NsPerOp()),
+		})
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batch speedup %.1fx (single %.0fns vs batch %.0fns per insert)",
+		report.BatchSpeedup, report.SingleNsPerOp, report.BatchNsPerOp)
+	for _, r := range report.Reindex {
+		t.Logf("reindex %5d elements: incremental %.0fns, full %.0fns (%.1fx)",
+			r.Elements, r.IncrementalNs, r.FullNs, r.Speedup)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

@@ -177,6 +177,19 @@ func (c *Client) Update(name string, req api.UpdateRequest) (api.UpdateResponse,
 	return resp, err
 }
 
+// UpdateBatch applies a sequence of updates in one request: one lock
+// acquisition, one reindex and one journal fsync on the server instead of
+// per-op costs. Ops apply in order against the state the previous op left;
+// the batch stops at the first failing op and earlier ops stay applied —
+// a nil error with resp.Failed >= 0 means a partially applied batch. On a
+// durable document the whole batch is one journal record, so recovery
+// replays whole batches, never a prefix of one.
+func (c *Client) UpdateBatch(name string, req api.BatchUpdateRequest) (api.BatchUpdateResponse, error) {
+	var resp api.BatchUpdateResponse
+	err := c.do(http.MethodPost, "/docs/"+name+"/update/batch", req, &resp)
+	return resp, err
+}
+
 // Insert adds a new element with the given tag as the idx-th element child
 // of the node with id parent.
 func (c *Client) Insert(name string, parent, idx int, tag string) (api.UpdateResponse, error) {

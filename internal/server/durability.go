@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"primelabel/internal/rdb"
-	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
 	"primelabel/internal/server/trace"
 )
@@ -83,21 +82,25 @@ func (s *Store) writeSnapshotLocked(ctx context.Context, d *document) error {
 	return nil
 }
 
-// journalUpdate appends one applied update to d's journal and schedules
-// compaction when due. Called from Update with the write lock held, after
-// the in-memory state (including d.gen and d.relabeled) reflects the
-// update. On append failure the journal is retired — the document keeps
-// serving but turns non-durable — because a journal with a hole would
-// replay into a state that diverges from what clients observed.
-func (s *Store) journalUpdate(ctx context.Context, d *document, req api.UpdateRequest, count int, opErr error) error {
-	rec := persist.Record{
-		Gen:       d.gen,
-		Relabeled: d.relabeled,
-		Count:     count,
-		Failed:    opErr != nil,
-		Req:       req,
-	}
-	rec.Req.Generation = nil // replay applies records unconditionally
+// pendingCommit identifies a journal record awaiting its group-commit
+// fsync: the journal instance it was appended to and the record's sequence
+// number in that journal. The journal pointer is captured under the write
+// lock because d.journal can be retired (set nil) between append and
+// commit.
+type pendingCommit struct {
+	j   *persist.Journal
+	seq uint64
+}
+
+// journalAppendLocked appends one record — a single update or a whole
+// batch — to d's journal without flushing it, records append metrics, and
+// schedules compaction when due. Called with the write lock held, after the
+// in-memory state (including d.gen and d.relabeled) reflects the update. On
+// append failure the journal is retired — the document keeps serving but
+// turns non-durable — because a journal with a hole would replay into a
+// state that diverges from what clients observed. The returned
+// pendingCommit must be handed to commitJournal after the lock is released.
+func (s *Store) journalAppendLocked(ctx context.Context, d *document, rec persist.Record) (*pendingCommit, error) {
 	stats, err := d.journal.Append(ctx, rec)
 	if err != nil {
 		s.metrics.persistErrors.Add(1)
@@ -106,19 +109,50 @@ func (s *Store) journalUpdate(ctx context.Context, d *document, req api.UpdateRe
 		d.durable = false
 		s.logger.Error("journal append failed; document now non-durable",
 			"doc", d.name, "err", err, "trace_id", trace.ID(ctx))
-		return fmt.Errorf("server: journal append failed, document %q is now non-durable: %v", d.name, err)
+		return nil, fmt.Errorf("server: journal append failed, document %q is now non-durable: %v", d.name, err)
 	}
 	s.metrics.journalRecords.Add(1)
 	s.metrics.journalBytes.Add(uint64(stats.Bytes))
-	if stats.Fsynced {
-		s.metrics.journalFsyncs.Add(1)
-		s.metrics.journalFsyncNanos.Add(uint64(stats.FsyncDuration.Nanoseconds()))
-	}
+	pc := &pendingCommit{j: d.journal, seq: stats.Seq}
 	d.sinceSnap++
 	if d.sinceSnap >= s.snapshotEvery && d.compacting.CompareAndSwap(false, true) {
 		go s.compact(d)
 	}
-	return nil
+	return pc, nil
+}
+
+// commitJournal makes a previously appended record durable, after the write
+// lock has been released — that is what lets concurrent updates to the same
+// document ride one fsync instead of queueing their own. The elected leader
+// syncs every frame written so far and its per-fsync coverage feeds the
+// labeld_journal_batch_size histogram; followers just wait (the
+// journal_group_wait span on their trace). On commit failure the record's
+// durability is unknown, so the journal is retired — but only if the
+// document still holds the same journal instance, since a compaction,
+// replacement or delete may have moved on meanwhile.
+func (s *Store) commitJournal(ctx context.Context, d *document, pc *pendingCommit) error {
+	stats, err := pc.j.Commit(ctx, pc.seq)
+	if stats.Leader {
+		s.metrics.journalFsyncs.Add(1)
+		s.metrics.journalFsyncNanos.Add(uint64(stats.FsyncDuration.Nanoseconds()))
+		if stats.Frames > 0 {
+			s.metrics.journalBatchSize.ObserveValue(float64(stats.Frames))
+		}
+	}
+	if err == nil {
+		return nil
+	}
+	s.metrics.persistErrors.Add(1)
+	d.mu.Lock()
+	if d.journal == pc.j {
+		d.journal = nil
+		d.durable = false
+	}
+	d.mu.Unlock()
+	pc.j.Close()
+	s.logger.Error("journal commit failed; document now non-durable",
+		"doc", d.name, "err", err, "trace_id", trace.ID(ctx))
+	return fmt.Errorf("server: journal commit failed, document %q is now non-durable: %v", d.name, err)
 }
 
 // compact runs one background snapshot compaction: snapshot the document,
@@ -225,10 +259,11 @@ func (s *Store) Recover() ([]string, error) {
 }
 
 // recoverOne restores a single document: load its snapshot, replay the
-// journal records past the snapshot's generation through the same applyOp
-// path live updates use, verify each record's journaled outcome (gen,
-// relabel counts, failure flag) against what replay produced, then reopen
-// the journal for appending with any torn tail truncated.
+// journal records past the snapshot's generation — single updates and
+// whole batches alike — through the same applyOpIndexed path live updates
+// use, verify each record's journaled outcome (gen, relabel counts, failure
+// flags) against what replay produced, then reopen the journal for
+// appending with any torn tail truncated.
 func (s *Store) recoverOne(name string) error {
 	meta, lab, err := s.persist.LoadSnapshot(name)
 	if err != nil {
@@ -260,14 +295,38 @@ func (s *Store) recoverOne(name string) error {
 	for i, rec := range records {
 		if rec.Gen <= meta.Generation {
 			// Already captured by the snapshot — the residue of a crash
-			// between snapshot rename and journal truncation.
+			// between snapshot rename and journal truncation. Snapshots only
+			// happen between records, so this skips whole batches too.
 			continue
 		}
-		count, _, applied, opErr := d.applyOp(rec.Req)
+		if len(rec.Ops) > 0 {
+			// A batch record: replay its ops in order through the same
+			// indexed path live batches use, verifying each op's journaled
+			// outcome and the batch-final gen/relabeled totals.
+			for oi, op := range rec.Ops {
+				count, _, applied, patched, opErr := d.applyOpIndexed(op.Req)
+				if !applied {
+					return fmt.Errorf("%w: journal record %d op %d rejected on replay: %v", persist.ErrCorrupt, i, oi, opErr)
+				}
+				d.finishOp(patched)
+				d.relabeled += uint64(count)
+				if count != op.Count || (opErr != nil) != op.Failed {
+					return fmt.Errorf("%w: journal record %d op %d replay diverged (count %d want %d, failed %v want %v)",
+						persist.ErrCorrupt, i, oi, count, op.Count, opErr != nil, op.Failed)
+				}
+			}
+			if d.gen != rec.Gen || d.relabeled != rec.Relabeled {
+				return fmt.Errorf("%w: journal record %d batch replay diverged (gen %d want %d, relabeled %d want %d)",
+					persist.ErrCorrupt, i, d.gen, rec.Gen, d.relabeled, rec.Relabeled)
+			}
+			replayed++
+			continue
+		}
+		count, _, applied, patched, opErr := d.applyOpIndexed(rec.Req)
 		if !applied {
 			return fmt.Errorf("%w: journal record %d rejected on replay: %v", persist.ErrCorrupt, i, opErr)
 		}
-		d.reindexLight()
+		d.finishOp(patched)
 		d.relabeled += uint64(count)
 		if d.gen != rec.Gen || count != rec.Count || d.relabeled != rec.Relabeled || (opErr != nil) != rec.Failed {
 			return fmt.Errorf("%w: journal record %d replay diverged (gen %d want %d, count %d want %d, relabeled %d want %d, failed %v want %v)",

@@ -112,6 +112,10 @@ func TestExpositionHistogramBucketsCumulative(t *testing.T) {
 		labels := s.labels
 		if i := strings.Index(labels, `,le="`); i >= 0 {
 			labels = labels[:i] + "}"
+		} else if strings.HasPrefix(labels, `{le="`) {
+			// A bare histogram (le is the only label) groups with its
+			// unlabeled _sum/_count series.
+			labels = ""
 		}
 		return helpFamily(s.family) + labels
 	}

@@ -25,8 +25,12 @@ type endpointStats struct {
 // stats is built once at startup and never written again, so handler
 // goroutines can read it without locking.
 var endpointNames = []string{
-	"load", "list", "get", "delete", "query", "relation", "update", "healthz", "metrics", "traces",
+	"load", "list", "get", "delete", "query", "relation", "update", "update_batch", "healthz", "metrics", "traces",
 }
+
+// batchSizeBounds are the bucket upper bounds for the unitless group-commit
+// batch-size histogram: how many journal frames one fsync covered.
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Metrics is the server's metric registry: plain counters plus a latency
 // histogram per endpoint and per traced stage, all atomics — no locks on
@@ -45,6 +49,15 @@ type Metrics struct {
 	slowRequests atomic.Uint64
 	endpoints    map[string]*endpointStats
 	endpointList []string
+
+	// Update-pipeline counters: failed update ops (validation failures,
+	// labeling errors, journal failures — acknowledged successes only land
+	// in updates/relabeled), and the full-vs-incremental reindex split that
+	// makes the patch path's fallback rate observable.
+	updateFailures   atomic.Uint64
+	reindexFull      atomic.Uint64
+	reindexIncr      atomic.Uint64
+	journalBatchSize *hist.Histogram
 
 	// stages holds one duration histogram per traced stage (the closed set
 	// in trace.Stages), built once at startup and read without locking.
@@ -67,9 +80,10 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		start:     time.Now(),
-		endpoints: make(map[string]*endpointStats),
-		stages:    make(map[string]*hist.Histogram),
+		start:            time.Now(),
+		endpoints:        make(map[string]*endpointStats),
+		stages:           make(map[string]*hist.Histogram),
+		journalBatchSize: hist.New(batchSizeBounds),
 	}
 	for _, name := range endpointNames {
 		m.endpoints[name] = &endpointStats{latency: hist.NewDefault()}
@@ -138,6 +152,11 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_updates_total %d", m.updates.Load())
 	line("# HELP labeld_relabeled_nodes_total Labels written by updates — the paper's relabeling cost, accumulated online.")
 	line("labeld_relabeled_nodes_total %d", m.relabeled.Load())
+	line("# HELP labeld_update_failures_total Update ops that failed (validation, labeling error, or journal failure) and were not acknowledged.")
+	line("labeld_update_failures_total %d", m.updateFailures.Load())
+	line("# HELP labeld_reindex_total Post-update index maintenance by kind: incremental patches the element table in place, full rebuilds it.")
+	line(`labeld_reindex_total{kind="full"} %d`, m.reindexFull.Load())
+	line(`labeld_reindex_total{kind="incremental"} %d`, m.reindexIncr.Load())
 	line("# HELP labeld_slow_requests_total Requests that exceeded the slow-request threshold and were logged in full.")
 	line("labeld_slow_requests_total %d", m.slowRequests.Load())
 
@@ -151,10 +170,12 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_journal_records_total %d", m.journalRecords.Load())
 	line("# HELP labeld_journal_bytes_total Bytes of framed journal records written.")
 	line("labeld_journal_bytes_total %d", m.journalBytes.Load())
-	line("# HELP labeld_journal_fsyncs_total Journal appends flushed to stable storage.")
+	line("# HELP labeld_journal_fsyncs_total Journal fsyncs performed (each may cover several records via group commit).")
 	line("labeld_journal_fsyncs_total %d", m.journalFsyncs.Load())
 	line("# HELP labeld_journal_fsync_seconds_total Time spent in journal fsyncs.")
 	line("labeld_journal_fsync_seconds_total %g", float64(m.journalFsyncNanos.Load())/1e9)
+	line("# HELP labeld_journal_batch_size Journal frames made durable per group-commit fsync (unitless histogram).")
+	writeBareHistogram(line, "labeld_journal_batch_size", m.journalBatchSize.Snapshot())
 	line("# HELP labeld_replayed_records_total Journal records replayed during recovery.")
 	line("labeld_replayed_records_total %d", m.replayedRecords.Load())
 	line("# HELP labeld_recovered_documents_total Documents restored from the data directory at startup.")
@@ -204,4 +225,15 @@ func writeHistogram(line func(string, ...any), family, labelKey, labelVal string
 	line(`%s_bucket{%s=%q,le="+Inf"} %d`, family, labelKey, labelVal, s.Cumulative[len(s.Cumulative)-1])
 	line(`%s_sum{%s=%q} %g`, family, labelKey, labelVal, s.SumSeconds)
 	line(`%s_count{%s=%q} %d`, family, labelKey, labelVal, s.Count)
+}
+
+// writeBareHistogram renders an unlabeled histogram (only the le bucket
+// label) in Prometheus exposition form.
+func writeBareHistogram(line func(string, ...any), family string, s hist.Snapshot) {
+	for i, bound := range s.Bounds {
+		line(`%s_bucket{le=%q} %d`, family, strconv.FormatFloat(bound, 'g', -1, 64), s.Cumulative[i])
+	}
+	line(`%s_bucket{le="+Inf"} %d`, family, s.Cumulative[len(s.Cumulative)-1])
+	line(`%s_sum %g`, family, s.SumSeconds)
+	line(`%s_count %d`, family, s.Count)
 }

@@ -28,10 +28,10 @@ func FuzzJournalFrames(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(journalMagic)
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])               // torn tail
-	f.Add(append(valid, 0xde, 0xad))          // trailing garbage
-	f.Add(journalImage([]byte{}))             // empty payload
-	corrupt := append([]byte(nil), valid...)  // checksum mismatch mid-file
+	f.Add(valid[:len(valid)-3])              // torn tail
+	f.Add(append(valid, 0xde, 0xad))         // trailing garbage
+	f.Add(journalImage([]byte{}))            // empty payload
+	corrupt := append([]byte(nil), valid...) // checksum mismatch mid-file
 	corrupt[len(journalMagic)+frameHeaderLen] ^= 0xff
 	f.Add(corrupt)
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
 	"time"
 
 	"primelabel/internal/server/api"
@@ -30,42 +31,98 @@ const frameHeaderLen = 8
 // state counters it produced, which recovery uses both to skip records
 // already covered by a snapshot (Gen) and to verify that replay reproduced
 // the original outcome exactly (Count, Relabeled, Failed).
+//
+// A batched update is one Record carrying the whole batch in Ops: the frame
+// CRC then covers the batch as a unit, so crash recovery replays a prefix of
+// whole batches and can never observe a torn one. When Ops is non-empty the
+// top-level Req/Count/Failed fields are unused; Gen and Relabeled describe
+// the state after the last op of the batch.
 type Record struct {
-	// Gen is the document generation after this update was applied.
+	// Gen is the document generation after this update (or batch) was
+	// applied.
 	Gen uint64 `json:"gen"`
 	// Relabeled is the document's cumulative relabel counter after this
-	// update.
+	// update (or batch).
 	Relabeled uint64 `json:"relabeled"`
-	// Count is this update's own relabel count.
+	// Count is this update's own relabel count (single-op records only).
 	Count int `json:"count"`
 	// Failed records that the labeling operation returned an error after
 	// mutating state (the server still advances the generation in that
-	// case, so replay must reproduce the failure too).
+	// case, so replay must reproduce the failure too). Single-op records
+	// only; batch ops carry their own flag.
 	Failed bool `json:"failed,omitempty"`
 	// Req is the update request as applied, with any generation pin
 	// stripped (replay applies records unconditionally, in order).
+	// Single-op records only.
 	Req api.UpdateRequest `json:"req"`
+	// Ops, when non-empty, makes this a batch record: the ops as applied,
+	// in order. A batch is atomic on disk — one frame, one CRC.
+	Ops []OpRecord `json:"ops,omitempty"`
 }
 
-// AppendStats reports the cost of one journal append, for metrics.
+// OpRecord is one operation inside a batch Record, with the same per-op
+// outcome fields recovery verifies for single-op records.
+type OpRecord struct {
+	// Req is the op as applied (generation pin stripped).
+	Req api.UpdateRequest `json:"req"`
+	// Count is the op's relabel count.
+	Count int `json:"count"`
+	// Failed records an op that errored after mutating state; it is always
+	// the last op of its batch (the server stops the batch there).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// AppendStats reports the outcome of one journal append, for metrics and
+// for the Commit call that makes the append durable.
 type AppendStats struct {
 	// Bytes is the framed record size written.
 	Bytes int
-	// Fsynced reports whether the append was flushed to stable storage.
-	Fsynced bool
-	// FsyncDuration is how long the fsync took (zero when fsync is
-	// disabled).
+	// Seq is the record's sequence number in this journal, to pass to
+	// Commit.
+	Seq uint64
+}
+
+// GroupStats reports the outcome of one Commit call.
+type GroupStats struct {
+	// Leader reports that this call performed the fsync itself; a follower
+	// (false) had its frame covered by another call's fsync and the other
+	// fields are zero.
+	Leader bool
+	// Frames is the number of journal frames the leader's single fsync made
+	// durable — the group-commit batch size.
+	Frames int
+	// FsyncDuration is how long the leader's fsync took.
 	FsyncDuration time.Duration
 }
 
-// Journal is the append side of one document's update journal. It is not
-// safe for concurrent use: the server calls Append only inside the
+// Journal is the append side of one document's update journal. Append is
+// not safe for concurrent use — the server calls it only inside the
 // document's write-lock critical section, which is also what orders journal
-// records consistently with the in-memory state.
+// records consistently with the in-memory state. Commit, by contrast, is
+// called after the document lock is released and is safe for any number of
+// concurrent callers: commits for the same journal coalesce onto one fsync
+// (group commit), with one caller elected leader and the rest waiting for
+// its Sync to cover their frames.
 type Journal struct {
 	f     *os.File
 	path  string
 	fsync bool
+
+	// mu guards the group-commit state below. cond is signaled whenever
+	// synced advances, a leader finishes, or the journal is reset/closed.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	written uint64 // frames appended so far
+	synced  uint64 // frames known to be on stable storage
+	syncing bool   // a leader's fsync is in flight
+	closed  bool
+}
+
+// newJournal wires up a journal over an open file positioned at its end.
+func newJournal(f *os.File, path string, fsync bool) *Journal {
+	j := &Journal{f: f, path: path, fsync: fsync}
+	j.cond = sync.NewCond(&j.mu)
+	return j
 }
 
 // CreateJournal truncates (or creates) the named document's journal,
@@ -77,7 +134,7 @@ func (m *Manager) CreateJournal(name string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, path: path, fsync: m.fsync}
+	j := newJournal(f, path, m.fsync)
 	if _, err := f.Write(journalMagic); err != nil {
 		f.Close()
 		return nil, err
@@ -101,7 +158,7 @@ func (m *Manager) OpenJournalAt(name string, validEnd int64) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, path: path, fsync: m.fsync}
+	j := newJournal(f, path, m.fsync)
 	if validEnd < int64(len(journalMagic)) {
 		// Torn or missing header: rewrite from scratch.
 		if err := f.Truncate(0); err != nil {
@@ -131,10 +188,12 @@ func (m *Manager) OpenJournalAt(name string, validEnd int64) (*Journal, error) {
 	return j, nil
 }
 
-// Append writes one record and, when fsync is enabled, returns only after
-// it is on stable storage — the moment an update becomes crash-durable. A
-// trace carried by ctx receives journal_append (marshal + write) and
-// journal_fsync spans, so a slow durable update shows where the time went.
+// Append writes one record's frame to the journal file without flushing it.
+// The record is crash-durable only after a Commit call whose covered range
+// includes the returned Seq — callers append inside the document's write
+// lock and commit after releasing it, so fsyncs from concurrent updates can
+// coalesce. A trace carried by ctx receives a journal_append span (marshal +
+// write).
 func (j *Journal) Append(ctx context.Context, rec Record) (AppendStats, error) {
 	if j.f == nil {
 		return AppendStats{}, errors.New("persist: journal closed")
@@ -151,24 +210,74 @@ func (j *Journal) Append(ctx context.Context, rec Record) (AppendStats, error) {
 		return AppendStats{}, err
 	}
 	endAppend()
-	stats := AppendStats{Bytes: len(frame)}
-	if j.fsync {
-		endFsync := trace.Start(ctx, trace.StageJournalFsync)
-		start := time.Now()
-		err := j.f.Sync()
-		stats.FsyncDuration = time.Since(start)
-		endFsync()
-		if err != nil {
-			stats.FsyncDuration = 0
-			return stats, err
-		}
-		stats.Fsynced = true
+	j.mu.Lock()
+	j.written++
+	seq := j.written
+	j.mu.Unlock()
+	return AppendStats{Bytes: len(frame), Seq: seq}, nil
+}
+
+// Commit blocks until the frame with the given sequence number is on stable
+// storage (a no-op when the journal runs with fsync disabled). Concurrent
+// commits coalesce: if another caller's fsync is already in flight, Commit
+// waits for it — recording the wait as a journal_group_wait span on the
+// trace carried by ctx — and returns without its own fsync when that sync
+// covered seq. Otherwise the caller becomes the leader, fsyncing every frame
+// written so far with one Sync (span: journal_fsync) and waking the
+// followers it covered. Returns an error if the fsync failed or the journal
+// was closed or reset underneath the caller.
+func (j *Journal) Commit(ctx context.Context, seq uint64) (GroupStats, error) {
+	if !j.fsync {
+		return GroupStats{}, nil
 	}
-	return stats, nil
+	j.mu.Lock()
+	if j.synced < seq && j.syncing && !j.closed {
+		endWait := trace.Start(ctx, trace.StageJournalGroupWait)
+		for j.synced < seq && j.syncing && !j.closed {
+			j.cond.Wait()
+		}
+		endWait()
+	}
+	if j.synced >= seq {
+		// Covered by another caller's fsync (or a reset after a snapshot).
+		j.mu.Unlock()
+		return GroupStats{}, nil
+	}
+	if j.closed {
+		j.mu.Unlock()
+		return GroupStats{}, errors.New("persist: journal closed")
+	}
+	// Leader: sync everything written so far in one call. Frames appended
+	// while the sync is in flight may or may not hit the disk with it;
+	// synced only advances to target, so their commits stay conservative.
+	j.syncing = true
+	target := j.written
+	covered := target - j.synced
+	f := j.f
+	j.mu.Unlock()
+
+	endFsync := trace.Start(ctx, trace.StageJournalFsync)
+	start := time.Now()
+	err := f.Sync()
+	d := time.Since(start)
+	endFsync()
+
+	j.mu.Lock()
+	j.syncing = false
+	if err == nil && j.synced < target {
+		j.synced = target
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	if err != nil {
+		return GroupStats{Leader: true, FsyncDuration: d}, err
+	}
+	return GroupStats{Leader: true, Frames: int(covered), FsyncDuration: d}, nil
 }
 
 // Reset truncates the journal to empty. Called after a snapshot has been
-// made durable: every journaled update is now covered by the snapshot.
+// made durable: every journaled update is now covered by the snapshot, so
+// any in-flight commits are released as satisfied.
 func (j *Journal) Reset() error {
 	if j.f == nil {
 		return errors.New("persist: journal closed")
@@ -179,20 +288,35 @@ func (j *Journal) Reset() error {
 	if _, err := j.f.Seek(int64(len(journalMagic)), 0); err != nil {
 		return err
 	}
+	var err error
 	if j.fsync {
-		return j.f.Sync()
+		err = j.f.Sync()
 	}
-	return nil
+	j.mu.Lock()
+	j.synced = j.written
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	return err
 }
 
-// Close releases the journal's file handle. Further Appends fail.
+// Close releases the journal's file handle, waiting out any in-flight
+// leader fsync first and failing the commits it cannot satisfy. Further
+// Appends fail. Idempotent.
 func (j *Journal) Close() error {
+	j.mu.Lock()
 	if j.f == nil {
+		j.mu.Unlock()
 		return nil
 	}
-	err := j.f.Close()
+	j.closed = true
+	for j.syncing {
+		j.cond.Wait()
+	}
+	f := j.f
 	j.f = nil
-	return err
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	return f.Close()
 }
 
 // ReplayJournal reads the named document's journal and returns its records

@@ -7,6 +7,7 @@ import (
 	"os"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"primelabel/internal/labeling"
@@ -149,8 +150,15 @@ func TestJournalAppendReplay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if stats.Bytes <= frameHeaderLen || !stats.Fsynced {
+		if stats.Bytes <= frameHeaderLen || stats.Seq == 0 {
 			t.Fatalf("stats = %+v", stats)
+		}
+		gs, err := j.Commit(context.Background(), stats.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gs.Leader || gs.Frames != 1 {
+			t.Fatalf("commit stats = %+v", gs)
 		}
 	}
 	got, validEnd, err := m.ReplayJournal("d")
@@ -347,5 +355,118 @@ func TestListRemoveHasJournal(t *testing.T) {
 	}
 	if !reflect.DeepEqual(names, []string{"b"}) {
 		t.Errorf("names after remove = %v", names)
+	}
+}
+
+// TestJournalGroupCommitConcurrent has many goroutines append-then-commit
+// concurrently: every commit must succeed, the elected leaders' fsyncs must
+// jointly cover every frame exactly once, and replay must see every record.
+func TestJournalGroupCommitConcurrent(t *testing.T) {
+	m := openManager(t)
+	j, err := m.CreateJournal("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	const writers = 16
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		frames  int
+		leaders int
+	)
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats, err := j.Append(context.Background(), Record{Gen: uint64(w + 1)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			gs, err := j.Commit(context.Background(), stats.Seq)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if gs.Leader {
+				mu.Lock()
+				frames += gs.Frames
+				leaders++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if frames != writers {
+		t.Errorf("leader fsyncs covered %d frames, want %d (each exactly once)", frames, writers)
+	}
+	if leaders < 1 || leaders > writers {
+		t.Errorf("leaders = %d, want within [1,%d]", leaders, writers)
+	}
+	recs, _, err := m.ReplayJournal("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers {
+		t.Errorf("replayed %d records, want %d", len(recs), writers)
+	}
+}
+
+// TestJournalBatchRecordRoundTrip persists a batch record (Ops populated)
+// and replays it intact.
+func TestJournalBatchRecordRoundTrip(t *testing.T) {
+	m := openManager(t)
+	j, err := m.CreateJournal("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Gen: 3, Relabeled: 9, Ops: []OpRecord{
+		{Req: api.UpdateRequest{Op: api.OpInsert, Parent: 1, Tag: "b"}, Count: 4},
+		{Req: api.UpdateRequest{Op: api.OpDelete, Target: 2}, Count: 0},
+		{Req: api.UpdateRequest{Op: api.OpWrap, Target: 1, Tag: "w"}, Count: 5, Failed: true},
+	}}
+	stats, err := j.Append(context.Background(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Commit(context.Background(), stats.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := m.ReplayJournal("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !reflect.DeepEqual(recs[0], rec) {
+		t.Errorf("replayed %+v, want %+v", recs, rec)
+	}
+}
+
+// TestJournalCommitAfterClose: commits raced by Close must fail rather than
+// report durability they cannot guarantee.
+func TestJournalCommitAfterClose(t *testing.T) {
+	m := openManager(t)
+	j, err := m.CreateJournal("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := j.Append(context.Background(), Record{Gen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Commit(context.Background(), stats.Seq); err == nil {
+		t.Error("commit after close reported success")
 	}
 }

@@ -158,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /docs/{name}/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("POST /docs/{name}/relation", s.instrument("relation", s.handleRelation))
 	mux.HandleFunc("POST /docs/{name}/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("POST /docs/{name}/update/batch", s.instrument("update_batch", s.handleUpdateBatch))
 	timeoutBody, _ := json.Marshal(api.Error{Error: "request timed out"})
 	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, string(timeoutBody))
 }
@@ -359,6 +360,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUpdateBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchUpdateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.store.UpdateBatch(r.Context(), r.PathValue("name"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// 200 even for a partially applied batch (Failed >= 0): ops before the
+	// failing one are applied and their results must reach the client.
 	writeJSON(w, http.StatusOK, resp)
 }
 

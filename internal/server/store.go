@@ -76,6 +76,11 @@ type document struct {
 	sinceSnap int
 	// compacting serializes background snapshot compactions.
 	compacting atomic.Bool
+
+	// noPatch forces the full-rebuild reindex path even for ops the
+	// incremental patch path could handle. Benchmark/test-only: set before
+	// the document serves traffic, never flipped at runtime.
+	noPatch bool
 }
 
 // Store is the document registry.
@@ -484,51 +489,187 @@ func (d *document) applyOp(req api.UpdateRequest) (count int, touched *xmltree.N
 	}
 }
 
+// applyOpIndexed performs one update's mutation and keeps the element table
+// consistent with it, patching the table in place when the op's effect is
+// localized enough to track: the prime scheme with order tracking inserts
+// exactly one new row (insert, wrap) or removes one subtree's rows (delete),
+// and the SC table's last-shift record says which ranks moved. When the op
+// cannot be patched — other schemes, order tracking off, a labeling error
+// that may have mutated state partway, or d.noPatch — patched is false and
+// the table no longer matches the labeling: the caller must rebuild it via
+// finishOp. Callers hold the write lock. Both live updates and recovery
+// replay run this path, which is what keeps replay equivalent to live
+// behavior.
+func (d *document) applyOpIndexed(req api.UpdateRequest) (count int, touched *xmltree.Node, applied, patched bool, err error) {
+	pl, _ := d.lab.(*prime.Labeling)
+	canPatch := pl != nil && pl.SCTable() != nil && !d.noPatch
+
+	// A delete's target row and subtree must be captured before the
+	// mutation detaches the target from the tree.
+	var delTarget *xmltree.Node
+	delPos := -1
+	if canPatch && req.Op == api.OpDelete {
+		if n, nerr := d.node(req.Target); nerr == nil {
+			delTarget = n
+			if p, ok := d.table.RowOf(n); ok {
+				delPos = p
+			}
+		}
+	}
+
+	count, touched, applied, err = d.applyOp(req)
+	if !applied || err != nil || !canPatch {
+		return count, touched, applied, false, err
+	}
+
+	switch req.Op {
+	case api.OpInsert, api.OpWrap:
+		var pos int
+		var ok bool
+		if req.Op == api.OpWrap {
+			// The wrapper took over its target's place in document order:
+			// it goes in the target's old row, pushing the target (now its
+			// only element child) and everything after down by one.
+			if t, nerr := d.node(req.Target); nerr == nil {
+				pos, ok = d.table.RowOf(t)
+			}
+		} else {
+			pos, ok = d.table.InsertPos(touched)
+		}
+		if !ok {
+			return count, touched, applied, false, nil
+		}
+		rank, rerr := pl.OrderOf(touched)
+		if rerr != nil {
+			return count, touched, applied, false, nil
+		}
+		// Order numbers are strictly increasing in document order, so the
+		// ranks the insertion shifted (order >= LastShift.From) are exactly
+		// the rows after the new one.
+		d.table.PatchInsert(pos, touched, rank, pl.SCTable().LastShift().Delta)
+		return count, touched, applied, true, nil
+	case api.OpDelete:
+		if delTarget == nil || delPos < 0 {
+			return count, touched, applied, false, nil
+		}
+		// Deleting never renumbers surviving nodes, so dropping the
+		// subtree's rows is the whole patch.
+		d.table.PatchDelete(delPos, xmltree.Elements(delTarget))
+		return count, touched, applied, true, nil
+	}
+	return count, touched, applied, false, nil
+}
+
+// finishOp completes one applied op's index maintenance under the write
+// lock: when the op was not patched in place the element table is rebuilt
+// (without warming — callers warm once at the end); in both cases the query
+// cache is dropped and the generation advances — even for an op that failed
+// after mutating state, so a half-applied mutation can never serve stale
+// rows or stale node ids.
+func (d *document) finishOp(patched bool) {
+	if !patched {
+		plan := d.table.Plan
+		d.table = rdb.Build(d.lab)
+		d.table.Plan = plan
+	}
+	d.cache.clear()
+	d.gen++
+}
+
+// observeReindex records which reindex path an applied op took.
+func (s *Store) observeReindex(patched bool) {
+	if patched {
+		s.metrics.reindexIncr.Add(1)
+	} else {
+		s.metrics.reindexFull.Add(1)
+	}
+}
+
 // Update applies one dynamic update under the document's write lock, then
-// reindexes: the element table is rebuilt and re-warmed, the query cache is
-// cleared, and the generation advances — even if the labeling operation
-// failed partway, so a half-applied mutation can never serve stale rows.
-// When the document is durable the update is journaled (and, with fsync on,
-// on stable storage) before the response is written; a journal failure fails
-// the request and retires the journal so recovery never replays past a hole.
+// reindexes — incrementally patching the element table when the op allows
+// it, rebuilding and re-warming otherwise — clears the query cache and
+// advances the generation. When the document is durable the record is
+// appended under the lock and made stable after it is released, so
+// concurrent updates to the same document coalesce onto one fsync (group
+// commit); a journal failure fails the request and retires the journal so
+// recovery never replays past a hole.
+//
+// Generation and counter semantics: a validation failure (unknown op, bad
+// node id, missing tag) mutates nothing and does not advance the
+// generation — a client retrying with its pinned generation will not see a
+// spurious conflict. A labeling error after validation may have mutated
+// state partway, so it advances the generation and is journaled with its
+// failure flag. labeld_updates_total counts only acknowledged successes
+// (applied, journaled and — with fsync on — synced); every other outcome
+// lands in labeld_update_failures_total.
+//
 // A trace carried by ctx records lock_wait, relabel, reindex and — on a
-// durable document — journal_append and journal_fsync spans, the breakdown
-// that answers "why was this update slow?".
+// durable document — journal_append, journal_group_wait and journal_fsync
+// spans, the breakdown that answers "why was this update slow?".
 func (s *Store) Update(ctx context.Context, name string, req api.UpdateRequest) (api.UpdateResponse, error) {
 	d, err := s.get(name)
 	if err != nil {
 		return api.UpdateResponse{}, err
 	}
+	resp, commit, opErr := s.updateOne(ctx, d, req)
+	var commitErr error
+	if commit != nil {
+		commitErr = s.commitJournal(ctx, d, commit)
+	}
+	if opErr == nil {
+		opErr = commitErr
+	}
+	if opErr != nil {
+		s.metrics.updateFailures.Add(1)
+		return api.UpdateResponse{}, opErr
+	}
+	s.metrics.updates.Add(1)
+	s.metrics.relabeled.Add(uint64(resp.Relabeled))
+	return resp, nil
+}
+
+// updateOne is Update's write-lock critical section: apply, reindex,
+// journal-append, build the response. The returned pendingCommit (nil on a
+// non-durable document or when nothing was journaled) must be committed
+// after the lock is released.
+func (s *Store) updateOne(ctx context.Context, d *document, req api.UpdateRequest) (api.UpdateResponse, *pendingCommit, error) {
 	endLock := trace.Start(ctx, trace.StageLockWait)
 	d.mu.Lock()
 	endLock()
 	defer d.mu.Unlock()
 	if err := d.checkGeneration(req.Generation); err != nil {
-		return api.UpdateResponse{}, err
+		return api.UpdateResponse{}, nil, err
 	}
 
 	endRelabel := trace.Start(ctx, trace.StageRelabel)
-	count, touched, applied, opErr := d.applyOp(req)
+	count, touched, applied, patched, opErr := d.applyOpIndexed(req)
 	endRelabel()
 	if !applied {
-		return api.UpdateResponse{}, opErr
+		return api.UpdateResponse{}, nil, opErr
 	}
 
 	// Reindex unconditionally: the table must reflect whatever state the
 	// labeling is in now.
 	endReindex := trace.Start(ctx, trace.StageReindex)
-	d.reindex()
+	d.finishOp(patched)
+	if !patched {
+		d.table.Warm()
+	}
 	endReindex()
+	s.observeReindex(patched)
 	d.relabeled += uint64(count)
-	s.metrics.updates.Add(1)
-	s.metrics.relabeled.Add(uint64(count))
+
+	var commit *pendingCommit
 	if d.journal != nil {
-		if err := s.journalUpdate(ctx, d, req, count, opErr); err != nil {
-			return api.UpdateResponse{}, err
+		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Count: count, Failed: opErr != nil, Req: req}
+		rec.Req.Generation = nil // replay applies records unconditionally
+		var err error
+		if commit, err = s.journalAppendLocked(ctx, d, rec); err != nil {
+			return api.UpdateResponse{}, nil, err
 		}
 	}
 	if opErr != nil {
-		return api.UpdateResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, opErr)
+		return api.UpdateResponse{}, commit, fmt.Errorf("%w: %v", ErrBadRequest, opErr)
 	}
 	nodeID := -1
 	if touched != nil {
@@ -536,24 +677,147 @@ func (s *Store) Update(ctx context.Context, name string, req api.UpdateRequest) 
 			nodeID = id
 		}
 	}
-	return api.UpdateResponse{Generation: d.gen, Relabeled: count, Node: nodeID}, nil
+	return api.UpdateResponse{Generation: d.gen, Relabeled: count, Node: nodeID}, commit, nil
 }
 
-// reindex rebuilds the document's derived read-only state after a
-// mutation. Callers hold the write lock.
-func (d *document) reindex() {
-	d.reindexLight()
-	d.table.Warm()
+// maxBatchOps caps the ops accepted in one batch request, bounding both the
+// write-lock hold time and the size of the single journal record a batch
+// becomes.
+const maxBatchOps = 1024
+
+// UpdateBatch applies a sequence of updates under one write-lock
+// acquisition with one reindex warm-up and — on a durable document — one
+// journal record and one group-committed fsync, instead of paying each of
+// those per op. Ops apply in order against the state the previous op left;
+// the batch stops at the first failure and earlier ops stay applied (the
+// response's Failed field reports the stopping index). Generation and
+// counter semantics per op match Update exactly.
+func (s *Store) UpdateBatch(ctx context.Context, name string, req api.BatchUpdateRequest) (api.BatchUpdateResponse, error) {
+	if len(req.Ops) == 0 {
+		return api.BatchUpdateResponse{}, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(req.Ops) > maxBatchOps {
+		return api.BatchUpdateResponse{}, fmt.Errorf("%w: batch of %d ops exceeds the %d-op limit", ErrBadRequest, len(req.Ops), maxBatchOps)
+	}
+	for i, op := range req.Ops {
+		if op.Generation != nil {
+			return api.BatchUpdateResponse{}, fmt.Errorf("%w: op %d carries a generation pin; pin the batch instead", ErrBadRequest, i)
+		}
+	}
+	d, err := s.get(name)
+	if err != nil {
+		return api.BatchUpdateResponse{}, err
+	}
+	resp, commit, succeeded, bail := s.updateBatchLocked(ctx, d, req)
+	var commitErr error
+	if commit != nil {
+		commitErr = s.commitJournal(ctx, d, commit)
+	}
+	if bail != nil {
+		// Nothing was acknowledged: generation-pin conflict, first-op
+		// validation failure, or journal-append failure.
+		s.metrics.updateFailures.Add(1)
+		return api.BatchUpdateResponse{}, bail
+	}
+	if commitErr != nil {
+		// The batch applied in memory but its durability is unknown; no op
+		// is acknowledged.
+		s.metrics.updateFailures.Add(uint64(len(resp.Results)))
+		return api.BatchUpdateResponse{}, commitErr
+	}
+	s.metrics.updates.Add(uint64(succeeded))
+	s.metrics.relabeled.Add(uint64(resp.Relabeled))
+	if resp.Failed >= 0 {
+		s.metrics.updateFailures.Add(1)
+	}
+	return resp, nil
 }
 
-// reindexLight is reindex without the Warm pass — recovery replay uses it
-// because no queries run until replay finishes, so one final Warm suffices.
-func (d *document) reindexLight() {
-	plan := d.table.Plan
-	d.table = rdb.Build(d.lab)
-	d.table.Plan = plan
-	d.cache.clear()
-	d.gen++
+// updateBatchLocked is UpdateBatch's write-lock critical section. It
+// returns the response, the pending journal commit (nil when nothing was
+// journaled), the number of fully successful ops, and a bail error for the
+// no-op outcomes (stale pin, first-op validation failure, journal-append
+// failure) where the caller should surface a plain error instead of a
+// batch response.
+func (s *Store) updateBatchLocked(ctx context.Context, d *document, req api.BatchUpdateRequest) (api.BatchUpdateResponse, *pendingCommit, int, error) {
+	endLock := trace.Start(ctx, trace.StageLockWait)
+	d.mu.Lock()
+	endLock()
+	defer d.mu.Unlock()
+	if err := d.checkGeneration(req.Generation); err != nil {
+		return api.BatchUpdateResponse{}, nil, 0, err
+	}
+
+	resp := api.BatchUpdateResponse{Failed: -1}
+	var (
+		ops       []persist.OpRecord
+		touched   []*xmltree.Node
+		needWarm  bool
+		succeeded int
+	)
+	endRelabel := trace.Start(ctx, trace.StageRelabel)
+	for i, op := range req.Ops {
+		count, tn, applied, patched, opErr := d.applyOpIndexed(op)
+		if !applied {
+			if i == 0 {
+				// Nothing in the batch touched the document; fail the
+				// request outright, exactly like a single update would.
+				endRelabel()
+				return api.BatchUpdateResponse{}, nil, 0, opErr
+			}
+			resp.Failed = i
+			resp.Results = append(resp.Results, api.BatchOpResult{Node: -1, Error: opErr.Error()})
+			break
+		}
+		d.finishOp(patched)
+		s.observeReindex(patched)
+		if !patched {
+			needWarm = true
+		}
+		d.relabeled += uint64(count)
+		resp.Relabeled += count
+		ops = append(ops, persist.OpRecord{Req: op, Count: count, Failed: opErr != nil})
+		ops[len(ops)-1].Req.Generation = nil
+		res := api.BatchOpResult{Relabeled: count, Node: -1}
+		if opErr != nil {
+			res.Error = opErr.Error()
+			resp.Failed = i
+			resp.Results = append(resp.Results, res)
+			touched = append(touched, nil)
+			break
+		}
+		succeeded++
+		resp.Results = append(resp.Results, res)
+		touched = append(touched, tn)
+	}
+	endRelabel()
+	endReindex := trace.Start(ctx, trace.StageReindex)
+	if needWarm {
+		d.table.Warm()
+	}
+	endReindex()
+
+	// Node ids are only meaningful in the final generation, so resolve them
+	// after the whole batch has applied.
+	for i, tn := range touched {
+		if tn == nil {
+			continue
+		}
+		if id, ok := d.table.RowOf(tn); ok {
+			resp.Results[i].Node = id
+		}
+	}
+	resp.Generation = d.gen
+
+	var commit *pendingCommit
+	if d.journal != nil && len(ops) > 0 {
+		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Ops: ops}
+		var err error
+		if commit, err = s.journalAppendLocked(ctx, d, rec); err != nil {
+			return api.BatchUpdateResponse{}, nil, 0, err
+		}
+	}
+	return resp, commit, succeeded, nil
 }
 
 // rawChildIndex maps an index among element children to an index among all

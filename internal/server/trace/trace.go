@@ -54,6 +54,10 @@ const (
 	// StageJournalAppend is a journal record append (marshal + write),
 	// excluding the fsync.
 	StageJournalAppend = "journal_append"
+	// StageJournalGroupWait is time an update spent waiting for another
+	// request's in-flight fsync to cover its journal frame (group commit):
+	// queueing behind the disk, not using it.
+	StageJournalGroupWait = "journal_group_wait"
 	// StageJournalFsync is the journal append's flush to stable storage —
 	// the floor on durable update latency.
 	StageJournalFsync = "journal_fsync"
@@ -64,7 +68,8 @@ const (
 var Stages = []string{
 	StageLockWait, StageCacheLookup, StageXPathEval, StageLabelProbe,
 	StageParse, StageLabel, StageIndex, StageRelabel, StageReindex,
-	StageCodecEncode, StageSnapshotWrite, StageJournalAppend, StageJournalFsync,
+	StageCodecEncode, StageSnapshotWrite, StageJournalAppend,
+	StageJournalGroupWait, StageJournalFsync,
 }
 
 // Span is one timed stage within a trace.
