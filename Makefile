@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race fuzz verify bench-update clean
+.PHONY: build vet lint test race fuzz verify bench-update bench-query clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ verify: build vet lint test race fuzz
 # CI runs it non-blocking because shared runners make timings noisy.
 bench-update:
 	BENCH_UPDATE_JSON=$(CURDIR)/BENCH_update.json $(GO) test ./internal/server -run '^TestUpdateBenchReport$$' -v -timeout 900s
+
+# bench-query measures the query path: the fast ancestor test plus parallel
+# axis evaluation against the exact sequential baseline, per axis and across
+# document sizes, written as machine-readable JSON to BENCH_query.json. Same
+# non-gating policy as bench-update.
+bench-query:
+	BENCH_QUERY_JSON=$(CURDIR)/BENCH_query.json $(GO) test ./internal/server -run '^TestQueryBenchReport$$' -v -timeout 900s
 
 # clean removes build products and stray test data directories.
 clean:

@@ -79,6 +79,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("labeld", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", 256, "per-document query cache capacity (negative disables)")
+	queryParallel := fs.Int("query-parallel", 0, "workers for parallel query evaluation (0 = one per CPU, 1 = sequential)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request handling timeout")
 	grace := fs.Duration("grace", 10*time.Second, "graceful shutdown grace period")
 	preload := fs.String("preload", "", "XML file to load at startup (document name = file basename)")
@@ -106,17 +107,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Addr:           *addr,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		ShutdownGrace:  *grace,
-		DataDir:        *dataDir,
-		NoFsync:        !*fsync,
-		SnapshotEvery:  *snapshotEvery,
-		Logger:         logger,
-		SlowRequest:    *slowRequest,
-		TraceBuffer:    *traceBuffer,
-		DebugAddr:      *debugAddr,
+		Addr:             *addr,
+		CacheSize:        *cache,
+		QueryParallelism: *queryParallel,
+		RequestTimeout:   *timeout,
+		ShutdownGrace:    *grace,
+		DataDir:          *dataDir,
+		NoFsync:          !*fsync,
+		SnapshotEvery:    *snapshotEvery,
+		Logger:           logger,
+		SlowRequest:      *slowRequest,
+		TraceBuffer:      *traceBuffer,
+		DebugAddr:        *debugAddr,
 	})
 	if err != nil {
 		return err

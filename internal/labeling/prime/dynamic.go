@@ -2,7 +2,6 @@ package prime
 
 import (
 	"fmt"
-	"math/big"
 
 	"primelabel/internal/xmltree"
 )
@@ -167,7 +166,7 @@ func (l *Labeling) InsertChildAt(parent *xmltree.Node, idx int, n *xmltree.Node)
 		pl.exp = 0
 		pl.selfPrime = l.nextNonLeafPrime(parent)
 		pl.selfCache = nil
-		pl.setLabel(new(big.Int).Mul(l.labels[parent.Parent].label, new(big.Int).SetUint64(pl.selfPrime)))
+		pl.deriveFrom(l.labels[parent.Parent])
 		relabeled++
 	}
 	if err := parent.InsertChildAt(idx, n); err != nil {
@@ -175,7 +174,7 @@ func (l *Labeling) InsertChildAt(parent *xmltree.Node, idx int, n *xmltree.Node)
 	}
 	nl := &nodeLabel{}
 	l.assignLeafSelf(n, nl)
-	nl.setLabel(new(big.Int).Mul(pl.label, nl.selfBig()))
+	nl.deriveFrom(pl)
 	l.labels[n] = nl
 	relabeled++
 	if l.sct != nil {
@@ -228,7 +227,7 @@ func (l *Labeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
 		return 0, err
 	}
 	wl := &nodeLabel{selfPrime: l.nextNonLeafPrime(wrapper)}
-	wl.setLabel(new(big.Int).Mul(l.labels[parent].label, new(big.Int).SetUint64(wl.selfPrime)))
+	wl.deriveFrom(l.labels[parent])
 	l.labels[wrapper] = wl
 	relabeled := 1
 	// Future leaf children of wrapper must not reuse target's exponent.
@@ -248,14 +247,15 @@ func (l *Labeling) WrapNode(target, wrapper *xmltree.Node) (int, error) {
 	return relabeled, nil
 }
 
-// relabelSubtree recomputes full labels below a structural change,
-// returning how many nodes were touched.
+// relabelSubtree recomputes full labels (and the cached depth/signature
+// fast-path state) below a structural change, returning how many nodes
+// were touched.
 func (l *Labeling) relabelSubtree(n *xmltree.Node) int {
 	count := 0
 	var walk func(m *xmltree.Node)
 	walk = func(m *xmltree.Node) {
 		nl := l.labels[m]
-		nl.setLabel(new(big.Int).Mul(l.labels[m.Parent].label, nl.selfBig()))
+		nl.deriveFrom(l.labels[m.Parent])
 		count++
 		for _, c := range m.Children {
 			if c.Kind == xmltree.ElementNode {

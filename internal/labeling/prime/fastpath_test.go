@@ -1,0 +1,177 @@
+package prime
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"primelabel/internal/xmlparse"
+	"primelabel/internal/xmltree"
+)
+
+// ancestorMatrix snapshots IsAncestor over all element pairs.
+func ancestorMatrix(l *Labeling) []bool {
+	els := xmltree.Elements(l.doc.Root)
+	out := make([]bool, 0, len(els)*len(els))
+	for _, a := range els {
+		for _, b := range els {
+			out = append(out, l.IsAncestor(a, b))
+		}
+	}
+	return out
+}
+
+// requireFastPathParity asserts the prefilter changes no answer: the full
+// IsAncestor matrix must be identical with the fast path on and off.
+func requireFastPathParity(t *testing.T, l *Labeling, when string) {
+	t.Helper()
+	l.SetFastPath(true)
+	fast := ancestorMatrix(l)
+	l.SetFastPath(false)
+	slow := ancestorMatrix(l)
+	l.SetFastPath(true)
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("%s: fast path diverges from exact test at pair %d", when, i)
+		}
+	}
+}
+
+// TestFastPathParityUnderMutation drives random inserts, wraps, and
+// deletes through labelings across the option matrix and checks after
+// every mutation that the prefilter never flips an IsAncestor answer.
+func TestFastPathParityUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, opts := range optionMatrix {
+		doc := randomTree(rng, 40)
+		l, err := Scheme{Opts: opts}.New(doc)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		requireFastPathParity(t, l, fmt.Sprintf("opts %+v initial", opts))
+		for step := 0; step < 30; step++ {
+			els := xmltree.Elements(doc.Root)
+			target := els[rng.Intn(len(els))]
+			var werr error
+			switch op := rng.Intn(4); {
+			case op <= 1: // insert twice as often as wrap/delete
+				_, werr = l.InsertChildAt(target, rng.Intn(len(target.Children)+1), xmltree.NewElement("ins"))
+			case op == 2:
+				if target != doc.Root {
+					_, werr = l.WrapNode(target, xmltree.NewElement("wrap"))
+				}
+			default:
+				if target != doc.Root {
+					werr = l.Delete(target)
+				}
+			}
+			if werr != nil {
+				t.Fatalf("opts %+v step %d: %v", opts, step, werr)
+			}
+			if err := l.Check(); err != nil {
+				t.Fatalf("opts %+v step %d: %v", opts, step, err)
+			}
+			requireFastPathParity(t, l, fmt.Sprintf("opts %+v step %d", opts, step))
+		}
+	}
+}
+
+// TestFastPathSurvivesUnmarshal checks the depth/signature state is
+// rederived on load: a labeling round-tripped through Marshal/Unmarshal
+// answers identically with the prefilter on and off.
+func TestFastPathSurvivesUnmarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	doc := randomTree(rng, 60)
+	l, err := Scheme{Opts: Options{TrackOrder: true, PowerOfTwoLeaves: true}}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // mutate so labels aren't regenerable
+		els := xmltree.Elements(doc.Root)
+		if _, err := l.InsertChildAt(els[rng.Intn(len(els))], 0, xmltree.NewElement("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := l.Marshal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFastPathParity(t, got, "after unmarshal")
+}
+
+// deepDoc builds `chains` independent root branches, each a nested chain
+// of `depth` sections with `leaves` leaf paragraphs at the bottom level —
+// deep enough that labels overflow 64 bits and the exact test goes
+// through big.Int.
+func deepDoc(t *testing.T, chains, depth, leaves int) *xmltree.Document {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<doc>")
+	for c := 0; c < chains; c++ {
+		for d := 0; d < depth; d++ {
+			b.WriteString("<sec>")
+		}
+		for p := 0; p < leaves; p++ {
+			b.WriteString("<para/>")
+		}
+		for d := 0; d < depth; d++ {
+			b.WriteString("</sec>")
+		}
+	}
+	b.WriteString("</doc>")
+	doc, err := xmlparse.ParseDocument(strings.NewReader(b.String()), xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestAncestorStatsAndRejectRatio verifies the counters add up — every
+// call lands in exactly one bucket, confirmed ancestries match the tree —
+// and that on a deep document the prefilter absorbs at least 90% of the
+// non-ancestor pairs (the acceptance bar the query bench measures at
+// scale).
+func TestAncestorStatsAndRejectRatio(t *testing.T) {
+	doc := deepDoc(t, 8, 10, 12)
+	l, err := Scheme{}.New(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats AncestorStats
+	l.SetStats(&stats)
+	els := xmltree.Elements(doc.Root)
+	calls, trueCount := 0, 0
+	for _, a := range els {
+		for _, b := range els {
+			calls++
+			if l.IsAncestor(a, b) {
+				trueCount++
+			}
+		}
+	}
+	rej := stats.PrefilterRejects.Load()
+	u64 := stats.ExactU64.Load()
+	big := stats.ExactBig.Load()
+	if got := rej + u64 + big; got != uint64(calls) {
+		// Every pair must be counted once: prefilter reject or exact test.
+		// (No unlabeled nodes and no Opt2 in this document, so no other
+		// early exits apply; equal-bit-length non-divisors would be the
+		// only leak and the prefilter's depth check catches those first.)
+		t.Errorf("counted %d outcomes for %d calls (rej=%d u64=%d big=%d)", got, calls, rej, u64, big)
+	}
+	if got := stats.ExactTrue.Load(); got != uint64(trueCount) {
+		t.Errorf("ExactTrue = %d, want %d", got, trueCount)
+	}
+	if ratio := stats.RejectRatio(); ratio < 0.9 {
+		t.Errorf("prefilter reject ratio = %.3f, want >= 0.9", ratio)
+	}
+	if l.MaxLabelBits() <= 64 {
+		t.Errorf("deep document labels fit in 64 bits (max %d) — test shape too shallow", l.MaxLabelBits())
+	}
+}

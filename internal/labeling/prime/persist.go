@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
 
 	"primelabel/internal/order"
 	"primelabel/internal/primes"
@@ -214,8 +213,9 @@ func Unmarshal(in io.Reader) (*Labeling, error) {
 		labels:      make(map[*xmltree.Node]*nodeLabel),
 		byKey:       make(map[uint64]*xmltree.Node),
 		power2Count: make(map[*xmltree.Node]int),
+		fastPath:    true,
 	}
-	root, err := l.unmarshalNode(r, nil, big.NewInt(1), true)
+	root, err := l.unmarshalNode(r, nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -325,9 +325,10 @@ func Unmarshal(in io.Reader) (*Labeling, error) {
 	return l, nil
 }
 
-// unmarshalNode reads one node written by marshalNode. parentLabel is the
-// full label of the parent (1 for the root).
-func (l *Labeling) unmarshalNode(r *reader, parent *xmltree.Node, parentLabel *big.Int, isRoot bool) (*xmltree.Node, error) {
+// unmarshalNode reads one node written by marshalNode. parent is the
+// parent's label state (nil for the root), from which the full label and
+// the depth/signature fast-path fields are rederived.
+func (l *Labeling) unmarshalNode(r *reader, parent *nodeLabel, isRoot bool) (*xmltree.Node, error) {
 	kind := r.uint()
 	if r.err != nil {
 		return nil, r.err
@@ -359,7 +360,10 @@ func (l *Labeling) unmarshalNode(r *reader, parent *xmltree.Node, parentLabel *b
 		if nl.exp < 0 || nl.exp > 1<<16 {
 			return nil, fmt.Errorf("%w: unreasonable leaf exponent %d", ErrBadFormat, nl.exp)
 		}
-		nl.setLabel(new(big.Int).Mul(parentLabel, nl.selfBig()))
+		if isRoot && (nl.selfPrime != 0 || nl.exp != 0) {
+			return nil, fmt.Errorf("%w: root carries a self-label", ErrBadFormat)
+		}
+		nl.deriveFrom(parent)
 		l.labels[n] = nl
 		childCount := r.uint()
 		if r.err != nil {
@@ -369,7 +373,7 @@ func (l *Labeling) unmarshalNode(r *reader, parent *xmltree.Node, parentLabel *b
 			return nil, fmt.Errorf("%w: unreasonable child count", ErrBadFormat)
 		}
 		for i := 0; i < childCount; i++ {
-			c, err := l.unmarshalNode(r, n, nl.label, false)
+			c, err := l.unmarshalNode(r, nl, false)
 			if err != nil {
 				return nil, err
 			}

@@ -125,6 +125,9 @@ type nodeLabel struct {
 	label     *big.Int // full label: parent label × self label
 	u64       uint64   // the label value when it fits in 64 bits (small == true)
 	small     bool     // fast-path flag: label < 2^64
+	bits      int32    // cached label.BitLen()
+	depth     int32    // distance from the root (root = 0)
+	sig       pathSig  // Bloom filter over the root path's self-labels
 	selfPrime uint64   // prime self-label; 0 for power-of-two leaves and the root
 	exp       int      // exponent k for a 2^k self-label; 0 otherwise
 	orderKey  uint64   // prime keying this node in the SC table; 0 if untracked/root
@@ -142,6 +145,7 @@ type nodeLabel struct {
 // comment.
 func (nl *nodeLabel) setLabel(v *big.Int) {
 	nl.label = v
+	nl.bits = int32(v.BitLen())
 	if v.BitLen() <= 64 {
 		nl.u64 = v.Uint64()
 		nl.small = true
@@ -193,6 +197,11 @@ type Labeling struct {
 	// free pools the primes of deleted nodes when Options.RecyclePrimes is
 	// set.
 	free primeHeap
+	// fastPath enables the constant-time ancestor prefilter (fastpath.go);
+	// on by default, switchable off via SetFastPath for baselines.
+	fastPath bool
+	// stats, when non-nil, receives IsAncestor outcome counts.
+	stats *AncestorStats
 }
 
 var _ labeling.Labeling = (*Labeling)(nil)
@@ -232,6 +241,7 @@ func (s Scheme) New(doc *xmltree.Document) (*Labeling, error) {
 		src:         src,
 		byKey:       make(map[uint64]*xmltree.Node),
 		power2Count: make(map[*xmltree.Node]int),
+		fastPath:    true,
 	}
 	if opts.ReservedPrimes != 0 {
 		n := opts.ReservedPrimes
@@ -255,7 +265,7 @@ func (s Scheme) New(doc *xmltree.Document) (*Labeling, error) {
 		l.sct = tbl
 	}
 	// Pass 1: assign labels in document order (Figure 7).
-	l.assign(doc.Root, big.NewInt(1), true)
+	l.assign(doc.Root, nil)
 	// Pass 2: register document order.
 	if opts.TrackOrder {
 		ord := 0
@@ -294,24 +304,23 @@ func (l *Labeling) topLevelReserveCount() int {
 	return count
 }
 
-// assign labels the subtree rooted at n. parentLabel is the full label of
-// n's parent (1 for the root).
-func (l *Labeling) assign(n *xmltree.Node, parentLabel *big.Int, isRoot bool) {
+// assign labels the subtree rooted at n. parent is the nodeLabel of n's
+// parent (nil for the root).
+func (l *Labeling) assign(n *xmltree.Node, parent *nodeLabel) {
 	nl := &nodeLabel{}
 	switch {
-	case isRoot:
-		nl.setLabel(big.NewInt(1))
+	case parent == nil:
+		// root: deriveFrom sets label 1
 	case !n.IsLeaf():
 		nl.selfPrime = l.nextNonLeafPrime(n)
-		nl.setLabel(new(big.Int).Mul(parentLabel, new(big.Int).SetUint64(nl.selfPrime)))
 	default:
 		l.assignLeafSelf(n, nl)
-		nl.setLabel(new(big.Int).Mul(parentLabel, nl.selfBig()))
 	}
+	nl.deriveFrom(parent)
 	l.labels[n] = nl
 	for _, c := range n.Children {
 		if c.Kind == xmltree.ElementNode {
-			l.assign(c, nl.label, false)
+			l.assign(c, nl)
 		}
 	}
 }
@@ -397,7 +406,12 @@ func (l *Labeling) SelfLabelOf(n *xmltree.Node) *big.Int {
 
 // IsAncestor implements Property 2 (and Property 3 when Opt2 is active):
 // x is a proper ancestor of y iff label(y) mod label(x) == 0, with x's
-// label required to be odd under Opt2.
+// label required to be odd under Opt2. With the fast path enabled (the
+// default), most non-ancestor pairs are rejected by the constant-time
+// depth/bit-length/path-signature prefilter (fastpath.go) before any
+// division runs; the prefilter is one-sided, so the result is identical
+// either way. Concurrent readers are safe: the only writes are atomic
+// adds on the optional stats counters and sync.Pool traffic.
 func (l *Labeling) IsAncestor(a, b *xmltree.Node) bool {
 	la, ok := l.labels[a]
 	if !ok {
@@ -410,17 +424,43 @@ func (l *Labeling) IsAncestor(a, b *xmltree.Node) bool {
 	if l.opts.PowerOfTwoLeaves && la.label.Bit(0) == 0 {
 		return false // Property 3: even labels are leaves, never ancestors
 	}
-	if la.small && lb.small {
-		return la.u64 != lb.u64 && lb.u64%la.u64 == 0
+	if l.fastPath && (la.depth >= lb.depth || la.bits > lb.bits || !la.sig.subsetOf(lb.sig)) {
+		if s := l.stats; s != nil {
+			s.PrefilterRejects.Add(1)
+		}
+		return false
 	}
-	if la.label.BitLen() > lb.label.BitLen() {
+	if la.small && lb.small {
+		if s := l.stats; s != nil {
+			s.ExactU64.Add(1)
+		}
+		if la.u64 != lb.u64 && lb.u64%la.u64 == 0 {
+			if s := l.stats; s != nil {
+				s.ExactTrue.Add(1)
+			}
+			return true
+		}
+		return false
+	}
+	if la.bits > lb.bits {
 		return false // a label never divides a shorter one
 	}
 	if la.label.Cmp(lb.label) == 0 {
 		return false // same node (labels are unique)
 	}
-	var r big.Int
-	return r.Rem(lb.label, la.label).Sign() == 0
+	if s := l.stats; s != nil {
+		s.ExactBig.Add(1)
+	}
+	r := remPool.Get().(*big.Int)
+	zero := r.Rem(lb.label, la.label).Sign() == 0
+	remPool.Put(r)
+	if zero {
+		if s := l.stats; s != nil {
+			s.ExactTrue.Add(1)
+		}
+		return true
+	}
+	return false
 }
 
 // IsParent reports whether a is b's parent: a must be an ancestor and
@@ -441,9 +481,10 @@ func (l *Labeling) IsParent(a, b *xmltree.Node) bool {
 			return lb.u64/la.u64 == selfU
 		}
 	}
-	var q big.Int
-	q.Quo(lb.label, la.label)
-	return q.Cmp(lb.selfBig()) == 0
+	q := remPool.Get().(*big.Int)
+	eq := q.Quo(lb.label, la.label).Cmp(lb.selfBig()) == 0
+	remPool.Put(q)
+	return eq
 }
 
 // LabelBits implements labeling.Labeling: the bit length of the stored

@@ -1,0 +1,181 @@
+package rdb
+
+// Parallel join evaluation: the nested-loop and order joins shard their
+// candidate scans across a bounded worker pool. Sharding is over
+// contiguous row ranges, and either the concatenation order (outer
+// shards) or a final (Out, In) sort (inner shards) restores exactly the
+// sequential operator's output, so a parallel table is byte-identical to
+// a sequential one — parity tests enforce this per axis.
+//
+// Fan-out is gated twice: the table must be warmed (un-warmed tables
+// memoize ranks during reads and are single-goroutine only), and the
+// pair count must reach MinParallelWork (below that, goroutine startup
+// costs more than the scan).
+
+import (
+	"sort"
+	"time"
+
+	"primelabel/internal/parallel"
+	"primelabel/internal/xmltree"
+)
+
+// defaultMinParallelWork is the (outer × inner) pair count below which a
+// join stays sequential.
+const defaultMinParallelWork = 1 << 12
+
+// ExecStats reports how much of one query execution ran on the worker
+// pool. Zero values mean the query ran fully sequential.
+type ExecStats struct {
+	// FanOuts is the number of join operators that ran sharded.
+	FanOuts int
+	// Shards is the total shard count across those fan-outs.
+	Shards int
+	// FanOutTime is the wall-clock time spent inside sharded sections.
+	FanOutTime time.Duration
+}
+
+// minWork returns the sequential-fallback threshold in predicate
+// evaluations.
+func (t *Table) minWork() int {
+	if t.MinParallelWork > 0 {
+		return t.MinParallelWork
+	}
+	return defaultMinParallelWork
+}
+
+// parallelOK reports whether a join expected to evaluate `work`
+// predicate pairs should fan out.
+func (t *Table) parallelOK(work int) bool {
+	return t.Parallelism > 1 && t.warmed && work >= t.minWork()
+}
+
+// record accumulates one fan-out into stats (which may be nil).
+func (s *ExecStats) record(shards int, start time.Time) {
+	if s == nil {
+		return
+	}
+	s.FanOuts++
+	s.Shards += shards
+	s.FanOutTime += time.Since(start)
+}
+
+// mergePairs concatenates per-shard join outputs; when the shards split
+// the inner side the concatenation interleaves outer rows, so the result
+// is re-sorted into the operators' canonical (Out, In) order.
+func mergePairs(parts []Pairs, sortOut bool) Pairs {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(Pairs, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if sortOut {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Out != out[j].Out {
+				return out[i].Out < out[j].Out
+			}
+			return out[i].In < out[j].In
+		})
+	}
+	return out
+}
+
+// nlJoin is NLJoin with optional sharding and fan-out accounting. The
+// larger input side is sharded; outer shards preserve output order by
+// construction, inner shards are restored by mergePairs.
+func (t *Table) nlJoin(outer, inner RowSet, pred JoinPred, stats *ExecStats) Pairs {
+	if !t.parallelOK(len(outer) * len(inner)) {
+		return t.seqNLJoin(outer, inner, pred)
+	}
+	start := time.Now()
+	if len(outer) >= len(inner) {
+		parts := parallel.MapShards(t.Parallelism, len(outer), 1, func(lo, hi int) Pairs {
+			return t.seqNLJoin(outer[lo:hi], inner, pred)
+		})
+		stats.record(len(parts), start)
+		return mergePairs(parts, false)
+	}
+	parts := parallel.MapShards(t.Parallelism, len(inner), 1, func(lo, hi int) Pairs {
+		return t.seqNLJoin(outer, inner[lo:hi], pred)
+	})
+	stats.record(len(parts), start)
+	return mergePairs(parts, true)
+}
+
+// seqNLJoin is the sequential nested-loop kernel shared by NLJoin and the
+// shard bodies.
+func (t *Table) seqNLJoin(outer, inner RowSet, pred JoinPred) Pairs {
+	var out Pairs
+	for _, o := range outer {
+		on := t.nodes[o]
+		for _, i := range inner {
+			if pred(on, t.nodes[i]) {
+				out = append(out, Pair{Out: o, In: i})
+			}
+		}
+	}
+	return out
+}
+
+// pairsOrErr carries one shard's order-join result.
+type pairsOrErr struct {
+	pairs Pairs
+	err   error
+}
+
+// orderJoin evaluates an order-predicate join (following/preceding),
+// sharded like nlJoin when the pair count warrants it. The predicate may
+// fail (a labeling without order support); the first shard error in
+// shard order is returned.
+func (t *Table) orderJoin(ctx, cands RowSet, pred func(c, n *xmltree.Node) (bool, error), stats *ExecStats) (Pairs, error) {
+	if !t.parallelOK(len(ctx) * len(cands)) {
+		return t.seqOrderJoin(ctx, cands, pred)
+	}
+	start := time.Now()
+	shardInner := len(ctx) < len(cands)
+	var parts []pairsOrErr
+	if shardInner {
+		parts = parallel.MapShards(t.Parallelism, len(cands), 1, func(lo, hi int) pairsOrErr {
+			ps, err := t.seqOrderJoin(ctx, cands[lo:hi], pred)
+			return pairsOrErr{ps, err}
+		})
+	} else {
+		parts = parallel.MapShards(t.Parallelism, len(ctx), 1, func(lo, hi int) pairsOrErr {
+			ps, err := t.seqOrderJoin(ctx[lo:hi], cands, pred)
+			return pairsOrErr{ps, err}
+		})
+	}
+	stats.record(len(parts), start)
+	pairs := make([]Pairs, len(parts))
+	for i, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		pairs[i] = p.pairs
+	}
+	return mergePairs(pairs, shardInner), nil
+}
+
+// seqOrderJoin is the sequential order-join kernel.
+func (t *Table) seqOrderJoin(ctx, cands RowSet, pred func(c, n *xmltree.Node) (bool, error)) (Pairs, error) {
+	var out Pairs
+	for _, c := range ctx {
+		cn := t.nodes[c]
+		for _, i := range cands {
+			ok, err := pred(cn, t.nodes[i])
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, Pair{Out: c, In: i})
+			}
+		}
+	}
+	return out, nil
+}

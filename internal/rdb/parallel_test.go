@@ -1,0 +1,151 @@
+package rdb
+
+import (
+	"fmt"
+	"testing"
+
+	"primelabel/internal/datasets"
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xpath"
+)
+
+// parallelQueries covers every join path ExecPath can take: nested-loop
+// child/descendant joins, order joins for following/preceding, sibling
+// joins, and positional projection.
+var parallelQueries = []string{
+	"/corpus/play", "/corpus//act", "//act/scene", "//act//speech",
+	"//scene[2]//line", "//act//following::scene", "//scene//preceding::act",
+	"//scene//following-sibling::scene", "//scene//preceding-sibling::scene",
+	"//speech[3]", "//*",
+}
+
+// TestParallelExecParity runs every query against a sequential table and
+// parallel tables (outer- and inner-shard favoring thresholds) over the
+// same labeling: row sets must be identical, and the parallel tables must
+// actually fan out.
+func TestParallelExecParity(t *testing.T) {
+	doc := datasets.Play(6, 5, 900)
+	lab, err := (prime.Scheme{Opts: prime.Options{TrackOrder: true}}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Build(lab)
+	seq.Warm()
+	par := Build(lab)
+	par.Parallelism = 4
+	par.MinParallelWork = 1
+	par.Warm()
+	sawFanOut := false
+	for _, q := range parallelQueries {
+		want, err := seq.ExecPathString(q)
+		if err != nil {
+			t.Fatalf("seq %s: %v", q, err)
+		}
+		got, stats, err := par.ExecPathStringStats(q)
+		if err != nil {
+			t.Fatalf("par %s: %v", q, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: parallel rows %v, sequential %v", q, got, want)
+		}
+		if stats.FanOuts > 0 {
+			sawFanOut = true
+			if stats.Shards < stats.FanOuts {
+				t.Errorf("%s: %d fan-outs but only %d shards", q, stats.FanOuts, stats.Shards)
+			}
+		}
+	}
+	if !sawFanOut {
+		t.Error("no query fanned out despite MinParallelWork=1")
+	}
+}
+
+// TestParallelNLJoinParity shards both join orientations explicitly: an
+// outer side larger than the inner and vice versa, against the sequential
+// operator's output.
+func TestParallelNLJoinParity(t *testing.T) {
+	doc := datasets.Play(6, 5, 800)
+	lab, err := (prime.Scheme{Opts: prime.Options{TrackOrder: true}}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Build(lab)
+	seq.Warm()
+	par := Build(lab)
+	par.Parallelism = 3
+	par.MinParallelWork = 1
+	par.Warm()
+	cases := []struct{ outer, inner string }{
+		{"act", "line"},   // small outer, large inner: inner shards
+		{"line", "act"},   // large outer, small inner: outer shards
+		{"scene", "line"}, // mid/mid
+	}
+	for _, c := range cases {
+		o, i := seq.Scan(c.outer), seq.Scan(c.inner)
+		want := seq.NLJoin(o, i, seq.AncestorPred())
+		got := par.NLJoin(o, i, par.AncestorPred())
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("NLJoin(%s, %s): parallel output differs from sequential (%d vs %d pairs)",
+				c.outer, c.inner, len(got), len(want))
+		}
+	}
+}
+
+// TestSequentialFallback checks the work threshold: a table whose
+// MinParallelWork exceeds every candidate product must never fan out, and
+// an un-warmed table must stay sequential no matter the settings.
+func TestSequentialFallback(t *testing.T) {
+	doc := datasets.Play(4, 3, 200)
+	lab, err := (prime.Scheme{Opts: prime.Options{TrackOrder: true}}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Build(lab)
+	tab.Parallelism = 8
+	tab.MinParallelWork = 1 << 30
+	tab.Warm()
+	for _, q := range parallelQueries {
+		if _, stats, err := tab.ExecPathStringStats(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		} else if stats.FanOuts != 0 || stats.Shards != 0 {
+			t.Errorf("%s: fanned out below the work threshold: %+v", q, stats)
+		}
+	}
+	cold := Build(lab)
+	cold.Parallelism = 8
+	cold.MinParallelWork = 1
+	if _, stats, err := cold.ExecPathStringStats("//act//speech"); err != nil {
+		t.Fatal(err)
+	} else if stats.FanOuts != 0 {
+		t.Errorf("un-warmed table fanned out: %+v", stats)
+	}
+}
+
+// TestExecStatsZeroAllocPath double-checks ExecPath (the stats-less
+// wrapper) still works and agrees with ExecPathStats.
+func TestExecStatsZeroAllocPath(t *testing.T) {
+	doc := datasets.Play(4, 3, 300)
+	lab, err := (prime.Scheme{Opts: prime.Options{TrackOrder: true}}).Label(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Build(lab)
+	tab.Parallelism = 2
+	tab.MinParallelWork = 1
+	tab.Warm()
+	q, err := xpath.Parse("//act//line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tab.ExecPath(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := tab.ExecPathStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("ExecPath and ExecPathStats disagree: %v vs %v", a, b)
+	}
+}

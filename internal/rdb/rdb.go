@@ -39,6 +39,17 @@ type Table struct {
 	// NestedLoop).
 	Plan Planner
 
+	// Parallelism is the worker budget for sharded join evaluation; <= 1
+	// (the default) keeps every join sequential. Fan-out additionally
+	// requires a warmed table — see parallel.go. Results are identical at
+	// any setting.
+	Parallelism int
+
+	// MinParallelWork is the minimum (outer × inner) pair count before a
+	// join fans out; 0 means defaultMinParallelWork. Tests lower it to
+	// force sharding on small inputs.
+	MinParallelWork int
+
 	lab   labeling.Labeling
 	nodes []*xmltree.Node // row id -> node
 	rowOf map[*xmltree.Node]int
@@ -354,18 +365,11 @@ func (t *Table) ParentPred() JoinPred {
 // NLJoin is the baseline nested-loop structural join: every (outer, inner)
 // combination is tested with the predicate. O(|outer|·|inner|) predicate
 // evaluations — this operator is what makes per-scheme predicate cost
-// visible.
+// visible. On a warmed table with Parallelism > 1 the scan is sharded
+// across the worker pool; the output (outer-major, inner ascending) is
+// identical either way.
 func (t *Table) NLJoin(outer, inner RowSet, pred JoinPred) Pairs {
-	var out Pairs
-	for _, o := range outer {
-		on := t.nodes[o]
-		for _, i := range inner {
-			if pred(on, t.nodes[i]) {
-				out = append(out, Pair{Out: o, In: i})
-			}
-		}
-	}
-	return out
+	return t.nlJoin(outer, inner, pred, nil)
 }
 
 // StackJoin is a stack-based structural join in the spirit of Stack-Tree:
@@ -411,6 +415,22 @@ func (t *Table) StackJoin(outer, inner RowSet) Pairs {
 // joins, returning matching rows in document order. It implements the same
 // semantics as the xpath evaluators (verified against them in tests).
 func (t *Table) ExecPath(q xpath.Query) (RowSet, error) {
+	rs, _, err := t.ExecPathStats(q)
+	return rs, err
+}
+
+// ExecPathStats is ExecPath plus fan-out accounting: the returned
+// ExecStats reports how many join operators ran sharded, the total shard
+// count, and the wall-clock time spent in sharded sections (all zero for
+// a fully sequential execution).
+func (t *Table) ExecPathStats(q xpath.Query) (RowSet, ExecStats, error) {
+	var stats ExecStats
+	rs, err := t.execPath(q, &stats)
+	return rs, stats, err
+}
+
+// execPath is the executor body; stats may be nil.
+func (t *Table) execPath(q xpath.Query, stats *ExecStats) (RowSet, error) {
 	if len(q.Steps) == 0 {
 		return nil, errors.New("rdb: empty query")
 	}
@@ -452,7 +472,7 @@ func (t *Table) ExecPath(q xpath.Query) (RowSet, error) {
 			}
 			continue
 		}
-		pairs, err := t.joinStep(ctx, cands, step)
+		pairs, err := t.joinStep(ctx, cands, step, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -468,16 +488,16 @@ func (t *Table) ExecPath(q xpath.Query) (RowSet, error) {
 }
 
 // joinStep evaluates one non-initial step as a join between the context
-// rows and the candidate rows.
-func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step) (Pairs, error) {
+// rows and the candidate rows; stats (may be nil) accumulates fan-outs.
+func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step, stats *ExecStats) (Pairs, error) {
 	switch step.Axis {
 	case xpath.AxisChild:
-		return t.NLJoin(ctx, cands, t.ParentPred()), nil
+		return t.nlJoin(ctx, cands, t.ParentPred(), stats), nil
 	case xpath.AxisDescendant:
 		if t.Plan == StackTree {
 			return t.StackJoin(ctx, cands), nil
 		}
-		return t.NLJoin(ctx, cands, t.AncestorPred()), nil
+		return t.nlJoin(ctx, cands, t.AncestorPred(), stats), nil
 	case xpath.AxisFollowing:
 		return t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
 			after, err := t.before(c, n)
@@ -485,7 +505,7 @@ func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step) (Pairs, error) {
 				return false, err
 			}
 			return after && !t.lab.IsAncestor(c, n), nil
-		})
+		}, stats)
 	case xpath.AxisPreceding:
 		return t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
 			before, err := t.before(n, c)
@@ -493,7 +513,7 @@ func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step) (Pairs, error) {
 				return false, err
 			}
 			return before && !t.lab.IsAncestor(n, c), nil
-		})
+		}, stats)
 	case xpath.AxisFollowingSibling:
 		return t.siblingJoin(ctx, cands, true)
 	case xpath.AxisPrecedingSibling:
@@ -501,23 +521,6 @@ func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step) (Pairs, error) {
 	default:
 		return nil, fmt.Errorf("rdb: unsupported axis %v", step.Axis)
 	}
-}
-
-func (t *Table) orderJoin(ctx, cands RowSet, pred func(c, n *xmltree.Node) (bool, error)) (Pairs, error) {
-	var out Pairs
-	for _, c := range ctx {
-		cn := t.nodes[c]
-		for _, i := range cands {
-			ok, err := pred(cn, t.nodes[i])
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, Pair{Out: c, In: i})
-			}
-		}
-	}
-	return out, nil
 }
 
 // before decides document order, preferring materialized ranks.
@@ -593,9 +596,16 @@ func nthPerOuter(ps Pairs, n int) Pairs {
 
 // ExecPathString parses and executes a query.
 func (t *Table) ExecPathString(query string) (RowSet, error) {
+	rs, _, err := t.ExecPathStringStats(query)
+	return rs, err
+}
+
+// ExecPathStringStats parses and executes a query, reporting fan-out
+// statistics like ExecPathStats.
+func (t *Table) ExecPathStringStats(query string) (RowSet, ExecStats, error) {
 	q, err := xpath.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, ExecStats{}, err
 	}
-	return t.ExecPath(q)
+	return t.ExecPathStats(q)
 }

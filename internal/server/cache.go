@@ -3,28 +3,38 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"primelabel/internal/server/api"
 )
 
 // queryCache is a fixed-capacity LRU of query results for one document.
-// Entries are stored by query string; the whole cache is cleared when the
-// document mutates (the generation bump makes every cached result stale at
-// once, so per-entry invalidation would buy nothing).
+// Every entry is tagged with the document generation it was computed
+// against; a lookup only hits when the entry's generation matches the
+// document's current one, and a stale entry found in place is evicted
+// lazily. Mutations therefore never sweep the cache — a failed or no-op
+// update (which leaves the generation unchanged) keeps every cached
+// result live, and a real update invalidates entries one probe at a time
+// as they are re-requested.
 //
 // The cache has its own mutex so readers holding the document's RLock can
 // share it: lookups and fills interleave freely across concurrent queries.
 // Cached *api.QueryResponse values are shared between requests and must be
-// treated as immutable by all callers.
+// treated as immutable by all callers. The hit/miss counters are atomics
+// read by the metrics scraper without taking the cache lock.
 type queryCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List               // front = most recently used
 	items map[string]*list.Element // query -> element whose Value is *cacheEntry
+
+	hits   atomic.Uint64 // lookups answered from a generation-current entry
+	misses atomic.Uint64 // lookups that fell through to evaluation
 }
 
 type cacheEntry struct {
 	key  string
+	gen  uint64 // document generation the response was computed against
 	resp *api.QueryResponse
 }
 
@@ -38,35 +48,50 @@ func newQueryCache(capacity int) *queryCache {
 	}
 }
 
-// get returns the cached response for a query, promoting it to most
-// recently used.
-func (c *queryCache) get(query string) (*api.QueryResponse, bool) {
+// get returns the cached response for a query computed at generation gen,
+// promoting it to most recently used. An entry from any other generation
+// is stale: it is evicted and the lookup counts as a miss.
+func (c *queryCache) get(query string, gen uint64) (*api.QueryResponse, bool) {
 	if c.cap <= 0 {
+		c.misses.Add(1)
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[query]
 	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.misses.Add(1)
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp, true
+	c.hits.Add(1)
+	return ent.resp, true
 }
 
-// put stores a response, evicting the least recently used entry when full.
-func (c *queryCache) put(query string, resp *api.QueryResponse) {
+// put stores a response computed at generation gen, evicting the least
+// recently used entry when full. A same-query entry from an older
+// generation is overwritten in place.
+func (c *queryCache) put(query string, gen uint64, resp *api.QueryResponse) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[query]; ok {
-		el.Value.(*cacheEntry).resp = resp
+		ent := el.Value.(*cacheEntry)
+		ent.resp = resp
+		ent.gen = gen
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[query] = c.ll.PushFront(&cacheEntry{key: query, resp: resp})
+	c.items[query] = c.ll.PushFront(&cacheEntry{key: query, gen: gen, resp: resp})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -74,16 +99,14 @@ func (c *queryCache) put(query string, resp *api.QueryResponse) {
 	}
 }
 
-// clear drops every entry (called under the document's write lock after a
-// structural update).
-func (c *queryCache) clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	clear(c.items)
+// counters returns the cumulative hit and miss counts (safe without the
+// cache lock).
+func (c *queryCache) counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
-// len returns the number of cached results.
+// len returns the number of cached results (stale entries not yet
+// lazily evicted included).
 func (c *queryCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -11,20 +11,20 @@ import (
 func TestQueryCacheLRUEviction(t *testing.T) {
 	c := newQueryCache(2)
 	r := func(n int) *api.QueryResponse { return &api.QueryResponse{Count: n} }
-	c.put("a", r(1))
-	c.put("b", r(2))
-	if _, ok := c.get("a"); !ok {
+	c.put("a", 0, r(1))
+	c.put("b", 0, r(2))
+	if _, ok := c.get("a", 0); !ok {
 		t.Fatal("a missing before capacity reached")
 	}
 	// a was just used, so adding c must evict b.
-	c.put("c", r(3))
-	if _, ok := c.get("b"); ok {
+	c.put("c", 0, r(3))
+	if _, ok := c.get("b", 0); ok {
 		t.Fatal("b should have been evicted as least recently used")
 	}
-	if got, ok := c.get("a"); !ok || got.Count != 1 {
+	if got, ok := c.get("a", 0); !ok || got.Count != 1 {
 		t.Fatalf("a = %+v, %v", got, ok)
 	}
-	if got, ok := c.get("c"); !ok || got.Count != 3 {
+	if got, ok := c.get("c", 0); !ok || got.Count != 3 {
 		t.Fatalf("c = %+v, %v", got, ok)
 	}
 	if c.len() != 2 {
@@ -32,34 +32,77 @@ func TestQueryCacheLRUEviction(t *testing.T) {
 	}
 }
 
-func TestQueryCacheClearAndReplace(t *testing.T) {
+func TestQueryCacheReplaceInPlace(t *testing.T) {
 	c := newQueryCache(4)
-	c.put("q", &api.QueryResponse{Count: 1})
-	c.put("q", &api.QueryResponse{Count: 2}) // replace in place
-	if got, _ := c.get("q"); got.Count != 2 {
+	c.put("q", 1, &api.QueryResponse{Count: 1})
+	c.put("q", 1, &api.QueryResponse{Count: 2}) // replace in place
+	if got, _ := c.get("q", 1); got.Count != 2 {
 		t.Fatalf("replace kept old value %d", got.Count)
 	}
 	if c.len() != 1 {
 		t.Fatalf("len = %d after replace, want 1", c.len())
 	}
-	c.clear()
-	if c.len() != 0 {
-		t.Fatalf("len = %d after clear", c.len())
+}
+
+// TestQueryCacheGenerationTagging pins the lazy-invalidation contract: an
+// entry only hits at the generation it was computed at, a stale probe
+// evicts it, and a re-put at the new generation serves again — no sweep
+// anywhere.
+func TestQueryCacheGenerationTagging(t *testing.T) {
+	c := newQueryCache(4)
+	c.put("q", 1, &api.QueryResponse{Count: 1})
+	c.put("other", 1, &api.QueryResponse{Count: 9})
+	if got, ok := c.get("q", 1); !ok || got.Count != 1 {
+		t.Fatalf("same-generation lookup missed: %+v, %v", got, ok)
 	}
-	if _, ok := c.get("q"); ok {
-		t.Fatal("hit after clear")
+	if _, ok := c.get("q", 2); ok {
+		t.Fatal("stale-generation lookup hit")
+	}
+	if c.len() != 1 {
+		t.Fatalf("stale entry not evicted lazily: len = %d, want 1", c.len())
+	}
+	// The untouched entry survives the other's invalidation (no sweep)...
+	if got, ok := c.get("other", 1); !ok || got.Count != 9 {
+		t.Fatalf("unrelated entry lost: %+v, %v", got, ok)
+	}
+	// ...and a put at the new generation overwrites gen and value together.
+	c.put("other", 2, &api.QueryResponse{Count: 10})
+	if got, ok := c.get("other", 2); !ok || got.Count != 10 {
+		t.Fatalf("new generation missed: %+v, %v", got, ok)
+	}
+	if _, ok := c.get("other", 1); ok {
+		t.Fatal("old generation still served after re-put")
+	}
+}
+
+// TestQueryCacheCounters checks the hit/miss counter pair: compulsory
+// misses, same-generation hits, and stale-generation probes (counted as
+// misses) all land where the per-document metric series expects them.
+func TestQueryCacheCounters(t *testing.T) {
+	c := newQueryCache(4)
+	c.get("q", 1) // miss: empty
+	c.put("q", 1, &api.QueryResponse{Count: 1})
+	c.get("q", 1) // hit
+	c.get("q", 1) // hit
+	c.get("q", 2) // miss: stale generation
+	if hits, misses := c.counters(); hits != 2 || misses != 2 {
+		t.Fatalf("counters = %d hits, %d misses; want 2, 2", hits, misses)
 	}
 }
 
 func TestQueryCacheDisabled(t *testing.T) {
 	c := newQueryCache(0)
-	c.put("q", &api.QueryResponse{Count: 1})
-	if _, ok := c.get("q"); ok {
+	c.put("q", 0, &api.QueryResponse{Count: 1})
+	if _, ok := c.get("q", 0); ok {
 		t.Fatal("capacity 0 must never cache")
+	}
+	if hits, misses := c.counters(); hits != 0 || misses != 1 {
+		t.Fatalf("disabled cache counters = %d hits, %d misses; want 0, 1", hits, misses)
 	}
 }
 
-// TestQueryCacheConcurrent exercises the cache's own lock under -race.
+// TestQueryCacheConcurrent exercises the cache's own lock under -race,
+// with writers racing on overlapping keys across moving generations.
 func TestQueryCacheConcurrent(t *testing.T) {
 	c := newQueryCache(8)
 	var wg sync.WaitGroup
@@ -69,11 +112,9 @@ func TestQueryCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("q%d", (w+i)%12)
-				if _, ok := c.get(key); !ok {
-					c.put(key, &api.QueryResponse{Count: i})
-				}
-				if i%50 == 0 {
-					c.clear()
+				gen := uint64(i / 50)
+				if _, ok := c.get(key, gen); !ok {
+					c.put(key, gen, &api.QueryResponse{Count: i})
 				}
 			}
 		}(w)

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"time"
 
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/parallel"
 	"primelabel/internal/rdb"
 	"primelabel/internal/server/persist"
 	"primelabel/internal/server/trace"
@@ -240,6 +242,14 @@ func (s *Store) Close() error {
 // journal without a snapshot, a replay that diverges from the journaled
 // outcome, or corruption anywhere but a torn journal tail aborts with an
 // error rather than silently serving wrong labels.
+//
+// Documents recover concurrently — each is an independent snapshot load
+// plus journal replay, so boot time on a multi-document data directory
+// scales with the largest document instead of the sum. The worker count
+// follows the store's query parallelism. Results stay deterministic: the
+// returned names are the documents that recovered cleanly, in name order,
+// and on failure the error reported is the first failing name in that
+// order (documents after it may still have been recovered and published).
 func (s *Store) Recover() ([]string, error) {
 	if s.persist == nil {
 		return nil, nil
@@ -248,10 +258,17 @@ func (s *Store) Recover() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	errs := make([]error, len(names))
+	parallel.MapShards(s.parallelism, len(names), 1, func(lo, hi int) struct{} {
+		for i := lo; i < hi; i++ {
+			errs[i] = s.recoverOne(names[i])
+		}
+		return struct{}{}
+	})
 	recovered := make([]string, 0, len(names))
-	for _, name := range names {
-		if err := s.recoverOne(name); err != nil {
-			return recovered, fmt.Errorf("recover %q: %w", name, err)
+	for i, name := range names {
+		if errs[i] != nil {
+			return recovered, fmt.Errorf("recover %q: %w", name, errs[i])
 		}
 		recovered = append(recovered, name)
 	}
@@ -276,6 +293,9 @@ func (s *Store) recoverOne(name string) error {
 	if err != nil {
 		return fmt.Errorf("%w: snapshot planner: %v", persist.ErrCorrupt, err)
 	}
+	if pl, ok := lab.(*prime.Labeling); ok {
+		pl.SetStats(s.metrics.Ancestors())
+	}
 	d := &document{
 		name:      name,
 		planner:   planName,
@@ -286,6 +306,7 @@ func (s *Store) recoverOne(name string) error {
 	}
 	d.table = rdb.Build(lab)
 	d.table.Plan = plan
+	d.table.Parallelism = s.parallelism
 
 	records, validEnd, err := s.persist.ReplayJournal(name)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"primelabel/internal/buildinfo"
 	"primelabel/internal/hist"
+	"primelabel/internal/labeling/prime"
 	"primelabel/internal/server/trace"
 )
 
@@ -49,6 +51,16 @@ type Metrics struct {
 	slowRequests atomic.Uint64
 	endpoints    map[string]*endpointStats
 	endpointList []string
+
+	// Parallel-query counters: scans the executor sharded across workers
+	// and the shards it spawned doing so.
+	queryFanOuts atomic.Uint64
+	queryShards  atomic.Uint64
+	// ancestors counts ancestor-test outcomes (prefilter rejects, exact
+	// divisions) across every prime-labeled document. The registry owns the
+	// counters — rather than the labelings — so the series stay monotonic
+	// when documents are replaced or deleted.
+	ancestors prime.AncestorStats
 
 	// Update-pipeline counters: failed update ops (validation failures,
 	// labeling errors, journal failures — acknowledged successes only land
@@ -119,6 +131,12 @@ func (m *Metrics) observeSpans(spans []trace.Span) {
 	}
 }
 
+// Ancestors returns the registry-owned ancestor-test outcome counters.
+// The store installs them on every prime labeling it hosts.
+func (m *Metrics) Ancestors() *prime.AncestorStats {
+	return &m.ancestors
+}
+
 // CacheHitRate returns the query cache hit fraction observed so far
 // (0 when no query has run).
 func (m *Metrics) CacheHitRate() float64 {
@@ -148,6 +166,19 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_query_cache_misses_total %d", m.cacheMisses.Load())
 	line("# HELP labeld_query_cache_hit_rate Hit fraction over all queries.")
 	line("labeld_query_cache_hit_rate %g", m.CacheHitRate())
+	line("# HELP labeld_query_parallel_fanouts_total Query operator scans the executor sharded across workers.")
+	line("labeld_query_parallel_fanouts_total %d", m.queryFanOuts.Load())
+	line("# HELP labeld_query_parallel_shards_total Shards spawned by parallel operator scans.")
+	line("labeld_query_parallel_shards_total %d", m.queryShards.Load())
+	line("# HELP labeld_query_fastpath_prefilter_rejects_total Ancestor tests rejected by the constant-time prefilter (depth, bit length, path signature) before any division ran.")
+	line("labeld_query_fastpath_prefilter_rejects_total %d", m.ancestors.PrefilterRejects.Load())
+	line("# HELP labeld_query_fastpath_exact_tests_total Ancestor tests that fell through to an exact division, by kind: u64 is a single machine-word modulo, big a big-integer remainder.")
+	line(`labeld_query_fastpath_exact_tests_total{kind="u64"} %d`, m.ancestors.ExactU64.Load())
+	line(`labeld_query_fastpath_exact_tests_total{kind="big"} %d`, m.ancestors.ExactBig.Load())
+	line("# HELP labeld_query_fastpath_exact_true_total Exact ancestor tests that confirmed ancestry.")
+	line("labeld_query_fastpath_exact_true_total %d", m.ancestors.ExactTrue.Load())
+	line("# HELP labeld_query_fastpath_reject_ratio Fraction of non-ancestor outcomes the prefilter caught before any division (gauge).")
+	line("labeld_query_fastpath_reject_ratio %g", m.ancestors.RejectRatio())
 	line("# HELP labeld_updates_total Dynamic updates applied (insert, wrap, delete).")
 	line("labeld_updates_total %d", m.updates.Load())
 	line("# HELP labeld_relabeled_nodes_total Labels written by updates — the paper's relabeling cost, accumulated online.")
@@ -212,6 +243,31 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("# HELP labeld_stage_duration_seconds Traced stage latency histogram (lock waits, XPath evaluation, relabeling, journal fsyncs, ...).")
 	for _, stage := range trace.Stages {
 		writeHistogram(line, "labeld_stage_duration_seconds", "stage", stage, m.stages[stage].Snapshot())
+	}
+}
+
+// WriteCacheMetrics renders the per-document query-cache counter pair in
+// Prometheus exposition format, one hits/misses series per hosted document
+// sorted by name — the two counters a dashboard divides for a per-document
+// hit ratio. Written by the metrics handler after the registry's own
+// series, since the counters live on the documents rather than on Metrics.
+func (s *Store) WriteCacheMetrics(w io.Writer) {
+	s.mu.RLock()
+	docs := make([]*document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].name < docs[j].name })
+	fmt.Fprintln(w, "# HELP labeld_doc_query_cache_hits_total Queries answered from the document's generation-tagged cache, by document.")
+	for _, d := range docs {
+		hits, _ := d.cache.counters()
+		fmt.Fprintf(w, "labeld_doc_query_cache_hits_total{doc=%q} %d\n", d.name, hits)
+	}
+	fmt.Fprintln(w, "# HELP labeld_doc_query_cache_misses_total Queries evaluated against the document's element table (stale-generation entries count as misses), by document.")
+	for _, d := range docs {
+		_, misses := d.cache.counters()
+		fmt.Fprintf(w, "labeld_doc_query_cache_misses_total{doc=%q} %d\n", d.name, misses)
 	}
 }
 

@@ -25,6 +25,11 @@ type Config struct {
 	// CacheSize is the per-document query cache capacity (default 256;
 	// negative disables caching).
 	CacheSize int
+	// QueryParallelism is the worker count for parallel query evaluation:
+	// large candidate scans are sharded across this many workers. 1 keeps
+	// evaluation fully sequential; 0 or negative (the default) means auto —
+	// one worker per usable CPU.
+	QueryParallelism int
 	// RequestTimeout bounds each request's handling time (default 10s).
 	// Requests that exceed it receive 503 with a JSON error body.
 	RequestTimeout time.Duration
@@ -114,6 +119,7 @@ func New(cfg Config) (*Server, error) {
 		store:   NewStore(m, cfg.CacheSize),
 	}
 	s.store.SetLogger(cfg.Logger)
+	s.store.SetParallelism(cfg.QueryParallelism)
 	if cfg.DataDir != "" {
 		mgr, err := persist.Open(cfg.DataDir, !cfg.NoFsync)
 		if err != nil {
@@ -288,6 +294,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteText(w)
+	s.store.WriteCacheMetrics(w)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

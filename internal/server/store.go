@@ -10,10 +10,11 @@
 // because every lazily built cache in the underlying packages is
 // pre-materialized (rdb.Table.Warm, the prime scheme's eager self-label
 // cache) — so any number of readers proceed in parallel. Updates take the
-// write lock, mutate the labeling, rebuild the element table, bump the
-// document's generation and clear its query cache. The registry map has its
-// own lock, held only for lookups and load/delete, never during query
-// evaluation.
+// write lock, mutate the labeling, rebuild the element table and bump the
+// document's generation; cached query results are tagged with the
+// generation they were computed at, so a bump invalidates them lazily
+// without sweeping the cache. The registry map has its own lock, held only
+// for lookups and load/delete, never during query evaluation.
 package server
 
 import (
@@ -32,6 +33,7 @@ import (
 	"primelabel/internal/labeling/interval"
 	"primelabel/internal/labeling/prefix"
 	"primelabel/internal/labeling/prime"
+	"primelabel/internal/parallel"
 	"primelabel/internal/rdb"
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
@@ -100,18 +102,37 @@ type Store struct {
 	// snapshotEvery is the journal-records-per-snapshot compaction
 	// threshold.
 	snapshotEvery int
+	// parallelism is the worker count handed to every document's element
+	// table: 1 evaluates queries sequentially, more shards large candidate
+	// scans. Always a concrete count (auto requests are resolved against
+	// GOMAXPROCS when set).
+	parallelism int
 }
 
 // NewStore returns an empty registry reporting into metrics. cacheCap is
-// the per-document LRU capacity (<= 0 disables query caching).
+// the per-document LRU capacity (<= 0 disables query caching). Query
+// parallelism defaults to the number of usable CPUs; see SetParallelism.
 func NewStore(metrics *Metrics, cacheCap int) *Store {
 	return &Store{
-		docs:     make(map[string]*document),
-		metrics:  metrics,
-		logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
-		cacheCap: cacheCap,
+		docs:        make(map[string]*document),
+		metrics:     metrics,
+		logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		cacheCap:    cacheCap,
+		parallelism: parallel.Workers(0),
 	}
 }
+
+// SetParallelism sets the query worker count applied to subsequently
+// loaded or recovered documents: 1 disables parallel evaluation, larger
+// values shard big candidate scans across that many workers, and any
+// value <= 0 means auto (GOMAXPROCS). Call before the store starts
+// serving; documents already loaded keep their current setting.
+func (s *Store) SetParallelism(workers int) {
+	s.parallelism = parallel.Workers(workers)
+}
+
+// Parallelism returns the resolved query worker count new documents get.
+func (s *Store) Parallelism() int { return s.parallelism }
 
 // SetLogger directs the store's structured log output. Call before the
 // store starts serving; it is not safe to swap the logger concurrently
@@ -201,9 +222,15 @@ func (s *Store) Load(ctx context.Context, name string, req api.LoadRequest) (api
 	if err != nil {
 		return api.DocInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	if pl, ok := lab.(*prime.Labeling); ok {
+		// The store's metrics own the ancestor-test counters, so the series
+		// stay monotonic across document replacement and deletion.
+		pl.SetStats(s.metrics.Ancestors())
+	}
 	endIndex := trace.Start(ctx, trace.StageIndex)
 	table := rdb.Build(lab)
 	table.Plan = plan
+	table.Parallelism = s.parallelism
 	table.Warm()
 	endIndex()
 	d := &document{
@@ -337,8 +364,10 @@ func (d *document) info() api.DocInfo {
 }
 
 // Query evaluates an XPath-subset expression under the document's read
-// lock, consulting the per-document LRU first. A trace carried by ctx
-// records lock_wait, cache_lookup and (on a miss) xpath_eval spans.
+// lock, consulting the per-document LRU first (entries computed at an
+// older generation are treated as misses). A trace carried by ctx records
+// lock_wait, cache_lookup, and (on a miss) xpath_eval spans plus a
+// query_fanout span when the executor sharded work across workers.
 func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryResponse, error) {
 	if query == "" {
 		return nil, fmt.Errorf("%w: empty xpath", ErrBadRequest)
@@ -353,7 +382,7 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 	endLock()
 	defer d.mu.RUnlock()
 	endCache := trace.Start(ctx, trace.StageCacheLookup)
-	cached, ok := d.cache.get(query)
+	cached, ok := d.cache.get(query, d.gen)
 	endCache()
 	if ok {
 		s.metrics.cacheHits.Add(1)
@@ -363,8 +392,13 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 	}
 	s.metrics.cacheMisses.Add(1)
 	endEval := trace.Start(ctx, trace.StageXPathEval)
-	rows, err := d.table.ExecPathString(query)
+	rows, stats, err := d.table.ExecPathStringStats(query)
 	endEval()
+	trace.Observe(ctx, trace.StageQueryFanout, stats.FanOutTime)
+	if stats.FanOuts > 0 {
+		s.metrics.queryFanOuts.Add(uint64(stats.FanOuts))
+		s.metrics.queryShards.Add(uint64(stats.Shards))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -382,7 +416,7 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 			Text:  n.Text(),
 		}
 	}
-	d.cache.put(query, resp)
+	d.cache.put(query, d.gen, resp)
 	return resp, nil
 }
 
@@ -562,17 +596,19 @@ func (d *document) applyOpIndexed(req api.UpdateRequest) (count int, touched *xm
 
 // finishOp completes one applied op's index maintenance under the write
 // lock: when the op was not patched in place the element table is rebuilt
-// (without warming — callers warm once at the end); in both cases the query
-// cache is dropped and the generation advances — even for an op that failed
-// after mutating state, so a half-applied mutation can never serve stale
-// rows or stale node ids.
+// (without warming — callers warm once at the end); in both cases the
+// generation advances — even for an op that failed after mutating state,
+// so a half-applied mutation can never serve stale rows or stale node ids.
+// Advancing the generation is also what invalidates the query cache: its
+// entries are tagged with the generation they were computed at.
 func (d *document) finishOp(patched bool) {
 	if !patched {
-		plan := d.table.Plan
+		old := d.table
 		d.table = rdb.Build(d.lab)
-		d.table.Plan = plan
+		d.table.Plan = old.Plan
+		d.table.Parallelism = old.Parallelism
+		d.table.MinParallelWork = old.MinParallelWork
 	}
-	d.cache.clear()
 	d.gen++
 }
 
@@ -587,8 +623,8 @@ func (s *Store) observeReindex(patched bool) {
 
 // Update applies one dynamic update under the document's write lock, then
 // reindexes — incrementally patching the element table when the op allows
-// it, rebuilding and re-warming otherwise — clears the query cache and
-// advances the generation. When the document is durable the record is
+// it, rebuilding and re-warming otherwise — and advances the generation
+// (which is what invalidates cached query results). When the document is durable the record is
 // appended under the lock and made stable after it is released, so
 // concurrent updates to the same document coalesce onto one fsync (group
 // commit); a journal failure fails the request and retires the journal so

@@ -34,6 +34,10 @@ const (
 	StageCacheLookup = "cache_lookup"
 	// StageXPathEval is XPath-subset evaluation against the element table.
 	StageXPathEval = "xpath_eval"
+	// StageQueryFanout is the portion of XPath evaluation spent inside
+	// sharded (parallel) join scans — a subset of xpath_eval's wall time,
+	// recorded from the executor's fan-out stats.
+	StageQueryFanout = "query_fanout"
 	// StageLabelProbe is a label-only relation check (ancestor/parent/before).
 	StageLabelProbe = "label_probe"
 	// StageParse is XML parsing during a document load.
@@ -66,9 +70,9 @@ const (
 // Stages lists every stage name, in rough request order. The server's
 // metric registry builds one histogram per entry at startup.
 var Stages = []string{
-	StageLockWait, StageCacheLookup, StageXPathEval, StageLabelProbe,
-	StageParse, StageLabel, StageIndex, StageRelabel, StageReindex,
-	StageCodecEncode, StageSnapshotWrite, StageJournalAppend,
+	StageLockWait, StageCacheLookup, StageXPathEval, StageQueryFanout,
+	StageLabelProbe, StageParse, StageLabel, StageIndex, StageRelabel,
+	StageReindex, StageCodecEncode, StageSnapshotWrite, StageJournalAppend,
 	StageJournalGroupWait, StageJournalFsync,
 }
 
@@ -209,6 +213,26 @@ func FromContext(ctx context.Context) *Trace {
 // has none) and returns the function that ends it.
 func Start(ctx context.Context, stage string) func() {
 	return FromContext(ctx).StartSpan(stage)
+}
+
+// Observe records an already-measured span on the trace carried by ctx (a
+// no-op when ctx has none, or when d <= 0). It exists for durations
+// measured by layers that do not know about tracing — the query
+// executor's fan-out time, for example — and are attributed to a stage
+// after the fact. The span's offset places its end at "now".
+func Observe(ctx context.Context, stage string, d time.Duration) {
+	t := FromContext(ctx)
+	if t == nil || d <= 0 {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Stage:    stage,
+		Offset:   end.Add(-d).Sub(t.Start),
+		Duration: d,
+	})
+	t.mu.Unlock()
 }
 
 // ID returns the trace ID carried by ctx, or "" when ctx has no trace —

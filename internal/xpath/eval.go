@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"primelabel/internal/labeling"
+	"primelabel/internal/parallel"
 	"primelabel/internal/xmltree"
 )
 
@@ -29,6 +30,68 @@ type Evaluator struct {
 	// instead of caching), making the evaluator safe for concurrent use
 	// until the next Reindex.
 	warmed bool
+	// par is the resolved worker count for sharded axis scans; <= 1 keeps
+	// evaluation sequential (the default). See SetParallelism.
+	par int
+	// minParCands is the smallest per-shard candidate count worth a
+	// goroutine; 0 means defaultMinParallelCands. Tests lower it to force
+	// fan-out on small documents.
+	minParCands int
+}
+
+// defaultMinParallelCands is the minimum number of candidates one shard
+// must cover before an axis scan fans out: below this, goroutine startup
+// costs more than the scan itself.
+const defaultMinParallelCands = 1024
+
+// SetParallelism sets the worker budget for sharded axis scans: values
+// <= 0 mean GOMAXPROCS, 1 (the default) keeps evaluation sequential.
+// Fan-out only happens on a warmed evaluator — an un-warmed one memoizes
+// ranks during reads and must stay single-goroutine. Results are
+// identical at any setting: shards are contiguous candidate ranges
+// concatenated in order.
+func (e *Evaluator) SetParallelism(workers int) { e.par = parallel.Workers(workers) }
+
+// grain returns the minimum candidates per shard.
+func (e *Evaluator) grain() int {
+	if e.minParCands > 0 {
+		return e.minParCands
+	}
+	return defaultMinParallelCands
+}
+
+// parallelOK reports whether a scan over n candidates should fan out.
+func (e *Evaluator) parallelOK(n int) bool {
+	return e.par > 1 && e.warmed && n >= 2*e.grain()
+}
+
+// shardScan runs keep over contiguous shards of cands on the worker pool
+// and concatenates the surviving nodes in candidate order, so a
+// document-ordered input yields a document-ordered output. keep must be
+// read-only (Warm guarantees that for the label and rank probes used
+// here).
+func (e *Evaluator) shardScan(cands []*xmltree.Node, keep func(*xmltree.Node) bool) []*xmltree.Node {
+	parts := parallel.MapShards(e.par, len(cands), e.grain(), func(lo, hi int) []*xmltree.Node {
+		var part []*xmltree.Node
+		for _, n := range cands[lo:hi] {
+			if keep(n) {
+				part = append(part, n)
+			}
+		}
+		return part
+	})
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]*xmltree.Node, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // siblingsOf returns the candidates with the given tag under parent.
@@ -54,16 +117,18 @@ func (e *Evaluator) siblingsOf(tag string, parent *xmltree.Node) []*xmltree.Node
 // New builds an evaluator over the labeling's document.
 func New(lab labeling.Labeling) *Evaluator {
 	e := &Evaluator{
-		doc:      lab.Doc(),
-		lab:      lab,
-		byTag:    make(map[string][]*xmltree.Node),
-		ordCache: make(map[*xmltree.Node]int),
+		doc:   lab.Doc(),
+		lab:   lab,
+		byTag: make(map[string][]*xmltree.Node),
 	}
 	xmltree.WalkElements(e.doc.Root, func(n *xmltree.Node) bool {
 		e.byTag[n.Name] = append(e.byTag[n.Name], n)
 		e.all = append(e.all, n)
 		return true
 	})
+	// Pre-sized to the element count: Warm fills a rank for every element,
+	// and growing a large map one insert at a time rehashes repeatedly.
+	e.ordCache = make(map[*xmltree.Node]int, len(e.all))
 	return e
 }
 
@@ -73,7 +138,6 @@ func New(lab labeling.Labeling) *Evaluator {
 func (e *Evaluator) Reindex() {
 	e.byTag = make(map[string][]*xmltree.Node)
 	e.all = nil
-	e.ordCache = make(map[*xmltree.Node]int)
 	e.sibIndex = nil
 	e.warmed = false
 	xmltree.WalkElements(e.doc.Root, func(n *xmltree.Node) bool {
@@ -81,6 +145,7 @@ func (e *Evaluator) Reindex() {
 		e.all = append(e.all, n)
 		return true
 	})
+	e.ordCache = make(map[*xmltree.Node]int, len(e.all))
 }
 
 // Warm pre-materializes every lazily built index — the per-node order
@@ -202,6 +267,10 @@ func (e *Evaluator) axisNodes(ctx *xmltree.Node, step Step) ([]*xmltree.Node, er
 		if ctx == nil {
 			return append(out, cands...), nil
 		}
+		if e.parallelOK(len(cands)) {
+			out = e.shardScan(cands, func(n *xmltree.Node) bool { return e.lab.IsAncestor(ctx, n) })
+			break
+		}
 		for _, n := range cands {
 			if e.lab.IsAncestor(ctx, n) {
 				out = append(out, n)
@@ -212,6 +281,13 @@ func (e *Evaluator) axisNodes(ctx *xmltree.Node, step Step) ([]*xmltree.Node, er
 			return nil, nil
 		}
 		if co, ok := e.rank(ctx); ok {
+			if e.parallelOK(len(cands)) {
+				out = e.shardScan(cands, func(n *xmltree.Node) bool {
+					no, _ := e.rank(n)
+					return no > co && !e.lab.IsAncestor(ctx, n)
+				})
+				break
+			}
 			for _, n := range cands {
 				no, _ := e.rank(n)
 				if no > co && !e.lab.IsAncestor(ctx, n) {
@@ -234,6 +310,13 @@ func (e *Evaluator) axisNodes(ctx *xmltree.Node, step Step) ([]*xmltree.Node, er
 			return nil, nil
 		}
 		if co, ok := e.rank(ctx); ok {
+			if e.parallelOK(len(cands)) {
+				out = e.shardScan(cands, func(n *xmltree.Node) bool {
+					no, _ := e.rank(n)
+					return no < co && !e.lab.IsAncestor(n, ctx)
+				})
+				break
+			}
 			for _, n := range cands {
 				no, _ := e.rank(n)
 				if no < co && !e.lab.IsAncestor(n, ctx) {
@@ -322,7 +405,11 @@ func (e *Evaluator) sortDocOrder(ns []*xmltree.Node) ([]*xmltree.Node, error) {
 		return ns, nil
 	}
 	if _, ok := e.rank(ns[0]); ok {
-		ranks := make([]int, len(ns))
+		type ranked struct {
+			n *xmltree.Node
+			r int
+		}
+		ord := make([]ranked, len(ns))
 		usable := true
 		for i, n := range ns {
 			r, ok := e.rank(n)
@@ -330,10 +417,13 @@ func (e *Evaluator) sortDocOrder(ns []*xmltree.Node) ([]*xmltree.Node, error) {
 				usable = false
 				break
 			}
-			ranks[i] = r
+			ord[i] = ranked{n, r}
 		}
 		if usable {
-			sort.Sort(&byRank{ns: ns, ranks: ranks})
+			sort.Slice(ord, func(i, j int) bool { return ord[i].r < ord[j].r })
+			for i := range ord {
+				ns[i] = ord[i].n
+			}
 			return ns, nil
 		}
 	}
@@ -353,17 +443,4 @@ func (e *Evaluator) sortDocOrder(ns []*xmltree.Node) ([]*xmltree.Node, error) {
 	idx := xmltree.DocOrderIndex(e.doc)
 	sort.SliceStable(ns, func(i, j int) bool { return idx[ns[i]] < idx[ns[j]] })
 	return ns, nil
-}
-
-// byRank sorts a node slice by parallel rank values.
-type byRank struct {
-	ns    []*xmltree.Node
-	ranks []int
-}
-
-func (b *byRank) Len() int           { return len(b.ns) }
-func (b *byRank) Less(i, j int) bool { return b.ranks[i] < b.ranks[j] }
-func (b *byRank) Swap(i, j int) {
-	b.ns[i], b.ns[j] = b.ns[j], b.ns[i]
-	b.ranks[i], b.ranks[j] = b.ranks[j], b.ranks[i]
 }

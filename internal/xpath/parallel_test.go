@@ -1,0 +1,122 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/xmltree"
+)
+
+// forceParallel warms an evaluator and drops the fan-out threshold to a
+// single candidate, so every axis scan with >= 2 candidates shards even
+// on the small test fixtures.
+func forceParallel(e *Evaluator) {
+	e.Warm()
+	e.SetParallelism(4)
+	e.minParCands = 1
+}
+
+// axisQueries exercises every supported axis at least once, including
+// positional and attribute filters over multi-step paths.
+var axisQueries = []string{
+	"/play",                             // child of document
+	"/play/act",                         // child
+	"/play//line",                       // descendant
+	"//speech",                          // descendant of document
+	"/play//act[2]//line",               // descendant + position
+	"//act[1]//following::line",         // following
+	"//line[1]//preceding::speaker",     // preceding
+	"//act//following-sibling::act",     // following-sibling
+	"//scene//preceding-sibling::scene", // preceding-sibling
+	"//title//following::speech",        // following from a leaf
+	"//*",                               // wildcard
+	"/play/*",                           // wildcard child
+	"/play//bogus",                      // empty result
+}
+
+// TestParallelParityAllAxes checks that a warmed evaluator with forced
+// fan-out returns node-for-node identical results to the sequential
+// reference TreeEval — for every axis and every labeling scheme.
+func TestParallelParityAllAxes(t *testing.T) {
+	for name, s := range schemes() {
+		doc := fixture(t)
+		lab, err := s.Label(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := New(lab)
+		forceParallel(ev)
+		for _, q := range axisQueries {
+			want, err := TreeEvalString(doc, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ev.EvalString(q)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, q, err)
+			}
+			if len(got) != len(want) {
+				t.Errorf("%s %s: %d nodes, want %d", name, q, len(got), len(want))
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%s %s: result %d differs from sequential reference", name, q, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestParallelParityRandomDocs repeats the parity check on random trees
+// large enough for multiple shards per scan, against both the tree
+// reference and a sequential evaluator over the same labeling.
+func TestParallelParityRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	tags := []string{"a", "b", "c"}
+	queries := []string{
+		"/r//a", "//a/b", "//a//c", "//b//following::a",
+		"//c//preceding::b", "//a//following-sibling::a",
+		"//b//preceding-sibling::c", "//a[2]//b[1]", "//*",
+	}
+	for trial := 0; trial < 5; trial++ {
+		root := xmltree.NewElement("r")
+		nodes := []*xmltree.Node{root}
+		for i := 1; i < 300; i++ {
+			p := nodes[rng.Intn(len(nodes))]
+			c := xmltree.NewElement(tags[rng.Intn(len(tags))])
+			_ = p.AppendChild(c)
+			nodes = append(nodes, c)
+		}
+		doc := xmltree.NewDocument(root)
+		lab, err := (prime.Scheme{Opts: prime.Options{TrackOrder: true}}).Label(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := New(lab)
+		seq.Warm()
+		par := New(lab)
+		forceParallel(par)
+		for _, q := range queries {
+			ref, err := TreeEvalString(doc, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sGot, err := seq.EvalString(q)
+			if err != nil {
+				t.Fatalf("seq %s: %v", q, err)
+			}
+			pGot, err := par.EvalString(q)
+			if err != nil {
+				t.Fatalf("par %s: %v", q, err)
+			}
+			if fmt.Sprint(sGot) != fmt.Sprint(ref) || fmt.Sprint(pGot) != fmt.Sprint(sGot) {
+				t.Fatalf("trial %d %s: parallel/sequential/reference disagree (%d/%d/%d nodes)",
+					trial, q, len(pGot), len(sGot), len(ref))
+			}
+		}
+	}
+}
