@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race fuzz verify bench-update bench-query clean
+.PHONY: build vet lint test race fuzz verify e2e-replica bench-update bench-query clean
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 # lint enforces the godoc contract on the server packages: every exported
 # identifier must document its concurrency/durability behavior.
 lint:
-	$(GO) run ./cmd/doccheck ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/trace ./internal/hist ./internal/buildinfo
+	$(GO) run ./cmd/doccheck ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/replica ./internal/server/trace ./internal/hist ./internal/buildinfo
 
 test:
 	$(GO) test ./...
@@ -28,11 +28,21 @@ race:
 	$(GO) test -race ./...
 
 # fuzz seeds the journal frame scanner with 10s of random torn/corrupt
-# inputs on top of the checked-in corpus.
+# inputs on top of the checked-in corpus, then the streaming frame decoder
+# (the replication wire format) with the same treatment.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJournalFrames -fuzztime 10s ./internal/server/persist
+	$(GO) test -run '^$$' -fuzz FuzzStreamFrames -fuzztime 10s ./internal/server/persist
 
-verify: build vet lint test race fuzz
+# e2e-replica runs the two-node replication suite under the race detector:
+# snapshot bootstrap, live journal tailing to parity through an update
+# storm, mid-journal resume, compaction-vs-slow-follower re-sync, follower
+# crash recovery, forced-disconnect reconnect, and promotion.
+e2e-replica:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestReplication|TestPromote' ./internal/server
+	$(GO) test -race -count=1 -timeout 120s ./internal/server/replica ./internal/server/client
+
+verify: build vet lint test race fuzz e2e-replica
 
 # bench-update measures the batched-update pipeline: batch-vs-single insert
 # throughput under fsync and incremental-vs-full reindex scaling, written as

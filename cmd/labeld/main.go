@@ -9,6 +9,8 @@
 //	labeld -addr :8080
 //	labeld -addr :8080 -preload catalog.xml -scheme prime
 //	labeld -addr :8080 -data-dir /var/lib/labeld
+//	labeld -addr :8081 -data-dir /var/lib/labeld-replica -follow http://primary:8080
+//	labeld -promote http://replica:8081
 //
 // With -data-dir the server is durable: every document is snapshotted and
 // every acknowledged update is journaled (fsync'd by default), so a crash —
@@ -36,6 +38,7 @@ import (
 	"primelabel/internal/buildinfo"
 	"primelabel/internal/server"
 	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
 )
 
 // newLogger builds the process logger from the -log-format and -log-level
@@ -92,12 +95,28 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this in full, with their span breakdown (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces (negative disables)")
 	debugAddr := fs.String("debug-addr", "", "extra listener serving net/http/pprof plus /debug/traces and /metrics (empty disables)")
+	follow := fs.String("follow", "", "run as a read-only replica streaming the journal from this primary base URL (e.g. http://primary:8080)")
+	followPoll := fs.Duration("follow-poll", 0, "how often a replica re-lists the primary's documents (0 = server default)")
+	promote := fs.String("promote", "", "promote the replica at this base URL to primary (POST /promote) and exit")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *version {
 		fmt.Fprintln(stdout, buildinfo.String("labeld"))
+		return nil
+	}
+	if *promote != "" {
+		resp, err := client.New(*promote, nil).Promote()
+		if err != nil {
+			return fmt.Errorf("promote %s: %w", *promote, err)
+		}
+		if resp.Promoted {
+			fmt.Fprintf(stdout, "labeld: promoted %s to primary (%d document(s) now writable)\n",
+				*promote, resp.Documents)
+		} else {
+			fmt.Fprintf(stdout, "labeld: %s is already a primary\n", *promote)
+		}
 		return nil
 	}
 
@@ -119,6 +138,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		SlowRequest:      *slowRequest,
 		TraceBuffer:      *traceBuffer,
 		DebugAddr:        *debugAddr,
+		FollowURL:        *follow,
+		FollowPoll:       *followPoll,
 	})
 	if err != nil {
 		return err
@@ -158,6 +179,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "labeld: listening on %s\n", bound)
+	if *follow != "" {
+		fmt.Fprintf(stdout, "labeld: read-only replica following %s (promote with labeld -promote)\n", *follow)
+	}
 
 	<-ctx.Done()
 	fmt.Fprintln(stdout, "labeld: shutting down")

@@ -13,6 +13,12 @@
 // Usage:
 //
 //	labelload -addr http://127.0.0.1:8080 -workers 8 -ops 500 -write-ratio 0.05
+//	labelload -addr http://primary:8080 -replicas http://replica1:8081,http://replica2:8082
+//
+// With -replicas the load generator uses the replica-aware routed client:
+// inserts go to the primary, queries round-robin across the replicas with
+// stale answers retried on the primary, and the report breaks latency down
+// per target so replica lag and fallback cost are visible.
 package main
 
 import (
@@ -84,7 +90,8 @@ func report(stdout io.Writer, kind string, h *hist.Histogram, max time.Duration)
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("labelload", flag.ContinueOnError)
-	addr := fs.String("addr", "http://127.0.0.1:8080", "labeld base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "labeld base URL (the primary when -replicas is set)")
+	replicas := fs.String("replicas", "", "comma-separated read-replica base URLs; queries round-robin across them with stale reads retried on the primary")
 	doc := fs.String("doc", "loadtest", "document name to create and drive")
 	workers := fs.Int("workers", 8, "concurrent workers")
 	ops := fs.Int("ops", 400, "operations per worker")
@@ -105,7 +112,47 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("workers and ops must be positive")
 	}
 
-	c := client.New(*addr, nil)
+	var replicaList []string
+	if *replicas != "" {
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaList = append(replicaList, u)
+			}
+		}
+	}
+
+	// With no -replicas this routes everything to -addr, so the single-node
+	// path is unchanged; with replicas, queries fan out and each target gets
+	// its own latency histogram via the observer.
+	c := client.NewRouted(*addr, replicaList, nil)
+	type targetStat struct {
+		hist *hist.Histogram
+		mu   sync.Mutex
+		max  time.Duration
+		errs int
+	}
+	targets := c.Targets()
+	perTarget := make(map[string]*targetStat, len(targets))
+	for _, t := range targets {
+		perTarget[t] = &targetStat{hist: hist.NewDefault()}
+	}
+	if len(replicaList) > 0 {
+		c.SetObserver(func(target, op string, d time.Duration, err error) {
+			st := perTarget[target]
+			if st == nil {
+				return
+			}
+			st.hist.Observe(d)
+			st.mu.Lock()
+			if d > st.max {
+				st.max = d
+			}
+			if err != nil {
+				st.errs++
+			}
+			st.mu.Unlock()
+		})
+	}
 	runID := trace.GenID()
 	info, err := c.WithTraceID(runID+"-load").Load(*doc, api.LoadRequest{
 		XML:        buildStore(*shelves, *books),
@@ -218,6 +265,27 @@ func run(args []string, stdout io.Writer) error {
 		float64(total)/elapsed.Seconds())
 	report(stdout, "queries", queryHist, queryMax)
 	report(stdout, "inserts", insertHist, insertMax)
+
+	if len(replicaList) > 0 {
+		fmt.Fprintln(stdout, "per-target latency (primary first; replica errors fall back to the primary):")
+		for _, tgt := range targets {
+			st := perTarget[tgt]
+			st.mu.Lock()
+			max, errs := st.max, st.errs
+			st.mu.Unlock()
+			snap := st.hist.Snapshot()
+			if snap.Count == 0 {
+				fmt.Fprintf(stdout, "  %s: no requests\n", tgt)
+				continue
+			}
+			fmt.Fprintf(stdout, "  %s: %d reqs  p50 %v  p95 %v  p99 %v  max %v  errors %d\n",
+				tgt, snap.Count,
+				snap.Quantile(0.50).Round(time.Microsecond),
+				snap.Quantile(0.95).Round(time.Microsecond),
+				snap.Quantile(0.99).Round(time.Microsecond),
+				max.Round(time.Microsecond), errs)
+		}
+	}
 
 	final, err := c.Info(*doc)
 	if err != nil {

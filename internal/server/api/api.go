@@ -60,6 +60,14 @@ type DocInfo struct {
 	// server runs without -data-dir or the scheme has no persistence codec
 	// (prime-bottomup, prime-decomposed).
 	Durable bool `json:"durable"`
+	// Replica reports that this server hosts the document as a read
+	// replica: its state arrives over the replication stream and local
+	// writes are rejected until promotion.
+	Replica bool `json:"replica,omitempty"`
+	// ReplicaLagGenerations is the primary's generation minus the locally
+	// applied one, as of the follower's last heartbeat. Only meaningful
+	// when Replica is true.
+	ReplicaLagGenerations uint64 `json:"replica_lag_generations,omitempty"`
 }
 
 // QueryRequest evaluates an XPath-subset expression against a document.
@@ -201,6 +209,60 @@ type Health struct {
 	// directory.
 	Durable       bool    `json:"durable"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ReadOnly reports that the server rejects writes because it is
+	// following a primary; promotion clears it.
+	ReadOnly bool `json:"read_only,omitempty"`
+	// Replication describes the follower's replication state; nil on a
+	// server that is not following a primary.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
+// ReplicationStatus summarizes a follower's replication state, embedded in
+// /healthz.
+type ReplicationStatus struct {
+	// Primary is the base URL of the primary this server follows.
+	Primary string `json:"primary"`
+	// Docs holds one entry per subscribed document, sorted by name.
+	Docs []ReplicaDocStatus `json:"docs"`
+}
+
+// ReplicaDocStatus is one subscribed document's replication state on a
+// follower.
+type ReplicaDocStatus struct {
+	// Doc is the document name.
+	Doc string `json:"doc"`
+	// State is the replicator's connection state: connecting, streaming, or
+	// backoff.
+	State string `json:"state"`
+	// AppliedGeneration is the generation applied locally.
+	AppliedGeneration uint64 `json:"applied_generation"`
+	// PrimaryGeneration is the primary's generation as of the last
+	// heartbeat or record.
+	PrimaryGeneration uint64 `json:"primary_generation"`
+	// LagGenerations is PrimaryGeneration − AppliedGeneration (0 when
+	// caught up).
+	LagGenerations uint64 `json:"lag_generations"`
+	// LagSeconds is how long the replica has been behind: 0 when caught
+	// up, otherwise seconds since it was last caught up (or since it
+	// started, if never).
+	LagSeconds float64 `json:"lag_seconds"`
+	// Reconnects counts stream connection attempts after the first.
+	Reconnects uint64 `json:"reconnects"`
+	// AppliedRecords counts journal records applied since subscribe.
+	AppliedRecords uint64 `json:"applied_records"`
+	// SnapshotsInstalled counts snapshot images installed since subscribe.
+	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	// LastError is the most recent stream error ("" when none).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// PromoteResponse reports the outcome of POST /promote.
+type PromoteResponse struct {
+	// Promoted is true when this call performed the promotion; false when
+	// the server already accepted writes (the call is idempotent).
+	Promoted bool `json:"promoted"`
+	// Documents is the number of documents hosted at promotion time.
+	Documents int `json:"documents"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.

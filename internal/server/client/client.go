@@ -207,6 +207,15 @@ func (c *Client) DeleteNode(name string, target int) (api.UpdateResponse, error)
 	return c.Update(name, api.UpdateRequest{Op: api.OpDelete, Target: target})
 }
 
+// Promote asks a read-only replica server to stop following its primary
+// and begin accepting writes. It is idempotent: promoting a server that is
+// already a primary succeeds with Promoted=false.
+func (c *Client) Promote() (api.PromoteResponse, error) {
+	var resp api.PromoteResponse
+	err := c.do(http.MethodPost, "/promote", nil, &resp)
+	return resp, err
+}
+
 // Healthz fetches the health summary.
 func (c *Client) Healthz() (api.Health, error) {
 	var h api.Health

@@ -1,0 +1,282 @@
+package client
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// Observer receives one completed routed request: the base URL it was sent
+// to, the operation name ("query", "relation", "update", ...), the wall
+// time, and the error (nil on success). A read that falls back to the
+// primary reports twice — once for the replica attempt, once for the
+// primary retry — so per-target latency histograms stay honest.
+type Observer func(target, op string, d time.Duration, err error)
+
+// routedState is the routing state shared by a Routed and all its
+// WithTraceID copies: the round-robin cursor and the per-document
+// generation floor.
+type routedState struct {
+	next atomic.Uint64
+
+	mu    sync.Mutex
+	floor map[string]uint64
+}
+
+func (s *routedState) raise(doc string, gen uint64) {
+	s.mu.Lock()
+	if gen > s.floor[doc] {
+		s.floor[doc] = gen
+	}
+	s.mu.Unlock()
+}
+
+func (s *routedState) reset(doc string, gen uint64) {
+	s.mu.Lock()
+	s.floor[doc] = gen
+	s.mu.Unlock()
+}
+
+func (s *routedState) clear(doc string) {
+	s.mu.Lock()
+	delete(s.floor, doc)
+	s.mu.Unlock()
+}
+
+func (s *routedState) get(doc string) uint64 {
+	s.mu.Lock()
+	g := s.floor[doc]
+	s.mu.Unlock()
+	return g
+}
+
+// Routed is a replica-aware client: writes (and anything else that must see
+// the authoritative state) go to the primary, reads round-robin across read
+// replicas. Replication is asynchronous, so a replica may answer from the
+// past; Routed bounds that staleness with a per-document generation floor —
+// the highest generation this client has written or read. A replica answer
+// below the floor (or any replica error, e.g. a 404 before the follower's
+// first snapshot lands) is discarded and the read retried against the
+// primary, giving read-your-writes and monotonic reads without blocking on
+// replication lag.
+//
+// With no replicas configured every call goes to the primary, so Routed is
+// a drop-in superset of Client. It is safe for concurrent use.
+type Routed struct {
+	primary     *Client
+	primaryURL  string
+	replicas    []*Client
+	replicaURLs []string
+	state       *routedState
+	observer    Observer
+}
+
+// NewRouted returns a routed client for the primary at primaryBase and the
+// read replicas at replicaBases. httpClient may be nil, in which case each
+// underlying client uses the default 30s-timeout client.
+func NewRouted(primaryBase string, replicaBases []string, httpClient *http.Client) *Routed {
+	r := &Routed{
+		primary:    New(primaryBase, httpClient),
+		primaryURL: primaryBase,
+		state:      &routedState{floor: make(map[string]uint64)},
+	}
+	for _, b := range replicaBases {
+		r.replicas = append(r.replicas, New(b, httpClient))
+		r.replicaURLs = append(r.replicaURLs, b)
+	}
+	return r
+}
+
+// SetObserver installs fn as the per-request observer (see Observer). It
+// must be called before the client is shared across goroutines.
+func (r *Routed) SetObserver(fn Observer) { r.observer = fn }
+
+// WithTraceID returns a copy whose every request carries id as X-Trace-Id.
+// The copy shares the receiver's routing state (round-robin cursor and
+// generation floors), so reads issued through it still see writes issued
+// through the original.
+func (r *Routed) WithTraceID(id string) *Routed {
+	dup := &Routed{
+		primary:     r.primary.WithTraceID(id),
+		primaryURL:  r.primaryURL,
+		replicaURLs: r.replicaURLs,
+		state:       r.state,
+		observer:    r.observer,
+	}
+	for _, c := range r.replicas {
+		dup.replicas = append(dup.replicas, c.WithTraceID(id))
+	}
+	return dup
+}
+
+// Primary returns the underlying primary client.
+func (r *Routed) Primary() *Client { return r.primary }
+
+// Targets returns the base URLs requests may be routed to: the primary
+// first, then every replica.
+func (r *Routed) Targets() []string {
+	return append([]string{r.primaryURL}, r.replicaURLs...)
+}
+
+func (r *Routed) observe(target, op string, start time.Time, err error) {
+	if r.observer != nil {
+		r.observer(target, op, time.Since(start), err)
+	}
+}
+
+// pick returns the next replica in round-robin order, or (nil, "") when no
+// replicas are configured.
+func (r *Routed) pick() (*Client, string) {
+	if len(r.replicas) == 0 {
+		return nil, ""
+	}
+	i := int(r.state.next.Add(1)-1) % len(r.replicas)
+	return r.replicas[i], r.replicaURLs[i]
+}
+
+// Load loads (or replaces) a document on the primary. Replacing resets the
+// generation clock, so the document's floor is reset (not raised) to the
+// new generation.
+func (r *Routed) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
+	start := time.Now()
+	info, err := r.primary.Load(name, req)
+	r.observe(r.primaryURL, "load", start, err)
+	if err == nil {
+		r.state.reset(name, info.Generation)
+	}
+	return info, err
+}
+
+// Delete removes a document on the primary and clears its floor.
+func (r *Routed) Delete(name string) error {
+	start := time.Now()
+	err := r.primary.Delete(name)
+	r.observe(r.primaryURL, "delete", start, err)
+	if err == nil {
+		r.state.clear(name)
+	}
+	return err
+}
+
+// Update applies one dynamic update on the primary and raises the
+// document's floor to the resulting generation.
+func (r *Routed) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
+	start := time.Now()
+	resp, err := r.primary.Update(name, req)
+	r.observe(r.primaryURL, "update", start, err)
+	if err == nil {
+		r.state.raise(name, resp.Generation)
+	}
+	return resp, err
+}
+
+// UpdateBatch applies a batch on the primary and raises the document's
+// floor to the post-batch generation (which advances even for partially
+// applied batches).
+func (r *Routed) UpdateBatch(name string, req api.BatchUpdateRequest) (api.BatchUpdateResponse, error) {
+	start := time.Now()
+	resp, err := r.primary.UpdateBatch(name, req)
+	r.observe(r.primaryURL, "batch", start, err)
+	if err == nil {
+		r.state.raise(name, resp.Generation)
+	}
+	return resp, err
+}
+
+// Insert adds a new element via the primary (see Client.Insert).
+func (r *Routed) Insert(name string, parent, idx int, tag string) (api.UpdateResponse, error) {
+	return r.Update(name, api.UpdateRequest{Op: api.OpInsert, Parent: parent, Index: idx, Tag: tag})
+}
+
+// Wrap inserts a new parent via the primary (see Client.Wrap).
+func (r *Routed) Wrap(name string, target int, tag string) (api.UpdateResponse, error) {
+	return r.Update(name, api.UpdateRequest{Op: api.OpWrap, Target: target, Tag: tag})
+}
+
+// DeleteNode removes a subtree via the primary (see Client.DeleteNode).
+func (r *Routed) DeleteNode(name string, target int) (api.UpdateResponse, error) {
+	return r.Update(name, api.UpdateRequest{Op: api.OpDelete, Target: target})
+}
+
+// Query evaluates an XPath-subset expression on a replica when one is
+// available and fresh enough, falling back to the primary otherwise.
+func (r *Routed) Query(name, xpath string) (api.QueryResponse, error) {
+	if c, target := r.pick(); c != nil {
+		start := time.Now()
+		resp, err := c.Query(name, xpath)
+		r.observe(target, "query", start, err)
+		if err == nil && resp.Generation >= r.state.get(name) {
+			r.state.raise(name, resp.Generation)
+			return resp, nil
+		}
+	}
+	start := time.Now()
+	resp, err := r.primary.Query(name, xpath)
+	r.observe(r.primaryURL, "query", start, err)
+	if err == nil {
+		r.state.raise(name, resp.Generation)
+	}
+	return resp, err
+}
+
+// Relation answers a label-relationship probe on a replica when one is
+// available and fresh enough, falling back to the primary otherwise.
+func (r *Routed) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
+	if c, target := r.pick(); c != nil {
+		start := time.Now()
+		resp, err := c.Relation(name, req)
+		r.observe(target, "relation", start, err)
+		if err == nil && resp.Generation >= r.state.get(name) {
+			r.state.raise(name, resp.Generation)
+			return resp, nil
+		}
+	}
+	start := time.Now()
+	resp, err := r.primary.Relation(name, req)
+	r.observe(r.primaryURL, "relation", start, err)
+	if err == nil {
+		r.state.raise(name, resp.Generation)
+	}
+	return resp, err
+}
+
+// IsAncestor asks whether node a is a proper ancestor of node b.
+func (r *Routed) IsAncestor(name string, a, b int) (bool, error) {
+	resp, err := r.Relation(name, api.RelationRequest{Kind: api.RelAncestor, A: a, B: b})
+	return resp.Result, err
+}
+
+// IsParent asks whether node a is the parent of node b.
+func (r *Routed) IsParent(name string, a, b int) (bool, error) {
+	resp, err := r.Relation(name, api.RelationRequest{Kind: api.RelParent, A: a, B: b})
+	return resp.Result, err
+}
+
+// Before asks whether node a precedes node b in document order.
+func (r *Routed) Before(name string, a, b int) (bool, error) {
+	resp, err := r.Relation(name, api.RelationRequest{Kind: api.RelBefore, A: a, B: b})
+	return resp.Result, err
+}
+
+// Info describes one document as the primary sees it.
+func (r *Routed) Info(name string) (api.DocInfo, error) {
+	return r.primary.Info(name)
+}
+
+// List describes all documents hosted on the primary.
+func (r *Routed) List() ([]api.DocInfo, error) {
+	return r.primary.List()
+}
+
+// Healthz fetches the primary's health summary.
+func (r *Routed) Healthz() (api.Health, error) {
+	return r.primary.Healthz()
+}
+
+// Metrics fetches the primary's metrics exposition text.
+func (r *Routed) Metrics() (string, error) {
+	return r.primary.Metrics()
+}

@@ -1,0 +1,298 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// fakeNode is a minimal labeld stand-in: it serves /docs/{name}/query and
+// /docs/{name}/update at a fixed generation and records how many requests
+// it saw.
+type fakeNode struct {
+	mu      sync.Mutex
+	gen     uint64
+	queries int
+	updates int
+	fail    int // respond 404 to this many queries first
+}
+
+func (n *fakeNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /docs/{name}/query", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.queries++
+		gen := n.gen
+		failing := n.fail > 0
+		if failing {
+			n.fail--
+		}
+		n.mu.Unlock()
+		if failing {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(api.Error{Error: "unknown document"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.QueryResponse{Generation: gen})
+	})
+	mux.HandleFunc("POST /docs/{name}/update", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.updates++
+		n.gen++
+		gen := n.gen
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(api.UpdateResponse{Generation: gen})
+	})
+	mux.HandleFunc("PUT /docs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.gen = 0
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(api.DocInfo{Name: r.PathValue("name")})
+	})
+	return mux
+}
+
+func (n *fakeNode) counts() (queries, updates int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queries, n.updates
+}
+
+func startNodes(t *testing.T, nodes ...*fakeNode) []string {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		srv := httptest.NewServer(n.handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+func TestRoutedRoundRobin(t *testing.T) {
+	primary := &fakeNode{}
+	r1, r2 := &fakeNode{}, &fakeNode{}
+	urls := startNodes(t, primary, r1, r2)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	for i := 0; i < 10; i++ {
+		if _, err := rc.Query("d", "//a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q1, _ := r1.counts()
+	q2, _ := r2.counts()
+	pq, _ := primary.counts()
+	if q1 != 5 || q2 != 5 {
+		t.Fatalf("replica query split = %d/%d, want 5/5", q1, q2)
+	}
+	if pq != 0 {
+		t.Fatalf("primary saw %d queries, want 0", pq)
+	}
+}
+
+func TestRoutedWritesGoToPrimary(t *testing.T) {
+	primary := &fakeNode{}
+	rep := &fakeNode{}
+	urls := startNodes(t, primary, rep)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	if _, err := rc.Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, u := primary.counts(); u != 1 {
+		t.Fatalf("primary updates = %d, want 1", u)
+	}
+	if _, u := rep.counts(); u != 0 {
+		t.Fatalf("replica updates = %d, want 0", u)
+	}
+}
+
+// TestRoutedStaleReadFallsBack is read-your-writes: after a write puts the
+// primary at generation 1, a replica still at generation 0 must not satisfy
+// the next read — the routed client retries it against the primary.
+func TestRoutedStaleReadFallsBack(t *testing.T) {
+	primary := &fakeNode{}
+	stale := &fakeNode{} // never advances past gen 0
+	urls := startNodes(t, primary, stale)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	if _, err := rc.Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rc.Query("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 1 {
+		t.Fatalf("query answered at generation %d, want 1 (primary)", resp.Generation)
+	}
+	sq, _ := stale.counts()
+	pq, _ := primary.counts()
+	if sq != 1 {
+		t.Fatalf("stale replica queries = %d, want 1 (tried then discarded)", sq)
+	}
+	if pq != 1 {
+		t.Fatalf("primary queries = %d, want 1 (fallback)", pq)
+	}
+
+	// A replica caught up to the floor satisfies reads again.
+	stale.mu.Lock()
+	stale.gen = 1
+	stale.mu.Unlock()
+	if resp, err = rc.Query("d", "//a"); err != nil || resp.Generation != 1 {
+		t.Fatalf("caught-up replica read = gen %d, err %v", resp.Generation, err)
+	}
+	if pq2, _ := primary.counts(); pq2 != pq {
+		t.Fatalf("primary queries grew to %d after replica caught up", pq2)
+	}
+}
+
+// TestRoutedErrorFallsBack covers the catch-up window where a fresh
+// follower has not installed its first snapshot yet: the replica 404s and
+// the read lands on the primary instead of surfacing the error.
+func TestRoutedErrorFallsBack(t *testing.T) {
+	primary := &fakeNode{gen: 3}
+	rep := &fakeNode{fail: 1}
+	urls := startNodes(t, primary, rep)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	resp, err := rc.Query("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 3 {
+		t.Fatalf("fallback read generation = %d, want 3", resp.Generation)
+	}
+}
+
+// TestRoutedMonotonicReads: a read served at generation G raises the floor,
+// so a later read from a more-lagged replica cannot travel back in time.
+func TestRoutedMonotonicReads(t *testing.T) {
+	primary := &fakeNode{gen: 9}
+	ahead := &fakeNode{gen: 7}
+	behind := &fakeNode{gen: 2}
+	urls := startNodes(t, primary, ahead, behind)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	first, err := rc.Query("d", "//a") // round-robin starts at `ahead`
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Generation != 7 {
+		t.Fatalf("first read generation = %d, want 7", first.Generation)
+	}
+	second, err := rc.Query("d", "//a") // lands on `behind`, must not answer at 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Generation < first.Generation {
+		t.Fatalf("reads went backwards: %d after %d", second.Generation, first.Generation)
+	}
+}
+
+func TestRoutedLoadResetsFloor(t *testing.T) {
+	primary := &fakeNode{}
+	rep := &fakeNode{}
+	urls := startNodes(t, primary, rep)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	if _, err := rc.Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.state.get("d"); got != 1 {
+		t.Fatalf("floor after write = %d, want 1", got)
+	}
+	if _, err := rc.Load("d", api.LoadRequest{XML: "<a/>"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.state.get("d"); got != 0 {
+		t.Fatalf("floor after reload = %d, want 0 (generation clock reset)", got)
+	}
+	// The gen-0 replica may serve reads for the reloaded document again.
+	if _, err := rc.Query("d", "//a"); err != nil {
+		t.Fatal(err)
+	}
+	if pq, _ := primary.counts(); pq != 0 {
+		t.Fatalf("primary queries = %d, want 0 after floor reset", pq)
+	}
+}
+
+func TestRoutedNoReplicas(t *testing.T) {
+	primary := &fakeNode{gen: 4}
+	urls := startNodes(t, primary)
+	rc := NewRouted(urls[0], nil, nil)
+	resp, err := rc.Query("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 4 {
+		t.Fatalf("generation = %d, want 4", resp.Generation)
+	}
+}
+
+// TestRoutedObserver checks that a fallback read reports both attempts —
+// the stale replica try and the primary retry — each against its own
+// target, which is what labelload's per-target histograms depend on.
+func TestRoutedObserver(t *testing.T) {
+	primary := &fakeNode{}
+	stale := &fakeNode{}
+	urls := startNodes(t, primary, stale)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	type obs struct{ target, op string }
+	var mu sync.Mutex
+	var seen []obs
+	rc.SetObserver(func(target, op string, d time.Duration, err error) {
+		mu.Lock()
+		seen = append(seen, obs{target, op})
+		mu.Unlock()
+	})
+
+	if _, err := rc.Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Query("d", "//a"); err != nil {
+		t.Fatal(err)
+	}
+	want := []obs{
+		{urls[0], "update"},
+		{urls[1], "query"}, // stale attempt
+		{urls[0], "query"}, // primary fallback
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d events, want %d: %v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestRoutedWithTraceIDSharesState(t *testing.T) {
+	primary := &fakeNode{}
+	stale := &fakeNode{}
+	urls := startNodes(t, primary, stale)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	// Write through a traced copy; read through the original. The floor
+	// must carry over, so the gen-0 replica cannot serve the read.
+	if _, err := rc.WithTraceID("t-1").Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rc.Query("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 1 {
+		t.Fatalf("read after traced write at generation %d, want 1", resp.Generation)
+	}
+}

@@ -183,6 +183,58 @@ func (s *Store) compact(d *document) {
 	s.logger.Debug("compacted document", "doc", d.name)
 }
 
+// replayRecord applies one journal record — a single update or a whole
+// batch — against d through the same applyOpIndexed path live updates use,
+// verifying the record's journaled outcome (per-op counts and failure
+// flags, final generation and relabel totals) against what replay
+// produced. what names the record in error messages; base is the sentinel
+// a divergence wraps (persist.ErrCorrupt during crash recovery,
+// replica.ErrDiverged during live replication). patched=false means the
+// element table was rebuilt and the caller must Warm it. Callers hold the
+// write lock (or own the unpublished document). On a divergence error the
+// document's state is partially mutated and must be discarded.
+func (d *document) replayRecord(rec persist.Record, what string, base error) (patched bool, err error) {
+	allPatched := true
+	if len(rec.Ops) > 0 {
+		// A batch record: replay its ops in order, verifying each op's
+		// journaled outcome and the batch-final gen/relabeled totals.
+		for oi, op := range rec.Ops {
+			count, _, applied, opPatched, opErr := d.applyOpIndexed(op.Req)
+			if !applied {
+				return allPatched, fmt.Errorf("%w: %s op %d rejected on replay: %v", base, what, oi, opErr)
+			}
+			d.finishOp(opPatched)
+			if !opPatched {
+				allPatched = false
+			}
+			d.relabeled += uint64(count)
+			if count != op.Count || (opErr != nil) != op.Failed {
+				return allPatched, fmt.Errorf("%w: %s op %d replay diverged (count %d want %d, failed %v want %v)",
+					base, what, oi, count, op.Count, opErr != nil, op.Failed)
+			}
+		}
+		if d.gen != rec.Gen || d.relabeled != rec.Relabeled {
+			return allPatched, fmt.Errorf("%w: %s batch replay diverged (gen %d want %d, relabeled %d want %d)",
+				base, what, d.gen, rec.Gen, d.relabeled, rec.Relabeled)
+		}
+		return allPatched, nil
+	}
+	count, _, applied, opPatched, opErr := d.applyOpIndexed(rec.Req)
+	if !applied {
+		return allPatched, fmt.Errorf("%w: %s rejected on replay: %v", base, what, opErr)
+	}
+	d.finishOp(opPatched)
+	if !opPatched {
+		allPatched = false
+	}
+	d.relabeled += uint64(count)
+	if d.gen != rec.Gen || count != rec.Count || d.relabeled != rec.Relabeled || (opErr != nil) != rec.Failed {
+		return allPatched, fmt.Errorf("%w: %s replay diverged (gen %d want %d, count %d want %d, relabeled %d want %d, failed %v want %v)",
+			base, what, d.gen, rec.Gen, count, rec.Count, d.relabeled, rec.Relabeled, opErr != nil, rec.Failed)
+	}
+	return allPatched, nil
+}
+
 // retire detaches a document's journal under its write lock, turning it
 // non-durable. The caller closes the returned journal (nil if the document
 // had none) outside the lock. Used when a document is replaced or deleted
@@ -320,38 +372,8 @@ func (s *Store) recoverOne(name string) error {
 			// happen between records, so this skips whole batches too.
 			continue
 		}
-		if len(rec.Ops) > 0 {
-			// A batch record: replay its ops in order through the same
-			// indexed path live batches use, verifying each op's journaled
-			// outcome and the batch-final gen/relabeled totals.
-			for oi, op := range rec.Ops {
-				count, _, applied, patched, opErr := d.applyOpIndexed(op.Req)
-				if !applied {
-					return fmt.Errorf("%w: journal record %d op %d rejected on replay: %v", persist.ErrCorrupt, i, oi, opErr)
-				}
-				d.finishOp(patched)
-				d.relabeled += uint64(count)
-				if count != op.Count || (opErr != nil) != op.Failed {
-					return fmt.Errorf("%w: journal record %d op %d replay diverged (count %d want %d, failed %v want %v)",
-						persist.ErrCorrupt, i, oi, count, op.Count, opErr != nil, op.Failed)
-				}
-			}
-			if d.gen != rec.Gen || d.relabeled != rec.Relabeled {
-				return fmt.Errorf("%w: journal record %d batch replay diverged (gen %d want %d, relabeled %d want %d)",
-					persist.ErrCorrupt, i, d.gen, rec.Gen, d.relabeled, rec.Relabeled)
-			}
-			replayed++
-			continue
-		}
-		count, _, applied, patched, opErr := d.applyOpIndexed(rec.Req)
-		if !applied {
-			return fmt.Errorf("%w: journal record %d rejected on replay: %v", persist.ErrCorrupt, i, opErr)
-		}
-		d.finishOp(patched)
-		d.relabeled += uint64(count)
-		if d.gen != rec.Gen || count != rec.Count || d.relabeled != rec.Relabeled || (opErr != nil) != rec.Failed {
-			return fmt.Errorf("%w: journal record %d replay diverged (gen %d want %d, count %d want %d, relabeled %d want %d, failed %v want %v)",
-				persist.ErrCorrupt, i, d.gen, rec.Gen, count, rec.Count, d.relabeled, rec.Relabeled, opErr != nil, rec.Failed)
+		if _, err := d.replayRecord(rec, fmt.Sprintf("journal record %d", i), persist.ErrCorrupt); err != nil {
+			return err
 		}
 		replayed++
 	}

@@ -28,6 +28,7 @@ type endpointStats struct {
 // goroutines can read it without locking.
 var endpointNames = []string{
 	"load", "list", "get", "delete", "query", "relation", "update", "update_batch", "healthz", "metrics", "traces",
+	"replicate", "promote",
 }
 
 // batchSizeBounds are the bucket upper bounds for the unitless group-commit
@@ -87,6 +88,32 @@ type Metrics struct {
 	replayedRecords   atomic.Uint64
 	recoveredDocs     atomic.Uint64
 	persistErrors     atomic.Uint64
+
+	// Replication counters, aggregated over all documents and labeled by
+	// direction in the exposition: "out" is the primary side (streams served
+	// to followers), "in" the follower side (stream pulled from the
+	// primary). One node can be both at once — a chained replica — which is
+	// why both directions live in one registry. Per-document follower gauges
+	// (lag, applied records) are rendered by replica.Follower.WriteMetrics.
+	replStreams      atomic.Int64  // active outbound streams (gauge)
+	replStreamsTotal atomic.Uint64 // outbound streams accepted
+	replBytesOut     atomic.Uint64
+	replBytesIn      atomic.Uint64
+	replRecordsOut   atomic.Uint64
+	replRecordsIn    atomic.Uint64
+	replSnapshotsOut atomic.Uint64
+	replSnapshotsIn  atomic.Uint64
+	replReconnects   atomic.Uint64 // follower-side stream reconnect attempts
+}
+
+// ObserveStage feeds one duration into a traced stage's histogram outside
+// the per-request span path — used by replication, whose stream lifetimes
+// and applies happen on background goroutines with no HTTP request of their
+// own. Stages outside the fixed set are ignored.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	if h, ok := m.stages[stage]; ok {
+		h.Observe(d)
+	}
 }
 
 // NewMetrics returns an empty registry.
@@ -213,6 +240,22 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_recovered_documents_total %d", m.recoveredDocs.Load())
 	line("# HELP labeld_persist_errors_total Durability-layer failures (snapshot, journal, cleanup).")
 	line("labeld_persist_errors_total %d", m.persistErrors.Load())
+
+	line("# HELP labeld_replication_streams Replication streams currently being served to followers (gauge).")
+	line("labeld_replication_streams %d", m.replStreams.Load())
+	line("# HELP labeld_replication_streams_total Replication stream connections accepted from followers.")
+	line("labeld_replication_streams_total %d", m.replStreamsTotal.Load())
+	line("# HELP labeld_replication_bytes_total Replication stream bytes by direction: out = served to followers, in = pulled from the primary.")
+	line(`labeld_replication_bytes_total{direction="out"} %d`, m.replBytesOut.Load())
+	line(`labeld_replication_bytes_total{direction="in"} %d`, m.replBytesIn.Load())
+	line("# HELP labeld_replication_records_total Journal records streamed by direction: out = sent to followers, in = applied from the primary.")
+	line(`labeld_replication_records_total{direction="out"} %d`, m.replRecordsOut.Load())
+	line(`labeld_replication_records_total{direction="in"} %d`, m.replRecordsIn.Load())
+	line("# HELP labeld_replication_snapshots_total Snapshot images shipped by direction: out = sent to followers, in = installed from the primary.")
+	line(`labeld_replication_snapshots_total{direction="out"} %d`, m.replSnapshotsOut.Load())
+	line(`labeld_replication_snapshots_total{direction="in"} %d`, m.replSnapshotsIn.Load())
+	line("# HELP labeld_replication_reconnects_total Follower-side replication stream reconnect attempts.")
+	line("labeld_replication_reconnects_total %d", m.replReconnects.Load())
 
 	// Go runtime series, sampled at scrape time.
 	var ms runtime.MemStats

@@ -12,7 +12,7 @@ import (
 func journalImage(payloads ...[]byte) []byte {
 	out := append([]byte(nil), journalMagic...)
 	for _, p := range payloads {
-		out = append(out, encodeFrame(p)...)
+		out = append(out, EncodeFrame(p)...)
 	}
 	return out
 }

@@ -95,6 +95,10 @@ type GroupStats struct {
 	FsyncDuration time.Duration
 }
 
+// ErrJournalClosed reports an operation against a journal whose file handle
+// has been released (Close), or a Wait that outlived the journal.
+var ErrJournalClosed = errors.New("persist: journal closed")
+
 // Journal is the append side of one document's update journal. Append is
 // not safe for concurrent use — the server calls it only inside the
 // document's write-lock critical section, which is also what orders journal
@@ -103,24 +107,45 @@ type GroupStats struct {
 // concurrent callers: commits for the same journal coalesce onto one fsync
 // (group commit), with one caller elected leader and the rest waiting for
 // its Sync to cover their frames.
+//
+// A journal also supports concurrent tailing readers (the replication
+// stream): SafeLen, Epoch and Wait let a reader holding its own read-only
+// file handle follow the append edge without ever observing a torn frame —
+// SafeLen only ever covers whole appended frames (and, with fsync enabled,
+// only frames a completed fsync made durable, so a follower can never apply
+// an update the primary would forget after a crash), and Epoch changes tell
+// the reader the file was truncated underneath it.
 type Journal struct {
 	f     *os.File
 	path  string
 	fsync bool
 
-	// mu guards the group-commit state below. cond is signaled whenever
-	// synced advances, a leader finishes, or the journal is reset/closed.
+	// mu guards the group-commit and tailing state below. cond is signaled
+	// whenever synced advances, a leader finishes, or the journal is
+	// reset/closed.
 	mu      sync.Mutex
 	cond    *sync.Cond
 	written uint64 // frames appended so far
 	synced  uint64 // frames known to be on stable storage
 	syncing bool   // a leader's fsync is in flight
 	closed  bool
+
+	// writtenBytes is the byte length of the complete-frame prefix of the
+	// file (magic header included): it advances only after a frame's Write
+	// fully returned, so a tailing reader that stays below it can never see
+	// a torn frame. syncedBytes is the prefix a completed fsync covers.
+	writtenBytes int64
+	syncedBytes  int64
+	// epoch counts truncations (Reset, and the initial open). A tailing
+	// reader records the epoch before reading and discards the read if the
+	// epoch moved — the bytes it read may have been truncated away.
+	epoch uint64
 }
 
 // newJournal wires up a journal over an open file positioned at its end.
-func newJournal(f *os.File, path string, fsync bool) *Journal {
-	j := &Journal{f: f, path: path, fsync: fsync}
+// end is the file's current logical end — the complete-frame prefix length.
+func newJournal(f *os.File, path string, fsync bool, end int64) *Journal {
+	j := &Journal{f: f, path: path, fsync: fsync, writtenBytes: end, syncedBytes: end, epoch: 1}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -134,7 +159,7 @@ func (m *Manager) CreateJournal(name string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := newJournal(f, path, m.fsync)
+	j := newJournal(f, path, m.fsync, int64(len(journalMagic)))
 	if _, err := f.Write(journalMagic); err != nil {
 		f.Close()
 		return nil, err
@@ -158,7 +183,11 @@ func (m *Manager) OpenJournalAt(name string, validEnd int64) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := newJournal(f, path, m.fsync)
+	end := validEnd
+	if end < int64(len(journalMagic)) {
+		end = int64(len(journalMagic))
+	}
+	j := newJournal(f, path, m.fsync, end)
 	if validEnd < int64(len(journalMagic)) {
 		// Torn or missing header: rewrite from scratch.
 		if err := f.Truncate(0); err != nil {
@@ -196,7 +225,7 @@ func (m *Manager) OpenJournalAt(name string, validEnd int64) (*Journal, error) {
 // write).
 func (j *Journal) Append(ctx context.Context, rec Record) (AppendStats, error) {
 	if j.f == nil {
-		return AppendStats{}, errors.New("persist: journal closed")
+		return AppendStats{}, ErrJournalClosed
 	}
 	endAppend := trace.Start(ctx, trace.StageJournalAppend)
 	payload, err := json.Marshal(rec)
@@ -204,7 +233,7 @@ func (j *Journal) Append(ctx context.Context, rec Record) (AppendStats, error) {
 		endAppend()
 		return AppendStats{}, err
 	}
-	frame := encodeFrame(payload)
+	frame := EncodeFrame(payload)
 	if _, err := j.f.Write(frame); err != nil {
 		endAppend()
 		return AppendStats{}, err
@@ -213,6 +242,13 @@ func (j *Journal) Append(ctx context.Context, rec Record) (AppendStats, error) {
 	j.mu.Lock()
 	j.written++
 	seq := j.written
+	// The frame is fully written, so the complete-frame prefix advances and
+	// tailing readers may consume it (immediately when fsync is off; after
+	// the covering fsync when it is on — see SafeLen).
+	j.writtenBytes += int64(len(frame))
+	if !j.fsync {
+		j.cond.Broadcast()
+	}
 	j.mu.Unlock()
 	return AppendStats{Bytes: len(frame), Seq: seq}, nil
 }
@@ -252,6 +288,7 @@ func (j *Journal) Commit(ctx context.Context, seq uint64) (GroupStats, error) {
 	// synced only advances to target, so their commits stay conservative.
 	j.syncing = true
 	target := j.written
+	targetBytes := j.writtenBytes
 	covered := target - j.synced
 	f := j.f
 	j.mu.Unlock()
@@ -267,6 +304,9 @@ func (j *Journal) Commit(ctx context.Context, seq uint64) (GroupStats, error) {
 	if err == nil && j.synced < target {
 		j.synced = target
 	}
+	if err == nil && j.syncedBytes < targetBytes {
+		j.syncedBytes = targetBytes
+	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	if err != nil {
@@ -277,10 +317,20 @@ func (j *Journal) Commit(ctx context.Context, seq uint64) (GroupStats, error) {
 
 // Reset truncates the journal to empty. Called after a snapshot has been
 // made durable: every journaled update is now covered by the snapshot, so
-// any in-flight commits are released as satisfied.
+// any in-flight commits are released as satisfied. The truncation bumps the
+// journal's epoch, telling tailing readers their byte offsets are void and
+// they must restart from the freshly written snapshot.
 func (j *Journal) Reset() error {
+	// The mutex is held across the truncation AND the epoch bump: a tailing
+	// reader whose ReadAt hit the shrunken file re-checks Epoch, which
+	// blocks here until the bump is published — so a truncated read is
+	// always distinguishable from corruption. Append/Commit cannot deadlock
+	// with this: their file I/O runs outside the mutex, and Reset's callers
+	// already exclude concurrent appends.
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.f == nil {
-		return errors.New("persist: journal closed")
+		return ErrJournalClosed
 	}
 	if err := j.f.Truncate(int64(len(journalMagic))); err != nil {
 		return err
@@ -292,10 +342,11 @@ func (j *Journal) Reset() error {
 	if j.fsync {
 		err = j.f.Sync()
 	}
-	j.mu.Lock()
 	j.synced = j.written
+	j.writtenBytes = int64(len(journalMagic))
+	j.syncedBytes = int64(len(journalMagic))
+	j.epoch++
 	j.cond.Broadcast()
-	j.mu.Unlock()
 	return err
 }
 
@@ -349,13 +400,82 @@ func (m *Manager) ReplayJournal(name string) ([]Record, int64, error) {
 	return records, validEnd, nil
 }
 
-// encodeFrame wraps a payload in the journal's record framing.
-func encodeFrame(payload []byte) []byte {
+// EncodeFrame wraps a payload in the journal's record framing: a 4-byte
+// little-endian payload length, a 4-byte CRC-32 (IEEE) of the payload, then
+// the payload itself. The replication stream reuses this framing for its
+// wire messages, which is what lets a follower validate streamed chunks
+// with the same scanner that guards crash recovery.
+func EncodeFrame(payload []byte) []byte {
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[frameHeaderLen:], payload)
 	return frame
+}
+
+// Path returns the journal's file path, for tailing readers that open their
+// own read-only handle on it.
+func (j *Journal) Path() string { return j.path }
+
+// SafeLen returns the byte length of the journal prefix a concurrent reader
+// may consume without ever observing a torn or volatile frame: with fsync
+// enabled, the prefix the last completed fsync covers (streaming an
+// un-synced frame could let a follower apply an update the primary forgets
+// after a crash); with fsync disabled, the complete-frame prefix. Safe for
+// concurrent use.
+func (j *Journal) SafeLen() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fsync {
+		return j.syncedBytes
+	}
+	return j.writtenBytes
+}
+
+// Epoch returns the journal's truncation epoch. A tailing reader records it
+// before reading file bytes and discards the read when a second call
+// disagrees: the bytes may have been truncated away by a Reset mid-read.
+// Safe for concurrent use.
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// Wait blocks until the journal's safe length exceeds after, its epoch
+// differs from epoch (a truncation landed), it is closed
+// (ErrJournalClosed), or ctx is done (the ctx error). It is the tailing
+// reader's park: call it with the offset already consumed and the epoch
+// that offset belongs to, and re-check both on return. Safe for any number
+// of concurrent callers.
+func (j *Journal) Wait(ctx context.Context, after int64, epoch uint64) error {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.closed {
+			return ErrJournalClosed
+		}
+		if j.epoch != epoch {
+			return nil
+		}
+		safe := j.writtenBytes
+		if j.fsync {
+			safe = j.syncedBytes
+		}
+		if safe > after {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		j.cond.Wait()
+	}
 }
 
 // scanFrames walks a journal image and returns the framed payloads plus the

@@ -1,0 +1,89 @@
+package persist
+
+// Streaming side of the frame codec. scanFrames (journal.go) validates a
+// complete on-disk image at recovery time; FrameReader validates the same
+// framing arriving incrementally over a network connection, where the input
+// can end mid-frame at any byte (a dropped replication stream) and must be
+// rejected cleanly rather than panicking or yielding a half frame.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxRecordLen is the bound on a single journal record's payload; see
+// maxRecordLen. Exported so stream consumers reading journal-record frames
+// apply the same sanity limit the recovery scanner does.
+const MaxRecordLen = maxRecordLen
+
+// FrameOverhead is the framing cost per payload in bytes (length prefix
+// plus CRC). A tailing reader advances its file offset by
+// FrameOverhead+len(payload) per frame it consumes.
+const FrameOverhead = frameHeaderLen
+
+// JournalHeaderLen is the byte length of the journal file's magic header —
+// the offset at which a tailing reader starts scanning frames.
+var JournalHeaderLen = len(journalMagic)
+
+// FrameReader decodes a sequence of CRC frames (see EncodeFrame) from a
+// byte stream. Unlike the recovery scanner — which forgives a torn final
+// frame because a crash legitimately leaves one — a stream that stops
+// mid-frame yields io.ErrUnexpectedEOF: the consumer treats it as a dropped
+// connection and reconnects. A CRC mismatch or an over-limit length yields
+// an ErrCorrupt-wrapped error and poisons the reader; no payload is ever
+// returned from a frame that failed validation. Not safe for concurrent
+// use.
+type FrameReader struct {
+	r      io.Reader
+	max    int
+	failed error
+}
+
+// NewFrameReader returns a FrameReader over r accepting payloads up to max
+// bytes (<= 0 uses MaxRecordLen). Size max for the largest legitimate frame
+// kind on the stream: anything over it is treated as corruption, bounding
+// the memory a malformed or hostile stream can make the reader allocate.
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = MaxRecordLen
+	}
+	return &FrameReader{r: r, max: max}
+}
+
+// Next reads one frame and returns its validated payload. io.EOF reports a
+// clean end between frames; io.ErrUnexpectedEOF an input that stopped
+// mid-frame; an ErrCorrupt-wrapped error a frame that failed validation.
+// After any error every further call returns the same error.
+func (fr *FrameReader) Next() ([]byte, error) {
+	if fr.failed != nil {
+		return nil, fr.failed
+	}
+	var head [frameHeaderLen]byte
+	if _, err := io.ReadFull(fr.r, head[:]); err != nil {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+			fr.failed = io.EOF
+		} else {
+			fr.failed = io.ErrUnexpectedEOF
+		}
+		return nil, fr.failed
+	}
+	length := int(binary.LittleEndian.Uint32(head[0:4]))
+	want := binary.LittleEndian.Uint32(head[4:8])
+	if length > fr.max {
+		fr.failed = fmt.Errorf("%w: frame length %d exceeds limit %d", ErrCorrupt, length, fr.max)
+		return nil, fr.failed
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		fr.failed = io.ErrUnexpectedEOF
+		return nil, fr.failed
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		fr.failed = fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+		return nil, fr.failed
+	}
+	return payload, nil
+}

@@ -1,0 +1,317 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// chunkReader yields its data in fixed-size chunks, forcing FrameReader
+// through partial reads the way a network stream would.
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func TestFrameReaderRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("a"), {}, []byte("hello frames"), bytes.Repeat([]byte{0x42}, 5000)}
+	var stream []byte
+	for _, p := range payloads {
+		stream = append(stream, EncodeFrame(p)...)
+	}
+	for _, chunk := range []int{1, 3, 7, 4096} {
+		fr := NewFrameReader(&chunkReader{data: stream, chunk: chunk}, 0)
+		for i, want := range payloads {
+			got, err := fr.Next()
+			if err != nil {
+				t.Fatalf("chunk %d: frame %d: %v", chunk, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("chunk %d: frame %d = %q, want %q", chunk, i, got, want)
+			}
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("chunk %d: end = %v, want io.EOF", chunk, err)
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("chunk %d: error not sticky", chunk)
+		}
+	}
+}
+
+func TestFrameReaderTruncatedMidFrame(t *testing.T) {
+	frame := EncodeFrame([]byte("truncate me"))
+	for cut := 1; cut < len(frame); cut++ {
+		fr := NewFrameReader(bytes.NewReader(frame[:cut]), 0)
+		if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderCorruption(t *testing.T) {
+	frame := EncodeFrame([]byte("check me"))
+	flipped := append([]byte(nil), frame...)
+	flipped[FrameOverhead] ^= 0xff // damage the payload under an intact CRC
+	fr := NewFrameReader(bytes.NewReader(flipped), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("corruption error not sticky")
+	}
+
+	huge := EncodeFrame(bytes.Repeat([]byte{1}, 100))
+	fr = NewFrameReader(bytes.NewReader(huge), 10)
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-limit length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestJournalTailWhileAppend is the reader-while-appending safety audit: a
+// writer goroutine appends and commits records (with a Reset thrown in,
+// like a compaction) while tailing readers follow SafeLen/Epoch/Wait over
+// their own read-only handle. Run under -race this covers the torn-read
+// window: readers must only ever observe whole, CRC-valid frames with
+// strictly increasing generations, and must detect the truncation epoch.
+func TestJournalTailWhileAppend(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.CreateJournal("tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	const total = 200
+	const resetAt = 120 // writer resets (compaction) after this many records
+
+	var wg sync.WaitGroup
+	sawEpochChange := make([]bool, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f, err := os.Open(j.Path())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			off := int64(JournalHeaderLen)
+			epoch := j.Epoch()
+			lastGen := uint64(0)
+			for {
+				if e := j.Epoch(); e != epoch {
+					// Truncated underneath us: restart from the top.
+					sawEpochChange[r] = true
+					epoch = e
+					off = int64(JournalHeaderLen)
+					continue
+				}
+				safe := j.SafeLen()
+				if off < safe {
+					buf := make([]byte, safe-off)
+					if _, err := f.ReadAt(buf, off); err != nil {
+						if j.Epoch() != epoch {
+							continue // truncated mid-read; restart from the top
+						}
+						t.Errorf("reader %d: ReadAt: %v", r, err)
+						return
+					}
+					if j.Epoch() != epoch {
+						continue // bytes may be from a truncated file image
+					}
+					fr := NewFrameReader(bytes.NewReader(buf), 0)
+					for {
+						payload, err := fr.Next()
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							t.Errorf("reader %d: torn or corrupt frame at off %d: %v", r, off, err)
+							return
+						}
+						var rec Record
+						if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+							t.Errorf("reader %d: bad record: %v", r, jerr)
+							return
+						}
+						if rec.Gen <= lastGen {
+							t.Errorf("reader %d: generation went backwards: %d after %d", r, rec.Gen, lastGen)
+							return
+						}
+						lastGen = rec.Gen
+						off += int64(FrameOverhead + len(payload))
+						if rec.Gen == total {
+							return
+						}
+					}
+					continue
+				}
+				if err := j.Wait(ctx, off, epoch); err != nil {
+					if !errors.Is(err, ErrJournalClosed) {
+						t.Errorf("reader %d: wait: %v", r, err)
+					}
+					return
+				}
+			}
+		}(r)
+	}
+
+	ctx := context.Background()
+	for gen := uint64(1); gen <= total; gen++ {
+		rec := Record{Gen: gen, Req: api.UpdateRequest{Op: api.OpInsert, Parent: 0, Tag: "n"}}
+		stats, err := j.Append(ctx, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Commit(ctx, stats.Seq); err != nil {
+			t.Fatal(err)
+		}
+		if gen == resetAt {
+			if err := j.Reset(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wg.Wait()
+	for r, saw := range sawEpochChange {
+		if !saw {
+			t.Errorf("reader %d never observed the truncation epoch change", r)
+		}
+	}
+}
+
+// TestJournalSafeLenFsyncGating checks that with fsync enabled SafeLen only
+// advances at Commit — a tailer must never stream a frame the disk does not
+// yet hold — while with fsync disabled it advances at Append.
+func TestJournalSafeLenFsyncGating(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	m, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.CreateJournal("gated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	base := j.SafeLen()
+	stats, err := j.Append(ctx, Record{Gen: 1, Req: api.UpdateRequest{Op: api.OpDelete}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SafeLen(); got != base {
+		t.Fatalf("SafeLen advanced to %d before Commit (base %d)", got, base)
+	}
+	if _, err := j.Commit(ctx, stats.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SafeLen(); got != base+int64(stats.Bytes) {
+		t.Fatalf("SafeLen = %d after Commit, want %d", got, base+int64(stats.Bytes))
+	}
+
+	m2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m2.CreateJournal("ungated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	base2 := j2.SafeLen()
+	stats2, err := j2.Append(ctx, Record{Gen: 1, Req: api.UpdateRequest{Op: api.OpDelete}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.SafeLen(); got != base2+int64(stats2.Bytes) {
+		t.Fatalf("no-fsync SafeLen = %d after Append, want %d", got, base2+int64(stats2.Bytes))
+	}
+}
+
+// FuzzStreamFrames throws arbitrary byte streams, delivered in arbitrary
+// chunk sizes, at the streaming frame decoder. It must never panic, every
+// payload it yields must re-encode to exactly the stream bytes it consumed,
+// and it must terminate every input with io.EOF (clean boundary),
+// io.ErrUnexpectedEOF (mid-frame truncation), or an ErrCorrupt error —
+// truncated mid-frame chunks surface as errors, never as misapplied
+// half-records.
+func FuzzStreamFrames(f *testing.F) {
+	rec, _ := json.Marshal(Record{Gen: 7, Req: api.UpdateRequest{Op: api.OpInsert, Tag: "x"}})
+	valid := append(EncodeFrame(rec), EncodeFrame([]byte(`{}`))...)
+	f.Add(valid, 1)
+	f.Add(valid[:len(valid)-3], 3)      // truncated mid-frame
+	f.Add(append(valid, 0xde, 0xad), 5) // trailing garbage
+	corrupt := append([]byte(nil), valid...)
+	corrupt[FrameOverhead] ^= 0xff
+	f.Add(corrupt, 2)
+	f.Add([]byte{}, 1)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk < 1 {
+			chunk = 1
+		}
+		fr := NewFrameReader(&chunkReader{data: data, chunk: chunk}, 0)
+		off := 0
+		var finalErr error
+		for {
+			payload, err := fr.Next()
+			if err != nil {
+				finalErr = err
+				break
+			}
+			frame := EncodeFrame(payload)
+			end := off + len(frame)
+			if end > len(data) || !bytes.Equal(frame, data[off:end]) {
+				t.Fatalf("yielded payload at offset %d does not match stream bytes", off)
+			}
+			off = end
+		}
+		switch {
+		case finalErr == io.EOF:
+			if off != len(data) {
+				t.Fatalf("clean EOF with %d unconsumed bytes", len(data)-off)
+			}
+		case finalErr == io.ErrUnexpectedEOF, errors.Is(finalErr, ErrCorrupt):
+			// acceptable terminal outcomes for damaged streams
+		default:
+			t.Fatalf("unexpected terminal error: %v", finalErr)
+		}
+		if _, err := fr.Next(); err != finalErr {
+			t.Fatalf("terminal error not sticky: %v then %v", finalErr, err)
+		}
+	})
+}

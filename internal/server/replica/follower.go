@@ -1,0 +1,325 @@
+package replica
+
+// Follower is the per-server manager on the follower side: it discovers the
+// primary's documents by polling GET /docs, runs one Replicator goroutine
+// per replicable document, removes (and drops) documents the primary no
+// longer hosts, and aggregates per-document status for /healthz and
+// /metrics. Stop tears every stream down and waits for in-flight applies —
+// which is exactly what promotion needs before the server starts accepting
+// writes.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
+)
+
+// DefaultPoll is the primary document-discovery poll interval used when
+// Options.Poll is zero.
+const DefaultPoll = 3 * time.Second
+
+// Options tunes a Follower. The zero value is usable.
+type Options struct {
+	// Poll is the GET /docs discovery interval (0 = DefaultPoll).
+	Poll time.Duration
+	// Heartbeat is advisory only on the follower side (the primary decides
+	// the interval); it is unused today and reserved for a future
+	// subscription handshake.
+	Heartbeat time.Duration
+	// Logger receives follower log records; nil discards them.
+	Logger *slog.Logger
+	// Hooks connects replicators to the server's metrics and traces.
+	Hooks Hooks
+	// StreamClient is the HTTP client used for the long-lived replication
+	// streams. It must not carry an overall timeout (that would sever
+	// healthy streams); nil uses a client with sane connect timeouts and no
+	// overall deadline.
+	StreamClient *http.Client
+	// DiscoverClient is the HTTP client used for /docs polling; nil uses a
+	// 10s-timeout client.
+	DiscoverClient *http.Client
+}
+
+// runningReplicator tracks one live replicator goroutine.
+type runningReplicator struct {
+	rep    *Replicator
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Follower subscribes a target store to every replicable document on a
+// primary. Start launches it; Stop (idempotent) tears it down and waits.
+type Follower struct {
+	primary  string
+	target   Target
+	poll     time.Duration
+	logger   *slog.Logger
+	hooks    Hooks
+	streamHC *http.Client
+	discover *client.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	reps    map[string]*runningReplicator
+	skipped map[string]bool // non-replicable docs already logged
+	seed    int64
+	started bool
+	stopped bool
+}
+
+// NewFollower wires up (but does not start) a follower pulling from the
+// primary at the given base URL (e.g. "http://127.0.0.1:8080") into target.
+func NewFollower(primary string, target Target, opts Options) *Follower {
+	if opts.Poll <= 0 {
+		opts.Poll = DefaultPoll
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	streamHC := opts.StreamClient
+	if streamHC == nil {
+		streamHC = &http.Client{} // no overall timeout: streams are long-lived
+	}
+	discoverHC := opts.DiscoverClient
+	if discoverHC == nil {
+		discoverHC = &http.Client{Timeout: 10 * time.Second}
+	}
+	for len(primary) > 0 && primary[len(primary)-1] == '/' {
+		primary = primary[:len(primary)-1]
+	}
+	return &Follower{
+		primary:  primary,
+		target:   target,
+		poll:     opts.Poll,
+		logger:   logger,
+		hooks:    opts.Hooks,
+		streamHC: streamHC,
+		discover: client.New(primary, discoverHC),
+		reps:     make(map[string]*runningReplicator),
+		skipped:  make(map[string]bool),
+		seed:     time.Now().UnixNano(),
+	}
+}
+
+// Primary returns the base URL of the primary this follower pulls from.
+func (f *Follower) Primary() string { return f.primary }
+
+// Start launches document discovery and the per-document replicators. Call
+// once; Start after Stop is a no-op.
+func (f *Follower) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started || f.stopped {
+		return
+	}
+	f.started = true
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.wg.Add(1)
+	go f.pollLoop()
+}
+
+// Stop cancels every replication stream and discovery, then waits for the
+// goroutines — including any in-flight apply — to finish. Local document
+// copies are kept (promotion wants them). Idempotent.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.stopped = true
+	cancel := f.cancel
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	f.wg.Wait()
+}
+
+// pollLoop discovers the primary's documents on an interval, reconciling
+// the replicator set each round.
+func (f *Follower) pollLoop() {
+	defer f.wg.Done()
+	f.syncDocs()
+	ticker := time.NewTicker(f.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-ticker.C:
+			f.syncDocs()
+		}
+	}
+}
+
+// syncDocs reconciles the replicator set with the primary's document list:
+// new replicable documents get a replicator, documents the primary no
+// longer hosts have theirs stopped and the local copy dropped. A failed
+// poll changes nothing — a transient primary outage must not drop replicas.
+func (f *Follower) syncDocs() {
+	infos, err := f.discover.List()
+	if err != nil {
+		f.logger.Debug("primary document discovery failed", "primary", f.primary, "err", err)
+		return
+	}
+	want := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		if !info.Durable {
+			// No journal on the primary: nothing to stream. Log once.
+			f.mu.Lock()
+			logIt := !f.skipped[info.Name]
+			f.skipped[info.Name] = true
+			f.mu.Unlock()
+			if logIt {
+				f.logger.Warn("document on primary is not replicable (no journal); skipping",
+					"doc", info.Name)
+			}
+			continue
+		}
+		want[info.Name] = true
+	}
+
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	var toStop []*runningReplicator
+	var toDrop []string
+	for name, rr := range f.reps {
+		if !want[name] {
+			toStop = append(toStop, rr)
+			toDrop = append(toDrop, name)
+			delete(f.reps, name)
+		}
+	}
+	var toStart []string
+	for name := range want {
+		if _, ok := f.reps[name]; !ok {
+			toStart = append(toStart, name)
+		}
+		delete(f.skipped, name)
+	}
+	for _, name := range toStart {
+		rctx, rcancel := context.WithCancel(f.ctx)
+		f.seed++
+		rep := newReplicator(name, f.primary, f.target, f.streamHC, f.hooks, f.logger, f.seed)
+		rr := &runningReplicator{rep: rep, cancel: rcancel, done: make(chan struct{})}
+		f.reps[name] = rr
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			defer close(rr.done)
+			rep.run(rctx)
+		}()
+		f.logger.Info("subscribed to document", "doc", name, "primary", f.primary)
+	}
+	f.mu.Unlock()
+
+	// Stop outside the lock: each stop waits for the replicator's goroutine
+	// (so no apply is in flight) before dropping the local copy.
+	for i, rr := range toStop {
+		rr.cancel()
+		<-rr.done
+		if err := f.target.Drop(toDrop[i]); err != nil {
+			f.logger.Error("dropping unlisted replica failed", "doc", toDrop[i], "err", err)
+		} else {
+			f.logger.Info("document removed on primary; dropped local replica", "doc", toDrop[i])
+		}
+	}
+}
+
+// Status snapshots the follower's replication state for /healthz.
+func (f *Follower) Status() api.ReplicationStatus {
+	f.mu.Lock()
+	reps := make([]*Replicator, 0, len(f.reps))
+	for _, rr := range f.reps {
+		reps = append(reps, rr.rep)
+	}
+	f.mu.Unlock()
+	out := api.ReplicationStatus{Primary: f.primary, Docs: make([]api.ReplicaDocStatus, 0, len(reps))}
+	for _, rep := range reps {
+		out.Docs = append(out.Docs, rep.status())
+	}
+	sort.Slice(out.Docs, func(i, j int) bool { return out.Docs[i].Doc < out.Docs[j].Doc })
+	return out
+}
+
+// DocStatus returns one subscribed document's replication state, ok=false
+// when the follower is not subscribed to it.
+func (f *Follower) DocStatus(name string) (api.ReplicaDocStatus, bool) {
+	f.mu.Lock()
+	rr, ok := f.reps[name]
+	f.mu.Unlock()
+	if !ok {
+		return api.ReplicaDocStatus{}, false
+	}
+	return rr.rep.status(), true
+}
+
+// status snapshots a replicator's observable state.
+func (r *Replicator) status() api.ReplicaDocStatus {
+	applied := r.st.applied.Load()
+	primary := r.st.primaryGen.Load()
+	st := api.ReplicaDocStatus{
+		Doc:                r.doc,
+		State:              r.st.state.Load().(string),
+		AppliedGeneration:  applied,
+		PrimaryGeneration:  primary,
+		Reconnects:         r.st.reconnects.Load(),
+		AppliedRecords:     r.st.appliedRecords.Load(),
+		SnapshotsInstalled: r.st.snapshots.Load(),
+		LastError:          r.st.lastErr.Load().(string),
+	}
+	if primary > applied {
+		st.LagGenerations = primary - applied
+		if last := r.st.lastCaughtUp.Load(); last > 0 {
+			st.LagSeconds = time.Since(time.Unix(0, last)).Seconds()
+		} else {
+			st.LagSeconds = time.Since(r.st.started).Seconds()
+		}
+	}
+	return st
+}
+
+// WriteMetrics renders the follower's per-document replication gauges and
+// counters in Prometheus exposition format. The server's metrics handler
+// appends this after the registry's own series (the aggregate
+// labeld_replication_* families live there).
+func (f *Follower) WriteMetrics(w io.Writer) {
+	status := f.Status()
+	fmt.Fprintln(w, "# HELP labeld_replication_lag_generations Primary generation minus locally applied generation, by document (gauge).")
+	for _, d := range status.Docs {
+		fmt.Fprintf(w, "labeld_replication_lag_generations{doc=%q} %d\n", d.Doc, d.LagGenerations)
+	}
+	fmt.Fprintln(w, "# HELP labeld_replication_lag_seconds How long the replica has been behind the primary, by document (gauge; 0 when caught up).")
+	for _, d := range status.Docs {
+		fmt.Fprintf(w, "labeld_replication_lag_seconds{doc=%q} %g\n", d.Doc, d.LagSeconds)
+	}
+	fmt.Fprintln(w, "# HELP labeld_replication_doc_applied_records_total Journal records applied from the replication stream, by document.")
+	for _, d := range status.Docs {
+		fmt.Fprintf(w, "labeld_replication_doc_applied_records_total{doc=%q} %d\n", d.Doc, d.AppliedRecords)
+	}
+	fmt.Fprintln(w, "# HELP labeld_replication_doc_snapshots_total Snapshot images installed from the replication stream, by document.")
+	for _, d := range status.Docs {
+		fmt.Fprintf(w, "labeld_replication_doc_snapshots_total{doc=%q} %d\n", d.Doc, d.SnapshotsInstalled)
+	}
+	fmt.Fprintln(w, "# HELP labeld_replication_doc_reconnects_total Replication stream reconnect attempts, by document.")
+	for _, d := range status.Docs {
+		fmt.Fprintf(w, "labeld_replication_doc_reconnects_total{doc=%q} %d\n", d.Doc, d.Reconnects)
+	}
+}

@@ -1,0 +1,353 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"primelabel/internal/labeling/prime"
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/persist"
+	"primelabel/internal/xmlparse"
+)
+
+// discardLogger returns a logger that drops everything.
+func discardLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// captureConn is an in-memory replica.Conn recording everything a streamer
+// writes, safe for concurrent reads while Serve is still writing.
+type captureConn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *captureConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *captureConn) Flush() error                     { return nil }
+func (c *captureConn) SetWriteDeadline(time.Time) error { return nil }
+
+// message is one decoded stream message.
+type message struct {
+	kind byte
+	body []byte
+}
+
+// messages decodes the frames captured so far.
+func (c *captureConn) messages(t *testing.T) []message {
+	t.Helper()
+	c.mu.Lock()
+	data := append([]byte(nil), c.buf.Bytes()...)
+	c.mu.Unlock()
+	fr := persist.NewFrameReader(bytes.NewReader(data), MaxSnapshotLen)
+	var out []message
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decoding captured stream: %v", err)
+		}
+		if len(payload) == 0 {
+			t.Fatal("empty stream message")
+		}
+		out = append(out, message{kind: payload[0], body: append([]byte(nil), payload[1:]...)})
+	}
+}
+
+// fakeSource serves one document named "d" from a real journal plus a
+// pre-built snapshot image.
+type fakeSource struct {
+	mu   sync.Mutex
+	j    *persist.Journal
+	gen  uint64
+	snap []byte
+}
+
+func (s *fakeSource) Tail(name string) (Tail, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name != "d" {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownDoc, name)
+	}
+	return s.j, s.gen, nil
+}
+
+func (s *fakeSource) SnapshotRaw(name string) ([]byte, error) { return s.snap, nil }
+
+func (s *fakeSource) Generation(name string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen, true
+}
+
+// newFakeSource builds a source whose snapshot is at generation 0 and whose
+// journal holds records 1..gens, committed and tail-safe.
+func newFakeSource(t *testing.T, gens uint64) *fakeSource {
+	t.Helper()
+	m, err := persist.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := xmlparse.ParseDocument(strings.NewReader("<a><b/><c/></a>"), xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := prime.Scheme{}.Label(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteSnapshot(context.Background(), persist.Meta{Name: "d", Planner: "stacktree"}, lab); err != nil {
+		t.Fatal(err)
+	}
+	img, err := m.ReadSnapshotRaw("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.CreateJournal("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	for g := uint64(1); g <= gens; g++ {
+		rec := persist.Record{Gen: g, Req: api.UpdateRequest{Op: api.OpInsert, Parent: 0, Tag: "n"}}
+		if _, err := j.Append(context.Background(), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fakeSource{j: j, gen: gens, snap: img}
+}
+
+// serveUntil runs Serve in the background and polls the connection until
+// cond is satisfied, then cancels and returns the decoded messages.
+func serveUntil(t *testing.T, src Source, from uint64, have bool, cond func([]message) bool) []message {
+	t.Helper()
+	st := &Streamer{Source: src, Heartbeat: 50 * time.Millisecond}
+	conn := &captureConn{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- st.Serve(ctx, conn, "d", from, have) }()
+	deadline := time.Now().Add(10 * time.Second)
+	var msgs []message
+	for {
+		msgs = conn.messages(t)
+		if cond(msgs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never met; got %d messages", len(msgs))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	return conn.messages(t)
+}
+
+// recGens extracts the generations of the KindRecord messages, in order.
+func recGens(t *testing.T, msgs []message) []uint64 {
+	t.Helper()
+	var gens []uint64
+	for _, m := range msgs {
+		if m.kind != KindRecord {
+			continue
+		}
+		var rec persist.Record
+		if err := json.Unmarshal(m.body, &rec); err != nil {
+			t.Fatalf("record body: %v", err)
+		}
+		gens = append(gens, rec.Gen)
+	}
+	return gens
+}
+
+// TestStreamerFreshFollower: a follower with no local copy gets a hello
+// heartbeat, the snapshot, then every journal record past the snapshot.
+func TestStreamerFreshFollower(t *testing.T) {
+	src := newFakeSource(t, 3)
+	msgs := serveUntil(t, src, 0, false, func(ms []message) bool {
+		return len(recGens(t, ms)) == 3
+	})
+	if msgs[0].kind != KindHeartbeat {
+		t.Fatalf("first message kind = %q, want heartbeat", msgs[0].kind)
+	}
+	var hb Heartbeat
+	if err := json.Unmarshal(msgs[0].body, &hb); err != nil || hb.Generation != 3 {
+		t.Fatalf("hello heartbeat = %+v (err %v), want generation 3", hb, err)
+	}
+	if msgs[1].kind != KindSnapshot {
+		t.Fatalf("second message kind = %q, want snapshot", msgs[1].kind)
+	}
+	if !bytes.Equal(msgs[1].body, src.snap) {
+		t.Fatal("shipped snapshot does not match the source image byte-for-byte")
+	}
+	if got := recGens(t, msgs); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("record generations = %v, want [1 2 3]", got)
+	}
+}
+
+// TestStreamerResume: a follower resuming mid-journal gets no snapshot and
+// only the records past its generation.
+func TestStreamerResume(t *testing.T) {
+	src := newFakeSource(t, 4)
+	msgs := serveUntil(t, src, 2, true, func(ms []message) bool {
+		return len(recGens(t, ms)) == 2
+	})
+	for _, m := range msgs {
+		if m.kind == KindSnapshot {
+			t.Fatal("snapshot shipped to a follower whose generation the journal still covers")
+		}
+	}
+	if got := recGens(t, msgs); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("record generations = %v, want [3 4]", got)
+	}
+}
+
+// TestStreamerFollowerAhead: a follower ahead of the primary is told to
+// re-sync and the stream ends deliberately (nil error).
+func TestStreamerFollowerAhead(t *testing.T) {
+	src := newFakeSource(t, 2)
+	st := &Streamer{Source: src}
+	conn := &captureConn{}
+	if err := st.Serve(context.Background(), conn, "d", 10, true); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	msgs := conn.messages(t)
+	last := msgs[len(msgs)-1]
+	if last.kind != KindError {
+		t.Fatalf("last message kind = %q, want error", last.kind)
+	}
+	var se StreamError
+	if err := json.Unmarshal(last.body, &se); err != nil || !se.Resync {
+		t.Fatalf("stream error = %+v (err %v), want Resync", se, err)
+	}
+}
+
+// TestStreamerUnknownDoc: a request for an unhosted document gets a Gone
+// error message and a clean end.
+func TestStreamerUnknownDoc(t *testing.T) {
+	src := newFakeSource(t, 1)
+	st := &Streamer{Source: src}
+	conn := &captureConn{}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := st.Serve(ctx, conn, "nope", 0, false); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	msgs := conn.messages(t)
+	last := msgs[len(msgs)-1]
+	if last.kind != KindError {
+		t.Fatalf("last message kind = %q, want error", last.kind)
+	}
+	var se StreamError
+	if err := json.Unmarshal(last.body, &se); err != nil || !se.Gone {
+		t.Fatalf("stream error = %+v (err %v), want Gone", se, err)
+	}
+}
+
+// TestStreamerLiveTail: records appended while the stream is parked in
+// Wait are delivered without reconnecting.
+func TestStreamerLiveTail(t *testing.T) {
+	src := newFakeSource(t, 1)
+	st := &Streamer{Source: src, Heartbeat: time.Hour} // no heartbeat noise
+	conn := &captureConn{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- st.Serve(ctx, conn, "d", 0, true) }()
+
+	waitFor := func(n int) {
+		deadline := time.Now().Add(10 * time.Second)
+		for len(recGens(t, conn.messages(t))) < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("never saw %d records", n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor(1)
+	for g := uint64(2); g <= 3; g++ {
+		src.mu.Lock()
+		if _, err := src.j.Append(context.Background(), persist.Record{Gen: g, Req: api.UpdateRequest{Op: api.OpDelete, Target: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		src.gen = g
+		src.mu.Unlock()
+	}
+	waitFor(3)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if got := recGens(t, conn.messages(t)); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("record generations = %v, want [1 2 3]", got)
+	}
+}
+
+// TestWireRoundTrip: encodeMessage frames decode back to kind plus body
+// through the persist frame reader.
+func TestWireRoundTrip(t *testing.T) {
+	frame := encodeMessage(KindHeartbeat, []byte(`{"generation":42}`))
+	fr := persist.NewFrameReader(bytes.NewReader(frame), MaxSnapshotLen)
+	payload, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != KindHeartbeat {
+		t.Fatalf("kind = %q, want heartbeat", payload[0])
+	}
+	var hb Heartbeat
+	if err := decodeBody(payload[0], payload[1:], &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Generation != 42 {
+		t.Fatalf("generation = %d, want 42", hb.Generation)
+	}
+}
+
+// TestBackoffBounds: every backoff delay lands in [0.5·step, 1.5·step) for
+// the exponential step capped at backoffMax.
+func TestBackoffBounds(t *testing.T) {
+	r := newReplicator("d", "http://x", &fakeTarget{}, nil, Hooks{}, discardLogger(), 1)
+	for attempt := 0; attempt <= 12; attempt++ {
+		step := backoffBase
+		for i := 0; i < attempt && step < backoffMax; i++ {
+			step *= 2
+		}
+		if step > backoffMax {
+			step = backoffMax
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := r.backoff(attempt)
+			if d < step/2 || d >= step/2+step {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, step/2, step/2+step)
+			}
+		}
+	}
+}
+
+// fakeTarget is a no-op Target for replicator construction in unit tests.
+type fakeTarget struct{}
+
+func (fakeTarget) Generation(string) (uint64, bool) { return 0, false }
+func (fakeTarget) InstallSnapshot(context.Context, string, []byte) (uint64, error) {
+	return 0, nil
+}
+func (fakeTarget) ApplyRecord(context.Context, string, persist.Record) (uint64, error) {
+	return 0, nil
+}
+func (fakeTarget) Drop(string) error { return nil }

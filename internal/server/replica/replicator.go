@@ -1,0 +1,348 @@
+package replica
+
+// Follower side: one Replicator goroutine per subscribed document pulls the
+// primary's stream, applies messages into the local store through the same
+// replay machinery crash recovery uses, and reconnects with jittered
+// exponential backoff. Divergence (a record whose replay outcome does not
+// match what the primary journaled) drops the local copy and re-syncs from
+// a fresh snapshot rather than serving wrong labels.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"primelabel/internal/server/persist"
+	"primelabel/internal/server/trace"
+)
+
+// Target is the follower-side store surface replicated state applies into.
+// The server's Store implements it; every method mirrors a step of crash
+// recovery, which is what makes a replica equal to the state the primary
+// would recover to.
+type Target interface {
+	// Generation returns the local copy's generation, ok=false when the
+	// document is not hosted locally.
+	Generation(name string) (uint64, bool)
+	// InstallSnapshot replaces the local copy with a shipped snapshot
+	// image, returning the installed generation. On a durable follower the
+	// image is also persisted verbatim, so a follower restart recovers
+	// locally instead of re-shipping.
+	InstallSnapshot(ctx context.Context, name string, image []byte) (uint64, error)
+	// ApplyRecord replays one journal record (a single update or a whole
+	// batch) against the local copy, verifying the journaled outcome, and
+	// returns the resulting generation. A record at or below the local
+	// generation is a no-op. An outcome mismatch is ErrDiverged.
+	ApplyRecord(ctx context.Context, name string, rec persist.Record) (uint64, error)
+	// Drop removes the local copy (and its persisted state); a missing
+	// document is not an error.
+	Drop(name string) error
+}
+
+// Backoff parameters for follower reconnects: exponential from base to max
+// with ±50% jitter, reset after any stream that made progress.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffMax  = 5 * time.Second
+)
+
+// maxTraceSpans caps the replica_apply spans recorded on one connection's
+// trace so a long catch-up cannot balloon the trace ring; the stage
+// histogram still observes every apply.
+const maxTraceSpans = 128
+
+// docState is a Replicator's observable state, all atomics so status
+// snapshots and metrics never contend with the apply loop.
+type docState struct {
+	state          atomic.Value // string: connecting, streaming, backoff
+	applied        atomic.Uint64
+	primaryGen     atomic.Uint64
+	lastCaughtUp   atomic.Int64 // unix nanos; 0 = never since start
+	started        time.Time
+	reconnects     atomic.Uint64
+	appliedRecords atomic.Uint64
+	snapshots      atomic.Uint64
+	lastErr        atomic.Value // string
+}
+
+// Replicator keeps one document in sync with a primary. Create via the
+// Follower manager; run drives it until its context ends.
+type Replicator struct {
+	doc     string
+	primary string // base URL, no trailing slash
+	target  Target
+	hc      *http.Client
+	hooks   Hooks
+	logger  *slog.Logger
+	rng     *rand.Rand
+	st      docState
+}
+
+// Hooks connects a Replicator to the server's metrics and trace plumbing.
+// All fields are optional.
+type Hooks struct {
+	// ObserveStage feeds the per-stage duration histograms: called with
+	// trace.StageReplicaStream per connection and trace.StageReplicaApply
+	// per applied message.
+	ObserveStage func(stage string, d time.Duration)
+	// OnTrace receives the completed trace of each stream connection.
+	OnTrace func(tr *trace.Trace)
+	// AddBytesIn accumulates stream bytes received.
+	AddBytesIn func(n int)
+	// AddRecordIn counts journal records applied.
+	AddRecordIn func()
+	// AddSnapshotIn counts snapshots installed.
+	AddSnapshotIn func()
+	// AddReconnect counts stream (re)connect attempts after the first.
+	AddReconnect func()
+}
+
+// newReplicator wires up (but does not start) a replicator for one document.
+func newReplicator(doc, primary string, target Target, hc *http.Client, hooks Hooks, logger *slog.Logger, seed int64) *Replicator {
+	r := &Replicator{
+		doc:     doc,
+		primary: primary,
+		target:  target,
+		hc:      hc,
+		hooks:   hooks,
+		logger:  logger,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	r.st.started = time.Now()
+	r.st.state.Store("connecting")
+	r.st.lastErr.Store("")
+	if gen, ok := target.Generation(doc); ok {
+		r.st.applied.Store(gen)
+	}
+	return r
+}
+
+// run pulls the stream until ctx ends, reconnecting with jittered
+// exponential backoff. A stream that made progress (applied at least one
+// message) resets the backoff.
+func (r *Replicator) run(ctx context.Context) {
+	attempt := 0
+	for ctx.Err() == nil {
+		r.st.state.Store("connecting")
+		progressed, err := r.stream(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if progressed {
+			attempt = 0
+		} else {
+			attempt++
+		}
+		r.st.reconnects.Add(1)
+		if r.hooks.AddReconnect != nil {
+			r.hooks.AddReconnect()
+		}
+		if err != nil {
+			r.st.lastErr.Store(err.Error())
+			r.logger.Warn("replication stream ended", "doc", r.doc, "err", err)
+		}
+		r.st.state.Store("backoff")
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(r.backoff(attempt)):
+		}
+	}
+}
+
+// backoff returns the jittered exponential delay for the given consecutive
+// failure count: base·2^attempt capped at max, scaled by a uniform ±50%
+// jitter so a fleet of followers does not reconnect in lockstep.
+func (r *Replicator) backoff(attempt int) time.Duration {
+	d := backoffBase
+	for i := 0; i < attempt && d < backoffMax; i++ {
+		d *= 2
+	}
+	if d > backoffMax {
+		d = backoffMax
+	}
+	// Uniform in [0.5d, 1.5d).
+	return d/2 + time.Duration(r.rng.Int63n(int64(d)))
+}
+
+// countingReader counts stream bytes into the replicator's state and hooks.
+type countingReader struct {
+	r   io.Reader
+	rep *Replicator
+}
+
+// Read counts the bytes the wrapped reader yields.
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.rep.hooks.AddBytesIn != nil {
+		c.rep.hooks.AddBytesIn(n)
+	}
+	return n, err
+}
+
+// stream runs one connection: request, then apply messages until the stream
+// ends. progressed reports whether any message was applied (used to reset
+// backoff). The returned error is nil only for a clean primary-side close.
+func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
+	u := r.primary + "/replicate/" + r.doc
+	if gen, ok := r.target.Generation(r.doc); ok {
+		u += "?from=" + strconv.FormatUint(gen, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("primary answered %d for %s", resp.StatusCode, u)
+	}
+
+	tr := trace.New(trace.GenID(), "replica_pull")
+	tr.SetDoc(r.doc)
+	streamStart := time.Now()
+	spans := 0
+	defer func() {
+		status := http.StatusOK
+		if err != nil {
+			status = http.StatusBadGateway
+		}
+		tr.Finish(status)
+		if r.hooks.ObserveStage != nil {
+			r.hooks.ObserveStage(trace.StageReplicaStream, time.Since(streamStart))
+		}
+		if r.hooks.OnTrace != nil {
+			r.hooks.OnTrace(tr)
+		}
+	}()
+
+	tctx := trace.NewContext(context.Background(), tr)
+	observeApply := func(start time.Time) {
+		d := time.Since(start)
+		if r.hooks.ObserveStage != nil {
+			r.hooks.ObserveStage(trace.StageReplicaApply, d)
+		}
+		if spans < maxTraceSpans {
+			trace.Observe(tctx, trace.StageReplicaApply, d)
+			spans++
+		}
+	}
+	caughtUp := func() {
+		if pg := r.st.primaryGen.Load(); pg > 0 && r.st.applied.Load() >= pg {
+			r.st.lastCaughtUp.Store(time.Now().UnixNano())
+		}
+	}
+
+	fr := persist.NewFrameReader(&countingReader{r: resp.Body, rep: r}, MaxSnapshotLen)
+	for {
+		payload, ferr := fr.Next()
+		if ferr == io.EOF {
+			return progressed, nil // primary closed the stream cleanly
+		}
+		if ferr != nil {
+			return progressed, ferr
+		}
+		if len(payload) == 0 {
+			return progressed, errors.New("replica: empty stream message")
+		}
+		kind, body := payload[0], payload[1:]
+		switch kind {
+		case KindHeartbeat:
+			var hbm Heartbeat
+			if err := decodeBody(kind, body, &hbm); err != nil {
+				return progressed, err
+			}
+			r.st.primaryGen.Store(hbm.Generation)
+			r.st.state.Store("streaming")
+			caughtUp()
+		case KindSnapshot:
+			start := time.Now()
+			gen, err := r.target.InstallSnapshot(ctx, r.doc, body)
+			observeApply(start)
+			if err != nil {
+				return progressed, fmt.Errorf("install snapshot: %w", err)
+			}
+			r.st.applied.Store(gen)
+			if gen > r.st.primaryGen.Load() {
+				r.st.primaryGen.Store(gen)
+			}
+			r.st.snapshots.Add(1)
+			if r.hooks.AddSnapshotIn != nil {
+				r.hooks.AddSnapshotIn()
+			}
+			progressed = true
+			r.logger.Info("installed replicated snapshot", "doc", r.doc, "generation", gen)
+			caughtUp()
+		case KindRecord:
+			var rec persist.Record
+			if err := decodeBody(kind, body, &rec); err != nil {
+				return progressed, err
+			}
+			start := time.Now()
+			gen, err := r.target.ApplyRecord(ctx, r.doc, rec)
+			observeApply(start)
+			if errors.Is(err, ErrDiverged) {
+				// The local copy cannot be trusted; drop it so the next
+				// connection re-syncs from a fresh snapshot. progressed
+				// stays true so the reconnect is fast.
+				r.logger.Error("replica diverged; dropping local copy for re-sync", "doc", r.doc, "err", err)
+				if derr := r.target.Drop(r.doc); derr != nil {
+					r.logger.Error("dropping diverged replica failed", "doc", r.doc, "err", derr)
+				}
+				r.st.applied.Store(0)
+				return true, err
+			}
+			if err != nil {
+				return progressed, fmt.Errorf("apply record gen %d: %w", rec.Gen, err)
+			}
+			r.st.applied.Store(gen)
+			if gen > r.st.primaryGen.Load() {
+				r.st.primaryGen.Store(gen)
+			}
+			r.st.appliedRecords.Add(1)
+			if r.hooks.AddRecordIn != nil {
+				r.hooks.AddRecordIn()
+			}
+			progressed = true
+			caughtUp()
+		case KindError:
+			var se StreamError
+			if err := decodeBody(kind, body, &se); err != nil {
+				return progressed, err
+			}
+			if se.Gone {
+				// The manager will remove this replicator on its next doc
+				// poll; drop the local copy now so reads stop serving a
+				// deleted document.
+				if derr := r.target.Drop(r.doc); derr != nil {
+					r.logger.Error("dropping gone replica failed", "doc", r.doc, "err", derr)
+				}
+				r.st.applied.Store(0)
+				return progressed, fmt.Errorf("primary: %s (document gone)", se.Message)
+			}
+			if se.Resync {
+				if derr := r.target.Drop(r.doc); derr != nil {
+					r.logger.Error("dropping replica for re-sync failed", "doc", r.doc, "err", derr)
+				}
+				r.st.applied.Store(0)
+				// progressed=true keeps the reconnect immediate: the next
+				// connection starts from scratch and ships a snapshot.
+				return true, fmt.Errorf("primary requested re-sync: %s", se.Message)
+			}
+			return progressed, errors.New("primary: " + se.Message)
+		default:
+			return progressed, fmt.Errorf("replica: unknown message kind %q", kind)
+		}
+	}
+}

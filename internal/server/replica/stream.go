@@ -1,0 +1,325 @@
+package replica
+
+// Primary side: Streamer serves one follower's GET /replicate/{doc} as a
+// long-lived frame stream. The design is a file tail, not a pub-sub hub:
+// the streamer reads committed journal bytes from its own read-only handle,
+// bounded by Journal.SafeLen (whole, fsync-covered frames only) and guarded
+// by Journal.Epoch (truncation detection), and parks in Journal.Wait when
+// caught up. Catch-up and live-tail are therefore one code path, ordering
+// is the journal's ordering, and a slow follower costs the primary nothing
+// but one goroutine and one file descriptor.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"primelabel/internal/server/persist"
+)
+
+// DefaultHeartbeat is the idle-stream heartbeat interval used when
+// Streamer.Heartbeat is zero.
+const DefaultHeartbeat = 3 * time.Second
+
+// streamWriteTimeout bounds each message write so a stalled follower (dead
+// peer, full TCP window) cannot pin a stream goroutine forever.
+const streamWriteTimeout = 30 * time.Second
+
+// maxTailChunk caps how many journal bytes one catch-up read pulls into
+// memory at a time. FrameReader tolerates a chunk ending mid-frame, so the
+// cap does not need to be frame-aligned.
+const maxTailChunk = 4 << 20
+
+// Tail is the read surface of a live journal a streamer follows: the
+// methods persist.Journal exposes for concurrent tailing readers.
+type Tail interface {
+	// Path is the journal file's path; the streamer opens its own
+	// read-only handle on it.
+	Path() string
+	// SafeLen is the byte length of the prefix a reader may consume (whole
+	// frames only; with fsync enabled, fsync-covered frames only).
+	SafeLen() int64
+	// Epoch is the journal's truncation counter; see persist.Journal.Epoch.
+	Epoch() uint64
+	// Wait parks until SafeLen exceeds after, the epoch moves, the journal
+	// closes, or ctx is done; see persist.Journal.Wait.
+	Wait(ctx context.Context, after int64, epoch uint64) error
+}
+
+// Source is the primary-side store surface the streamer serves from. The
+// server's Store implements it.
+type Source interface {
+	// Tail returns the named document's live journal for tailing plus the
+	// document's current generation. ErrUnknownDoc when the document is not
+	// hosted; ErrNotReplicable when it has no journal.
+	Tail(name string) (Tail, uint64, error)
+	// SnapshotRaw returns the document's on-disk snapshot image (shippable
+	// verbatim; snapshots are replaced atomically so the image is never
+	// torn). persist.ErrNoSnapshot when none exists.
+	SnapshotRaw(name string) ([]byte, error)
+	// Generation returns the document's current generation, with ok=false
+	// when the document is not hosted. Used for heartbeats.
+	Generation(name string) (uint64, bool)
+}
+
+// Conn is the transport a stream writes to: the server side wraps
+// http.ResponseWriter plus its ResponseController, tests wrap a pipe.
+type Conn interface {
+	io.Writer
+	// Flush pushes buffered bytes to the follower after each message, so a
+	// record is on the wire the moment it is written, not when a buffer
+	// fills.
+	Flush() error
+	// SetWriteDeadline bounds the next writes.
+	SetWriteDeadline(t time.Time) error
+}
+
+// Streamer serves replication streams from a Source. One Streamer is shared
+// by all streams; per-stream state lives on the Serve call's stack.
+type Streamer struct {
+	// Source is the store being streamed from.
+	Source Source
+	// Heartbeat is the idle-stream heartbeat interval (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// OnMessage, when non-nil, observes every sent message: its kind byte
+	// and framed size in bytes. The server feeds replication counters from
+	// it.
+	OnMessage func(kind byte, frameBytes int)
+}
+
+// genOnly decodes just the generation from a journal record payload — all
+// the streamer needs to filter records the follower already has.
+type genOnly struct {
+	// Gen mirrors persist.Record.Gen.
+	Gen uint64 `json:"gen"`
+}
+
+// Serve streams the named document to one follower until ctx is done, the
+// connection fails, or the stream ends deliberately (document gone, not
+// replicable, or follower ahead — each reported to the follower as a
+// KindError message first). from is the generation the follower has
+// applied; have=false means the follower holds no copy of the document at
+// all, which forces an initial snapshot ship even at generation 0. The
+// returned error is nil for every deliberate or follower-driven ending and
+// non-nil only for conditions the primary should log (local I/O failures,
+// a corrupt journal).
+func (st *Streamer) Serve(ctx context.Context, conn Conn, doc string, from uint64, have bool) error {
+	hb := st.Heartbeat
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	applied := from
+
+	send := func(kind byte, body []byte) error {
+		frame := encodeMessage(kind, body)
+		_ = conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if _, err := conn.Write(frame); err != nil {
+			return &connError{err: err}
+		}
+		if err := conn.Flush(); err != nil {
+			return &connError{err: err}
+		}
+		if st.OnMessage != nil {
+			st.OnMessage(kind, len(frame))
+		}
+		return nil
+	}
+	sendStreamError := func(se StreamError) {
+		body, _ := json.Marshal(se)
+		_ = send(KindError, body)
+	}
+	heartbeat := func() error {
+		gen, ok := st.Source.Generation(doc)
+		if !ok {
+			sendStreamError(StreamError{Message: "document deleted", Gone: true})
+			return errStreamDone
+		}
+		body, _ := json.Marshal(Heartbeat{Generation: gen})
+		return send(KindHeartbeat, body)
+	}
+
+	// Hello: an immediate heartbeat tells the follower the primary's
+	// current generation before any catch-up data flows.
+	if err := heartbeat(); err != nil {
+		return ignoreStreamDone(err)
+	}
+
+	for ctx.Err() == nil {
+		tail, gen, err := st.Source.Tail(doc)
+		switch {
+		case errors.Is(err, ErrUnknownDoc):
+			sendStreamError(StreamError{Message: err.Error(), Gone: true})
+			return nil
+		case errors.Is(err, ErrNotReplicable):
+			sendStreamError(StreamError{Message: err.Error()})
+			return nil
+		case err != nil:
+			return err
+		}
+		if gen < applied {
+			// The follower is ahead of the primary: the document was
+			// replaced, or the primary crashed and lost updates this
+			// follower already applied. Its copy is not a prefix of ours —
+			// it must start over.
+			sendStreamError(StreamError{
+				Message: fmt.Sprintf("follower at generation %d is ahead of primary at %d", applied, gen),
+				Resync:  true,
+			})
+			return nil
+		}
+
+		img, err := st.Source.SnapshotRaw(doc)
+		if err != nil {
+			// A replicable document always has a snapshot; treat its
+			// absence like deletion racing the stream.
+			sendStreamError(StreamError{Message: "snapshot unavailable: " + err.Error(), Gone: true})
+			return nil
+		}
+		meta, err := persist.DecodeSnapshotMeta(img)
+		if err != nil {
+			return fmt.Errorf("replica: local snapshot for %q: %w", doc, err)
+		}
+		if !have || applied < meta.Generation {
+			// The journal no longer holds (or never held) the records
+			// between the follower's generation and the snapshot's: ship
+			// the whole image and resume tailing past it.
+			if err := send(KindSnapshot, img); err != nil {
+				return ignoreStreamDone(err)
+			}
+			if meta.Generation > applied {
+				applied = meta.Generation
+			}
+			have = true
+		}
+
+		restart, err := st.tailJournal(ctx, conn, tail, doc, &applied, send, heartbeat, hb)
+		if err != nil {
+			return ignoreStreamDone(err)
+		}
+		if !restart {
+			return nil
+		}
+		// The journal was truncated (compaction) or replaced (reload)
+		// underneath the tail: re-evaluate from the top, which re-ships the
+		// snapshot exactly when the truncation outran this follower.
+	}
+	return nil
+}
+
+// errStreamDone marks a deliberate stream ending already reported to the
+// follower; Serve converts it to a nil return.
+var errStreamDone = errors.New("replica: stream done")
+
+// ignoreStreamDone maps errStreamDone (and follower-driven write failures
+// are left as-is for the caller to drop) to nil.
+func ignoreStreamDone(err error) error {
+	if errors.Is(err, errStreamDone) {
+		return nil
+	}
+	if isConnError(err) {
+		return nil
+	}
+	return err
+}
+
+// connError wraps a transport write failure so Serve can tell "follower
+// went away" (normal, not worth logging) from local failures.
+type connError struct{ err error }
+
+// Error renders the wrapped transport failure.
+func (e *connError) Error() string { return "replica: connection: " + e.err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (e *connError) Unwrap() error { return e.err }
+
+// isConnError reports whether err is a transport write failure.
+func isConnError(err error) bool {
+	var ce *connError
+	return errors.As(err, &ce)
+}
+
+// tailJournal follows one journal instance until the connection drops, the
+// context ends, or the journal is truncated/closed underneath it
+// (restart=true: the caller re-evaluates snapshot-vs-tail). It sends every
+// committed record with generation > *applied, advancing *applied, and
+// heartbeats when idle.
+func (st *Streamer) tailJournal(ctx context.Context, conn Conn, tail Tail, doc string, applied *uint64, send func(byte, []byte) error, heartbeat func() error, hb time.Duration) (bool, error) {
+	f, err := os.Open(tail.Path())
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	epoch := tail.Epoch()
+	off := int64(persist.JournalHeaderLen)
+	lastBeat := time.Now()
+
+	for ctx.Err() == nil {
+		if tail.Epoch() != epoch {
+			return true, nil
+		}
+		safe := tail.SafeLen()
+		if off < safe {
+			n := safe - off
+			if n > maxTailChunk {
+				n = maxTailChunk
+			}
+			buf := make([]byte, n)
+			if _, err := f.ReadAt(buf, off); err != nil {
+				if tail.Epoch() != epoch {
+					return true, nil // truncated mid-read
+				}
+				return false, fmt.Errorf("replica: journal read for %q: %w", doc, err)
+			}
+			if tail.Epoch() != epoch {
+				return true, nil // bytes may be from a truncated image
+			}
+			fr := persist.NewFrameReader(bytes.NewReader(buf), 0)
+			for {
+				payload, err := fr.Next()
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					break // chunk boundary; the next iteration re-reads from off
+				}
+				if err != nil {
+					return false, fmt.Errorf("replica: journal for %q: %w", doc, err)
+				}
+				var rec genOnly
+				if err := json.Unmarshal(payload, &rec); err != nil {
+					return false, fmt.Errorf("replica: journal record for %q: %w", doc, err)
+				}
+				off += int64(persist.FrameOverhead + len(payload))
+				if rec.Gen <= *applied {
+					continue // covered by the snapshot or already streamed
+				}
+				if err := send(KindRecord, payload); err != nil {
+					return false, err
+				}
+				*applied = rec.Gen
+			}
+			continue
+		}
+
+		// Caught up: heartbeat on schedule, otherwise park on the journal.
+		idle := time.Since(lastBeat)
+		if idle >= hb {
+			if err := heartbeat(); err != nil {
+				return false, err
+			}
+			lastBeat = time.Now()
+			continue
+		}
+		wctx, cancel := context.WithTimeout(ctx, hb-idle)
+		werr := tail.Wait(wctx, off, epoch)
+		cancel()
+		if errors.Is(werr, persist.ErrJournalClosed) {
+			return true, nil // document replaced or deleted; re-evaluate
+		}
+		// Deadline: loop and heartbeat. New data or epoch move: loop and
+		// read. ctx done: loop exits.
+	}
+	return false, nil
+}

@@ -1,0 +1,109 @@
+// Package replica implements journal-streaming replication for labeld: a
+// primary serves each document's update journal as a long-lived frame
+// stream, and followers apply those records through the same code path
+// crash recovery uses, so a replica is by construction the state the
+// primary would recover to.
+//
+// Why the journal is the replication log: the prime scheme's allocation
+// state is history-dependent (the paper's defining property — updates never
+// relabel existing nodes), so a replica cannot be rebuilt by re-labeling
+// the XML; it must replay the primary's exact update history. The persist
+// journal already records that history with CRC framing and a generation
+// per record, which gives replication ordering, resumability (a follower
+// reconnects with the generation it has applied), and end-to-end integrity
+// checking for free.
+//
+// The wire protocol reuses the journal's frame codec (persist.EncodeFrame /
+// persist.FrameReader): each message is one CRC frame whose payload is a
+// kind byte followed by the body. Record messages carry the journal
+// record's JSON payload verbatim — the bytes the primary fsync'd are the
+// bytes the follower validates — and snapshot messages carry a complete
+// snapshot file image for catch-up when the follower's generation has been
+// compacted out of the journal.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+
+	"primelabel/internal/server/persist"
+)
+
+// Message kinds: the first payload byte of every stream frame.
+const (
+	// KindRecord frames one journal record (JSON, exactly as journaled).
+	KindRecord byte = 'R'
+	// KindSnapshot frames a complete snapshot file image, shipped when the
+	// follower's generation predates the primary's snapshot (the journal
+	// records it would need were compacted away) or the follower has no
+	// copy of the document at all.
+	KindSnapshot byte = 'S'
+	// KindHeartbeat frames a Heartbeat, sent when the stream is idle so the
+	// follower can measure lag (and detect a dead primary) without traffic.
+	KindHeartbeat byte = 'H'
+	// KindError frames a StreamError: the primary is ending the stream
+	// deliberately and tells the follower what to do about it.
+	KindError byte = 'E'
+)
+
+// MaxSnapshotLen bounds a snapshot message's payload — the largest frame a
+// follower will accept. Journal records stay under persist.MaxRecordLen;
+// snapshots carry whole labeled documents and get a correspondingly larger
+// (but still bounded) allowance.
+const MaxSnapshotLen = 1 << 28
+
+// Heartbeat is a KindHeartbeat body: the primary's current generation for
+// the streamed document, letting the follower compute lag even when no
+// records flow.
+type Heartbeat struct {
+	// Generation is the document's generation on the primary.
+	Generation uint64 `json:"generation"`
+}
+
+// StreamError is a KindError body: the primary's reason for ending the
+// stream, with flags telling the follower how to react.
+type StreamError struct {
+	// Message describes the condition.
+	Message string `json:"message"`
+	// Gone reports that the document no longer exists on the primary; the
+	// follower drops its copy.
+	Gone bool `json:"gone,omitempty"`
+	// Resync reports that the follower's generation is ahead of the
+	// primary's (the document was replaced, or the primary lost un-synced
+	// updates in a crash); the follower drops its copy and reconnects from
+	// scratch, which ships a fresh snapshot.
+	Resync bool `json:"resync,omitempty"`
+}
+
+// Errors the replication layer distinguishes.
+var (
+	// ErrUnknownDoc: the primary does not host the requested document.
+	ErrUnknownDoc = errors.New("replica: unknown document")
+	// ErrNotReplicable: the document exists but has no journal to stream
+	// (the server runs without a data directory, or the scheme has no
+	// persistence codec).
+	ErrNotReplicable = errors.New("replica: document not replicable")
+	// ErrDiverged: a follower's replay of a record produced a different
+	// outcome than the primary journaled (generation gap, relabel-count or
+	// failure-flag mismatch). The follower's copy cannot be trusted; it is
+	// dropped and re-synced from a fresh snapshot.
+	ErrDiverged = errors.New("replica: replica diverged from primary")
+)
+
+// encodeMessage wraps a kind byte plus body in one stream frame.
+func encodeMessage(kind byte, body []byte) []byte {
+	payload := make([]byte, 1+len(body))
+	payload[0] = kind
+	copy(payload[1:], body)
+	return persist.EncodeFrame(payload)
+}
+
+// decodeBody unmarshals a JSON message body into v with a wire-level error
+// on failure (the CRC already passed, so a bad body is a protocol bug, not
+// line noise).
+func decodeBody(kind byte, body []byte, v any) error {
+	if err := json.Unmarshal(body, v); err != nil {
+		return errors.New("replica: malformed message body (kind " + string(kind) + "): " + err.Error())
+	}
+	return nil
+}

@@ -1,0 +1,618 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
+	"primelabel/internal/server/replica"
+)
+
+// startReplNode boots one server for the two-node tests. It returns a
+// once-guarded stop func so tests that restart nodes can shut them down
+// mid-test without the cleanup shutting them down again.
+func startReplNode(t *testing.T, cfg Config) (stop func(), c *client.Client, baseURL string) {
+	t.Helper()
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	stop = func() { once.Do(func() { shutdownNode(t, srv) }) }
+	t.Cleanup(stop)
+	return stop, client.New("http://"+addr, nil), "http://" + addr
+}
+
+func shutdownNode(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// followerConfig is the standard read-replica config for tests: its own
+// data dir, a fast discovery poll, and no fsync for speed.
+func followerConfig(t *testing.T, primaryURL string) Config {
+	t.Helper()
+	return Config{
+		DataDir:    t.TempDir(),
+		NoFsync:    true,
+		FollowURL:  primaryURL,
+		FollowPoll: 50 * time.Millisecond,
+	}
+}
+
+// waitUntil polls cond until it returns an empty string or the deadline
+// passes, then fails with cond's last complaint.
+func waitUntil(t *testing.T, timeout time.Duration, cond func() string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		if last = cond(); last == "" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v: %s", timeout, last)
+}
+
+// waitSynced waits until the follower hosts name at the primary's current
+// generation.
+func waitSynced(t *testing.T, pc, fc *client.Client, name string) {
+	t.Helper()
+	waitUntil(t, 15*time.Second, func() string {
+		pi, err := pc.Info(name)
+		if err != nil {
+			return fmt.Sprintf("primary info: %v", err)
+		}
+		fi, err := fc.Info(name)
+		if err != nil {
+			return fmt.Sprintf("follower info: %v", err)
+		}
+		if fi.Generation != pi.Generation {
+			return fmt.Sprintf("follower at generation %d, primary at %d", fi.Generation, pi.Generation)
+		}
+		return ""
+	})
+}
+
+// assertParity compares everything a read replica must answer identically:
+// document info, the full element list with labels, and order/ancestry
+// probes answered purely from labels.
+func assertParity(t *testing.T, pc, fc *client.Client, name string) {
+	t.Helper()
+	pi, err := pc.Info(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fc.Info(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Generation != pi.Generation || fi.Relabeled != pi.Relabeled ||
+		fi.Elements != pi.Elements || fi.Scheme != pi.Scheme || fi.MaxLabelBits != pi.MaxLabelBits {
+		t.Fatalf("info diverged:\nprimary  %+v\nfollower %+v", pi, fi)
+	}
+	pq, err := pc.Query(name, "//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := fc.Query(name, "//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pq.Nodes, fq.Nodes) {
+		t.Fatalf("query //* diverged:\nprimary  %+v\nfollower %+v", pq.Nodes, fq.Nodes)
+	}
+	for b := 1; b < len(pq.Nodes) && b < 8; b++ {
+		for _, kind := range []string{api.RelAncestor, api.RelBefore} {
+			pr, err := pc.Relation(name, api.RelationRequest{Kind: kind, A: 0, B: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, err := fc.Relation(name, api.RelationRequest{Kind: kind, A: 0, B: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Result != fr.Result {
+				t.Fatalf("%s(0,%d) diverged: primary %v, follower %v", kind, b, pr.Result, fr.Result)
+			}
+		}
+	}
+}
+
+// storm applies n acknowledged updates to the last shelf of sampleXML via
+// the client: single inserts, the occasional wrap+delete of the fresh node,
+// and every fifth round a multi-op batch (which replicates as one
+// multi-step record). Returns how many generations it advanced.
+func storm(t *testing.T, c *client.Client, name string, n int) {
+	t.Helper()
+	const lastShelf = 6 // stable id: inserts below only touch its own subtree
+	for i := 0; i < n; i++ {
+		switch {
+		case i%5 == 4:
+			req := api.BatchUpdateRequest{Ops: []api.UpdateRequest{
+				{Op: api.OpInsert, Parent: lastShelf, Index: 0, Tag: "book"},
+				{Op: api.OpInsert, Parent: lastShelf, Index: 1, Tag: "book"},
+				{Op: api.OpInsert, Parent: lastShelf, Index: 0, Tag: "book"},
+			}}
+			resp, err := c.UpdateBatch(name, req)
+			if err != nil {
+				t.Fatalf("storm batch %d: %v", i, err)
+			}
+			if resp.Failed >= 0 {
+				t.Fatalf("storm batch %d stopped at op %d", i, resp.Failed)
+			}
+		case i%3 == 2:
+			ins, err := c.Insert(name, lastShelf, 0, "book")
+			if err != nil {
+				t.Fatalf("storm insert %d: %v", i, err)
+			}
+			wr, err := c.Wrap(name, ins.Node, "featured")
+			if err != nil {
+				t.Fatalf("storm wrap %d: %v", i, err)
+			}
+			if _, err := c.DeleteNode(name, wr.Node); err != nil {
+				t.Fatalf("storm delete %d: %v", i, err)
+			}
+		default:
+			if _, err := c.Insert(name, lastShelf, 0, "book"); err != nil {
+				t.Fatalf("storm insert %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestReplicationEndToEnd is the core two-node test: a fresh follower
+// bootstraps from a shipped snapshot, tails the journal through a mixed
+// update storm to parity, rejects writes while following, and reports its
+// state in /healthz, DocInfo, and /metrics on both sides.
+func TestReplicationEndToEnd(t *testing.T) {
+	_, pc, purl := startReplNode(t, Config{DataDir: t.TempDir(), NoFsync: true})
+	if _, err := pc.Load("books", api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, pc, "books", 10) // history exists before the follower appears
+
+	_, fc, _ := startReplNode(t, followerConfig(t, purl))
+	waitSynced(t, pc, fc, "books")
+	assertParity(t, pc, fc, "books")
+
+	storm(t, pc, "books", 25) // now tail live through the stream
+	waitSynced(t, pc, fc, "books")
+	assertParity(t, pc, fc, "books")
+
+	// Writes are rejected with 403 until promotion.
+	if _, err := fc.Insert("books", 6, 0, "book"); !isStatus(err, http.StatusForbidden) {
+		t.Fatalf("write on follower: %v, want 403", err)
+	}
+	if err := fc.Delete("books"); !isStatus(err, http.StatusForbidden) {
+		t.Fatalf("delete on follower: %v, want 403", err)
+	}
+	if _, err := fc.Load("other", api.LoadRequest{XML: sampleXML}); !isStatus(err, http.StatusForbidden) {
+		t.Fatalf("load on follower: %v, want 403", err)
+	}
+
+	// Follower health reports the replication state.
+	h, err := fc.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.ReadOnly {
+		t.Fatal("follower /healthz does not report read_only")
+	}
+	if h.Replication == nil || h.Replication.Primary != purl {
+		t.Fatalf("follower replication status = %+v", h.Replication)
+	}
+	if len(h.Replication.Docs) != 1 || h.Replication.Docs[0].Doc != "books" {
+		t.Fatalf("replication docs = %+v", h.Replication.Docs)
+	}
+	ds := h.Replication.Docs[0]
+	if ds.State != "streaming" {
+		t.Fatalf("doc state = %q, want streaming", ds.State)
+	}
+	if ds.LagGenerations != 0 || ds.AppliedGeneration != ds.PrimaryGeneration {
+		t.Fatalf("caught-up follower reports lag: %+v", ds)
+	}
+	if ds.SnapshotsInstalled < 1 {
+		t.Fatalf("fresh follower installed %d snapshots, want >= 1", ds.SnapshotsInstalled)
+	}
+	if ds.AppliedRecords == 0 {
+		t.Fatal("follower applied no records from the stream")
+	}
+
+	// DocInfo on the follower is marked as a replica.
+	fi, err := fc.Info("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.Replica {
+		t.Fatal("follower DocInfo.Replica = false")
+	}
+
+	// Primary health must not grow replication status.
+	ph, err := pc.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.ReadOnly || ph.Replication != nil {
+		t.Fatalf("primary healthz = readonly %v replication %+v", ph.ReadOnly, ph.Replication)
+	}
+
+	// Metrics: outbound stream accounting on the primary, inbound plus lag
+	// gauges and the replica_apply stage histogram on the follower.
+	pm, err := pc.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"labeld_replication_streams 1",
+		`labeld_replication_bytes_total{direction="out"}`,
+		`labeld_replication_records_total{direction="out"}`,
+		`labeld_replication_snapshots_total{direction="out"}`,
+	} {
+		if !strings.Contains(pm, want) {
+			t.Errorf("primary metrics missing %q", want)
+		}
+	}
+	fm, err := fc.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`labeld_replication_bytes_total{direction="in"}`,
+		`labeld_replication_lag_generations{doc="books"} 0`,
+		`labeld_replication_lag_seconds{doc="books"} 0`,
+		`labeld_replication_doc_applied_records_total{doc="books"}`,
+		`labeld_replication_doc_snapshots_total{doc="books"}`,
+		`labeld_stage_duration_seconds_count{stage="replica_apply"}`,
+	} {
+		if !strings.Contains(fm, want) {
+			t.Errorf("follower metrics missing %q", want)
+		}
+	}
+}
+
+// TestReplicationMidJournalResume restarts a caught-up follower and checks
+// it resumes from its own recovered generation over the journal stream —
+// no snapshot re-ship — then reaches parity again.
+func TestReplicationMidJournalResume(t *testing.T) {
+	_, pc, purl := startReplNode(t, Config{DataDir: t.TempDir(), NoFsync: true})
+	if _, err := pc.Load("books", api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, pc, "books", 8)
+
+	fdir := t.TempDir()
+	fcfg := Config{DataDir: fdir, NoFsync: true, FollowURL: purl, FollowPoll: 50 * time.Millisecond}
+	fstop, fc, _ := startReplNode(t, fcfg)
+	waitSynced(t, pc, fc, "books")
+	fstop()
+
+	// The primary moves on while the follower is down — but not far enough
+	// to trigger compaction, so the journal still holds the delta.
+	storm(t, pc, "books", 8)
+
+	fsrv2, err := New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsrv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := fsrv2.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNode(t, fsrv2)
+	fc2 := client.New("http://"+addr2, nil)
+
+	waitSynced(t, pc, fc2, "books")
+	assertParity(t, pc, fc2, "books")
+	h, err := fc2.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Replication.Docs) != 1 {
+		t.Fatalf("replication docs = %+v", h.Replication.Docs)
+	}
+	if n := h.Replication.Docs[0].SnapshotsInstalled; n != 0 {
+		t.Fatalf("resumed follower installed %d snapshots, want 0 (mid-journal resume)", n)
+	}
+}
+
+// TestReplicationCompactionResync stops a follower, lets the primary
+// compact its journal past the follower's position, and checks the
+// restarted follower detects the gap and re-syncs via a fresh snapshot.
+func TestReplicationCompactionResync(t *testing.T) {
+	// snapshot-every 4: a dozen updates guarantee a compaction reset.
+	_, pc, purl := startReplNode(t, Config{DataDir: t.TempDir(), NoFsync: true, SnapshotEvery: 4})
+	if _, err := pc.Load("books", api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, pc, "books", 4)
+
+	fdir := t.TempDir()
+	fcfg := Config{DataDir: fdir, NoFsync: true, FollowURL: purl, FollowPoll: 50 * time.Millisecond}
+	fstop, fc, _ := startReplNode(t, fcfg)
+	waitSynced(t, pc, fc, "books")
+	fstop()
+
+	// Race the slow follower: enough updates for several compaction cycles.
+	storm(t, pc, "books", 30)
+	waitUntil(t, 10*time.Second, func() string {
+		// Compaction is async; wait until at least one snapshot landed past
+		// the follower's stopping point so the journal truly reset.
+		m, err := pc.Metrics()
+		if err != nil {
+			return err.Error()
+		}
+		for _, line := range strings.Split(m, "\n") {
+			if v, ok := strings.CutPrefix(line, "labeld_snapshots_total "); ok {
+				if v != "0" && v != "1" { // 1 = the initial Load snapshot
+					return ""
+				}
+				return "snapshot writes still " + v
+			}
+		}
+		return "snapshot counter not found"
+	})
+
+	fsrv2, err := New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsrv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := fsrv2.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNode(t, fsrv2)
+	fc2 := client.New("http://"+addr2, nil)
+
+	waitSynced(t, pc, fc2, "books")
+	assertParity(t, pc, fc2, "books")
+	h, err := fc2.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Replication.Docs) != 1 {
+		t.Fatalf("replication docs = %+v", h.Replication.Docs)
+	}
+	if n := h.Replication.Docs[0].SnapshotsInstalled; n < 1 {
+		t.Fatalf("follower outrun by compaction installed %d snapshots, want >= 1", n)
+	}
+}
+
+// TestReplicationFollowerCrashMidApply is the kill -9 leg of the catch-up
+// matrix, run at the store level the way the durability tests simulate
+// crashes: a follower store replicating through replica.Follower is
+// abandoned without Close mid-storm, then a fresh store over the same data
+// dir recovers from its own disk and resumes the stream to parity.
+func TestReplicationFollowerCrashMidApply(t *testing.T) {
+	_, pc, purl := startReplNode(t, Config{DataDir: t.TempDir(), NoFsync: true})
+	if _, err := pc.Load("books", api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	fdir := t.TempDir()
+	st1 := newPersistentStore(t, fdir, 1024) // fsync'd: its disk must be trustworthy after the crash
+	f1 := replica.NewFollower(purl, st1, replica.Options{Poll: 50 * time.Millisecond})
+	f1.Start()
+
+	// Update storm in flight while the follower dies.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		storm(t, pc, "books", 40)
+	}()
+	waitUntil(t, 15*time.Second, func() string {
+		if gen, ok := st1.Generation("books"); !ok || gen == 0 {
+			return "follower store has not applied anything yet"
+		}
+		return ""
+	})
+	// "kill -9": stop the stream (so the two processes don't share files)
+	// and abandon the store without Close — no final snapshot, nothing
+	// beyond what its fsync'd journal already holds.
+	f1.Stop()
+	<-done
+
+	st2 := newPersistentStore(t, fdir, 1024)
+	names, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("recover crashed follower: %v", err)
+	}
+	if !reflect.DeepEqual(names, []string{"books"}) {
+		t.Fatalf("recovered %v, want [books]", names)
+	}
+	recGen, _ := st2.Generation("books")
+
+	f2 := replica.NewFollower(purl, st2, replica.Options{Poll: 50 * time.Millisecond})
+	f2.Start()
+	defer f2.Stop()
+
+	pi, err := pc.Info("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 15*time.Second, func() string {
+		gen, ok := st2.Generation("books")
+		if !ok {
+			return "document missing on restarted follower"
+		}
+		if gen < pi.Generation {
+			return fmt.Sprintf("follower at generation %d, primary at %d", gen, pi.Generation)
+		}
+		return ""
+	})
+	if ds, ok := f2.DocStatus("books"); ok && recGen > 0 && ds.SnapshotsInstalled > 0 {
+		t.Fatalf("crash-recovered follower re-shipped a snapshot (recovered gen %d): %+v", recGen, ds)
+	}
+
+	// Full state comparison, store-level vs HTTP.
+	pq, err := pc.Query("books", "//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := st2.Query(context.Background(), "books", "//*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pq.Nodes, fq.Nodes) {
+		t.Fatalf("crash-recovered follower diverged:\nprimary  %+v\nfollower %+v", pq.Nodes, fq.Nodes)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicationReconnect force-disconnects the follower by restarting the
+// primary on the same address, then checks the follower reconnects with
+// backoff, catches up on post-restart writes, and that the broken stream
+// left a replica_pull trace with replica_apply spans behind.
+func TestReplicationReconnect(t *testing.T) {
+	pdir := t.TempDir()
+	pstop, pc, purl := startReplNode(t, Config{DataDir: pdir, NoFsync: true})
+	if _, err := pc.Load("books", api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, pc, "books", 6)
+
+	_, fc, _ := startReplNode(t, followerConfig(t, purl))
+	waitSynced(t, pc, fc, "books")
+
+	// Forced disconnect: take the primary down, hold it down long enough
+	// for the follower to burn a few reconnect attempts, then bring it back
+	// on the same address with the same data.
+	pstop()
+	time.Sleep(300 * time.Millisecond)
+	psrv2, err := New(Config{Addr: strings.TrimPrefix(purl, "http://"), DataDir: pdir, NoFsync: true, RequestTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psrv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psrv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNode(t, psrv2)
+
+	storm(t, pc, "books", 6) // same URL, so the old client still works
+	waitSynced(t, pc, fc, "books")
+	assertParity(t, pc, fc, "books")
+
+	h, err := fc.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Replication.Docs) != 1 || h.Replication.Docs[0].Reconnects < 1 {
+		t.Fatalf("follower reports no reconnects after forced disconnect: %+v", h.Replication.Docs)
+	}
+
+	// The severed stream finished a replica_pull trace carrying
+	// replica_apply spans.
+	dump, err := fc.Traces("replica_pull", "books", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Count == 0 {
+		t.Fatal("no replica_pull traces on the follower after a stream ended")
+	}
+	foundApply := false
+	for _, tr := range dump.Traces {
+		for _, sp := range tr.Spans {
+			if sp.Stage == "replica_apply" {
+				foundApply = true
+			}
+		}
+	}
+	if !foundApply {
+		t.Fatal("replica_pull traces carry no replica_apply spans")
+	}
+}
+
+// TestPromote checks that promotion loses nothing: every update the primary
+// acknowledged before the cutover is served by the promoted node, which
+// then accepts writes that continue the generation sequence.
+func TestPromote(t *testing.T) {
+	_, pc, purl := startReplNode(t, Config{DataDir: t.TempDir(), NoFsync: true})
+	if _, err := pc.Load("books", api.LoadRequest{XML: sampleXML, TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, pc, "books", 12)
+	pi, err := pc.Info("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, fc, _ := startReplNode(t, followerConfig(t, purl))
+	waitSynced(t, pc, fc, "books")
+	assertParity(t, pc, fc, "books")
+
+	resp, err := fc.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Promoted || resp.Documents != 1 {
+		t.Fatalf("promote = %+v", resp)
+	}
+
+	// Nothing acknowledged was lost: the promoted node serves the
+	// pre-cutover generation, and writes now succeed and continue it.
+	fi, err := fc.Info("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Generation < pi.Generation {
+		t.Fatalf("promoted node at generation %d, primary acknowledged %d", fi.Generation, pi.Generation)
+	}
+	if fi.Replica {
+		t.Fatal("promoted node still reports Replica")
+	}
+	ins, err := fc.Insert("books", 6, 0, "book")
+	if err != nil {
+		t.Fatalf("write after promote: %v", err)
+	}
+	if ins.Generation != fi.Generation+1 {
+		t.Fatalf("post-promote write at generation %d, want %d", ins.Generation, fi.Generation+1)
+	}
+
+	h, err := fc.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ReadOnly || h.Replication != nil {
+		t.Fatalf("promoted healthz = readonly %v replication %+v", h.ReadOnly, h.Replication)
+	}
+
+	// Promote is idempotent, and a plain primary answers Promoted=false.
+	again, err := fc.Promote()
+	if err != nil || again.Promoted {
+		t.Fatalf("second promote = %+v, %v", again, err)
+	}
+	pp, err := pc.Promote()
+	if err != nil || pp.Promoted {
+		t.Fatalf("promote on primary = %+v, %v", pp, err)
+	}
+}

@@ -10,10 +10,12 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
+	"primelabel/internal/server/replica"
 	"primelabel/internal/server/trace"
 )
 
@@ -64,6 +66,18 @@ type Config struct {
 	// under /debug/pprof/ plus mirrors of /debug/traces and /metrics. Keep
 	// it off the public address: pprof exposes heap and goroutine dumps.
 	DebugAddr string
+	// FollowURL, when set, starts the server as a read replica of the
+	// primary at this base URL (e.g. "http://10.0.0.1:8080"): it discovers
+	// the primary's documents, pulls their replication streams, and rejects
+	// writes with 403 until POST /promote. Followers usually also set
+	// DataDir so replicated state survives their own restarts.
+	FollowURL string
+	// FollowPoll is the follower's document-discovery interval against the
+	// primary (default 3s). Only meaningful with FollowURL.
+	FollowPoll time.Duration
+	// ReplicaHeartbeat is the idle heartbeat interval on replication streams
+	// this server serves to followers (default 3s).
+	ReplicaHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +117,16 @@ type Server struct {
 	serveErr chan error
 	debugSrv *http.Server
 	debugLn  net.Listener
+
+	// Replication state (see replication.go): streamer serves outbound
+	// /replicate streams, bounded by streamCtx so Shutdown can end them;
+	// follower (nil unless cfg.FollowURL is set) pulls from a primary, and
+	// readOnly gates write endpoints until promotion.
+	streamer     *replica.Streamer
+	streamCtx    context.Context
+	streamCancel context.CancelFunc
+	follower     *replica.Follower
+	readOnly     atomic.Bool
 }
 
 // New returns an unstarted server. When cfg.DataDir is set it opens (and if
@@ -126,6 +150,35 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: open data dir: %w", err)
 		}
 		s.store.EnablePersistence(mgr, cfg.SnapshotEvery)
+	}
+	s.streamCtx, s.streamCancel = context.WithCancel(context.Background())
+	s.streamer = &replica.Streamer{
+		Source:    s.store,
+		Heartbeat: cfg.ReplicaHeartbeat,
+		OnMessage: func(kind byte, frameBytes int) {
+			m.replBytesOut.Add(uint64(frameBytes))
+			switch kind {
+			case replica.KindRecord:
+				m.replRecordsOut.Add(1)
+			case replica.KindSnapshot:
+				m.replSnapshotsOut.Add(1)
+			}
+		},
+	}
+	if cfg.FollowURL != "" {
+		s.readOnly.Store(true)
+		s.follower = replica.NewFollower(cfg.FollowURL, s.store, replica.Options{
+			Poll:   cfg.FollowPoll,
+			Logger: cfg.Logger,
+			Hooks: replica.Hooks{
+				ObserveStage:  m.ObserveStage,
+				OnTrace:       s.traces.Add,
+				AddBytesIn:    func(n int) { m.replBytesIn.Add(uint64(n)) },
+				AddRecordIn:   func() { m.replRecordsIn.Add(1) },
+				AddSnapshotIn: func() { m.replSnapshotsIn.Add(1) },
+				AddReconnect:  func() { m.replReconnects.Add(1) },
+			},
+		})
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -165,8 +218,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /docs/{name}/relation", s.instrument("relation", s.handleRelation))
 	mux.HandleFunc("POST /docs/{name}/update", s.instrument("update", s.handleUpdate))
 	mux.HandleFunc("POST /docs/{name}/update/batch", s.instrument("update_batch", s.handleUpdateBatch))
+	mux.HandleFunc("POST /promote", s.instrument("promote", s.handlePromote))
 	timeoutBody, _ := json.Marshal(api.Error{Error: "request timed out"})
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, string(timeoutBody))
+	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout, string(timeoutBody))
+	// Replication streams live outside the timeout wrapper: they are meant
+	// to run for hours, and TimeoutHandler would both buffer their writes
+	// and kill them at the request deadline. Shutdown ends them via
+	// streamCtx instead.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /replicate/{name}", s.instrument("replicate", s.handleReplicate))
+	outer.Handle("/", timed)
+	return outer
 }
 
 // statusWriter records the response code for metrics.
@@ -179,6 +241,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can reach
+// its Flusher and deadline hooks — the replication stream handler needs
+// both through the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // requestTraceID extracts a usable trace ID from the request, generating
 // one when the caller sent none (or sent something abusive: over-long or
@@ -278,30 +345,48 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrReadOnly):
+		status = http.StatusForbidden
 	}
 	writeJSON(w, status, api.Error{Error: err.Error()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.Health{
+	h := api.Health{
 		Status:        "ok",
 		Documents:     s.store.Count(),
 		Durable:       s.store.Durable(),
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
-	})
+		ReadOnly:      s.readOnly.Load(),
+	}
+	if s.follower != nil && h.ReadOnly {
+		st := s.follower.Status()
+		h.Replication = &st
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteText(w)
 	s.store.WriteCacheMetrics(w)
+	if s.follower != nil && s.readOnly.Load() {
+		s.follower.WriteMetrics(w)
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.List())
+	infos := s.store.List()
+	for i := range infos {
+		s.decorateReplicaInfo(&infos[i])
+	}
+	writeJSON(w, http.StatusOK, infos)
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req api.LoadRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -320,10 +405,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.decorateReplicaInfo(&info)
 	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	if err := s.store.Delete(r.Context(), r.PathValue("name")); err != nil {
 		writeError(w, err)
 		return
@@ -358,6 +447,9 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req api.UpdateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -371,6 +463,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdateBatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req api.BatchUpdateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -400,6 +495,7 @@ func (s *Server) Start() (string, error) {
 	s.ln = ln
 	s.serveErr = make(chan error, 1)
 	go func() { s.serveErr <- s.httpSrv.Serve(ln) }()
+	s.startFollower()
 	return ln.Addr().String(), nil
 }
 
@@ -421,12 +517,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		defer cancel()
 	}
 	s.stopDebug()
+	s.stopReplication()
 	if err := s.httpSrv.Shutdown(ctx); err != nil {
 		s.store.Close()
 		return err
 	}
 	if s.serveErr != nil {
-		if err := <-s.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		err := <-s.serveErr
+		s.serveErr = nil // a repeated Shutdown must not block on the drained channel
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.store.Close()
 			return err
 		}
@@ -448,13 +547,16 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	s.ln = ln
 	errc := make(chan error, 1)
 	go func() { errc <- s.httpSrv.Serve(ln) }()
+	s.startFollower()
 	select {
 	case err := <-errc:
 		s.stopDebug()
+		s.stopReplication()
 		return err
 	case <-ctx.Done():
 	}
 	s.stopDebug()
+	s.stopReplication()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	if err := s.httpSrv.Shutdown(shutdownCtx); err != nil {

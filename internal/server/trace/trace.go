@@ -65,6 +65,13 @@ const (
 	// StageJournalFsync is the journal append's flush to stable storage —
 	// the floor on durable update latency.
 	StageJournalFsync = "journal_fsync"
+	// StageReplicaStream is the primary-side lifetime of one replication
+	// stream connection: journal tailing, snapshot shipping and heartbeats
+	// for one follower.
+	StageReplicaStream = "replica_stream"
+	// StageReplicaApply is the follower-side application of one replicated
+	// message (a journal record or a shipped snapshot) into the local store.
+	StageReplicaApply = "replica_apply"
 )
 
 // Stages lists every stage name, in rough request order. The server's
@@ -73,7 +80,8 @@ var Stages = []string{
 	StageLockWait, StageCacheLookup, StageXPathEval, StageQueryFanout,
 	StageLabelProbe, StageParse, StageLabel, StageIndex, StageRelabel,
 	StageReindex, StageCodecEncode, StageSnapshotWrite, StageJournalAppend,
-	StageJournalGroupWait, StageJournalFsync,
+	StageJournalGroupWait, StageJournalFsync, StageReplicaStream,
+	StageReplicaApply,
 }
 
 // Span is one timed stage within a trace.
