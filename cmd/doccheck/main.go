@@ -8,28 +8,39 @@
 // Usage:
 //
 //	doccheck ./internal/server ./internal/server/api
+//	doccheck -schemes-doc docs/LABELING.md
 //
 // Each argument is a directory containing one Go package. Test files are
-// ignored. The exit status is 1 if any exported identifier lacks
-// documentation, 0 otherwise.
+// ignored. With -schemes-doc the named markdown file is additionally
+// checked against the scheme registry (buildinfo.Schemes): every compiled-in
+// labeling scheme must appear, in backticks, in some section heading — so a
+// scheme added to the binaries cannot ship undocumented. The exit status is
+// 1 if any exported identifier lacks documentation or any scheme lacks a
+// section, 0 otherwise.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"strings"
+
+	"primelabel/internal/buildinfo"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir>...")
+	schemesDoc := flag.String("schemes-doc", "",
+		"markdown file that must document every scheme in buildinfo.Schemes under a heading")
+	flag.Parse()
+	if *schemesDoc == "" && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-schemes-doc FILE] <package-dir>...")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
+	for _, dir := range flag.Args() {
 		n, err := checkDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
@@ -37,10 +48,52 @@ func main() {
 		}
 		bad += n
 	}
+	if *schemesDoc != "" {
+		n, err := checkSchemesDoc(*schemesDoc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", *schemesDoc, err)
+			os.Exit(2)
+		}
+		bad += n
+	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing documentation\n", bad)
+		fmt.Fprintf(os.Stderr, "doccheck: %d documentation omission(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// checkSchemesDoc verifies that every registered labeling scheme has a
+// section in the given markdown file: the scheme's name, in backticks, on a
+// heading line. This keeps the scheme guide exhaustive by construction —
+// registering a scheme in buildinfo without documenting it fails make
+// verify.
+func checkSchemesDoc(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var headings []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			headings = append(headings, line)
+		}
+	}
+	bad := 0
+	for _, scheme := range buildinfo.Schemes {
+		found := false
+		for _, h := range headings {
+			if strings.Contains(h, "`"+scheme+"`") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%s: scheme %q has no section heading (expected `%s` in a heading)\n",
+				path, scheme, scheme)
+			bad++
+		}
+	}
+	return bad, nil
 }
 
 // checkDir parses one package directory and reports every exported

@@ -95,6 +95,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this in full, with their span breakdown (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces (negative disables)")
 	debugAddr := fs.String("debug-addr", "", "extra listener serving net/http/pprof plus /debug/traces and /metrics (empty disables)")
+	freezeAfter := fs.Duration("freeze-after", 0, "re-label a document into compact fixed-width labels after this long without a write (0 disables adaptive freezing)")
+	freezeMinReads := fs.Int("freeze-min-reads", 1, "reads since the last write before a document qualifies for freezing")
 	follow := fs.String("follow", "", "run as a read-only replica streaming the journal from this primary base URL (e.g. http://primary:8080)")
 	followPoll := fs.Duration("follow-poll", 0, "how often a replica re-lists the primary's documents (0 = server default)")
 	promote := fs.String("promote", "", "promote the replica at this base URL to primary (POST /promote) and exit")
@@ -140,6 +142,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		DebugAddr:        *debugAddr,
 		FollowURL:        *follow,
 		FollowPoll:       *followPoll,
+		FreezeAfter:      *freezeAfter,
+		FreezeMinReads:   *freezeMinReads,
 	})
 	if err != nil {
 		return err

@@ -12,7 +12,7 @@ import (
 )
 
 // Version is the repo's semantic version, bumped per release-worthy PR.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // Schemes lists every labeling scheme compiled into the binaries, in the
 // order the API documents them. It mirrors the switch in the server's
@@ -20,7 +20,7 @@ const Version = "0.3.0"
 // here so -version and labeld_build_info stay truthful.
 var Schemes = []string{
 	"prime", "prime-bottomup", "prime-decomposed",
-	"interval", "xrel", "prefix-1", "prefix-2", "dewey", "float",
+	"interval", "xrel", "prefix-1", "prefix-2", "dewey", "float", "compact",
 }
 
 // GoVersion returns the Go toolchain version the binary was built with.

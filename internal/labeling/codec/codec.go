@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/compact"
 	"primelabel/internal/labeling/floatlab"
 	"primelabel/internal/labeling/interval"
 	"primelabel/internal/labeling/prefix"
@@ -45,12 +46,13 @@ const (
 	tagPrefix   = "prefix"
 	tagDewey    = "dewey"
 	tagFloat    = "float"
+	tagCompact  = "compact"
 )
 
 // Supported reports whether Marshal can persist l.
 func Supported(l labeling.Labeling) bool {
 	switch l.(type) {
-	case *prime.Labeling, *interval.Labeling, *prefix.Labeling, *prefix.DeweyLabeling, *floatlab.Labeling:
+	case *prime.Labeling, *interval.Labeling, *prefix.Labeling, *prefix.DeweyLabeling, *floatlab.Labeling, *compact.Labeling:
 		return true
 	default:
 		return false
@@ -73,6 +75,8 @@ func Marshal(l labeling.Labeling, w io.Writer) error {
 		tag = tagDewey
 	case *floatlab.Labeling:
 		tag = tagFloat
+	case *compact.Labeling:
+		tag = tagCompact
 	default:
 		return fmt.Errorf("%w: %s", ErrUnsupported, l.SchemeName())
 	}
@@ -93,6 +97,8 @@ func Marshal(l labeling.Labeling, w io.Writer) error {
 	case *prefix.DeweyLabeling:
 		return v.Marshal(w)
 	case *floatlab.Labeling:
+		return v.Marshal(w)
+	case *compact.Labeling:
 		return v.Marshal(w)
 	}
 	panic("unreachable")
@@ -127,6 +133,8 @@ func Unmarshal(r io.Reader) (labeling.Labeling, error) {
 		return prefix.UnmarshalDewey(r)
 	case tagFloat:
 		return floatlab.Unmarshal(r)
+	case tagCompact:
+		return compact.Unmarshal(r)
 	default:
 		return nil, fmt.Errorf("%w: unknown scheme tag %q", ErrBadFormat, string(tagBuf))
 	}

@@ -17,7 +17,8 @@ type LoadRequest struct {
 	// XML is the document source.
 	XML string `json:"xml"`
 	// Scheme is the labeling scheme: prime (default), prime-bottomup,
-	// prime-decomposed, interval, xrel, prefix-1, prefix-2, dewey, float.
+	// prime-decomposed, interval, xrel, prefix-1, prefix-2, dewey, float,
+	// compact.
 	Scheme string `json:"scheme,omitempty"`
 	// TrackOrder builds the prime scheme's SC table so the document can
 	// answer order queries (before, the ordered XPath axes).
@@ -60,6 +61,15 @@ type DocInfo struct {
 	// server runs without -data-dir or the scheme has no persistence codec
 	// (prime-bottomup, prime-decomposed).
 	Durable bool `json:"durable"`
+	// Frozen reports that the document currently serves reads from a
+	// compact fixed-width overlay built by the adaptive freeze policy (or
+	// an explicit freeze). The scheme and label fields above still describe
+	// the base labeling, which remains the source of truth; the next write
+	// thaws the document transparently.
+	Frozen bool `json:"frozen,omitempty"`
+	// FrozenMaxLabelBits is the compact overlay's widest label in bits
+	// (always at most 128). Only meaningful when Frozen is true.
+	FrozenMaxLabelBits int `json:"frozen_max_label_bits,omitempty"`
 	// Replica reports that this server hosts the document as a read
 	// replica: its state arrives over the replication stream and local
 	// writes are rejected until promotion.

@@ -22,8 +22,10 @@ import (
 	"strings"
 	"testing"
 
+	"primelabel/internal/labeling"
 	"primelabel/internal/labeling/prime"
 	"primelabel/internal/server/api"
+	"primelabel/internal/xmltree"
 )
 
 // deepXML builds a document of `chains` independent chains, each nested
@@ -101,6 +103,53 @@ var axisBenchQueries = []struct{ axis, query string }{
 	{"preceding", "//c[2]//preceding::c"},
 }
 
+// benchSink keeps the probe loops' results observable so the calls cannot
+// be optimized away.
+var benchSink bool
+
+// benchAncestorProbe times raw label-comparison ancestor tests through the
+// labeling interface: one true probe (chain top vs its deepest descendant)
+// and one false probe (tops of two different chains) per iteration.
+func benchAncestorProbe(lab labeling.Labeling, anc, desc, x, y *xmltree.Node) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink = lab.IsAncestor(anc, desc) && !lab.IsAncestor(x, y)
+		}
+	}
+}
+
+// probeNodes picks the ancestor-probe fixture out of the deep document:
+// the first chain's top, that chain's deepest element, and the tops of the
+// first two chains (never ancestor-related).
+func probeNodes(t testing.TB, root *xmltree.Node) (anc, desc, x, y *xmltree.Node) {
+	t.Helper()
+	chains := root.ElementChildren()
+	if len(chains) < 2 {
+		t.Fatalf("fixture root has %d chains, want >= 2", len(chains))
+	}
+	anc, x, y = chains[0], chains[0], chains[1]
+	desc = anc
+	for {
+		kids := desc.ElementChildren()
+		next := desc
+		for _, k := range kids {
+			if k.Name == "c" {
+				next = k
+			}
+		}
+		if next == desc {
+			break
+		}
+		desc = next
+	}
+	if desc == anc {
+		t.Fatal("fixture chain has no nesting")
+	}
+	return anc, desc, x, y
+}
+
 func BenchmarkQueryDescendantBaseline(b *testing.B) {
 	st, d, pl := loadQueryBench(b, 8, 20, 74)
 	benchQuery(st, d, pl, "//c//l", false, 1)(b)
@@ -131,12 +180,36 @@ func TestQueryBenchReport(t *testing.T) {
 		FastNs     float64 `json:"fast_ns_per_query"`
 		Speedup    float64 `json:"speedup"`
 	}
+	// frozenRow compares one query served by the prime backend (fast path
+	// on, default workers — its best serving configuration) against the
+	// same query served by the compact frozen overlay.
+	type frozenRow struct {
+		Axis     string  `json:"axis"`
+		Query    string  `json:"query"`
+		PrimeNs  float64 `json:"prime_ns_per_query"`
+		FrozenNs float64 `json:"frozen_ns_per_query"`
+		Speedup  float64 `json:"speedup"`
+	}
+	type frozenReport struct {
+		// MaxLabelBits is the overlay's widest label — at most 128 (two
+		// words) by construction.
+		MaxLabelBits int `json:"frozen_max_label_bits"`
+		// The raw ancestor-probe series: one true + one false label
+		// comparison per op, prime (big.Int divisibility) vs frozen
+		// (interval containment).
+		ProbePrimeNs   float64     `json:"ancestor_probe_prime_ns"`
+		ProbeFrozenNs  float64     `json:"ancestor_probe_frozen_ns"`
+		ProbeSpeedup   float64     `json:"ancestor_probe_speedup"`
+		AllocsPerProbe float64     `json:"frozen_allocs_per_probe"`
+		Axes           []frozenRow `json:"axes"`
+	}
 	report := struct {
-		Workers      int     `json:"workers"`
-		MaxLabelBits int     `json:"max_label_bits"`
-		RejectRatio  float64 `json:"fastpath_reject_ratio"`
-		Axes         []row   `json:"axes"`
-		Sizes        []row   `json:"descendant_by_size"`
+		Workers      int          `json:"workers"`
+		MaxLabelBits int          `json:"max_label_bits"`
+		RejectRatio  float64      `json:"fastpath_reject_ratio"`
+		Axes         []row        `json:"axes"`
+		Sizes        []row        `json:"descendant_by_size"`
+		Frozen       frozenReport `json:"frozen"`
 	}{}
 
 	measure := func(st *Store, d *document, pl *prime.Labeling, axis, query string, elements int) row {
@@ -186,6 +259,53 @@ func TestQueryBenchReport(t *testing.T) {
 		report.Sizes = append(report.Sizes, measure(sst, sd, spl, "", "//c//l", sd.table.Len()))
 	}
 
+	// Frozen-vs-prime series on the 12k-element fixture. The prime side is
+	// measured first (fast path on, default workers), then the document is
+	// frozen and the identical queries re-run — the store transparently
+	// serves them from the compact overlay's table.
+	anc, desc, x, y := probeNodes(t, d.lab.Doc().Root)
+	primeProbe := testing.Benchmark(benchAncestorProbe(d.lab, anc, desc, x, y))
+	primeQueries := make([]*testing.BenchmarkResult, len(axisBenchQueries))
+	for i, q := range axisBenchQueries {
+		r := testing.Benchmark(benchQuery(st, d, pl, q.query, true, 0))
+		primeQueries[i] = &r
+	}
+	if err := st.FreezeDoc("bench"); err != nil {
+		t.Fatalf("FreezeDoc: %v", err)
+	}
+	if d.frozen == nil {
+		t.Fatal("bench document did not freeze")
+	}
+	d.frozenTable.Parallelism = d.table.Parallelism
+	report.Frozen.MaxLabelBits = d.frozen.MaxLabelBits()
+	if report.Frozen.MaxLabelBits > 128 {
+		t.Errorf("frozen label bits = %d, above the 128-bit (two-word) ceiling", report.Frozen.MaxLabelBits)
+	}
+	frozenProbe := testing.Benchmark(benchAncestorProbe(d.frozen, anc, desc, x, y))
+	report.Frozen.ProbePrimeNs = float64(primeProbe.NsPerOp())
+	report.Frozen.ProbeFrozenNs = float64(frozenProbe.NsPerOp())
+	report.Frozen.ProbeSpeedup = float64(primeProbe.NsPerOp()) / float64(frozenProbe.NsPerOp())
+	report.Frozen.AllocsPerProbe = testing.AllocsPerRun(1000, func() {
+		benchSink = d.frozen.IsAncestor(anc, desc) && !d.frozen.IsAncestor(x, y)
+	})
+	if report.Frozen.AllocsPerProbe != 0 {
+		t.Errorf("frozen ancestor probe allocates %.1f objects/op, want 0 (no math/big on the frozen path)",
+			report.Frozen.AllocsPerProbe)
+	}
+	for i, q := range axisBenchQueries {
+		fr := testing.Benchmark(benchQuery(st, d, pl, q.query, true, 0))
+		report.Frozen.Axes = append(report.Frozen.Axes, frozenRow{
+			Axis:     q.axis,
+			Query:    q.query,
+			PrimeNs:  float64(primeQueries[i].NsPerOp()),
+			FrozenNs: float64(fr.NsPerOp()),
+			Speedup:  float64(primeQueries[i].NsPerOp()) / float64(fr.NsPerOp()),
+		})
+	}
+	if info, err := st.Info("bench"); err != nil || !info.Frozen {
+		t.Fatalf("document thawed during the frozen series: %+v, %v", info, err)
+	}
+
 	for _, r := range report.Axes {
 		if r.Axis == "descendant" && r.Speedup < 2 {
 			t.Errorf("descendant speedup %.2fx below the 2x acceptance floor", r.Speedup)
@@ -212,5 +332,12 @@ func TestQueryBenchReport(t *testing.T) {
 	}
 	t.Logf("prefilter reject ratio %.4f, max label bits %d, workers %d",
 		report.RejectRatio, report.MaxLabelBits, report.Workers)
+	for _, r := range report.Frozen.Axes {
+		t.Logf("frozen %-10s %-28s prime %.0fns, frozen %.0fns (%.1fx)",
+			r.Axis, r.Query, r.PrimeNs, r.FrozenNs, r.Speedup)
+	}
+	t.Logf("frozen ancestor probe: prime %.0fns, frozen %.0fns (%.1fx), %d-bit labels, %.1f allocs/probe",
+		report.Frozen.ProbePrimeNs, report.Frozen.ProbeFrozenNs, report.Frozen.ProbeSpeedup,
+		report.Frozen.MaxLabelBits, report.Frozen.AllocsPerProbe)
 	fmt.Printf("wrote %s\n", out)
 }

@@ -73,6 +73,7 @@ func (s *Store) writeSnapshotLocked(ctx context.Context, d *document) error {
 		Planner:    d.planner,
 		Generation: d.gen,
 		Relabeled:  d.relabeled,
+		Frozen:     d.frozen != nil,
 	}, d.lab)
 	endSnap()
 	if err != nil {
@@ -356,6 +357,7 @@ func (s *Store) recoverOne(name string) error {
 		gen:       meta.Generation,
 		relabeled: meta.Relabeled,
 	}
+	d.lastWrite.Store(time.Now().UnixNano())
 	d.table = rdb.Build(lab)
 	d.table.Plan = plan
 	d.table.Parallelism = s.parallelism
@@ -378,6 +380,20 @@ func (s *Store) recoverOne(name string) error {
 		replayed++
 	}
 	d.table.Warm()
+
+	if meta.Frozen && replayed == 0 {
+		// The document went down frozen and no write has happened since;
+		// bring it back serving from the compact overlay. Replayed records
+		// mean post-snapshot writes, which would have thawed it. Failure is
+		// non-fatal: the document serves from its base scheme and the
+		// freeze policy re-freezes it later.
+		if fl, ft, order, ferr := buildFrozen(d); ferr != nil {
+			s.logger.Error("recovery re-freeze failed; serving unfrozen", "doc", name, "err", ferr)
+		} else {
+			d.frozen, d.frozenTable, d.frozenOrder = fl, ft, order
+			d.isFrozen.Store(true)
+		}
+	}
 
 	j, err := s.persist.OpenJournalAt(name, validEnd)
 	if err != nil {

@@ -365,7 +365,7 @@ func TestUnsupportedSchemeHostedNonDurable(t *testing.T) {
 // TestRecoverAllSchemes runs one update plus crash recovery under every
 // persistable scheme the server offers.
 func TestRecoverAllSchemes(t *testing.T) {
-	for _, scheme := range []string{"prime", "interval", "xrel", "prefix-1", "prefix-2", "dewey", "float"} {
+	for _, scheme := range []string{"prime", "interval", "xrel", "prefix-1", "prefix-2", "dewey", "float", "compact"} {
 		t.Run(scheme, func(t *testing.T) {
 			dir := t.TempDir()
 			st := newPersistentStore(t, dir, 1000)

@@ -1,0 +1,236 @@
+package server
+
+// Adaptive freezing: the store watches each document's read/write mix and,
+// when a document has gone cold (no write for the configured window, enough
+// reads since the last one), re-labels it in the background into the compact
+// fixed-width interval scheme. The compact labeling and its own warmed
+// element table are installed as an *overlay*: the document's base labeling
+// stays the source of truth, keeps its labels, and absorbs the next write —
+// which simply drops the overlay (thaw) under the write lock. Frozen
+// documents answer queries and relation probes from two-word labels with
+// constant-time integer comparisons instead of the base scheme's (for prime
+// labels, big-integer) arithmetic.
+//
+// Safety argument (DESIGN.md §11): the overlay is built under the read lock,
+// capturing the generation it observed; it is installed under the write lock
+// only if the generation is unchanged, so an overlay can never describe a
+// tree the document has moved past. Freezing does not advance the
+// generation — the frozen backend returns byte-identical query and relation
+// results (same document-order node ids, labels rendered from the base
+// labeling), so cached responses stay valid and clients cannot observe the
+// backend switch except as lower latency.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"primelabel/internal/labeling"
+	"primelabel/internal/labeling/compact"
+	"primelabel/internal/rdb"
+	"primelabel/internal/server/trace"
+)
+
+// SetFreezePolicy configures adaptive freezing: a document with no write for
+// `after` and at least `minReads` reads since its last write is re-labeled
+// into the compact scheme in the background. after <= 0 disables freezing
+// (the default); minReads < 1 is treated as 1. Call before the store starts
+// serving.
+func (s *Store) SetFreezePolicy(after time.Duration, minReads int) {
+	if minReads < 1 {
+		minReads = 1
+	}
+	s.freezeAfter = after
+	s.freezeMinReads = uint64(minReads)
+}
+
+// noteRead records one read against the document's freeze policy counters.
+func (d *document) noteRead() {
+	d.readsSinceWrite.Add(1)
+}
+
+// noteWrite stamps a write: the freeze clock restarts and the read counter
+// resets. Called inside every write-lock critical section.
+func (d *document) noteWrite() {
+	d.lastWrite.Store(time.Now().UnixNano())
+	d.readsSinceWrite.Store(0)
+}
+
+// maybeFreeze checks the freeze policy against d's counters — all atomics,
+// no lock — and starts a background freeze when it matches. At most one
+// freeze runs per document (the freezing flag), and a document already
+// frozen or hosting a compact-native labeling is left alone.
+func (s *Store) maybeFreeze(d *document) {
+	if s.freezeAfter <= 0 || d.isFrozen.Load() {
+		return
+	}
+	if time.Since(time.Unix(0, d.lastWrite.Load())) < s.freezeAfter {
+		return
+	}
+	if d.readsSinceWrite.Load() < s.freezeMinReads {
+		return
+	}
+	if !d.freezing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		if err := s.freeze(d); err != nil {
+			s.metrics.freezeFailures.Add(1)
+			s.logger.Error("background freeze failed", "doc", d.name, "err", err)
+		}
+	}()
+}
+
+// FreezeDoc synchronously re-labels the named document into the compact
+// scheme, regardless of the freeze policy — the operational override (and
+// the benchmark suite's entry point). It is a no-op on a document that is
+// already frozen or hosts a compact-native labeling, and reports an error
+// when a freeze is already running or a concurrent write raced the build.
+func (s *Store) FreezeDoc(name string) error {
+	d, err := s.get(name)
+	if err != nil {
+		return err
+	}
+	if !d.freezing.CompareAndSwap(false, true) {
+		return fmt.Errorf("server: freeze of %q already in progress", name)
+	}
+	return s.freeze(d)
+}
+
+// freeze builds the compact overlay for d and installs it. The caller must
+// have won d.freezing; freeze releases it. Build happens under the read
+// lock (excluding writers while the tree is walked); the install takes the
+// write lock and abandons the overlay if the generation moved, so a racing
+// write can at worst waste the build, never corrupt state.
+func (s *Store) freeze(d *document) error {
+	defer d.freezing.Store(false)
+	start := time.Now()
+
+	d.mu.RLock()
+	if d.frozen != nil {
+		d.mu.RUnlock()
+		return nil
+	}
+	if _, native := d.lab.(*compact.Labeling); native {
+		d.mu.RUnlock()
+		return nil // already serving compact labels; nothing to overlay
+	}
+	gen := d.gen
+	fl, ft, order, err := buildFrozen(d)
+	d.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("server: freeze %q: %w", d.name, err)
+	}
+
+	d.mu.Lock()
+	if d.gen != gen || d.frozen != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("server: freeze of %q abandoned: document changed during re-label", d.name)
+	}
+	d.frozen = fl
+	d.frozenTable = ft
+	d.frozenOrder = order
+	d.isFrozen.Store(true)
+	// Record the active backend on disk so recovery and replica catch-up
+	// restore a frozen document frozen. Best-effort: on failure the old
+	// snapshot (frozen=false) still recovers correct state, and the policy
+	// simply re-freezes after restart.
+	if d.journal != nil {
+		if err := s.writeSnapshotLocked(context.Background(), d); err != nil {
+			s.metrics.persistErrors.Add(1)
+			s.logger.Error("freeze snapshot failed; frozen flag not persisted", "doc", d.name, "err", err)
+		} else if err := d.journal.Reset(); err != nil {
+			s.metrics.persistErrors.Add(1)
+			s.logger.Error("freeze journal reset failed", "doc", d.name, "err", err)
+		} else {
+			d.sinceSnap = 0
+		}
+	}
+	d.mu.Unlock()
+
+	s.metrics.freezes.Add(1)
+	s.metrics.ObserveStage(trace.StageFreezeRelabel, time.Since(start))
+	s.logger.Info("froze document into compact labels",
+		"doc", d.name, "gen", gen, "label_bits", fl.MaxLabelBits(), "took", time.Since(start))
+	return nil
+}
+
+// buildFrozen constructs the compact overlay — labeling plus a warmed
+// element table mirroring the base table's planner settings — for a
+// document the caller has exclusive or shared-read access to.
+func buildFrozen(d *document) (*compact.Labeling, *rdb.Table, bool, error) {
+	fl, err := compact.Freeze(d.lab.Doc())
+	if err != nil {
+		return nil, nil, false, err
+	}
+	ft := rdb.Build(fl)
+	ft.Plan = d.table.Plan
+	ft.Parallelism = d.table.Parallelism
+	ft.MinParallelWork = d.table.MinParallelWork
+	ft.Warm()
+	return fl, ft, orderSupported(d.lab), nil
+}
+
+// orderSupported probes whether the base labeling answers document-order
+// queries. A frozen document must mirror its base scheme's order support
+// exactly — the compact overlay can always answer Before, but doing so for
+// a base scheme that would refuse (prime without an SC table, bottom-up,
+// decomposed, non-order-preserving prefix) would make freeze observable.
+func orderSupported(lab labeling.Labeling) bool {
+	root := lab.Doc().Root
+	_, err := lab.Before(root, root)
+	return !errors.Is(err, labeling.ErrOrderUnsupported)
+}
+
+// thawLocked drops d's compact overlay, returning whether one was present.
+// Callers hold the write lock; the base labeling was the source of truth
+// throughout, so there is nothing to copy back.
+func (d *document) thawLocked() bool {
+	if d.frozen == nil {
+		return false
+	}
+	d.frozen = nil
+	d.frozenTable = nil
+	d.frozenOrder = false
+	d.isFrozen.Store(false)
+	return true
+}
+
+// thawForWrite runs the write path's thaw: drop the overlay (recording a
+// thaw span on any trace ctx carries) and restamp the freeze clock. Called
+// at the top of every write-lock critical section, before the mutation.
+func (s *Store) thawForWrite(ctx context.Context, d *document) {
+	if d.frozen != nil {
+		endThaw := trace.Start(ctx, trace.StageThaw)
+		d.thawLocked()
+		endThaw()
+		s.metrics.thaws.Add(1)
+		s.logger.Info("thawed document; write resumes on base scheme", "doc", d.name, "gen", d.gen)
+	}
+	d.noteWrite()
+}
+
+// WriteFreezeMetrics renders the per-document frozen gauge (1 when the
+// document currently serves from the compact overlay) in Prometheus
+// exposition format, sorted by name. Written by the metrics handler after
+// the registry's own series, like WriteCacheMetrics.
+func (s *Store) WriteFreezeMetrics(w io.Writer) {
+	s.mu.RLock()
+	docs := make([]*document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].name < docs[j].name })
+	fmt.Fprintln(w, "# HELP labeld_doc_frozen Whether the document currently serves reads from the compact frozen overlay (gauge), by document.")
+	for _, d := range docs {
+		v := 0
+		if d.isFrozen.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "labeld_doc_frozen{doc=%q} %d\n", d.name, v)
+	}
+}

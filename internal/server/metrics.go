@@ -72,6 +72,18 @@ type Metrics struct {
 	reindexIncr      atomic.Uint64
 	journalBatchSize *hist.Histogram
 
+	// Adaptive-freeze counters (see freeze.go): documents re-labeled into
+	// the compact scheme because their update rate fell off, documents
+	// thawed back by a write, and background freezes that failed or were
+	// abandoned because a write raced the build. Per-backend relation-probe
+	// latency splits the frozen path's constant-time comparisons from the
+	// base scheme's (potentially big-integer) arithmetic.
+	freezes        atomic.Uint64
+	thaws          atomic.Uint64
+	freezeFailures atomic.Uint64
+	probeBase      *hist.Histogram
+	probeFrozen    *hist.Histogram
+
 	// stages holds one duration histogram per traced stage (the closed set
 	// in trace.Stages), built once at startup and read without locking.
 	stages map[string]*hist.Histogram
@@ -123,6 +135,8 @@ func NewMetrics() *Metrics {
 		endpoints:        make(map[string]*endpointStats),
 		stages:           make(map[string]*hist.Histogram),
 		journalBatchSize: hist.New(batchSizeBounds),
+		probeBase:        hist.NewDefault(),
+		probeFrozen:      hist.NewDefault(),
 	}
 	for _, name := range endpointNames {
 		m.endpoints[name] = &endpointStats{latency: hist.NewDefault()}
@@ -217,6 +231,15 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line(`labeld_reindex_total{kind="incremental"} %d`, m.reindexIncr.Load())
 	line("# HELP labeld_slow_requests_total Requests that exceeded the slow-request threshold and were logged in full.")
 	line("labeld_slow_requests_total %d", m.slowRequests.Load())
+	line("# HELP labeld_freezes_total Documents re-labeled into the compact fixed-width scheme because their update rate fell below the freeze policy.")
+	line("labeld_freezes_total %d", m.freezes.Load())
+	line("# HELP labeld_thaws_total Frozen documents dropped back to their dynamic scheme by a write.")
+	line("labeld_thaws_total %d", m.thaws.Load())
+	line("# HELP labeld_freeze_failures_total Background freezes that failed or were abandoned because a write raced the re-label.")
+	line("labeld_freeze_failures_total %d", m.freezeFailures.Load())
+	line("# HELP labeld_probe_duration_seconds Relation-probe latency by serving backend: base is the document's own scheme, frozen the compact overlay.")
+	writeHistogram(line, "labeld_probe_duration_seconds", "backend", "base", m.probeBase.Snapshot())
+	writeHistogram(line, "labeld_probe_duration_seconds", "backend", "frozen", m.probeFrozen.Snapshot())
 
 	line("# HELP labeld_snapshots_total Document snapshots written (initial, compaction, shutdown).")
 	line("labeld_snapshots_total %d", m.snapshots.Load())

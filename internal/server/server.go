@@ -78,6 +78,17 @@ type Config struct {
 	// ReplicaHeartbeat is the idle heartbeat interval on replication streams
 	// this server serves to followers (default 3s).
 	ReplicaHeartbeat time.Duration
+	// FreezeAfter, when positive, enables adaptive freezing: a document
+	// with no write for this long (and at least FreezeMinReads reads since
+	// its last write) is re-labeled in the background into the compact
+	// fixed-width scheme and serves reads from constant-time integer
+	// comparisons until the next write thaws it. Zero (the default)
+	// disables freezing.
+	FreezeAfter time.Duration
+	// FreezeMinReads is the minimum number of reads since a document's last
+	// write before it qualifies for freezing (default 1). Only meaningful
+	// with FreezeAfter.
+	FreezeMinReads int
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.store.SetLogger(cfg.Logger)
 	s.store.SetParallelism(cfg.QueryParallelism)
+	s.store.SetFreezePolicy(cfg.FreezeAfter, cfg.FreezeMinReads)
 	if cfg.DataDir != "" {
 		mgr, err := persist.Open(cfg.DataDir, !cfg.NoFsync)
 		if err != nil {
@@ -370,6 +382,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteText(w)
 	s.store.WriteCacheMetrics(w)
+	s.store.WriteFreezeMetrics(w)
 	if s.follower != nil && s.readOnly.Load() {
 		s.follower.WriteMetrics(w)
 	}

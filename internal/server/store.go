@@ -26,9 +26,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"primelabel/internal/labeling"
 	"primelabel/internal/labeling/codec"
+	"primelabel/internal/labeling/compact"
 	"primelabel/internal/labeling/floatlab"
 	"primelabel/internal/labeling/interval"
 	"primelabel/internal/labeling/prefix"
@@ -83,6 +85,23 @@ type document struct {
 	// incremental patch path could handle. Benchmark/test-only: set before
 	// the document serves traffic, never flipped at runtime.
 	noPatch bool
+
+	// Frozen-overlay state (see freeze.go). frozen and frozenTable are the
+	// compact re-label of the current tree plus its own warmed element
+	// table; both nil while the document serves from its base scheme, both
+	// guarded by mu like lab and table. frozenOrder mirrors the base
+	// scheme's document-order support so a frozen Before answers (or
+	// refuses) exactly as the base scheme would.
+	frozen      *compact.Labeling
+	frozenTable *rdb.Table
+	frozenOrder bool
+	// isFrozen mirrors frozen != nil for lock-free policy checks; freezing
+	// serializes overlay builds; lastWrite (unix nanos) and readsSinceWrite
+	// feed the freeze policy.
+	isFrozen        atomic.Bool
+	freezing        atomic.Bool
+	lastWrite       atomic.Int64
+	readsSinceWrite atomic.Uint64
 }
 
 // Store is the document registry.
@@ -107,6 +126,12 @@ type Store struct {
 	// scans. Always a concrete count (auto requests are resolved against
 	// GOMAXPROCS when set).
 	parallelism int
+	// freezeAfter and freezeMinReads are the adaptive-freeze policy (see
+	// freeze.go): a document with no write for freezeAfter and at least
+	// freezeMinReads reads since its last write is re-labeled into the
+	// compact scheme in the background. freezeAfter <= 0 disables freezing.
+	freezeAfter    time.Duration
+	freezeMinReads uint64
 }
 
 // NewStore returns an empty registry reporting into metrics. cacheCap is
@@ -173,6 +198,8 @@ func buildScheme(req api.LoadRequest) (labeling.Scheme, error) {
 		return prefix.DeweyScheme{}, nil
 	case "float":
 		return floatlab.Scheme{}, nil
+	case "compact":
+		return compact.Scheme{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadRequest, req.Scheme)
 	}
@@ -240,6 +267,7 @@ func (s *Store) Load(ctx context.Context, name string, req api.LoadRequest) (api
 		table:   table,
 		cache:   newQueryCache(s.cacheCap),
 	}
+	d.lastWrite.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	old, existed := s.docs[name]
 	s.docs[name] = d
@@ -351,7 +379,7 @@ func (s *Store) Info(name string) (api.DocInfo, error) {
 // info snapshots the document's description. Callers hold d.mu (either
 // mode), except during Load where the document is not yet published.
 func (d *document) info() api.DocInfo {
-	return api.DocInfo{
+	info := api.DocInfo{
 		Name:         d.name,
 		Scheme:       d.lab.SchemeName(),
 		Planner:      d.planner,
@@ -361,13 +389,22 @@ func (d *document) info() api.DocInfo {
 		Relabeled:    d.relabeled,
 		Durable:      d.durable,
 	}
+	if d.frozen != nil {
+		info.Frozen = true
+		info.FrozenMaxLabelBits = d.frozen.MaxLabelBits()
+	}
+	return info
 }
 
 // Query evaluates an XPath-subset expression under the document's read
 // lock, consulting the per-document LRU first (entries computed at an
-// older generation are treated as misses). A trace carried by ctx records
-// lock_wait, cache_lookup, and (on a miss) xpath_eval spans plus a
-// query_fanout span when the executor sharded work across workers.
+// older generation are treated as misses). On a frozen document the join
+// runs against the compact overlay's table — same planner, constant-time
+// integer predicates — while node ids and labels still come from the base
+// table and labeling, so the response is byte-identical either way. A
+// trace carried by ctx records lock_wait, cache_lookup, and (on a miss)
+// xpath_eval spans plus a query_fanout span when the executor sharded work
+// across workers.
 func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryResponse, error) {
 	if query == "" {
 		return nil, fmt.Errorf("%w: empty xpath", ErrBadRequest)
@@ -377,6 +414,8 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 		return nil, err
 	}
 	s.metrics.queries.Add(1)
+	d.noteRead()
+	defer s.maybeFreeze(d)
 	endLock := trace.Start(ctx, trace.StageLockWait)
 	d.mu.RLock()
 	endLock()
@@ -391,8 +430,17 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 		return &resp, nil
 	}
 	s.metrics.cacheMisses.Add(1)
+	table := d.table
+	if d.frozen != nil && d.frozenOrder {
+		// Both tables index the same tree in document order, so row ids are
+		// interchangeable; only the join predicates differ. The overlay is
+		// skipped when the base scheme lacks order support: a query over an
+		// ordered axis must fail exactly as the base table would, and the
+		// compact overlay would answer it instead.
+		table = d.frozenTable
+	}
 	endEval := trace.Start(ctx, trace.StageXPathEval)
-	rows, stats, err := d.table.ExecPathStringStats(query)
+	rows, stats, err := table.ExecPathStringStats(query)
 	endEval()
 	trace.Observe(ctx, trace.StageQueryFanout, stats.FanOutTime)
 	if stats.FanOuts > 0 {
@@ -436,13 +484,21 @@ func (d *document) checkGeneration(want *uint64) error {
 	return nil
 }
 
-// Relation answers an ancestor/parent/before probe from labels alone. A
-// trace carried by ctx records lock_wait and label_probe spans.
+// Relation answers an ancestor/parent/before probe from labels alone — on
+// a frozen document from the compact overlay's two-word labels (constant
+// integer comparisons), otherwise from the base scheme. The two backends
+// return identical results: the overlay describes the same tree, and a
+// frozen Before delegates back to the base labeling when that scheme lacks
+// order support, so even the error is the base scheme's. A trace carried
+// by ctx records lock_wait and label_probe spans; per-backend latency
+// feeds labeld_probe_duration_seconds.
 func (s *Store) Relation(ctx context.Context, name string, req api.RelationRequest) (api.RelationResponse, error) {
 	d, err := s.get(name)
 	if err != nil {
 		return api.RelationResponse{}, err
 	}
+	d.noteRead()
+	defer s.maybeFreeze(d)
 	endLock := trace.Start(ctx, trace.StageLockWait)
 	d.mu.RLock()
 	endLock()
@@ -458,21 +514,41 @@ func (s *Store) Relation(ctx context.Context, name string, req api.RelationReque
 	if err != nil {
 		return api.RelationResponse{}, err
 	}
+	lab := d.lab
+	frozen := d.frozen != nil
 	endProbe := trace.Start(ctx, trace.StageLabelProbe)
 	defer endProbe()
+	probeStart := time.Now()
 	var result bool
 	switch req.Kind {
 	case api.RelAncestor:
-		result = d.lab.IsAncestor(a, b)
+		if frozen {
+			result = d.frozen.IsAncestor(a, b)
+		} else {
+			result = lab.IsAncestor(a, b)
+		}
 	case api.RelParent:
-		result = d.lab.IsParent(a, b)
+		if frozen {
+			result = d.frozen.IsParent(a, b)
+		} else {
+			result = lab.IsParent(a, b)
+		}
 	case api.RelBefore:
-		result, err = d.lab.Before(a, b)
+		if frozen && d.frozenOrder {
+			result, err = d.frozen.Before(a, b)
+		} else {
+			result, err = lab.Before(a, b)
+		}
 		if err != nil {
 			return api.RelationResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 	default:
 		return api.RelationResponse{}, fmt.Errorf("%w: unknown relation %q", ErrBadRequest, req.Kind)
+	}
+	if frozen {
+		s.metrics.probeFrozen.Observe(time.Since(probeStart))
+	} else {
+		s.metrics.probeBase.Observe(time.Since(probeStart))
 	}
 	return api.RelationResponse{Generation: d.gen, Result: result}, nil
 }
@@ -676,6 +752,7 @@ func (s *Store) updateOne(ctx context.Context, d *document, req api.UpdateReques
 	if err := d.checkGeneration(req.Generation); err != nil {
 		return api.UpdateResponse{}, nil, err
 	}
+	s.thawForWrite(ctx, d)
 
 	endRelabel := trace.Start(ctx, trace.StageRelabel)
 	count, touched, applied, patched, opErr := d.applyOpIndexed(req)
@@ -783,6 +860,7 @@ func (s *Store) updateBatchLocked(ctx context.Context, d *document, req api.Batc
 	if err := d.checkGeneration(req.Generation); err != nil {
 		return api.BatchUpdateResponse{}, nil, 0, err
 	}
+	s.thawForWrite(ctx, d)
 
 	resp := api.BatchUpdateResponse{Failed: -1}
 	var (
@@ -916,6 +994,12 @@ func labelString(lab labeling.Labeling, n *xmltree.Node) string {
 			return ""
 		}
 		return fmt.Sprintf("(%g,%g)", a, b)
+	case *compact.Labeling:
+		cl, ok := l.LabelOf(n)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("(%d,%d)", cl.Start, cl.End)
 	default:
 		return fmt.Sprintf("<%d bits>", lab.LabelBits(n))
 	}

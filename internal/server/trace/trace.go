@@ -72,6 +72,16 @@ const (
 	// StageReplicaApply is the follower-side application of one replicated
 	// message (a journal record or a shipped snapshot) into the local store.
 	StageReplicaApply = "replica_apply"
+	// StageFreezeRelabel is a background re-label of a read-mostly document
+	// into the compact fixed-width scheme: build the compact labeling, build
+	// and warm its element table, install the overlay. Recorded via
+	// Metrics.ObserveStage (freezes run on background goroutines with no
+	// request of their own).
+	StageFreezeRelabel = "freeze_relabel"
+	// StageThaw is the write-path drop of a frozen document's compact
+	// overlay — the transparent fallback to the dynamic scheme that makes
+	// the next update safe.
+	StageThaw = "thaw"
 )
 
 // Stages lists every stage name, in rough request order. The server's
@@ -81,7 +91,7 @@ var Stages = []string{
 	StageLabelProbe, StageParse, StageLabel, StageIndex, StageRelabel,
 	StageReindex, StageCodecEncode, StageSnapshotWrite, StageJournalAppend,
 	StageJournalGroupWait, StageJournalFsync, StageReplicaStream,
-	StageReplicaApply,
+	StageReplicaApply, StageFreezeRelabel, StageThaw,
 }
 
 // Span is one timed stage within a trace.

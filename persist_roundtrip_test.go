@@ -26,6 +26,7 @@ func TestSaveRoundTripAllSchemes(t *testing.T) {
 		{"prefix-2", Config{Scheme: Prefix2, OrderPreserving: true}},
 		{"dewey", Config{Scheme: Dewey}},
 		{"float", Config{Scheme: Float}},
+		{"compact", Config{Scheme: Compact}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

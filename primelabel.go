@@ -31,6 +31,7 @@ import (
 
 	"primelabel/internal/labeling"
 	"primelabel/internal/labeling/codec"
+	"primelabel/internal/labeling/compact"
 	"primelabel/internal/labeling/floatlab"
 	"primelabel/internal/labeling/interval"
 	"primelabel/internal/labeling/prefix"
@@ -64,11 +65,15 @@ const (
 	Dewey SchemeKind = "dewey"
 	// Float is the QRS floating-point interval labeling.
 	Float SchemeKind = "float"
+	// Compact is the fixed-width (≤ two machine words) DFS-range ancestry
+	// labeling in the style of the optimal interval schemes; static, with
+	// constant-time comparison-based probes.
+	Compact SchemeKind = "compact"
 )
 
 // Schemes lists every supported scheme kind.
 func Schemes() []SchemeKind {
-	return []SchemeKind{Prime, PrimeBottomUp, PrimeDecomposed, Interval, XRel, Prefix1, Prefix2, Dewey, Float}
+	return []SchemeKind{Prime, PrimeBottomUp, PrimeDecomposed, Interval, XRel, Prefix1, Prefix2, Dewey, Float, Compact}
 }
 
 // Config selects a scheme and its options.
@@ -147,6 +152,8 @@ func (c Config) scheme() (labeling.Scheme, error) {
 		return prefix.DeweyScheme{}, nil
 	case Float:
 		return floatlab.Scheme{}, nil
+	case Compact:
+		return compact.Scheme{}, nil
 	default:
 		return nil, fmt.Errorf("primelabel: unknown scheme %q", kind)
 	}
@@ -518,6 +525,12 @@ func (d *Document) Label(n Node) string {
 			return ""
 		}
 		return fmt.Sprintf("(%g,%g)", a, b)
+	case *compact.Labeling:
+		cl, ok := l.LabelOf(n.n)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("(%d,%d)", cl.Start, cl.End)
 	default:
 		return fmt.Sprintf("<%d bits>", d.lab.LabelBits(n.n))
 	}
@@ -545,7 +558,7 @@ var ErrUnsupportedPersist = codec.ErrUnsupported
 // for the prime scheme, the SC table — in a compact binary format, so
 // LoadSaved can restore it without relabeling (dynamic updates produce
 // labels no relabeling pass would regenerate). The prime, interval, XRel,
-// prefix, Dewey and float schemes are persistable; Save returns
+// prefix, Dewey, float and compact schemes are persistable; Save returns
 // ErrUnsupportedPersist for the static study variants prime-bottomup and
 // prime-decomposed.
 func (d *Document) Save(w io.Writer) error {
@@ -605,6 +618,8 @@ func configOf(lab labeling.Labeling) Config {
 		return Config{Scheme: Dewey}
 	case *floatlab.Labeling:
 		return Config{Scheme: Float}
+	case *compact.Labeling:
+		return Config{Scheme: Compact}
 	default:
 		return Config{}
 	}
