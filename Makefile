@@ -20,7 +20,7 @@ vet:
 # identifier must document its concurrency/durability behavior) and checks
 # that docs/LABELING.md has a section for every registered labeling scheme.
 lint:
-	$(GO) run ./cmd/doccheck -schemes-doc docs/LABELING.md ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/replica ./internal/server/trace ./internal/hist ./internal/buildinfo ./internal/labeling/compact
+	$(GO) run ./cmd/doccheck -schemes-doc docs/LABELING.md ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/replica ./internal/server/trace ./internal/hist ./internal/buildinfo ./internal/labeling/compact ./internal/server/querystats
 
 test:
 	$(GO) test ./...
@@ -57,7 +57,7 @@ bench-update:
 # document sizes, written as machine-readable JSON to BENCH_query.json. Same
 # non-gating policy as bench-update.
 bench-query:
-	BENCH_QUERY_JSON=$(CURDIR)/BENCH_query.json $(GO) test ./internal/server -run '^TestQueryBenchReport$$' -v -timeout 900s
+	BENCH_QUERY_JSON=$(CURDIR)/BENCH_query.json QUERYSTATS_JSON=$(CURDIR)/BENCH_querystats.json $(GO) test ./internal/server -run '^TestQueryBenchReport$$' -v -timeout 900s
 
 # clean removes build products and stray test data directories.
 clean:

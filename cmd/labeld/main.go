@@ -94,6 +94,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this in full, with their span breakdown (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces (negative disables)")
+	queryStatsShapes := fs.Int("querystats-shapes", 4096, "distinct (document, query shape) entries tracked for /debug/querystats before LRU eviction")
 	debugAddr := fs.String("debug-addr", "", "extra listener serving net/http/pprof plus /debug/traces and /metrics (empty disables)")
 	freezeAfter := fs.Duration("freeze-after", 0, "re-label a document into compact fixed-width labels after this long without a write (0 disables adaptive freezing)")
 	freezeMinReads := fs.Int("freeze-min-reads", 1, "reads since the last write before a document qualifies for freezing")
@@ -139,6 +140,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Logger:           logger,
 		SlowRequest:      *slowRequest,
 		TraceBuffer:      *traceBuffer,
+		QueryStatsShapes: *queryStatsShapes,
 		DebugAddr:        *debugAddr,
 		FollowURL:        *follow,
 		FollowPoll:       *followPoll,

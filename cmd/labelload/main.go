@@ -88,6 +88,81 @@ func report(stdout io.Writer, kind string, h *hist.Histogram, max time.Duration)
 		max.Round(time.Microsecond))
 }
 
+// sampleExplain measures the observability tax: it runs n queries from the
+// mix with ?explain=1 and the same n without, prints one profile per distinct
+// query shape, and reports p50/p95 for both modes side by side. The paired
+// runs interleave (off, on, off, on, ...) so cache warm-up and background
+// noise hit both modes equally.
+func sampleExplain(stdout io.Writer, c *client.Routed, doc, runID string, n int) error {
+	offHist, onHist := hist.NewDefault(), hist.NewDefault()
+	var offMax, onMax time.Duration
+	seen := make(map[string]bool)
+	fmt.Fprintf(stdout, "explain sample (%d queries per mode):\n", n)
+	for i := 0; i < n; i++ {
+		q := queryMix[i%len(queryMix)]
+		tc := c.WithTraceID(fmt.Sprintf("%s-explain-%d", runID, i))
+
+		t0 := time.Now()
+		if _, err := tc.Query(doc, q); err != nil {
+			return fmt.Errorf("explain sample (plain) %q: %w", q, err)
+		}
+		d := time.Since(t0)
+		offHist.Observe(d)
+		if d > offMax {
+			offMax = d
+		}
+
+		t0 = time.Now()
+		resp, err := tc.QueryExplain(doc, q)
+		if err != nil {
+			return fmt.Errorf("explain sample %q: %w", q, err)
+		}
+		d = time.Since(t0)
+		onHist.Observe(d)
+		if d > onMax {
+			onMax = d
+		}
+
+		if ex := resp.Explain; ex != nil && !seen[ex.Shape] {
+			seen[ex.Shape] = true
+			printProfile(stdout, q, ex)
+		}
+	}
+	report(stdout, "explain=0", offHist, offMax)
+	report(stdout, "explain=1", onHist, onMax)
+	off, on := offHist.Snapshot(), onHist.Snapshot()
+	fmt.Fprintf(stdout, "explain overhead: p50 %+v  p95 %+v\n",
+		(on.Quantile(0.50) - off.Quantile(0.50)).Round(time.Microsecond),
+		(on.Quantile(0.95) - off.Quantile(0.95)).Round(time.Microsecond))
+	return nil
+}
+
+// printProfile renders one query's explain profile compactly: the planner
+// summary line, then one line per axis step and per recorded stage timing.
+func printProfile(stdout io.Writer, q string, ex *api.QueryExplain) {
+	fmt.Fprintf(stdout, "  %s\n    shape %s  backend %s  cache_hit %v  parallel %v",
+		q, ex.Shape, ex.Backend, ex.CacheHit, ex.Parallel)
+	if ex.Shards > 0 {
+		fmt.Fprintf(stdout, " (shards %d)", ex.Shards)
+	}
+	fmt.Fprintf(stdout, "  candidates %d", ex.Candidates)
+	if ex.MaxLabelBits > 0 {
+		fmt.Fprintf(stdout, "  max_label_bits %d", ex.MaxLabelBits)
+	}
+	fmt.Fprintln(stdout)
+	for _, st := range ex.Steps {
+		fmt.Fprintf(stdout, "    step %s::%s candidates %d pairs %d emitted %d\n",
+			st.Axis, st.Name, st.Candidates, st.Pairs, st.Emitted)
+	}
+	if fp := ex.Fastpath; fp != nil {
+		fmt.Fprintf(stdout, "    fastpath: prefilter_rejects %d exact_u64 %d exact_big %d\n",
+			fp.PrefilterRejects, fp.ExactU64, fp.ExactBig)
+	}
+	for _, sg := range ex.Stages {
+		fmt.Fprintf(stdout, "    stage %s %.3fms\n", sg.Stage, sg.DurationMS)
+	}
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("labelload", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "labeld base URL (the primary when -replicas is set)")
@@ -100,6 +175,7 @@ func run(args []string, stdout io.Writer) error {
 	shelves := fs.Int("shelves", 4, "shelves in the generated document")
 	books := fs.Int("books", 25, "books per shelf in the generated document")
 	scheme := fs.String("scheme", "prime", "labeling scheme for the document")
+	explainSample := fs.Int("explain-sample", 0, "after the workload, run N queries with ?explain=1 (and N without), print their profiles, and report the p50/p95 explain overhead")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -284,6 +360,12 @@ func run(args []string, stdout io.Writer) error {
 				snap.Quantile(0.95).Round(time.Microsecond),
 				snap.Quantile(0.99).Round(time.Microsecond),
 				max.Round(time.Microsecond), errs)
+		}
+	}
+
+	if *explainSample > 0 {
+		if err := sampleExplain(stdout, c, *doc, runID, *explainSample); err != nil {
+			return err
 		}
 	}
 

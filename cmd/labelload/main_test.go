@@ -82,6 +82,51 @@ func TestRunReadOnly(t *testing.T) {
 	}
 }
 
+// TestRunExplainSample checks the -explain-sample report: profiles printed
+// for the sampled shapes and the paired overhead percentiles rendered.
+func TestRunExplainSample(t *testing.T) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	var out strings.Builder
+	err = run([]string{
+		"-addr", "http://" + addr,
+		"-doc", "exp", "-workers", "2", "-ops", "10",
+		"-write-ratio", "0",
+		"-explain-sample", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	// The workload warmed the cache, so the sampled profiles are cache-hit
+	// profiles: planner summary present, no step detail.
+	for _, want := range []string{
+		"explain sample (8 queries per mode):",
+		"backend prime",
+		"cache_hit true",
+		"explain=0",
+		"explain=1",
+		"explain overhead: p50",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Sampling 8 queries cycles the 6-shape mix, so at least 6 distinct
+	// profiles print — one per shape, not one per query.
+	if n := strings.Count(text, "shape "); n != len(queryMix) {
+		t.Errorf("printed %d profiles, want %d (one per shape):\n%s", n, len(queryMix), text)
+	}
+}
+
 func TestRunBadArgs(t *testing.T) {
 	if err := run([]string{"-workers", "0"}, &strings.Builder{}); err == nil {
 		t.Fatal("workers=0 accepted")

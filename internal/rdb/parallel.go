@@ -25,7 +25,8 @@ import (
 const defaultMinParallelWork = 1 << 12
 
 // ExecStats reports how much of one query execution ran on the worker
-// pool. Zero values mean the query ran fully sequential.
+// pool, plus the total candidate-row volume the executor scanned. Zero
+// fan-out values mean the query ran fully sequential.
 type ExecStats struct {
 	// FanOuts is the number of join operators that ran sharded.
 	FanOuts int
@@ -33,6 +34,10 @@ type ExecStats struct {
 	Shards int
 	// FanOutTime is the wall-clock time spent inside sharded sections.
 	FanOutTime time.Duration
+	// Candidates is the summed tag-scan output size (after value filters)
+	// across every step — the join input volume, which is what the server's
+	// query-stats plane histograms per query shape.
+	Candidates int
 }
 
 // minWork returns the sequential-fallback threshold in predicate

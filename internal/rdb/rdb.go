@@ -425,12 +425,14 @@ func (t *Table) ExecPath(q xpath.Query) (RowSet, error) {
 // a fully sequential execution).
 func (t *Table) ExecPathStats(q xpath.Query) (RowSet, ExecStats, error) {
 	var stats ExecStats
-	rs, err := t.execPath(q, &stats)
+	rs, err := t.execPath(q, &stats, nil)
 	return rs, stats, err
 }
 
-// execPath is the executor body; stats may be nil.
-func (t *Table) execPath(q xpath.Query, stats *ExecStats) (RowSet, error) {
+// execPath is the executor body; stats and ex may be nil, but a non-nil ex
+// requires a non-nil stats (the explain entry points guarantee it) — the
+// per-step fan-out attribution reads stats around each join.
+func (t *Table) execPath(q xpath.Query, stats *ExecStats, ex *Explain) (RowSet, error) {
 	if len(q.Steps) == 0 {
 		return nil, errors.New("rdb: empty query")
 	}
@@ -447,6 +449,9 @@ func (t *Table) execPath(q xpath.Query, stats *ExecStats) (RowSet, error) {
 				}
 			}
 			cands = filtered
+		}
+		if stats != nil {
+			stats.Candidates += len(cands)
 		}
 		var next RowSet
 		if atDocument {
@@ -467,19 +472,38 @@ func (t *Table) execPath(q xpath.Query, stats *ExecStats) (RowSet, error) {
 			}
 			atDocument = false
 			ctx = next
+			if ex != nil {
+				ex.addStep(StepProfile{
+					Axis: step.Axis.String(), Name: step.Name, Pos: step.Pos,
+					Filters: len(step.Filters), Candidates: len(cands), Emitted: len(ctx),
+				})
+			}
 			if len(ctx) == 0 {
 				return nil, nil
 			}
 			continue
 		}
+		var preFanOuts, preShards int
+		if ex != nil {
+			preFanOuts, preShards = stats.FanOuts, stats.Shards
+		}
 		pairs, err := t.joinStep(ctx, cands, step, stats)
 		if err != nil {
 			return nil, err
 		}
+		joined := len(pairs)
 		if step.Pos > 0 {
 			pairs = nthPerOuter(pairs, step.Pos)
 		}
 		ctx = pairs.ProjectIn()
+		if ex != nil {
+			ex.addStep(StepProfile{
+				Axis: step.Axis.String(), Name: step.Name, Pos: step.Pos,
+				Filters: len(step.Filters), Candidates: len(cands),
+				Pairs: joined, Emitted: len(ctx),
+				Parallel: stats.FanOuts > preFanOuts, Shards: stats.Shards - preShards,
+			})
+		}
 		if len(ctx) == 0 {
 			return nil, nil
 		}

@@ -101,6 +101,87 @@ type QueryResponse struct {
 	Count      int       `json:"count"`
 	Cached     bool      `json:"cached"`
 	Nodes      []NodeRef `json:"nodes,omitempty"`
+	// Explain is the execution profile, present only when the request asked
+	// for it with ?explain=1. The profiled execution returns exactly the
+	// nodes an unprofiled one would; only this field differs.
+	Explain *QueryExplain `json:"explain,omitempty"`
+}
+
+// QueryExplain is the structured profile of one query execution, answering
+// the planner questions a per-request caller cannot otherwise see: which
+// backend served the query, whether the cache answered it, how each location
+// step narrowed the candidate set, what the ancestor-test fast path did, and
+// where the time went.
+type QueryExplain struct {
+	// Shape is the query's normalized form (positional predicates masked as
+	// [*]) — the key the query-stats registry aggregates under.
+	Shape string `json:"shape"`
+	// CacheHit reports the result came from the per-document query cache; no
+	// steps were executed and the step/fastpath fields are absent.
+	CacheHit bool `json:"cache_hit"`
+	// Backend is the labeling that served the evaluation: the document's
+	// scheme name (e.g. "prime"), or "frozen-compact" when the adaptive
+	// freeze policy routed the query to the compact overlay.
+	Backend string `json:"backend,omitempty"`
+	// Parallel reports that at least one join fanned out across the worker
+	// pool; Shards is the total shard count across fan-outs.
+	Parallel bool `json:"parallel"`
+	Shards   int  `json:"shards,omitempty"`
+	// Candidates is the summed per-step candidate volume — the join input
+	// rows the executor scanned.
+	Candidates int `json:"candidates"`
+	// MaxLabelBits is the widest label of the serving backend in bits: the
+	// probe-cost currency ancestry-labeling schemes are compared by.
+	MaxLabelBits int `json:"max_label_bits,omitempty"`
+	// Steps profiles each executed location step in query order. Execution
+	// short-circuits on an empty intermediate context, so this can be shorter
+	// than the query.
+	Steps []ExplainStep `json:"steps,omitempty"`
+	// Fastpath reports the prime ancestor-test fast path's counter deltas
+	// over this execution. Absent for non-prime backends. The counters are
+	// registry-wide, so under concurrent load the deltas are approximate
+	// (they may include probes from overlapping queries).
+	Fastpath *ExplainFastpath `json:"fastpath,omitempty"`
+	// Stages is the per-stage timing breakdown, drawn from the same request
+	// trace /debug/traces records.
+	Stages []ExplainStage `json:"stages,omitempty"`
+}
+
+// ExplainStep is one location step's execution profile.
+type ExplainStep struct {
+	// Axis and Name restate the step (axis name plus tag test).
+	Axis string `json:"axis"`
+	Name string `json:"name"`
+	// Pos is the positional predicate [n], 0 when absent; Filters is the
+	// step's value-predicate count.
+	Pos     int `json:"pos,omitempty"`
+	Filters int `json:"filters,omitempty"`
+	// Candidates is the tag-scan output after value filters; Pairs is the
+	// join output before positional selection (0 for the document-context
+	// first step); Emitted is the context handed to the next step.
+	Candidates int `json:"candidates"`
+	Pairs      int `json:"pairs"`
+	Emitted    int `json:"emitted"`
+	// Parallel reports the step's join fanned out, across Shards shards.
+	Parallel bool `json:"parallel,omitempty"`
+	Shards   int  `json:"shards,omitempty"`
+}
+
+// ExplainFastpath is the ancestor-test fast path's counter deltas over one
+// query: how many probes the prefilter rejected without touching big.Int
+// arithmetic, and how the exact checks split between uint64 and big paths.
+type ExplainFastpath struct {
+	PrefilterRejects uint64 `json:"prefilter_rejects"`
+	ExactU64         uint64 `json:"exact_u64"`
+	ExactBig         uint64 `json:"exact_big"`
+	ExactTrue        uint64 `json:"exact_true"`
+}
+
+// ExplainStage is one stage timing of a profiled query, mirroring the
+// request trace's span record.
+type ExplainStage struct {
+	Stage      string  `json:"stage"`
+	DurationMS float64 `json:"duration_ms"`
 }
 
 // Relation kinds.
@@ -209,6 +290,54 @@ type BatchUpdateResponse struct {
 	Failed int `json:"failed"`
 	// Results holds one entry per attempted op, in request order.
 	Results []BatchOpResult `json:"results"`
+	// TraceID is the request's effective trace ID, echoed in the body so
+	// batch callers can correlate the write with its journal append here and
+	// its replica_apply on every follower without reading response headers.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// QueryStatsResponse is the GET /debug/querystats response: the server's
+// pg_stat_statements-style registry of per-(document, shape) query
+// statistics. Entries are sorted by total execution time, descending, so the
+// most expensive shapes lead.
+type QueryStatsResponse struct {
+	// Shapes is the number of (doc, shape) entries currently tracked;
+	// Capacity is the registry's LRU bound. When Shapes has reached Capacity,
+	// recording a new shape evicts the least-recently-used one — Evictions
+	// counts those.
+	Shapes    int    `json:"shapes"`
+	Capacity  int    `json:"capacity"`
+	Evictions uint64 `json:"evictions"`
+	// Entries holds the tracked shapes, filtered by the request's doc= and
+	// limited by its k= parameter.
+	Entries []QueryStatsEntry `json:"entries,omitempty"`
+}
+
+// QueryStatsEntry is one (document, query shape)'s aggregated statistics.
+type QueryStatsEntry struct {
+	Doc   string `json:"doc"`
+	Shape string `json:"shape"`
+	// Calls counts executions; Errors the failed ones. CacheHits counts
+	// answers served from the query cache, FrozenServes answers evaluated on
+	// the frozen compact overlay.
+	Calls        uint64 `json:"calls"`
+	Errors       uint64 `json:"errors,omitempty"`
+	CacheHits    uint64 `json:"cache_hits"`
+	FrozenServes uint64 `json:"frozen_serves"`
+	// Latency aggregates in milliseconds: the mean, interpolated p50/p95,
+	// and the slowest single call.
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	// MeanCandidates is the average candidate-row volume per uncached call —
+	// the executor work a call of this shape implies.
+	MeanCandidates float64 `json:"mean_candidates"`
+	// SlowProfile is the execution profile captured at the entry's slowest
+	// call, giving a slow shape an attached plan without the caller having
+	// asked for explain (step details appear when that call ran ?explain=1).
+	SlowProfile *QueryExplain `json:"slow_profile,omitempty"`
 }
 
 // Health is the /healthz response.
@@ -264,6 +393,10 @@ type ReplicaDocStatus struct {
 	SnapshotsInstalled uint64 `json:"snapshots_installed"`
 	// LastError is the most recent stream error ("" when none).
 	LastError string `json:"last_error,omitempty"`
+	// LastTraceID is the trace ID of the most recently applied record: the
+	// originating write carried it end to end, so /debug/traces?id= on the
+	// primary or on this follower returns that write's per-node slices.
+	LastTraceID string `json:"last_trace_id,omitempty"`
 }
 
 // PromoteResponse reports the outcome of POST /promote.

@@ -322,6 +322,19 @@ func TestQueryBenchReport(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// When $QUERYSTATS_JSON is also set, dump the bench store's query-stats
+	// registry next to the report: the benchmarks above drove thousands of
+	// queries through st.Query, so the snapshot shows the per-shape
+	// aggregates a production /debug/querystats would for this workload.
+	if qout := os.Getenv("QUERYSTATS_JSON"); qout != "" {
+		snap, err := json.MarshalIndent(st.QueryStats().Snapshot("", 0), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(qout, append(snap, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	for _, r := range report.Axes {
 		t.Logf("%-10s %-28s %8d elems: baseline %.0fns, fast %.0fns (%.1fx)",
 			r.Axis, r.Query, r.Elements, r.BaselineNs, r.FastNs, r.Speedup)

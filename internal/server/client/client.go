@@ -142,6 +142,15 @@ func (c *Client) Query(name, xpath string) (api.QueryResponse, error) {
 	return resp, err
 }
 
+// QueryExplain evaluates like Query with ?explain=1: the response carries
+// the same nodes plus an execution profile in resp.Explain (planner choice,
+// per-step candidate counts, fastpath counters, stage timings).
+func (c *Client) QueryExplain(name, xpath string) (api.QueryResponse, error) {
+	var resp api.QueryResponse
+	err := c.do(http.MethodPost, "/docs/"+name+"/query?explain=1", api.QueryRequest{XPath: xpath}, &resp)
+	return resp, err
+}
+
 // Relation answers a label-only relationship probe.
 func (c *Client) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
 	var resp api.RelationResponse
@@ -250,9 +259,46 @@ func (c *Client) Traces(endpoint, doc string, min time.Duration, limit int) (tra
 	return dump, err
 }
 
-// Metrics fetches the raw metrics exposition text.
+// TracesByID fetches the traces recorded under one exact trace ID — the
+// per-node slices of a cross-node write timeline (see /debug/traces?id=).
+func (c *Client) TracesByID(id string) (trace.Dump, error) {
+	var dump trace.Dump
+	err := c.do(http.MethodGet, "/debug/traces?id="+url.QueryEscape(id), nil, &dump)
+	return dump, err
+}
+
+// QueryStats fetches the server's query-statistics registry: per-(document,
+// shape) aggregates sorted most-expensive-first. doc filters to one document
+// (empty = all); k keeps only the k most expensive shapes (0 = all).
+func (c *Client) QueryStats(doc string, k int) (api.QueryStatsResponse, error) {
+	q := url.Values{}
+	if doc != "" {
+		q.Set("doc", doc)
+	}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	path := "/debug/querystats"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var resp api.QueryStatsResponse
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// Metrics fetches the raw metrics exposition text. The request goes through
+// the same plumbing as every other call, so a WithTraceID client tags its
+// scrapes too.
 func (c *Client) Metrics() (string, error) {
-	resp, err := c.hc.Get(c.base + "/metrics")
+	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.traceID != "" {
+		req.Header.Set(api.TraceIDHeader, c.traceID)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
 	}

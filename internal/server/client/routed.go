@@ -222,6 +222,30 @@ func (r *Routed) Query(name, xpath string) (api.QueryResponse, error) {
 	return resp, err
 }
 
+// QueryExplain evaluates like Query but with ?explain=1, so the response
+// carries the serving node's execution profile. It routes exactly like Query
+// (replica-first with generation-floor fallback): the profile describes the
+// node that actually served the read, which is what a "why is this query
+// slow over there" investigation wants.
+func (r *Routed) QueryExplain(name, xpath string) (api.QueryResponse, error) {
+	if c, target := r.pick(); c != nil {
+		start := time.Now()
+		resp, err := c.QueryExplain(name, xpath)
+		r.observe(target, "query", start, err)
+		if err == nil && resp.Generation >= r.state.get(name) {
+			r.state.raise(name, resp.Generation)
+			return resp, nil
+		}
+	}
+	start := time.Now()
+	resp, err := r.primary.QueryExplain(name, xpath)
+	r.observe(r.primaryURL, "query", start, err)
+	if err == nil {
+		r.state.raise(name, resp.Generation)
+	}
+	return resp, err
+}
+
 // Relation answers a label-relationship probe on a replica when one is
 // available and fresh enough, falling back to the primary otherwise.
 func (r *Routed) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
@@ -279,4 +303,11 @@ func (r *Routed) Healthz() (api.Health, error) {
 // Metrics fetches the primary's metrics exposition text.
 func (r *Routed) Metrics() (string, error) {
 	return r.primary.Metrics()
+}
+
+// QueryStats fetches the primary's query-statistics registry. Each node
+// keeps its own registry; use Targets with per-node Clients to compare a
+// replica's profile against the primary's.
+func (r *Routed) QueryStats(doc string, k int) (api.QueryStatsResponse, error) {
+	return r.primary.QueryStats(doc, k)
 }

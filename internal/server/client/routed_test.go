@@ -19,7 +19,24 @@ type fakeNode struct {
 	gen     uint64
 	queries int
 	updates int
-	fail    int // respond 404 to this many queries first
+	fail    int                 // respond 404 to this many queries first
+	traces  map[string][]string // op -> X-Trace-Id header of each request
+}
+
+// note records one request's trace header under the given operation name.
+// Called under n.mu.
+func (n *fakeNode) note(op string, r *http.Request) {
+	if n.traces == nil {
+		n.traces = make(map[string][]string)
+	}
+	n.traces[op] = append(n.traces[op], r.Header.Get(api.TraceIDHeader))
+}
+
+// seenTraces returns the trace headers recorded for op, in arrival order.
+func (n *fakeNode) seenTraces(op string) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.traces[op]...)
 }
 
 func (n *fakeNode) handler() http.Handler {
@@ -27,6 +44,7 @@ func (n *fakeNode) handler() http.Handler {
 	mux.HandleFunc("POST /docs/{name}/query", func(w http.ResponseWriter, r *http.Request) {
 		n.mu.Lock()
 		n.queries++
+		n.note("query", r)
 		gen := n.gen
 		failing := n.fail > 0
 		if failing {
@@ -38,15 +56,30 @@ func (n *fakeNode) handler() http.Handler {
 			json.NewEncoder(w).Encode(api.Error{Error: "unknown document"})
 			return
 		}
-		json.NewEncoder(w).Encode(api.QueryResponse{Generation: gen})
+		resp := api.QueryResponse{Generation: gen}
+		if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+			resp.Explain = &api.QueryExplain{Shape: "//a", Backend: "prime"}
+		}
+		json.NewEncoder(w).Encode(resp)
 	})
 	mux.HandleFunc("POST /docs/{name}/update", func(w http.ResponseWriter, r *http.Request) {
 		n.mu.Lock()
 		n.updates++
+		n.note("update", r)
 		n.gen++
 		gen := n.gen
 		n.mu.Unlock()
 		json.NewEncoder(w).Encode(api.UpdateResponse{Generation: gen})
+	})
+	mux.HandleFunc("POST /docs/{name}/update/batch", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.updates++
+		n.note("batch", r)
+		n.gen++
+		gen := n.gen
+		id := r.Header.Get(api.TraceIDHeader)
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(api.BatchUpdateResponse{Generation: gen, Failed: -1, TraceID: id})
 	})
 	mux.HandleFunc("PUT /docs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		n.mu.Lock()
@@ -274,6 +307,96 @@ func TestRoutedObserver(t *testing.T) {
 		if seen[i] != want[i] {
 			t.Fatalf("event %d = %v, want %v", i, seen[i], want[i])
 		}
+	}
+}
+
+// TestRoutedTraceIDPropagation pins the cross-node tracing contract on the
+// client side: a traced routed client sends the same X-Trace-Id on writes to
+// the primary, on replica read attempts, AND on the primary retry when the
+// replica answer is discarded — so every node's /debug/traces indexes the
+// operation under one ID.
+func TestRoutedTraceIDPropagation(t *testing.T) {
+	primary := &fakeNode{}
+	stale := &fakeNode{} // stays at gen 0, so post-write reads fall back
+	urls := startNodes(t, primary, stale)
+	rc := NewRouted(urls[0], urls[1:], nil).WithTraceID("prop-1")
+
+	if _, err := rc.Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Query("d", "//a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := primary.seenTraces("update"); len(got) != 1 || got[0] != "prop-1" {
+		t.Errorf("primary update traces = %v, want [prop-1]", got)
+	}
+	if got := stale.seenTraces("query"); len(got) != 1 || got[0] != "prop-1" {
+		t.Errorf("replica attempt traces = %v, want [prop-1]", got)
+	}
+	if got := primary.seenTraces("query"); len(got) != 1 || got[0] != "prop-1" {
+		t.Errorf("primary fallback traces = %v, want [prop-1]", got)
+	}
+
+	// A batch write carries the ID out and the server echoes it back in the
+	// response body.
+	resp, err := rc.UpdateBatch("d", api.BatchUpdateRequest{Ops: []api.UpdateRequest{
+		{Op: api.OpInsert, Parent: 0, Index: 0, Tag: "x"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "prop-1" {
+		t.Errorf("batch response trace_id = %q, want prop-1", resp.TraceID)
+	}
+	if got := primary.seenTraces("batch"); len(got) != 1 || got[0] != "prop-1" {
+		t.Errorf("batch traces = %v, want [prop-1]", got)
+	}
+
+	// An untraced client sends no header at all.
+	plain := NewRouted(urls[0], nil, nil)
+	if _, err := plain.Query("d", "//a"); err != nil {
+		t.Fatal(err)
+	}
+	seen := primary.seenTraces("query")
+	if last := seen[len(seen)-1]; last != "" {
+		t.Errorf("untraced query sent header %q", last)
+	}
+}
+
+// TestRoutedQueryExplain checks the explain passthrough routes like Query:
+// replica-first with the profile coming from whichever node served the read,
+// and primary fallback preserving both result and profile.
+func TestRoutedQueryExplain(t *testing.T) {
+	primary := &fakeNode{}
+	rep := &fakeNode{}
+	urls := startNodes(t, primary, rep)
+	rc := NewRouted(urls[0], urls[1:], nil)
+
+	resp, err := rc.QueryExplain("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Explain == nil || resp.Explain.Backend != "prime" {
+		t.Fatalf("explain profile missing from replica read: %+v", resp.Explain)
+	}
+	if q, _ := rep.counts(); q != 1 {
+		t.Errorf("replica queries = %d, want 1", q)
+	}
+	if q, _ := primary.counts(); q != 0 {
+		t.Errorf("primary queries = %d, want 0", q)
+	}
+
+	// Raise the floor with a write; the stale replica's answer is discarded
+	// and the primary's profiled response comes back instead.
+	if _, err := rc.Insert("d", 0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = rc.QueryExplain("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 1 || resp.Explain == nil {
+		t.Errorf("fallback explain read: gen %d, profile %+v", resp.Generation, resp.Explain)
 	}
 }
 

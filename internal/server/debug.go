@@ -17,16 +17,21 @@ import (
 )
 
 // handleTraces serves the completed-trace ring buffer as JSON, newest
-// first. Query parameters filter the dump:
+// first. Query parameters filter the dump; filters compose (a trace must
+// pass all of them) and the limit applies to the filtered sequence:
 //
 //	endpoint=query      only traces of the named endpoint
 //	doc=books           only traces that addressed the named document
+//	id=abc123           only traces with this exact trace ID — the handle
+//	                    for stitching one write's cross-node timeline, since
+//	                    a replicated update keeps its ID on every follower
 //	min=25ms            only traces at least this slow (Go duration syntax)
-//	limit=50            at most this many traces
+//	limit=50            at most this many traces (0 returns none)
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	endpoint := q.Get("endpoint")
 	doc := q.Get("doc")
+	id := q.Get("id")
 	var min time.Duration
 	if v := q.Get("min"); v != "" {
 		d, err := time.ParseDuration(v)
@@ -48,22 +53,47 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 	dump := trace.Dump{Traces: []trace.TraceJSON{}}
 	for _, tr := range s.traces.Snapshot() {
+		// The limit gate runs before the append: with it after, limit=N
+		// returned N+1 traces and limit=0 returned one.
+		if limit >= 0 && len(dump.Traces) >= limit {
+			break
+		}
 		if endpoint != "" && tr.Endpoint != endpoint {
 			continue
 		}
 		if doc != "" && tr.Doc() != doc {
 			continue
 		}
+		if id != "" && tr.ID != id {
+			continue
+		}
 		if min > 0 && tr.Duration() < min {
 			continue
 		}
 		dump.Traces = append(dump.Traces, tr.JSON())
-		if limit >= 0 && len(dump.Traces) >= limit {
-			break
-		}
 	}
 	dump.Count = len(dump.Traces)
 	writeJSON(w, http.StatusOK, dump)
+}
+
+// handleQueryStats serves the query-statistics registry as JSON: entries
+// sorted by total execution time descending, each carrying its slowest
+// call's execution profile. Query parameters narrow the dump:
+//
+//	doc=books           only shapes recorded against the named document
+//	k=10                only the k most expensive shapes
+func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k := 0
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("%w: bad k %q", ErrBadRequest, v))
+			return
+		}
+		k = n
+	}
+	writeJSON(w, http.StatusOK, s.store.QueryStats().Snapshot(q.Get("doc"), k))
 }
 
 // debugHandler builds the debug listener's mux: pprof under /debug/pprof/
@@ -77,6 +107,7 @@ func (s *Server) debugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/querystats", s.handleQueryStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }

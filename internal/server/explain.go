@@ -1,0 +1,87 @@
+package server
+
+// Explain support: the helpers Store.query uses to dress an execution in
+// its wire profile, plus the store's query-stats registry accessors. The
+// profile answers the planner questions that are otherwise invisible
+// per-request — which backend served the query, whether the cache answered
+// it, how each step narrowed the candidate set, and what the ancestor-test
+// fast path did — in the probe-count-and-label-bits currency ancestry
+// labeling schemes are compared by.
+
+import (
+	"context"
+
+	"primelabel/internal/rdb"
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/querystats"
+	"primelabel/internal/server/trace"
+)
+
+// QueryStats returns the store's query-statistics registry.
+func (s *Store) QueryStats() *querystats.Registry { return s.querystats }
+
+// SetQueryStatsCapacity replaces the query-stats registry with an empty one
+// bounded to n shapes (<= 0 selects the default). Call before the store
+// starts serving; statistics recorded so far are discarded.
+func (s *Store) SetQueryStatsCapacity(n int) { s.querystats = querystats.New(n) }
+
+// backendName names the labeling that serves a read: the frozen compact
+// overlay when the freeze policy routed the query there, otherwise the
+// document's own scheme. Called under the document lock.
+func (d *document) backendName(frozenServe bool) string {
+	if frozenServe {
+		return "frozen-compact"
+	}
+	return d.lab.SchemeName()
+}
+
+// fastpathCounters snapshots the registry-owned ancestor-fastpath counters.
+// The counters are global across documents, so a before/after delta taken
+// around one evaluation is approximate under concurrent prime-backed load.
+func (s *Store) fastpathCounters() api.ExplainFastpath {
+	a := s.metrics.Ancestors()
+	return api.ExplainFastpath{
+		PrefilterRejects: a.PrefilterRejects.Load(),
+		ExactU64:         a.ExactU64.Load(),
+		ExactBig:         a.ExactBig.Load(),
+		ExactTrue:        a.ExactTrue.Load(),
+	}
+}
+
+// explainSteps converts the executor's step profiles to their wire form.
+func explainSteps(ex *rdb.Explain) []api.ExplainStep {
+	out := make([]api.ExplainStep, len(ex.Steps))
+	for i, st := range ex.Steps {
+		out[i] = api.ExplainStep{
+			Axis:       st.Axis,
+			Name:       st.Name,
+			Pos:        st.Pos,
+			Filters:    st.Filters,
+			Candidates: st.Candidates,
+			Pairs:      st.Pairs,
+			Emitted:    st.Emitted,
+			Parallel:   st.Parallel,
+			Shards:     st.Shards,
+		}
+	}
+	return out
+}
+
+// explainStages renders the spans the request's trace has completed so far
+// (for a query: lock_wait, cache_lookup, xpath_eval, query_fanout). Nil when
+// the context carries no trace.
+func explainStages(ctx context.Context) []api.ExplainStage {
+	tr := trace.FromContext(ctx)
+	if tr == nil {
+		return nil
+	}
+	spans := tr.Spans()
+	out := make([]api.ExplainStage, len(spans))
+	for i, sp := range spans {
+		out[i] = api.ExplainStage{
+			Stage:      sp.Stage,
+			DurationMS: sp.Duration.Seconds() * 1e3,
+		}
+	}
+	return out
+}

@@ -28,7 +28,7 @@ type endpointStats struct {
 // goroutines can read it without locking.
 var endpointNames = []string{
 	"load", "list", "get", "delete", "query", "relation", "update", "update_batch", "healthz", "metrics", "traces",
-	"replicate", "promote",
+	"querystats", "replicate", "promote",
 }
 
 // batchSizeBounds are the bucket upper bounds for the unitless group-commit
@@ -335,6 +335,36 @@ func (s *Store) WriteCacheMetrics(w io.Writer) {
 		_, misses := d.cache.counters()
 		fmt.Fprintf(w, "labeld_doc_query_cache_misses_total{doc=%q} %d\n", d.name, misses)
 	}
+}
+
+// WriteQueryStatsMetrics renders the query-stats registry's aggregate
+// series in Prometheus exposition format. The registry aggregates per
+// (document, shape) internally, but the exposition stays shape-free — query
+// shapes are unbounded label values; the per-shape detail lives on
+// /debug/querystats instead. Totals are registry-wide and monotonic across
+// LRU evictions.
+func (s *Store) WriteQueryStatsMetrics(w io.Writer) {
+	line := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	qs := s.querystats
+	calls, errs, cacheHits, frozenServes, evictions := qs.Totals()
+	line("# HELP labeld_querystats_shapes Distinct (document, query shape) entries currently tracked (gauge).")
+	line("labeld_querystats_shapes %d", qs.Len())
+	line("# HELP labeld_querystats_shape_capacity Entry bound of the query-stats registry (gauge).")
+	line("labeld_querystats_shape_capacity %d", qs.Capacity())
+	line("# HELP labeld_querystats_evictions_total Shape entries evicted because the registry hit its capacity.")
+	line("labeld_querystats_evictions_total %d", evictions)
+	line("# HELP labeld_querystats_calls_total Queries folded into the query-stats registry.")
+	line("labeld_querystats_calls_total %d", calls)
+	line("# HELP labeld_querystats_errors_total Recorded queries that failed.")
+	line("labeld_querystats_errors_total %d", errs)
+	line("# HELP labeld_querystats_cache_hits_total Recorded queries answered from the query cache.")
+	line("labeld_querystats_cache_hits_total %d", cacheHits)
+	line("# HELP labeld_querystats_frozen_serves_total Recorded queries evaluated on a frozen compact overlay.")
+	line("labeld_querystats_frozen_serves_total %d", frozenServes)
+	line("# HELP labeld_querystats_latency_seconds Query latency as observed by the query-stats registry (all documents and shapes).")
+	writeBareHistogram(line, "labeld_querystats_latency_seconds", qs.Latency())
+	line("# HELP labeld_querystats_candidates Candidate rows scanned per uncached query (unitless histogram).")
+	writeBareHistogram(line, "labeld_querystats_candidates", qs.Candidates())
 }
 
 // writeHistogram renders one histogram in Prometheus exposition form:

@@ -58,6 +58,13 @@ type Record struct {
 	// Ops, when non-empty, makes this a batch record: the ops as applied,
 	// in order. A batch is atomic on disk — one frame, one CRC.
 	Ops []OpRecord `json:"ops,omitempty"`
+	// TraceID is the trace ID of the request that produced this record.
+	// Replication streams records verbatim, so the ID reaches every follower
+	// (including chained ones), letting /debug/traces stitch one write's
+	// cross-node timeline: the primary's journal_append and each follower's
+	// replica_apply share it. Replay ignores it; old journals without the
+	// field load unchanged.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // OpRecord is one operation inside a batch Record, with the same per-op

@@ -284,6 +284,7 @@ func (r *Replicator) status() api.ReplicaDocStatus {
 		AppliedRecords:     r.st.appliedRecords.Load(),
 		SnapshotsInstalled: r.st.snapshots.Load(),
 		LastError:          r.st.lastErr.Load().(string),
+		LastTraceID:        r.st.lastTraceID.Load().(string),
 	}
 	if primary > applied {
 		st.LagGenerations = primary - applied
@@ -321,5 +322,16 @@ func (f *Follower) WriteMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP labeld_replication_doc_reconnects_total Replication stream reconnect attempts, by document.")
 	for _, d := range status.Docs {
 		fmt.Fprintf(w, "labeld_replication_doc_reconnects_total{doc=%q} %d\n", d.Doc, d.Reconnects)
+	}
+	// An exemplar-style info series (the classic text format has no inline
+	// exemplars): the constant-1 value carries the last applied record's
+	// trace ID in a label, linking the lag gauges above to the originating
+	// write's cross-node trace (/debug/traces?id=<trace_id> on any node).
+	fmt.Fprintln(w, "# HELP labeld_replication_last_applied_trace_info Trace ID of the most recently applied replicated record, by document (value is always 1; the information is in the labels).")
+	for _, d := range status.Docs {
+		if d.LastTraceID == "" {
+			continue
+		}
+		fmt.Fprintf(w, "labeld_replication_last_applied_trace_info{doc=%q,trace_id=%q} 1\n", d.Doc, d.LastTraceID)
 	}
 }

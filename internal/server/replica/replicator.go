@@ -70,6 +70,10 @@ type docState struct {
 	appliedRecords atomic.Uint64
 	snapshots      atomic.Uint64
 	lastErr        atomic.Value // string
+	// lastTraceID is the trace ID carried by the most recently applied
+	// record — the handle linking this replica's lag gauges back to the
+	// originating write's cross-node trace.
+	lastTraceID atomic.Value // string
 }
 
 // Replicator keeps one document in sync with a primary. Create via the
@@ -118,6 +122,7 @@ func newReplicator(doc, primary string, target Target, hc *http.Client, hooks Ho
 	r.st.started = time.Now()
 	r.st.state.Store("connecting")
 	r.st.lastErr.Store("")
+	r.st.lastTraceID.Store("")
 	if gen, ok := target.Generation(doc); ok {
 		r.st.applied.Store(gen)
 	}
@@ -185,6 +190,23 @@ func (c *countingReader) Read(p []byte) (int, error) {
 		c.rep.hooks.AddBytesIn(n)
 	}
 	return n, err
+}
+
+// noteAppliedTrace publishes a completed per-record trace into the
+// follower's trace ring under the originating request's trace ID: the same
+// ID that tagged the write's journal_append on the primary, so
+// /debug/traces?id= on either node returns that write's slice of the
+// cross-node timeline. Chained replicas see the ID too — the store
+// re-journals applied records verbatim.
+func (r *Replicator) noteAppliedTrace(id string, d time.Duration) {
+	if r.hooks.OnTrace == nil {
+		return
+	}
+	tr := trace.New(id, "replica_apply")
+	tr.SetDoc(r.doc)
+	trace.Observe(trace.NewContext(context.Background(), tr), trace.StageReplicaApply, d)
+	tr.Finish(http.StatusOK)
+	r.hooks.OnTrace(tr)
 }
 
 // stream runs one connection: request, then apply messages until the stream
@@ -313,6 +335,10 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 			r.st.appliedRecords.Add(1)
 			if r.hooks.AddRecordIn != nil {
 				r.hooks.AddRecordIn()
+			}
+			if rec.TraceID != "" {
+				r.st.lastTraceID.Store(rec.TraceID)
+				r.noteAppliedTrace(rec.TraceID, time.Since(start))
 			}
 			progressed = true
 			caughtUp()

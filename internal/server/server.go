@@ -62,6 +62,10 @@ type Config struct {
 	// by /debug/traces (default 256; negative disables trace retention —
 	// requests still carry trace IDs, but /debug/traces stays empty).
 	TraceBuffer int
+	// QueryStatsShapes bounds the query-statistics registry served by
+	// /debug/querystats: at most this many (document, query shape) entries
+	// are tracked, with LRU eviction beyond it (default 4096).
+	QueryStatsShapes int
 	// DebugAddr, when set, starts a second listener serving net/http/pprof
 	// under /debug/pprof/ plus mirrors of /debug/traces and /metrics. Keep
 	// it off the public address: pprof exposes heap and goroutine dumps.
@@ -156,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 	s.store.SetLogger(cfg.Logger)
 	s.store.SetParallelism(cfg.QueryParallelism)
 	s.store.SetFreezePolicy(cfg.FreezeAfter, cfg.FreezeMinReads)
+	s.store.SetQueryStatsCapacity(cfg.QueryStatsShapes)
 	if cfg.DataDir != "" {
 		mgr, err := persist.Open(cfg.DataDir, !cfg.NoFsync)
 		if err != nil {
@@ -222,6 +227,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraces))
+	mux.HandleFunc("GET /debug/querystats", s.instrument("querystats", s.handleQueryStats))
 	mux.HandleFunc("GET /docs", s.instrument("list", s.handleList))
 	mux.HandleFunc("PUT /docs/{name}", s.instrument("load", s.handleLoad))
 	mux.HandleFunc("GET /docs/{name}", s.instrument("get", s.handleInfo))
@@ -383,6 +389,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteText(w)
 	s.store.WriteCacheMetrics(w)
 	s.store.WriteFreezeMetrics(w)
+	s.store.WriteQueryStatsMetrics(w)
 	if s.follower != nil && s.readOnly.Load() {
 		s.follower.WriteMetrics(w)
 	}
@@ -438,7 +445,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.store.Query(r.Context(), r.PathValue("name"), req.XPath)
+	// Explain rides on a URL parameter rather than a body field so the body
+	// schema (and the DisallowUnknownFields contract) stays unchanged:
+	// ?explain=1 returns the same nodes plus an execution profile.
+	query := s.store.Query
+	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+		query = s.store.QueryExplain
+	}
+	resp, err := query(r.Context(), r.PathValue("name"), req.XPath)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -488,6 +502,9 @@ func (s *Server) handleUpdateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Echo the effective trace ID in the body: the same ID tags the batch's
+	// journal record, so it reappears as replica_apply on every follower.
+	resp.TraceID = trace.ID(r.Context())
 	// 200 even for a partially applied batch (Failed >= 0): ops before the
 	// failing one are applied and their results must reach the client.
 	writeJSON(w, http.StatusOK, resp)

@@ -39,6 +39,7 @@ import (
 	"primelabel/internal/rdb"
 	"primelabel/internal/server/api"
 	"primelabel/internal/server/persist"
+	"primelabel/internal/server/querystats"
 	"primelabel/internal/server/trace"
 	"primelabel/internal/xmlparse"
 	"primelabel/internal/xmltree"
@@ -132,6 +133,9 @@ type Store struct {
 	// compact scheme in the background. freezeAfter <= 0 disables freezing.
 	freezeAfter    time.Duration
 	freezeMinReads uint64
+	// querystats is the pg_stat_statements-style registry every query is
+	// folded into under its normalized shape; see internal/server/querystats.
+	querystats *querystats.Registry
 }
 
 // NewStore returns an empty registry reporting into metrics. cacheCap is
@@ -144,6 +148,7 @@ func NewStore(metrics *Metrics, cacheCap int) *Store {
 		logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		cacheCap:    cacheCap,
 		parallelism: parallel.Workers(0),
+		querystats:  querystats.New(0),
 	}
 }
 
@@ -404,8 +409,23 @@ func (d *document) info() api.DocInfo {
 // table and labeling, so the response is byte-identical either way. A
 // trace carried by ctx records lock_wait, cache_lookup, and (on a miss)
 // xpath_eval spans plus a query_fanout span when the executor sharded work
-// across workers.
+// across workers. Every call is also folded into the query-stats registry
+// under the query's normalized shape.
 func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryResponse, error) {
+	return s.query(ctx, name, query, false)
+}
+
+// QueryExplain is Query with profiling: the response additionally carries a
+// QueryExplain describing the planner choice (cache hit, serving backend,
+// fan-out), per-step candidate/emitted counts, ancestor-fastpath counter
+// deltas on prime-backed documents, label-bit stats, and the request's
+// per-stage timings. The node set is exactly what Query would return.
+func (s *Store) QueryExplain(ctx context.Context, name, query string) (*api.QueryResponse, error) {
+	return s.query(ctx, name, query, true)
+}
+
+// query is the shared body of Query and QueryExplain.
+func (s *Store) query(ctx context.Context, name, query string, explain bool) (*api.QueryResponse, error) {
 	if query == "" {
 		return nil, fmt.Errorf("%w: empty xpath", ErrBadRequest)
 	}
@@ -413,6 +433,7 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	s.metrics.queries.Add(1)
 	d.noteRead()
 	defer s.maybeFreeze(d)
@@ -423,15 +444,28 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 	endCache := trace.Start(ctx, trace.StageCacheLookup)
 	cached, ok := d.cache.get(query, d.gen)
 	endCache()
+	frozenServe := d.frozen != nil && d.frozenOrder
 	if ok {
 		s.metrics.cacheHits.Add(1)
 		resp := *cached
 		resp.Cached = true
+		if explain {
+			resp.Explain = &api.QueryExplain{
+				Shape:    s.querystats.ShapeOf(query),
+				CacheHit: true,
+				Backend:  d.backendName(frozenServe),
+				Stages:   explainStages(ctx),
+			}
+		}
+		s.querystats.Record(querystats.Sample{
+			Doc: name, Query: query, Latency: time.Since(start),
+			CacheHit: true, Frozen: frozenServe,
+		})
 		return &resp, nil
 	}
 	s.metrics.cacheMisses.Add(1)
 	table := d.table
-	if d.frozen != nil && d.frozenOrder {
+	if frozenServe {
 		// Both tables index the same tree in document order, so row ids are
 		// interchangeable; only the join predicates differ. The overlay is
 		// skipped when the base scheme lacks order support: a query over an
@@ -439,8 +473,20 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 		// compact overlay would answer it instead.
 		table = d.frozenTable
 	}
+	var ex *rdb.Explain
+	var fpBefore api.ExplainFastpath
+	primeBacked := false
+	if explain {
+		ex = &rdb.Explain{}
+		if !frozenServe {
+			_, primeBacked = d.lab.(*prime.Labeling)
+		}
+		if primeBacked {
+			fpBefore = s.fastpathCounters()
+		}
+	}
 	endEval := trace.Start(ctx, trace.StageXPathEval)
-	rows, stats, err := table.ExecPathStringStats(query)
+	rows, stats, err := table.ExecPathStringExplain(query, ex)
 	endEval()
 	trace.Observe(ctx, trace.StageQueryFanout, stats.FanOutTime)
 	if stats.FanOuts > 0 {
@@ -448,6 +494,10 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 		s.metrics.queryShards.Add(uint64(stats.Shards))
 	}
 	if err != nil {
+		s.querystats.Record(querystats.Sample{
+			Doc: name, Query: query, Latency: time.Since(start),
+			Frozen: frozenServe, Err: true,
+		})
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	resp := &api.QueryResponse{
@@ -465,6 +515,46 @@ func (s *Store) Query(ctx context.Context, name, query string) (*api.QueryRespon
 		}
 	}
 	d.cache.put(query, d.gen, resp)
+
+	// Build the planner-summary profile on every miss (the query-stats
+	// registry attaches it to a shape's slowest call); step, fastpath and
+	// stage detail only when the caller asked for explain.
+	profile := &api.QueryExplain{
+		Shape:      s.querystats.ShapeOf(query),
+		Backend:    d.backendName(frozenServe),
+		Parallel:   stats.FanOuts > 0,
+		Shards:     stats.Shards,
+		Candidates: stats.Candidates,
+	}
+	if frozenServe {
+		profile.MaxLabelBits = d.frozen.MaxLabelBits()
+	} else {
+		profile.MaxLabelBits = d.lab.MaxLabelBits()
+	}
+	if explain {
+		profile.Steps = explainSteps(ex)
+		if primeBacked {
+			after := s.fastpathCounters()
+			profile.Fastpath = &api.ExplainFastpath{
+				PrefilterRejects: after.PrefilterRejects - fpBefore.PrefilterRejects,
+				ExactU64:         after.ExactU64 - fpBefore.ExactU64,
+				ExactBig:         after.ExactBig - fpBefore.ExactBig,
+				ExactTrue:        after.ExactTrue - fpBefore.ExactTrue,
+			}
+		}
+		profile.Stages = explainStages(ctx)
+	}
+	s.querystats.Record(querystats.Sample{
+		Doc: name, Query: query, Latency: time.Since(start),
+		Candidates: stats.Candidates, Frozen: frozenServe, Profile: profile,
+	})
+	if explain {
+		// The cache holds the profile-free response; the profiled copy is
+		// this request's alone.
+		out := *resp
+		out.Explain = profile
+		return &out, nil
+	}
 	return resp, nil
 }
 
@@ -774,7 +864,8 @@ func (s *Store) updateOne(ctx context.Context, d *document, req api.UpdateReques
 
 	var commit *pendingCommit
 	if d.journal != nil {
-		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Count: count, Failed: opErr != nil, Req: req}
+		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Count: count, Failed: opErr != nil, Req: req,
+			TraceID: trace.ID(ctx)}
 		rec.Req.Generation = nil // replay applies records unconditionally
 		var err error
 		if commit, err = s.journalAppendLocked(ctx, d, rec); err != nil {
@@ -925,7 +1016,7 @@ func (s *Store) updateBatchLocked(ctx context.Context, d *document, req api.Batc
 
 	var commit *pendingCommit
 	if d.journal != nil && len(ops) > 0 {
-		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Ops: ops}
+		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Ops: ops, TraceID: trace.ID(ctx)}
 		var err error
 		if commit, err = s.journalAppendLocked(ctx, d, rec); err != nil {
 			return api.BatchUpdateResponse{}, nil, 0, err

@@ -162,3 +162,27 @@ func (q Query) String() string {
 	}
 	return b.String()
 }
+
+// Shape renders the query with positional predicates masked as [*], so
+// queries differing only in position index — /a/b[1] vs /a/b[7] — share one
+// shape. Value predicates stay verbatim: they name columns, not constants of
+// an enumeration, and folding them would merge genuinely different plans.
+// This is the normalization key of the server's query-stats registry, in the
+// spirit of pg_stat_statements' query fingerprinting.
+func (q Query) Shape() string {
+	var b strings.Builder
+	for _, s := range q.Steps {
+		if s.Axis == AxisDescendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		masked := s
+		masked.Pos = 0
+		b.WriteString(masked.String())
+		if s.Pos > 0 {
+			b.WriteString("[*]")
+		}
+	}
+	return b.String()
+}
