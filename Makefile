@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race fuzz verify e2e-replica bench-update bench-query clean
+.PHONY: build vet lint test race fuzz verify e2e-replica e2e-cluster bench-update bench-query clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ vet:
 # identifier must document its concurrency/durability behavior) and checks
 # that docs/LABELING.md has a section for every registered labeling scheme.
 lint:
-	$(GO) run ./cmd/doccheck -schemes-doc docs/LABELING.md ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/replica ./internal/server/trace ./internal/hist ./internal/buildinfo ./internal/labeling/compact ./internal/server/querystats
+	$(GO) run ./cmd/doccheck -schemes-doc docs/LABELING.md ./internal/server ./internal/server/api ./internal/server/client ./internal/server/persist ./internal/server/replica ./internal/server/trace ./internal/hist ./internal/buildinfo ./internal/labeling/compact ./internal/server/querystats ./internal/server/cluster
 
 test:
 	$(GO) test ./...
@@ -43,7 +43,21 @@ e2e-replica:
 	$(GO) test -race -count=1 -timeout 300s -run 'TestReplication|TestPromote' ./internal/server
 	$(GO) test -race -count=1 -timeout 120s ./internal/server/replica ./internal/server/client
 
-verify: build vet lint test race fuzz e2e-replica
+# e2e-cluster runs the three-node cluster matrix under the race detector:
+# kill the primary under a client write storm, timeout-driven successor
+# self-promotion, divergence-point rejoin of the deposed primary through the
+# journal digest probe, stale-epoch stream rejection, and pinned-placement
+# write redirects — plus the cluster manager's unit suite (ring placement,
+# failover election, fencing takeover detection) and the topology-discovery
+# client tests. The matrix dumps follower-side /debug/querystats and
+# replication-lag snapshots into cluster-e2e/ (CI uploads them as an
+# artifact).
+e2e-cluster:
+	CLUSTER_E2E_ARTIFACTS=$(CURDIR)/cluster-e2e $(GO) test -race -count=1 -timeout 300s -run 'TestCluster' ./internal/server
+	$(GO) test -race -count=1 -timeout 120s ./internal/server/cluster
+	$(GO) test -race -count=1 -timeout 120s -run 'TestDiscovered' ./internal/server/client
+
+verify: build vet lint test race fuzz e2e-replica e2e-cluster
 
 # bench-update measures the batched-update pipeline: batch-vs-single insert
 # throughput under fsync and incremental-vs-full reindex scaling, written as
@@ -62,4 +76,4 @@ bench-query:
 # clean removes build products and stray test data directories.
 clean:
 	$(GO) clean ./...
-	rm -rf cmd/labeld/testdata/data internal/server/persist/testdata/fuzz.tmp
+	rm -rf cmd/labeld/testdata/data internal/server/persist/testdata/fuzz.tmp cluster-e2e

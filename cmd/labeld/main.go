@@ -41,6 +41,21 @@ import (
 	"primelabel/internal/server/client"
 )
 
+// splitList parses a comma-separated flag value into trimmed non-empty
+// entries (nil for an empty value).
+func splitList(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // newLogger builds the process logger from the -log-format and -log-level
 // flags. Records go to w (the same stream as the startup lines, so one
 // pipeline captures both).
@@ -101,6 +116,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	follow := fs.String("follow", "", "run as a read-only replica streaming the journal from this primary base URL (e.g. http://primary:8080)")
 	followPoll := fs.Duration("follow-poll", 0, "how often a replica re-lists the primary's documents (0 = server default)")
 	promote := fs.String("promote", "", "promote the replica at this base URL to primary (POST /promote) and exit")
+	clusterSelf := fs.String("cluster-self", "", "this node's advertised base URL in the cluster (required with -cluster-nodes)")
+	clusterNodes := fs.String("cluster-nodes", "", "comma-separated base URLs of every cluster member, self included (enables the cluster fabric: /topology, placement redirects, failover)")
+	clusterPin := fs.String("cluster-pin", "", "comma-separated doc=url placement overrides that bypass the hash ring")
+	clusterVNodes := fs.Int("cluster-vnodes", 0, "virtual nodes per member on the placement ring (0 = default)")
+	clusterProbe := fs.Duration("cluster-probe", 0, "cluster health-probe sweep interval (0 = default)")
+	failoverAfter := fs.Duration("failover-after", 0, "promote the designated successor after the followed primary has been unreachable this long (0 = default, negative disables)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +149,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	var pins map[string]string
+	if *clusterPin != "" {
+		pins = make(map[string]string)
+		for _, pair := range strings.Split(*clusterPin, ",") {
+			doc, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || doc == "" || url == "" {
+				return fmt.Errorf("bad -cluster-pin entry %q (want doc=url)", pair)
+			}
+			pins[doc] = url
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Addr:             *addr,
 		CacheSize:        *cache,
@@ -146,6 +179,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		FollowPoll:       *followPoll,
 		FreezeAfter:      *freezeAfter,
 		FreezeMinReads:   *freezeMinReads,
+		ClusterSelf:      *clusterSelf,
+		ClusterNodes:     splitList(*clusterNodes),
+		ClusterPins:      pins,
+		ClusterVNodes:    *clusterVNodes,
+		ClusterProbe:     *clusterProbe,
+		FailoverAfter:    *failoverAfter,
 	})
 	if err != nil {
 		return err
@@ -187,6 +226,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "labeld: listening on %s\n", bound)
 	if *follow != "" {
 		fmt.Fprintf(stdout, "labeld: read-only replica following %s (promote with labeld -promote)\n", *follow)
+	}
+	if *clusterNodes != "" {
+		fmt.Fprintf(stdout, "labeld: cluster member %s of [%s] (topology at /topology)\n", *clusterSelf, *clusterNodes)
 	}
 
 	<-ctx.Done()

@@ -14,11 +14,15 @@
 //
 //	labelload -addr http://127.0.0.1:8080 -workers 8 -ops 500 -write-ratio 0.05
 //	labelload -addr http://primary:8080 -replicas http://replica1:8081,http://replica2:8082
+//	labelload -cluster http://node1:8080,http://node2:8081
 //
 // With -replicas the load generator uses the replica-aware routed client:
 // inserts go to the primary, queries round-robin across the replicas with
 // stale answers retried on the primary, and the report breaks latency down
-// per target so replica lag and fallback cost are visible.
+// per target so replica lag and fallback cost are visible. With -cluster it
+// instead discovers the primary and replicas from the cluster's GET
+// /topology and keeps re-reading it in the background, so a failover
+// mid-run re-points writes at the promoted successor.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -167,6 +172,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("labelload", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "labeld base URL (the primary when -replicas is set)")
 	replicas := fs.String("replicas", "", "comma-separated read-replica base URLs; queries round-robin across them with stale reads retried on the primary")
+	cluster := fs.String("cluster", "", "comma-separated cluster seed URLs: discover the primary and replicas from GET /topology (overrides -addr/-replicas) and keep re-reading it, so the workload follows a failover")
 	doc := fs.String("doc", "loadtest", "document name to create and drive")
 	workers := fs.Int("workers", 8, "concurrent workers")
 	ops := fs.Int("ops", 400, "operations per worker")
@@ -199,25 +205,54 @@ func run(args []string, stdout io.Writer) error {
 
 	// With no -replicas this routes everything to -addr, so the single-node
 	// path is unchanged; with replicas, queries fan out and each target gets
-	// its own latency histogram via the observer.
-	c := client.NewRouted(*addr, replicaList, nil)
+	// its own latency histogram via the observer. With -cluster the routing
+	// table comes from the cluster's own topology and refreshes in the
+	// background, so a mid-run failover re-points writes at the successor.
+	var c *client.Routed
+	if *cluster != "" {
+		var seeds []string
+		for _, u := range strings.Split(*cluster, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				seeds = append(seeds, u)
+			}
+		}
+		var err error
+		if c, err = client.NewDiscovered(seeds, nil); err != nil {
+			return fmt.Errorf("cluster discovery: %w", err)
+		}
+		stop := c.AutoRefresh(2 * time.Second)
+		defer stop()
+		fmt.Fprintf(stdout, "discovered cluster targets: %s\n", strings.Join(c.Targets(), ", "))
+	} else {
+		c = client.NewRouted(*addr, replicaList, nil)
+	}
 	type targetStat struct {
 		hist *hist.Histogram
 		mu   sync.Mutex
 		max  time.Duration
 		errs int
 	}
-	targets := c.Targets()
-	perTarget := make(map[string]*targetStat, len(targets))
-	for _, t := range targets {
-		perTarget[t] = &targetStat{hist: hist.NewDefault()}
+	// Targets can grow mid-run (a topology refresh may surface nodes that
+	// were not in the initial table), so stats are created on first sight.
+	var targetMu sync.Mutex
+	perTarget := make(map[string]*targetStat)
+	statFor := func(target string) *targetStat {
+		targetMu.Lock()
+		defer targetMu.Unlock()
+		st := perTarget[target]
+		if st == nil {
+			st = &targetStat{hist: hist.NewDefault()}
+			perTarget[target] = st
+		}
+		return st
 	}
-	if len(replicaList) > 0 {
+	for _, t := range c.Targets() {
+		statFor(t)
+	}
+	perTargetReport := len(replicaList) > 0 || *cluster != ""
+	if perTargetReport {
 		c.SetObserver(func(target, op string, d time.Duration, err error) {
-			st := perTarget[target]
-			if st == nil {
-				return
-			}
+			st := statFor(target)
 			st.hist.Observe(d)
 			st.mu.Lock()
 			if d > st.max {
@@ -342,10 +377,17 @@ func run(args []string, stdout io.Writer) error {
 	report(stdout, "queries", queryHist, queryMax)
 	report(stdout, "inserts", insertHist, insertMax)
 
-	if len(replicaList) > 0 {
-		fmt.Fprintln(stdout, "per-target latency (primary first; replica errors fall back to the primary):")
-		for _, tgt := range targets {
-			st := perTarget[tgt]
+	if perTargetReport {
+		fmt.Fprintln(stdout, "per-target latency (replica errors fall back to the primary):")
+		targetMu.Lock()
+		seen := make([]string, 0, len(perTarget))
+		for tgt := range perTarget {
+			seen = append(seen, tgt)
+		}
+		targetMu.Unlock()
+		sort.Strings(seen)
+		for _, tgt := range seen {
+			st := statFor(tgt)
 			st.mu.Lock()
 			max, errs := st.max, st.errs
 			st.mu.Unlock()

@@ -55,19 +55,19 @@ func (l *Labeling) recycledPrimeAbove(min uint64) uint64 {
 	if !l.opts.RecyclePrimes || l.free.Len() == 0 {
 		return 0
 	}
-	// Pop until a qualifying prime appears, keeping the rejects.
-	var rejected []uint64
-	var found uint64
-	for l.free.Len() > 0 {
-		p := heap.Pop(&l.free).(uint64)
-		if p > min {
-			found = p
-			break
+	// The heap is only partially ordered, so the smallest qualifying prime
+	// needs a linear scan of the slice — but unlike popping and re-pushing
+	// every smaller prime (O(n log n) sift work per insert under
+	// delete-heavy churn) the scan does zero heap operations when nothing
+	// qualifies and exactly one removal when something does.
+	best := -1
+	for i, p := range l.free {
+		if p > min && (best < 0 || p < l.free[best]) {
+			best = i
 		}
-		rejected = append(rejected, p)
 	}
-	for _, p := range rejected {
-		heap.Push(&l.free, p)
+	if best < 0 {
+		return 0
 	}
-	return found
+	return heap.Remove(&l.free, best).(uint64)
 }

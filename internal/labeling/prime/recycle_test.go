@@ -1,6 +1,8 @@
 package prime
 
 import (
+	"container/heap"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -176,6 +178,94 @@ func TestRecycledPrimeAbove(t *testing.T) {
 	}
 	if p := l.recycledPrimeAbove(100); p != 0 {
 		t.Errorf("recycledPrimeAbove(100) = %d, want 0", p)
+	}
+}
+
+// The bounded scan must behave exactly like the original pop-everything
+// loop: return the smallest pooled prime strictly above min and leave every
+// other prime pooled, across random pools and thresholds.
+func TestPropertyRecycledPrimeAboveMatchesReference(t *testing.T) {
+	// reference is the old semantics, computed on a sorted copy.
+	reference := func(pool []uint64, min uint64) uint64 {
+		best := uint64(0)
+		for _, p := range pool {
+			if p > min && (best == 0 || p < best) {
+				best = p
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		pool := make([]uint64, 0, n)
+		l := &Labeling{opts: Options{RecyclePrimes: true}}
+		for i := 0; i < n; i++ {
+			p := uint64(rng.Intn(200) + 2)
+			pool = append(pool, p)
+			l.freePrime(p)
+		}
+		min := uint64(rng.Intn(220))
+		want := reference(pool, min)
+		if got := l.recycledPrimeAbove(min); got != want {
+			t.Fatalf("trial %d: recycledPrimeAbove(%d) = %d, want %d (pool %v)", trial, min, got, want, pool)
+		}
+		if want != 0 {
+			// Exactly the returned prime left the pool; the rest, including
+			// everything at or below min, must still be handed out later.
+			remaining := map[uint64]int{}
+			for _, p := range pool {
+				remaining[p]++
+			}
+			remaining[want]--
+			drained := map[uint64]int{}
+			for l.free.Len() > 0 {
+				drained[l.recycledPrime()]++
+			}
+			for p, c := range remaining {
+				if drained[p] != c {
+					t.Fatalf("trial %d: prime %d pooled %d times after scan, want %d", trial, p, drained[p], c)
+				}
+			}
+		}
+	}
+}
+
+// benchRecyclePool builds a labeling whose free pool holds n odd values,
+// none of which qualify above the returned threshold.
+func benchRecyclePool(n int) (*Labeling, uint64) {
+	l := &Labeling{opts: Options{RecyclePrimes: true}}
+	for i := n; i > 0; i-- {
+		heap.Push(&l.free, uint64(2*i+1))
+	}
+	return l, uint64(2*n + 2)
+}
+
+// BenchmarkRecycledPrimeAbove guards the bounded-scan implementation. The
+// miss case (no pooled prime qualifies) is the old implementation's worst
+// case — it popped and re-pushed the whole heap, O(n log n) sifts per
+// insert; the scan does zero heap operations. The hit case removes exactly
+// one element. Both must stay linear-time with small constants; a
+// regression back to sift-heavy behavior shows up directly in ns/op.
+func BenchmarkRecycledPrimeAbove(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		l, ceiling := benchRecyclePool(n)
+		b.Run(fmt.Sprintf("miss/pool=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if p := l.recycledPrimeAbove(ceiling); p != 0 {
+					b.Fatalf("unexpected hit %d", p)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("hit/pool=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := l.recycledPrimeAbove(ceiling - 3)
+				if p == 0 {
+					b.Fatal("expected hit")
+				}
+				heap.Push(&l.free, p)
+			}
+		})
 	}
 }
 

@@ -354,6 +354,10 @@ type Health struct {
 	// Replication describes the follower's replication state; nil on a
 	// server that is not following a primary.
 	Replication *ReplicationStatus `json:"replication,omitempty"`
+	// Fences maps each hosted document to its fencing epoch. Cluster
+	// managers compare these across nodes to detect a deposed primary that
+	// resurrected with stale state (its epochs lag the promoted successor's).
+	Fences map[string]uint64 `json:"fences,omitempty"`
 }
 
 // ReplicationStatus summarizes a follower's replication state, embedded in
@@ -397,6 +401,98 @@ type ReplicaDocStatus struct {
 	// originating write carried it end to end, so /debug/traces?id= on the
 	// primary or on this follower returns that write's per-node slices.
 	LastTraceID string `json:"last_trace_id,omitempty"`
+	// FenceEpoch is the highest fencing epoch this replicator has observed
+	// for the document (from heartbeats, applied records, and rebase
+	// probes). A stream advertising a lower epoch is from a deposed primary
+	// and is rejected.
+	FenceEpoch uint64 `json:"fence_epoch,omitempty"`
+	// Rebases counts divergence-point rejoins: reconnects that truncated
+	// the local journal back to the fork and resumed streaming, instead of
+	// dropping the copy and re-shipping a snapshot.
+	Rebases uint64 `json:"rebases,omitempty"`
+}
+
+// Topology is the GET /topology response: any cluster member's view of the
+// fabric — the consistent-hash ring parameters, each node's role and health,
+// and per-document placement (owning primary, replicas, replication lag,
+// fencing epoch). Clients bootstrap and refresh their routing from it
+// instead of carrying static node lists.
+type Topology struct {
+	// Self is the answering node's advertised base URL.
+	Self string `json:"self"`
+	// Nodes lists every configured cluster member, sorted by URL.
+	Nodes []TopologyNode `json:"nodes"`
+	// Docs lists every document the answering node knows placement for,
+	// sorted by name.
+	Docs []TopologyDoc `json:"docs,omitempty"`
+	// Pins are the per-document placement overrides (document → node URL)
+	// that bypass the hash ring.
+	Pins map[string]string `json:"pins,omitempty"`
+	// VNodes is the ring's virtual-node count per member.
+	VNodes int `json:"vnodes"`
+	// FailoverAfterSeconds is how long a primary must stay unreachable
+	// before its designated successor self-promotes (0 = failover disabled).
+	FailoverAfterSeconds float64 `json:"failover_after_seconds,omitempty"`
+}
+
+// TopologyNode is one cluster member's state as observed by the answering
+// node's health probes.
+type TopologyNode struct {
+	// URL is the member's advertised base URL.
+	URL string `json:"url"`
+	// Role is "primary" (accepts writes), "follower" (read-only, pulling a
+	// replication stream), or "unreachable" (health probes failing).
+	Role string `json:"role"`
+	// Healthy reports the most recent health probe succeeded.
+	Healthy bool `json:"healthy"`
+	// Following is the base URL of the primary a follower pulls from
+	// (empty for primaries and unreachable nodes).
+	Following string `json:"following,omitempty"`
+	// UnhealthySeconds is how long probes have been failing (0 when
+	// healthy or never yet probed successfully).
+	UnhealthySeconds float64 `json:"unhealthy_seconds,omitempty"`
+}
+
+// TopologyDoc is one document's placement and replication state.
+type TopologyDoc struct {
+	// Name is the document name.
+	Name string `json:"name"`
+	// Primary is the base URL of the node that owns writes for this
+	// document (ring placement plus pin overrides).
+	Primary string `json:"primary"`
+	// Pinned reports the placement came from a pin override, not the ring.
+	Pinned bool `json:"pinned,omitempty"`
+	// FenceEpoch is the document's fencing epoch on its primary: bumped by
+	// every promotion, journaled with every subsequent record, and used to
+	// reject streams from deposed primaries.
+	FenceEpoch uint64 `json:"fence_epoch,omitempty"`
+	// Replicas lists the followers holding a copy, sorted by URL.
+	Replicas []TopologyReplica `json:"replicas,omitempty"`
+}
+
+// TopologyReplica is one follower's replication state for one document.
+type TopologyReplica struct {
+	// URL is the follower's advertised base URL.
+	URL string `json:"url"`
+	// State is the replicator's connection state on that follower.
+	State string `json:"state,omitempty"`
+	// LagGenerations is the primary's generation minus the follower's
+	// applied one, per the follower's own health report.
+	LagGenerations uint64 `json:"lag_generations"`
+}
+
+// RedirectPayload is the JSON body of a 307 write redirect: the answering
+// node is not the placement owner of the document and names the node that
+// is. The Location header carries the same owner URL joined with the
+// request path, so standard HTTP clients re-send the write there
+// automatically; callers that do not follow redirects can read Owner here.
+type RedirectPayload struct {
+	// Error restates the condition in the standard error-envelope field.
+	Error string `json:"error"`
+	// Doc is the document whose placement was consulted.
+	Doc string `json:"doc"`
+	// Owner is the base URL of the node that owns writes for Doc.
+	Owner string `json:"owner"`
 }
 
 // PromoteResponse reports the outcome of POST /promote.

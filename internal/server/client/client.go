@@ -232,6 +232,16 @@ func (c *Client) Healthz() (api.Health, error) {
 	return h, err
 }
 
+// Topology fetches the cluster view from a cluster-configured node: the
+// hash-ring parameters, every member's role and health, and per-document
+// placement with replica lag. Nodes running without cluster configuration
+// answer 400.
+func (c *Client) Topology() (api.Topology, error) {
+	var t api.Topology
+	err := c.do(http.MethodGet, "/topology", nil, &t)
+	return t, err
+}
+
 // Traces fetches the server's completed-trace buffer (newest first). The
 // filters mirror /debug/traces query parameters: endpoint and doc select by
 // name (empty matches all), min keeps only traces at least that slow, and

@@ -1,0 +1,226 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"primelabel/internal/server/api"
+)
+
+// topoCluster is a fake cluster for discovery tests: a mutable set of
+// member nodes, each of which serves reads, writes (rejected 403 while
+// read-only, like a real follower), and GET /topology rendering the
+// cluster's current roles.
+type topoCluster struct {
+	mu    sync.Mutex
+	nodes []*topoNode
+}
+
+// topoNode is one fake member.
+type topoNode struct {
+	cluster  *topoCluster
+	url      string
+	mu       sync.Mutex
+	readOnly bool
+	gen      uint64
+	queries  int
+	updates  int
+}
+
+func (n *topoNode) setReadOnly(v bool) {
+	n.mu.Lock()
+	n.readOnly = v
+	n.mu.Unlock()
+}
+
+func (n *topoNode) setGen(g uint64) {
+	n.mu.Lock()
+	n.gen = g
+	n.mu.Unlock()
+}
+
+func (n *topoNode) counts() (queries, updates int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queries, n.updates
+}
+
+func (n *topoNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topology", func(w http.ResponseWriter, r *http.Request) {
+		top := api.Topology{Self: n.url, VNodes: 64}
+		n.cluster.mu.Lock()
+		for _, m := range n.cluster.nodes {
+			m.mu.Lock()
+			node := api.TopologyNode{URL: m.url, Healthy: true, Role: "primary"}
+			if m.readOnly {
+				node.Role = "follower"
+			}
+			m.mu.Unlock()
+			top.Nodes = append(top.Nodes, node)
+		}
+		n.cluster.mu.Unlock()
+		json.NewEncoder(w).Encode(top)
+	})
+	mux.HandleFunc("POST /docs/{name}/query", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.queries++
+		gen := n.gen
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(api.QueryResponse{Generation: gen})
+	})
+	mux.HandleFunc("POST /docs/{name}/update", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.readOnly {
+			w.WriteHeader(http.StatusForbidden)
+			json.NewEncoder(w).Encode(api.Error{Error: "read-only replica"})
+			return
+		}
+		n.updates++
+		n.gen++
+		json.NewEncoder(w).Encode(api.UpdateResponse{Generation: n.gen})
+	})
+	return mux
+}
+
+// startTopoCluster launches n fake members; index 0 starts as the primary,
+// the rest as followers.
+func startTopoCluster(t *testing.T, n int) (*topoCluster, []*topoNode) {
+	t.Helper()
+	tc := &topoCluster{}
+	nodes := make([]*topoNode, n)
+	for i := range nodes {
+		node := &topoNode{cluster: tc, readOnly: i != 0}
+		srv := httptest.NewServer(node.handler())
+		t.Cleanup(srv.Close)
+		node.url = srv.URL
+		nodes[i] = node
+	}
+	tc.nodes = nodes
+	return tc, nodes
+}
+
+func TestDiscoveredBootstrapsFromTopology(t *testing.T) {
+	_, nodes := startTopoCluster(t, 3)
+	// Seed with a follower only: the client must still find the primary.
+	rc, err := NewDiscovered([]string{nodes[1].url}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := rc.Targets()
+	if targets[0] != nodes[0].url {
+		t.Fatalf("discovered primary = %s, want %s", targets[0], nodes[0].url)
+	}
+	if len(targets) != 3 {
+		t.Fatalf("targets = %v, want primary + 2 replicas", targets)
+	}
+	if _, err := rc.Update("d", api.UpdateRequest{Op: api.OpInsert, Tag: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, u := nodes[0].counts(); u != 1 {
+		t.Fatalf("primary updates = %d, want 1", u)
+	}
+}
+
+func TestDiscoveredDropsRemovedReplicaOnRefresh(t *testing.T) {
+	tc, nodes := startTopoCluster(t, 3)
+	rc, err := NewDiscovered([]string{nodes[0].url}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads round-robin over both replicas.
+	for i := 0; i < 4; i++ {
+		if _, err := rc.Query("d", "//a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q1, _ := nodes[1].counts(); q1 != 2 {
+		t.Fatalf("replica 1 queries = %d, want 2", q1)
+	}
+	if q2, _ := nodes[2].counts(); q2 != 2 {
+		t.Fatalf("replica 2 queries = %d, want 2", q2)
+	}
+	// Drop replica 2 from the topology mid-flight and refresh: traffic must
+	// stop reaching it even though its server is still up.
+	tc.mu.Lock()
+	tc.nodes = []*topoNode{nodes[0], nodes[1]}
+	tc.mu.Unlock()
+	if err := rc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := nodes[2].counts()
+	for i := 0; i < 6; i++ {
+		if _, err := rc.Query("d", "//a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after, _ := nodes[2].counts(); after != before {
+		t.Fatalf("removed replica still served %d reads", after-before)
+	}
+	if q1, _ := nodes[1].counts(); q1 != 8 {
+		t.Fatalf("surviving replica queries = %d, want 8", q1)
+	}
+}
+
+func TestDiscoveredWriteFollowsPromotion(t *testing.T) {
+	_, nodes := startTopoCluster(t, 3)
+	rc, err := NewDiscovered([]string{nodes[0].url}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Update("d", api.UpdateRequest{Op: api.OpInsert, Tag: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Failover: node 0 demoted, node 1 promoted. The old primary now
+	// answers writes 403; the client must refresh and retry transparently.
+	nodes[0].setReadOnly(true)
+	nodes[1].setReadOnly(false)
+	nodes[1].setGen(5)
+	resp, err := rc.Update("d", api.UpdateRequest{Op: api.OpInsert, Tag: "y"})
+	if err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	if resp.Generation != 6 {
+		t.Fatalf("write landed at generation %d, want 6 (new primary)", resp.Generation)
+	}
+	if _, u := nodes[1].counts(); u != 1 {
+		t.Fatalf("new primary updates = %d, want 1", u)
+	}
+	if rc.Targets()[0] != nodes[1].url {
+		t.Fatalf("primary target = %s, want %s after refresh", rc.Targets()[0], nodes[1].url)
+	}
+}
+
+func TestDiscoveredFloorSurvivesRefresh(t *testing.T) {
+	_, nodes := startTopoCluster(t, 2)
+	rc, err := NewDiscovered([]string{nodes[0].url}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write raises the floor to 1; the replica is stale at generation 0.
+	if _, err := rc.Update("d", api.UpdateRequest{Op: api.OpInsert, Tag: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	// The floor must survive the refresh: the stale replica's answer is
+	// discarded and the read falls back to the primary.
+	resp, err := rc.Query("d", "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 1 {
+		t.Fatalf("read served at generation %d, want 1 (read-your-writes across refresh)", resp.Generation)
+	}
+	if pq, _ := nodes[0].counts(); pq != 1 {
+		t.Fatalf("primary fallback queries = %d, want 1", pq)
+	}
+	if rq, _ := nodes[1].counts(); rq != 1 {
+		t.Fatalf("replica queries = %d, want 1 (attempted, then discarded)", rq)
+	}
+}

@@ -1,7 +1,11 @@
 package client
 
 import (
+	"errors"
+	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,11 +20,22 @@ import (
 // primary retry — so per-target latency histograms stay honest.
 type Observer func(target, op string, d time.Duration, err error)
 
+// targets is one immutable routing table: the primary writes go to and the
+// replicas reads round-robin across. Refresh swaps the whole table
+// atomically, so every request sees a consistent primary/replica pairing.
+type targets struct {
+	primary     *Client
+	primaryURL  string
+	replicas    []*Client
+	replicaURLs []string
+}
+
 // routedState is the routing state shared by a Routed and all its
-// WithTraceID copies: the round-robin cursor and the per-document
-// generation floor.
+// WithTraceID copies: the current routing table, the round-robin cursor,
+// and the per-document generation floor.
 type routedState struct {
-	next atomic.Uint64
+	next    atomic.Uint64
+	targets atomic.Pointer[targets]
 
 	mu    sync.Mutex
 	floor map[string]uint64
@@ -63,31 +78,170 @@ func (s *routedState) get(doc string) uint64 {
 // primary, giving read-your-writes and monotonic reads without blocking on
 // replication lag.
 //
+// A Routed built with NewDiscovered bootstraps its routing table from a
+// cluster's GET /topology instead of static lists, and Refresh re-reads it
+// — after a failover the table re-points at the promoted successor without
+// restarting the client. A write rejected as read-only (or failing at the
+// transport) triggers one refresh-and-retry automatically. Generation
+// floors survive a refresh: they describe documents, not nodes, so
+// read-your-writes holds across a primary change.
+//
 // With no replicas configured every call goes to the primary, so Routed is
 // a drop-in superset of Client. It is safe for concurrent use.
 type Routed struct {
-	primary     *Client
-	primaryURL  string
-	replicas    []*Client
-	replicaURLs []string
-	state       *routedState
-	observer    Observer
+	state    *routedState
+	hc       *http.Client
+	seeds    []string
+	traceID  string
+	observer Observer
+}
+
+// newTargets builds a routing table over the given URLs.
+func newTargets(primaryBase string, replicaBases []string, hc *http.Client) *targets {
+	t := &targets{
+		primary:    New(primaryBase, hc),
+		primaryURL: strings.TrimRight(primaryBase, "/"),
+	}
+	for _, b := range replicaBases {
+		t.replicas = append(t.replicas, New(b, hc))
+		t.replicaURLs = append(t.replicaURLs, strings.TrimRight(b, "/"))
+	}
+	return t
 }
 
 // NewRouted returns a routed client for the primary at primaryBase and the
 // read replicas at replicaBases. httpClient may be nil, in which case each
-// underlying client uses the default 30s-timeout client.
+// underlying client uses the default 30s-timeout client. The static lists
+// double as refresh seeds: Refresh consults them (and any later-discovered
+// nodes) for a topology, so a static client pointed at a cluster still
+// follows a failover.
 func NewRouted(primaryBase string, replicaBases []string, httpClient *http.Client) *Routed {
 	r := &Routed{
-		primary:    New(primaryBase, httpClient),
-		primaryURL: primaryBase,
-		state:      &routedState{floor: make(map[string]uint64)},
+		state: &routedState{floor: make(map[string]uint64)},
+		hc:    httpClient,
 	}
-	for _, b := range replicaBases {
-		r.replicas = append(r.replicas, New(b, httpClient))
-		r.replicaURLs = append(r.replicaURLs, b)
-	}
+	t := newTargets(primaryBase, replicaBases, httpClient)
+	r.seeds = append([]string{t.primaryURL}, t.replicaURLs...)
+	r.state.targets.Store(t)
 	return r
+}
+
+// NewDiscovered returns a routed client that learns its primary and
+// replicas from the cluster topology served by any of the seed nodes,
+// instead of static flag lists. It fails when no seed answers GET /topology
+// with at least one primary.
+func NewDiscovered(seeds []string, httpClient *http.Client) (*Routed, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("labeld: no seed nodes")
+	}
+	r := &Routed{
+		state: &routedState{floor: make(map[string]uint64)},
+		hc:    httpClient,
+	}
+	for _, s := range seeds {
+		r.seeds = append(r.seeds, strings.TrimRight(s, "/"))
+	}
+	if err := r.Refresh(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Refresh re-reads the cluster topology and swaps the routing table: the
+// lexically first healthy primary becomes the write target, every healthy
+// follower a read replica. It asks the currently known nodes first, then
+// the bootstrap seeds. On error the previous table stays in place.
+func (r *Routed) Refresh() error {
+	tried := make(map[string]bool)
+	var lastErr error
+	for _, url := range r.refreshCandidates() {
+		if tried[url] {
+			continue
+		}
+		tried[url] = true
+		top, err := New(url, r.hc).Topology()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		t, err := targetsFromTopology(top, r.hc)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.state.targets.Store(t)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no nodes to ask")
+	}
+	return fmt.Errorf("labeld: topology refresh: %w", lastErr)
+}
+
+// refreshCandidates lists the URLs worth asking for a topology: current
+// targets first (most likely alive and current), then the bootstrap seeds.
+func (r *Routed) refreshCandidates() []string {
+	var out []string
+	if t := r.state.targets.Load(); t != nil {
+		out = append(out, t.primaryURL)
+		out = append(out, t.replicaURLs...)
+	}
+	return append(out, r.seeds...)
+}
+
+// targetsFromTopology turns one topology answer into a routing table.
+func targetsFromTopology(top api.Topology, hc *http.Client) (*targets, error) {
+	var primaries, replicas []string
+	for _, n := range top.Nodes {
+		if !n.Healthy {
+			continue
+		}
+		switch n.Role {
+		case "primary":
+			primaries = append(primaries, n.URL)
+		case "follower":
+			replicas = append(replicas, n.URL)
+		}
+	}
+	if len(primaries) == 0 {
+		return nil, errors.New("topology names no healthy primary")
+	}
+	sort.Strings(primaries)
+	sort.Strings(replicas)
+	return newTargets(primaries[0], replicas, hc), nil
+}
+
+// AutoRefresh starts a background goroutine re-reading the topology every
+// interval and returns a function that stops it. Failed refreshes are
+// skipped silently (the previous table keeps serving) — the next tick, or
+// the next failed write, tries again.
+func (r *Routed) AutoRefresh(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_ = r.Refresh()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// tgt returns the current routing table.
+func (r *Routed) tgt() *targets { return r.state.targets.Load() }
+
+// traced wraps c with this client's trace ID, when one is set.
+func (r *Routed) traced(c *Client) *Client {
+	if r.traceID == "" {
+		return c
+	}
+	return c.WithTraceID(r.traceID)
 }
 
 // SetObserver installs fn as the per-request observer (see Observer). It
@@ -95,30 +249,24 @@ func NewRouted(primaryBase string, replicaBases []string, httpClient *http.Clien
 func (r *Routed) SetObserver(fn Observer) { r.observer = fn }
 
 // WithTraceID returns a copy whose every request carries id as X-Trace-Id.
-// The copy shares the receiver's routing state (round-robin cursor and
-// generation floors), so reads issued through it still see writes issued
-// through the original.
+// The copy shares the receiver's routing state (targets, round-robin cursor
+// and generation floors), so reads issued through it still see writes
+// issued through the original — and a Refresh through either re-points
+// both.
 func (r *Routed) WithTraceID(id string) *Routed {
-	dup := &Routed{
-		primary:     r.primary.WithTraceID(id),
-		primaryURL:  r.primaryURL,
-		replicaURLs: r.replicaURLs,
-		state:       r.state,
-		observer:    r.observer,
-	}
-	for _, c := range r.replicas {
-		dup.replicas = append(dup.replicas, c.WithTraceID(id))
-	}
-	return dup
+	dup := *r
+	dup.traceID = id
+	return &dup
 }
 
-// Primary returns the underlying primary client.
-func (r *Routed) Primary() *Client { return r.primary }
+// Primary returns a client for the current primary.
+func (r *Routed) Primary() *Client { return r.traced(r.tgt().primary) }
 
-// Targets returns the base URLs requests may be routed to: the primary
-// first, then every replica.
+// Targets returns the base URLs requests may currently be routed to: the
+// primary first, then every replica.
 func (r *Routed) Targets() []string {
-	return append([]string{r.primaryURL}, r.replicaURLs...)
+	t := r.tgt()
+	return append([]string{t.primaryURL}, t.replicaURLs...)
 }
 
 func (r *Routed) observe(target, op string, start time.Time, err error) {
@@ -129,21 +277,60 @@ func (r *Routed) observe(target, op string, start time.Time, err error) {
 
 // pick returns the next replica in round-robin order, or (nil, "") when no
 // replicas are configured.
-func (r *Routed) pick() (*Client, string) {
-	if len(r.replicas) == 0 {
+func (r *Routed) pick(t *targets) (*Client, string) {
+	if len(t.replicas) == 0 {
 		return nil, ""
 	}
-	i := int(r.state.next.Add(1)-1) % len(r.replicas)
-	return r.replicas[i], r.replicaURLs[i]
+	i := int(r.state.next.Add(1)-1) % len(t.replicas)
+	return r.traced(t.replicas[i]), t.replicaURLs[i]
+}
+
+// writeRetryable reports whether a failed write is worth one topology
+// refresh and retry: the primary rejected it as read-only (it was demoted
+// under us) or the transport failed (it is gone). Validation and conflict
+// errors are the caller's problem at any primary.
+func writeRetryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusForbidden
+	}
+	return true
+}
+
+// doWrite sends one write to the current primary; when it fails in a way
+// that suggests the primary moved, it refreshes the topology and retries
+// exactly once against the new primary.
+func (r *Routed) doWrite(op string, call func(c *Client) error) error {
+	t := r.tgt()
+	start := time.Now()
+	err := call(r.traced(t.primary))
+	r.observe(t.primaryURL, op, start, err)
+	if err == nil || !writeRetryable(err) {
+		return err
+	}
+	if rerr := r.Refresh(); rerr != nil {
+		return err
+	}
+	t2 := r.tgt()
+	if t2.primaryURL == t.primaryURL {
+		return err
+	}
+	start = time.Now()
+	err2 := call(r.traced(t2.primary))
+	r.observe(t2.primaryURL, op, start, err2)
+	return err2
 }
 
 // Load loads (or replaces) a document on the primary. Replacing resets the
 // generation clock, so the document's floor is reset (not raised) to the
 // new generation.
 func (r *Routed) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
-	start := time.Now()
-	info, err := r.primary.Load(name, req)
-	r.observe(r.primaryURL, "load", start, err)
+	var info api.DocInfo
+	err := r.doWrite("load", func(c *Client) error {
+		var err error
+		info, err = c.Load(name, req)
+		return err
+	})
 	if err == nil {
 		r.state.reset(name, info.Generation)
 	}
@@ -152,9 +339,7 @@ func (r *Routed) Load(name string, req api.LoadRequest) (api.DocInfo, error) {
 
 // Delete removes a document on the primary and clears its floor.
 func (r *Routed) Delete(name string) error {
-	start := time.Now()
-	err := r.primary.Delete(name)
-	r.observe(r.primaryURL, "delete", start, err)
+	err := r.doWrite("delete", func(c *Client) error { return c.Delete(name) })
 	if err == nil {
 		r.state.clear(name)
 	}
@@ -164,9 +349,12 @@ func (r *Routed) Delete(name string) error {
 // Update applies one dynamic update on the primary and raises the
 // document's floor to the resulting generation.
 func (r *Routed) Update(name string, req api.UpdateRequest) (api.UpdateResponse, error) {
-	start := time.Now()
-	resp, err := r.primary.Update(name, req)
-	r.observe(r.primaryURL, "update", start, err)
+	var resp api.UpdateResponse
+	err := r.doWrite("update", func(c *Client) error {
+		var err error
+		resp, err = c.Update(name, req)
+		return err
+	})
 	if err == nil {
 		r.state.raise(name, resp.Generation)
 	}
@@ -177,9 +365,12 @@ func (r *Routed) Update(name string, req api.UpdateRequest) (api.UpdateResponse,
 // floor to the post-batch generation (which advances even for partially
 // applied batches).
 func (r *Routed) UpdateBatch(name string, req api.BatchUpdateRequest) (api.BatchUpdateResponse, error) {
-	start := time.Now()
-	resp, err := r.primary.UpdateBatch(name, req)
-	r.observe(r.primaryURL, "batch", start, err)
+	var resp api.BatchUpdateResponse
+	err := r.doWrite("batch", func(c *Client) error {
+		var err error
+		resp, err = c.UpdateBatch(name, req)
+		return err
+	})
 	if err == nil {
 		r.state.raise(name, resp.Generation)
 	}
@@ -204,7 +395,8 @@ func (r *Routed) DeleteNode(name string, target int) (api.UpdateResponse, error)
 // Query evaluates an XPath-subset expression on a replica when one is
 // available and fresh enough, falling back to the primary otherwise.
 func (r *Routed) Query(name, xpath string) (api.QueryResponse, error) {
-	if c, target := r.pick(); c != nil {
+	t := r.tgt()
+	if c, target := r.pick(t); c != nil {
 		start := time.Now()
 		resp, err := c.Query(name, xpath)
 		r.observe(target, "query", start, err)
@@ -214,8 +406,8 @@ func (r *Routed) Query(name, xpath string) (api.QueryResponse, error) {
 		}
 	}
 	start := time.Now()
-	resp, err := r.primary.Query(name, xpath)
-	r.observe(r.primaryURL, "query", start, err)
+	resp, err := r.traced(t.primary).Query(name, xpath)
+	r.observe(t.primaryURL, "query", start, err)
 	if err == nil {
 		r.state.raise(name, resp.Generation)
 	}
@@ -228,7 +420,8 @@ func (r *Routed) Query(name, xpath string) (api.QueryResponse, error) {
 // node that actually served the read, which is what a "why is this query
 // slow over there" investigation wants.
 func (r *Routed) QueryExplain(name, xpath string) (api.QueryResponse, error) {
-	if c, target := r.pick(); c != nil {
+	t := r.tgt()
+	if c, target := r.pick(t); c != nil {
 		start := time.Now()
 		resp, err := c.QueryExplain(name, xpath)
 		r.observe(target, "query", start, err)
@@ -238,8 +431,8 @@ func (r *Routed) QueryExplain(name, xpath string) (api.QueryResponse, error) {
 		}
 	}
 	start := time.Now()
-	resp, err := r.primary.QueryExplain(name, xpath)
-	r.observe(r.primaryURL, "query", start, err)
+	resp, err := r.traced(t.primary).QueryExplain(name, xpath)
+	r.observe(t.primaryURL, "query", start, err)
 	if err == nil {
 		r.state.raise(name, resp.Generation)
 	}
@@ -249,7 +442,8 @@ func (r *Routed) QueryExplain(name, xpath string) (api.QueryResponse, error) {
 // Relation answers a label-relationship probe on a replica when one is
 // available and fresh enough, falling back to the primary otherwise.
 func (r *Routed) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
-	if c, target := r.pick(); c != nil {
+	t := r.tgt()
+	if c, target := r.pick(t); c != nil {
 		start := time.Now()
 		resp, err := c.Relation(name, req)
 		r.observe(target, "relation", start, err)
@@ -259,8 +453,8 @@ func (r *Routed) Relation(name string, req api.RelationRequest) (api.RelationRes
 		}
 	}
 	start := time.Now()
-	resp, err := r.primary.Relation(name, req)
-	r.observe(r.primaryURL, "relation", start, err)
+	resp, err := r.traced(t.primary).Relation(name, req)
+	r.observe(t.primaryURL, "relation", start, err)
 	if err == nil {
 		r.state.raise(name, resp.Generation)
 	}
@@ -287,27 +481,27 @@ func (r *Routed) Before(name string, a, b int) (bool, error) {
 
 // Info describes one document as the primary sees it.
 func (r *Routed) Info(name string) (api.DocInfo, error) {
-	return r.primary.Info(name)
+	return r.Primary().Info(name)
 }
 
 // List describes all documents hosted on the primary.
 func (r *Routed) List() ([]api.DocInfo, error) {
-	return r.primary.List()
+	return r.Primary().List()
 }
 
 // Healthz fetches the primary's health summary.
 func (r *Routed) Healthz() (api.Health, error) {
-	return r.primary.Healthz()
+	return r.Primary().Healthz()
 }
 
 // Metrics fetches the primary's metrics exposition text.
 func (r *Routed) Metrics() (string, error) {
-	return r.primary.Metrics()
+	return r.Primary().Metrics()
 }
 
 // QueryStats fetches the primary's query-statistics registry. Each node
 // keeps its own registry; use Targets with per-node Clients to compare a
 // replica's profile against the primary's.
 func (r *Routed) QueryStats(doc string, k int) (api.QueryStatsResponse, error) {
-	return r.primary.QueryStats(doc, k)
+	return r.Primary().QueryStats(doc, k)
 }

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"primelabel/internal/server/api"
+)
+
+// fakeNode is a scriptable Node: role state plus a record of the
+// transitions the manager drove.
+type fakeNode struct {
+	mu        sync.Mutex
+	readOnly  bool
+	following string
+	fences    map[string]uint64
+	promoted  int
+	refollows []string
+}
+
+func (n *fakeNode) ReadOnly() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.readOnly
+}
+
+func (n *fakeNode) FollowedPrimary() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.following
+}
+
+func (n *fakeNode) Promote() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.readOnly {
+		return false
+	}
+	n.readOnly = false
+	n.following = ""
+	n.promoted++
+	return true
+}
+
+func (n *fakeNode) Refollow(url string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.readOnly = true
+	n.following = url
+	n.refollows = append(n.refollows, url)
+	return nil
+}
+
+func (n *fakeNode) Fences() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]uint64, len(n.fences))
+	for k, v := range n.fences {
+		out[k] = v
+	}
+	return out
+}
+
+// testManager builds an unstarted manager over static member URLs; tests
+// inject probe views directly and call evaluate, so no HTTP servers are
+// involved and every transition is deterministic.
+func testManager(t *testing.T, self string, nodes []string, node *fakeNode) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		Self:          self,
+		Nodes:         nodes,
+		FailoverAfter: time.Second,
+	}, node)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+// setView installs one member's probe outcome as if a sweep had seen it.
+func setView(m *Manager, url string, healthy bool, downFor time.Duration, h api.Health) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb := &member{url: url, healthy: healthy, health: h}
+	if !healthy {
+		mb.unhealthySince = time.Now().Add(-downFor)
+	}
+	m.view[url] = mb
+	m.rebuildRingLocked()
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	node := &fakeNode{}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty self", Config{Nodes: []string{"http://a", "http://b"}}},
+		{"self not a member", Config{Self: "http://c", Nodes: []string{"http://a", "http://b"}}},
+		{"single member", Config{Self: "http://a", Nodes: []string{"http://a"}}},
+		{"pin to non-member", Config{Self: "http://a", Nodes: []string{"http://a", "http://b"},
+			Pins: map[string]string{"doc": "http://z"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewManager(tc.cfg, node); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	m, err := NewManager(Config{
+		Self:  "http://a/",
+		Nodes: []string{"http://b", "http://a", "http://b/"},
+		Pins:  map[string]string{"doc": "http://b/"},
+	}, node)
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if m.Self() != "http://a" {
+		t.Errorf("Self() = %q, want trailing slash trimmed", m.Self())
+	}
+	if owner, ok := m.Owner("doc"); !ok || owner != "http://b" {
+		t.Errorf("pinned Owner = %q, %v; want http://b, true", owner, ok)
+	}
+}
+
+func TestRingCoversAllMembersAndIsStable(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	r := newRing(members, 0)
+	owned := map[string]int{}
+	docOwner := map[string]string{}
+	for i := 0; i < 300; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		o := r.owner(doc)
+		owned[o]++
+		docOwner[doc] = o
+	}
+	for _, mem := range members {
+		if owned[mem] == 0 {
+			t.Errorf("member %s owns no documents out of 300", mem)
+		}
+	}
+	// Consistent hashing: removing one member must not move any document
+	// between the surviving two.
+	r2 := newRing([]string{"http://a", "http://c"}, 0)
+	for doc, o := range docOwner {
+		if o == "http://b" {
+			continue
+		}
+		if got := r2.owner(doc); got != o {
+			t.Fatalf("doc %s moved %s -> %s after removing an unrelated member", doc, o, got)
+		}
+	}
+	// Same set, different construction order: identical placement.
+	r3 := newRing([]string{"http://c", "http://b", "http://a"}, 0)
+	for doc, o := range docOwner {
+		if got := r3.owner(doc); got != o {
+			t.Fatalf("doc %s placement order-dependent: %s vs %s", doc, o, got)
+		}
+	}
+}
+
+func TestOwnerTracksWritableMembers(t *testing.T) {
+	node := &fakeNode{}
+	m := testManager(t, "http://a", []string{"http://a", "http://b", "http://c"}, node)
+	if _, ok := m.Owner("doc"); ok {
+		t.Fatal("Owner resolved before any sweep")
+	}
+	// Only one writable member: everything lands there.
+	setView(m, "http://a", true, 0, api.Health{})
+	setView(m, "http://b", true, 0, api.Health{ReadOnly: true})
+	setView(m, "http://c", true, 0, api.Health{ReadOnly: true})
+	for i := 0; i < 20; i++ {
+		owner, ok := m.Owner(fmt.Sprintf("doc-%d", i))
+		if !ok || owner != "http://a" {
+			t.Fatalf("Owner(doc-%d) = %q, %v; want the sole writable member", i, owner, ok)
+		}
+	}
+	// The sole writable member dying must not flap placement to unknown:
+	// the last ring survives until a writable member reappears.
+	setView(m, "http://a", false, time.Minute, api.Health{})
+	if owner, ok := m.Owner("doc-0"); !ok || owner != "http://a" {
+		t.Fatalf("Owner after primary death = %q, %v; want stale placement retained", owner, ok)
+	}
+}
+
+func TestFollowerPromotesAfterFailoverTimeout(t *testing.T) {
+	node := &fakeNode{readOnly: true, following: "http://a", fences: map[string]uint64{"doc": 0}}
+	m := testManager(t, "http://b", []string{"http://a", "http://b", "http://c"}, node)
+	var failovers int
+	m.hooks.AddFailover = func() { failovers++ }
+
+	// Primary down, but not long enough yet.
+	setView(m, "http://a", false, 200*time.Millisecond, api.Health{})
+	setView(m, "http://c", true, 0, api.Health{ReadOnly: true,
+		Replication: &api.ReplicationStatus{Primary: "http://a"}})
+	m.evaluate(time.Now())
+	if node.promoted != 0 {
+		t.Fatal("promoted before the failover timeout elapsed")
+	}
+
+	// Past the timeout: self (http://b) is lexically first among the
+	// surviving followers {b, c} and must self-promote.
+	setView(m, "http://a", false, 2*time.Second, api.Health{})
+	m.evaluate(time.Now())
+	if node.promoted != 1 || failovers != 1 {
+		t.Fatalf("promoted=%d failovers=%d, want 1/1", node.promoted, failovers)
+	}
+	if node.ReadOnly() {
+		t.Fatal("node still read-only after self-promotion")
+	}
+}
+
+func TestFollowerDefersToLexicallyFirstSuccessor(t *testing.T) {
+	// Self is http://c; the surviving follower http://b is the designated
+	// successor, so c must wait, then re-follow once b is seen writable
+	// with a bumped fence.
+	node := &fakeNode{readOnly: true, following: "http://a", fences: map[string]uint64{"doc": 3}}
+	m := testManager(t, "http://c", []string{"http://a", "http://b", "http://c"}, node)
+	var demotions int
+	m.hooks.AddDemotion = func() { demotions++ }
+
+	setView(m, "http://a", false, 2*time.Second, api.Health{})
+	setView(m, "http://b", true, 0, api.Health{ReadOnly: true,
+		Replication: &api.ReplicationStatus{Primary: "http://a"}})
+	m.evaluate(time.Now())
+	if node.promoted != 0 {
+		t.Fatal("non-successor promoted itself")
+	}
+	if len(node.refollows) != 0 {
+		t.Fatalf("re-followed %v before the successor promoted", node.refollows)
+	}
+
+	// b promotes: writable, fence bumped past ours.
+	setView(m, "http://b", true, 0, api.Health{Fences: map[string]uint64{"doc": 4}})
+	m.evaluate(time.Now())
+	if len(node.refollows) != 1 || node.refollows[0] != "http://b" {
+		t.Fatalf("refollows = %v, want [http://b]", node.refollows)
+	}
+	if demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", demotions)
+	}
+	// Converged: repeated sweeps are quiescent.
+	m.evaluate(time.Now())
+	if len(node.refollows) != 1 || node.promoted != 0 {
+		t.Fatalf("post-convergence transition: refollows=%v promoted=%d", node.refollows, node.promoted)
+	}
+}
+
+func TestEqualFencesDoNotTriggerTakeover(t *testing.T) {
+	// A caught-up sibling primary with the same epoch is not a successor.
+	node := &fakeNode{readOnly: true, following: "http://a", fences: map[string]uint64{"doc": 4}}
+	m := testManager(t, "http://c", []string{"http://a", "http://b", "http://c"}, node)
+	setView(m, "http://a", true, 0, api.Health{Fences: map[string]uint64{"doc": 4}})
+	setView(m, "http://b", true, 0, api.Health{Fences: map[string]uint64{"doc": 4}})
+	m.evaluate(time.Now())
+	if len(node.refollows) != 0 || node.promoted != 0 {
+		t.Fatalf("equal fences caused a transition: refollows=%v promoted=%d", node.refollows, node.promoted)
+	}
+}
+
+func TestDeposedPrimaryDemotesItself(t *testing.T) {
+	// Self is a writable primary, but a healthy writable peer carries a
+	// strictly higher fencing epoch for a shared document: self was
+	// deposed while away and must re-follow the peer.
+	node := &fakeNode{fences: map[string]uint64{"doc": 1, "other": 7}}
+	m := testManager(t, "http://a", []string{"http://a", "http://b"}, node)
+	var demotions int
+	m.hooks.AddDemotion = func() { demotions++ }
+
+	setView(m, "http://b", true, 0, api.Health{Fences: map[string]uint64{"doc": 2}})
+	m.evaluate(time.Now())
+	if len(node.refollows) != 1 || node.refollows[0] != "http://b" {
+		t.Fatalf("refollows = %v, want [http://b]", node.refollows)
+	}
+	if !node.ReadOnly() || demotions != 1 {
+		t.Fatalf("readOnly=%v demotions=%d after deposed-primary demotion", node.ReadOnly(), demotions)
+	}
+}
+
+func TestPrimaryIgnoresUnsharedAndLowerFences(t *testing.T) {
+	node := &fakeNode{fences: map[string]uint64{"doc": 5}}
+	m := testManager(t, "http://a", []string{"http://a", "http://b"}, node)
+	setView(m, "http://b", true, 0, api.Health{Fences: map[string]uint64{
+		"doc":   5, // equal: caught up, not superior
+		"alien": 9, // not hosted here: no evidence about our history
+	}})
+	m.evaluate(time.Now())
+	if len(node.refollows) != 0 {
+		t.Fatalf("refollows = %v, want none", node.refollows)
+	}
+}
+
+func TestTopologyView(t *testing.T) {
+	node := &fakeNode{fences: map[string]uint64{"doc": 2}}
+	m, err := NewManager(Config{
+		Self:          "http://a",
+		Nodes:         []string{"http://a", "http://b", "http://c"},
+		Pins:          map[string]string{"pinned": "http://c"},
+		FailoverAfter: 2 * time.Second,
+	}, node)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	setView(m, "http://a", true, 0, api.Health{Fences: map[string]uint64{"doc": 2}})
+	setView(m, "http://b", true, 0, api.Health{
+		ReadOnly: true,
+		Fences:   map[string]uint64{"doc": 2},
+		Replication: &api.ReplicationStatus{
+			Primary: "http://a",
+			Docs: []api.ReplicaDocStatus{{
+				Doc: "doc", State: "streaming", LagGenerations: 3,
+			}},
+		},
+	})
+	setView(m, "http://c", false, 5*time.Second, api.Health{})
+
+	top := m.Topology()
+	if top.Self != "http://a" || top.VNodes != DefaultVNodes || top.FailoverAfterSeconds != 2 {
+		t.Fatalf("header = %+v", top)
+	}
+	if top.Pins["pinned"] != "http://c" {
+		t.Fatalf("pins = %v", top.Pins)
+	}
+	roles := map[string]string{}
+	for _, n := range top.Nodes {
+		roles[n.URL] = n.Role
+		if n.URL == "http://c" {
+			if n.Healthy || n.UnhealthySeconds < 4 {
+				t.Fatalf("dead node state = %+v", n)
+			}
+		}
+		if n.URL == "http://b" && n.Following != "http://a" {
+			t.Fatalf("follower Following = %q", n.Following)
+		}
+	}
+	want := map[string]string{"http://a": "primary", "http://b": "follower", "http://c": "unreachable"}
+	for url, role := range want {
+		if roles[url] != role {
+			t.Fatalf("role[%s] = %q, want %q (all: %v)", url, roles[url], role, roles)
+		}
+	}
+	if len(top.Docs) != 1 {
+		t.Fatalf("docs = %+v, want one", top.Docs)
+	}
+	d := top.Docs[0]
+	if d.Name != "doc" || d.Primary != "http://a" || d.FenceEpoch != 2 || d.Pinned {
+		t.Fatalf("doc = %+v", d)
+	}
+	if len(d.Replicas) != 1 || d.Replicas[0].URL != "http://b" || d.Replicas[0].LagGenerations != 3 {
+		t.Fatalf("replicas = %+v", d.Replicas)
+	}
+}
+
+func TestStopWithoutStartIsSafe(t *testing.T) {
+	node := &fakeNode{}
+	m := testManager(t, "http://a", []string{"http://a", "http://b"}, node)
+	m.Stop()
+	m.Stop()
+	m.Start() // after Stop: must stay stopped
+	m.Stop()
+}

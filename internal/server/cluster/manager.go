@@ -1,0 +1,594 @@
+// Package cluster is the labeld cluster fabric. A Manager runs on every
+// member: it probes the configured member list's health endpoints, builds
+// the topology view served at GET /topology, places documents on primaries
+// with a consistent-hash ring (plus per-document pin overrides), and drives
+// the two role transitions — failover, where the designated successor of a
+// primary that stayed unreachable past the failover timeout promotes
+// itself, and demotion, where a node re-follows a peer it observes holding
+// a strictly higher fencing epoch for a document they share (the
+// resurrected-old-primary case) or re-targets its replication stream at a
+// freshly promoted successor.
+//
+// The fabric is deliberately quorum-less: role decisions are local,
+// timeout-driven, and made safe by the fencing epochs journaled with every
+// record (see internal/server/persist) rather than by consensus. A deposed
+// primary that keeps serving writes cannot corrupt followers — its stream
+// carries a stale epoch and is rejected — it can only lose its own
+// unreplicated tail, which the divergence-point rejoin then truncates.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
+)
+
+// DefaultProbeInterval is how often the manager sweeps the member list's
+// health endpoints when the configuration does not set an interval.
+const DefaultProbeInterval = time.Second
+
+// DefaultFailoverAfter is how long a followed primary must stay unreachable
+// before the designated successor self-promotes, when the configuration
+// does not set a timeout.
+const DefaultFailoverAfter = 10 * time.Second
+
+// Hooks are optional counter callbacks the embedding server installs so
+// fabric activity lands in its metric registry. Nil members are skipped.
+type Hooks struct {
+	// AddProbe is called once per completed probe sweep over the member
+	// list.
+	AddProbe func()
+	// AddFailover is called when this node promotes itself because the
+	// primary it followed stayed unreachable past the failover timeout.
+	AddFailover func()
+	// AddDemotion is called when this node re-follows a peer: either a
+	// deposed primary stepping down behind a higher fencing epoch, or a
+	// follower re-targeting a promoted successor.
+	AddDemotion func()
+}
+
+// Node is the manager's view of the server it runs inside: the role state
+// it reads and the two transitions it can drive. *server.Server implements
+// it.
+type Node interface {
+	// ReadOnly reports whether the node currently rejects writes (an
+	// unpromoted follower).
+	ReadOnly() bool
+	// FollowedPrimary returns the base URL of the primary this node pulls
+	// replication from, or "" when it is a primary itself.
+	FollowedPrimary() string
+	// Promote opens the write gate after bumping every document's fencing
+	// epoch; it reports whether this call performed the transition.
+	Promote() bool
+	// Refollow closes the write gate (if open) and re-points the node's
+	// replication stream at the given primary URL.
+	Refollow(url string) error
+	// Fences returns the node's per-document fencing epochs.
+	Fences() map[string]uint64
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Self is this node's advertised base URL; it must appear in Nodes.
+	Self string
+	// Nodes is the full static member list, self included, as advertised
+	// base URLs.
+	Nodes []string
+	// Pins maps document names to member URLs, overriding the hash ring
+	// for those documents. Every pin target must be a member.
+	Pins map[string]string
+	// VNodes is the ring's virtual-node count per member (DefaultVNodes
+	// when <= 0).
+	VNodes int
+	// ProbeInterval is the health-sweep period (DefaultProbeInterval when
+	// <= 0).
+	ProbeInterval time.Duration
+	// FailoverAfter is how long a followed primary must stay unreachable
+	// before the successor self-promotes (DefaultFailoverAfter when 0,
+	// < 0 disables automatic failover).
+	FailoverAfter time.Duration
+	// Logger receives role-transition and probe-failure logs (discarded
+	// when nil).
+	Logger *slog.Logger
+	// Hooks are the optional metric callbacks.
+	Hooks Hooks
+}
+
+// member is one configured node's probe state.
+type member struct {
+	url string
+	// healthy reports the most recent probe succeeded.
+	healthy bool
+	// unhealthySince is when probes started failing (zero while healthy;
+	// set on the first failure and kept across consecutive ones).
+	unhealthySince time.Time
+	// health is the last successful probe's payload (zero value until one
+	// succeeds).
+	health api.Health
+}
+
+// Manager probes the member list, maintains the topology view, and drives
+// failover and demotion for the node it runs inside. All methods are safe
+// for concurrent use.
+type Manager struct {
+	self          string
+	nodes         []string // sorted, self included
+	pins          map[string]string
+	vnodes        int
+	probeInterval time.Duration
+	failoverAfter time.Duration
+	logger        *slog.Logger
+	hooks         Hooks
+	node          Node
+	clients       map[string]*client.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	view    map[string]*member
+	// ring places documents over the currently healthy writable members;
+	// nil until the first sweep finds at least one.
+	ring *ring
+}
+
+// NewManager validates cfg and returns an unstarted manager driving node.
+func NewManager(cfg Config, node Node) (*Manager, error) {
+	self := strings.TrimRight(cfg.Self, "/")
+	if self == "" {
+		return nil, fmt.Errorf("cluster: self URL is required")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	nodes := make([]string, 0, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		n = strings.TrimRight(n, "/")
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		nodes = append(nodes, n)
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q is not in the member list", self)
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("cluster: need at least two members, got %d", len(nodes))
+	}
+	sort.Strings(nodes)
+	pins := make(map[string]string, len(cfg.Pins))
+	for doc, target := range cfg.Pins {
+		target = strings.TrimRight(target, "/")
+		if !seen[target] {
+			return nil, fmt.Errorf("cluster: pin %q -> %q names a non-member", doc, target)
+		}
+		pins[doc] = target
+	}
+	probe := cfg.ProbeInterval
+	if probe <= 0 {
+		probe = DefaultProbeInterval
+	}
+	failover := cfg.FailoverAfter
+	if failover == 0 {
+		failover = DefaultFailoverAfter
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// Probes must finish inside a sweep period but still tolerate a slow
+	// peer; clamp the HTTP timeout to a sane band around the interval.
+	timeout := probe
+	if timeout < 500*time.Millisecond {
+		timeout = 500 * time.Millisecond
+	}
+	if timeout > 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	hc := &http.Client{Timeout: timeout}
+	clients := make(map[string]*client.Client, len(nodes))
+	for _, n := range nodes {
+		clients[n] = client.New(n, hc)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		self:          self,
+		nodes:         nodes,
+		pins:          pins,
+		vnodes:        cfg.VNodes,
+		probeInterval: probe,
+		failoverAfter: failover,
+		logger:        logger,
+		hooks:         cfg.Hooks,
+		node:          node,
+		clients:       clients,
+		ctx:           ctx,
+		cancel:        cancel,
+		view:          make(map[string]*member, len(nodes)),
+	}, nil
+}
+
+// Self returns this node's advertised base URL.
+func (m *Manager) Self() string { return m.self }
+
+// Start launches the probe loop. It is idempotent and a no-op after Stop.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.run()
+}
+
+// Stop terminates the probe loop and waits for it to exit. Safe to call on
+// a never-started manager and safe to call twice.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	wasStarted := m.started && !m.stopped
+	m.stopped = true
+	m.mu.Unlock()
+	m.cancel()
+	if wasStarted {
+		m.wg.Wait()
+	}
+}
+
+// run is the probe loop: an immediate sweep, then one per interval.
+func (m *Manager) run() {
+	defer m.wg.Done()
+	m.sweep()
+	t := time.NewTicker(m.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			m.sweep()
+		}
+	}
+}
+
+// sweep probes every member concurrently, folds the results into the view,
+// rebuilds the placement ring, and evaluates role transitions.
+func (m *Manager) sweep() {
+	type result struct {
+		url    string
+		health api.Health
+		err    error
+	}
+	results := make(chan result, len(m.nodes))
+	for _, url := range m.nodes {
+		go func(url string) {
+			h, err := m.clients[url].Healthz()
+			results <- result{url: url, health: h, err: err}
+		}(url)
+	}
+	now := time.Now()
+	m.mu.Lock()
+	for range m.nodes {
+		res := <-results
+		mb := m.view[res.url]
+		if mb == nil {
+			mb = &member{url: res.url}
+			m.view[res.url] = mb
+		}
+		if res.err != nil {
+			if mb.healthy || mb.unhealthySince.IsZero() {
+				mb.unhealthySince = now
+			}
+			mb.healthy = false
+			continue
+		}
+		mb.healthy = true
+		mb.unhealthySince = time.Time{}
+		mb.health = res.health
+	}
+	// This node's own role is authoritative from the server, not from the
+	// (possibly one-sweep-stale) HTTP probe of itself.
+	if mb := m.view[m.self]; mb != nil && mb.healthy {
+		mb.health.ReadOnly = m.node.ReadOnly()
+	}
+	m.rebuildRingLocked()
+	m.mu.Unlock()
+	if m.hooks.AddProbe != nil {
+		m.hooks.AddProbe()
+	}
+	m.evaluate(now)
+}
+
+// rebuildRingLocked recomputes the placement ring over the healthy writable
+// members. Called with m.mu held after every sweep; the ring survives
+// (stale) when no member currently qualifies, so placement stays stable
+// through a failover window instead of flapping to "unknown".
+func (m *Manager) rebuildRingLocked() {
+	writable := make([]string, 0, len(m.nodes))
+	for _, url := range m.nodes {
+		if mb := m.view[url]; mb != nil && mb.healthy && !mb.health.ReadOnly {
+			writable = append(writable, url)
+		}
+	}
+	if len(writable) > 0 {
+		m.ring = newRing(writable, m.vnodes)
+	}
+}
+
+// Owner returns the member that owns writes for doc: the pin override when
+// one exists, otherwise the hash-ring placement over the healthy writable
+// members. ok is false before the first sweep has found a writable member.
+func (m *Manager) Owner(doc string) (owner string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ownerLocked(doc)
+}
+
+// ownerLocked is Owner with m.mu already held.
+func (m *Manager) ownerLocked(doc string) (string, bool) {
+	if target, ok := m.pins[doc]; ok {
+		return target, true
+	}
+	if m.ring == nil {
+		return "", false
+	}
+	return m.ring.owner(doc), true
+}
+
+// evaluate drives at most one role transition per sweep, based on the view
+// just built and the node's live role.
+func (m *Manager) evaluate(now time.Time) {
+	if m.node.ReadOnly() {
+		m.evaluateFollower(now)
+		return
+	}
+	m.evaluatePrimary()
+}
+
+// evaluateFollower handles the follower side. First it looks for a fence
+// takeover: a healthy writable peer (other than the currently followed
+// primary) holding a strictly higher fencing epoch for a document this
+// node hosts is a promoted successor — re-target the replication stream at
+// it. A promotion bumps the epochs before the write gate opens and a probe
+// reads both in one response, so "observed writable" implies "bumped
+// fences are visible": a follower can never miss a completed takeover and
+// self-promote into a split brain. Only when no takeover is visible and
+// the followed primary has been unreachable past the failover timeout does
+// the designated successor promote itself.
+func (m *Manager) evaluateFollower(now time.Time) {
+	primary := m.node.FollowedPrimary()
+	if target, doc := m.fenceSuperior(primary); target != "" {
+		m.logger.Info("cluster: re-following promoted successor",
+			"old_primary", primary, "successor", target, "doc", doc)
+		if err := m.node.Refollow(target); err != nil {
+			m.logger.Error("cluster: refollow failed", "successor", target, "error", err)
+		} else if m.hooks.AddDemotion != nil {
+			m.hooks.AddDemotion()
+		}
+		return
+	}
+	if primary == "" || m.failoverAfter < 0 {
+		return
+	}
+	m.mu.Lock()
+	pv := m.view[primary]
+	down := pv != nil && !pv.healthy && !pv.unhealthySince.IsZero() && now.Sub(pv.unhealthySince) >= m.failoverAfter
+	var succ string
+	if down {
+		succ = m.successorLocked(primary)
+	}
+	m.mu.Unlock()
+	if !down || succ != m.self {
+		return
+	}
+	m.logger.Info("cluster: primary unreachable past failover timeout; promoting self",
+		"primary", primary, "down_for", now.Sub(pv.unhealthySince).Round(time.Millisecond))
+	if m.node.Promote() && m.hooks.AddFailover != nil {
+		m.hooks.AddFailover()
+	}
+}
+
+// fenceSuperior returns the lexically first healthy writable member — other
+// than this node and exclude — holding a strictly higher fencing epoch than
+// this node for some document this node hosts, along with that document.
+// Returns "" when none exists. A strictly higher epoch is proof the peer
+// promoted after the history this node holds; an equal epoch is just a
+// caught-up sibling.
+func (m *Manager) fenceSuperior(exclude string) (target, doc string) {
+	mine := m.node.Fences()
+	if len(mine) == 0 {
+		return "", ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, url := range m.nodes {
+		if url == m.self || url == exclude {
+			continue
+		}
+		mb := m.view[url]
+		if mb == nil || !mb.healthy || mb.health.ReadOnly {
+			continue
+		}
+		for d, f := range mb.health.Fences {
+			if own, ok := mine[d]; ok && f > own {
+				return url, d
+			}
+		}
+	}
+	return "", ""
+}
+
+// successorLocked returns the designated successor for a dead primary: the
+// lexically first member that is healthy (or is this node) and was last
+// seen following that primary. Deterministic across the surviving members,
+// so exactly one of them elects itself. Returns "" when no follower of that
+// primary survives.
+func (m *Manager) successorLocked(primary string) string {
+	for _, url := range m.nodes { // m.nodes is sorted
+		if url == m.self {
+			if m.node.ReadOnly() && m.node.FollowedPrimary() == primary {
+				return url
+			}
+			continue
+		}
+		mb := m.view[url]
+		if mb == nil || !mb.healthy || !mb.health.ReadOnly {
+			continue
+		}
+		if mb.health.Replication != nil && strings.TrimRight(mb.health.Replication.Primary, "/") == primary {
+			return url
+		}
+	}
+	return ""
+}
+
+// evaluatePrimary handles the primary side: when a healthy writable peer
+// holds a strictly higher fencing epoch for a document this node also
+// hosts, this node was deposed while away — it demotes itself and
+// re-follows that peer, which routes it into the divergence-point rejoin.
+func (m *Manager) evaluatePrimary() {
+	target, doc := m.fenceSuperior("")
+	if target == "" {
+		return
+	}
+	m.logger.Warn("cluster: peer holds higher fencing epoch; demoting self",
+		"peer", target, "doc", doc)
+	if err := m.node.Refollow(target); err != nil {
+		m.logger.Error("cluster: demotion refollow failed", "peer", target, "error", err)
+	} else if m.hooks.AddDemotion != nil {
+		m.hooks.AddDemotion()
+	}
+}
+
+// Topology returns the cluster view: ring parameters, every member's
+// probed state, and per-document placement folded from the members' health
+// reports (fencing epochs name the documents; follower replication status
+// supplies per-replica lag).
+func (m *Manager) Topology() api.Topology {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := api.Topology{
+		Self:                 m.self,
+		VNodes:               m.vnodes,
+		FailoverAfterSeconds: m.failoverAfter.Seconds(),
+	}
+	if t.VNodes <= 0 {
+		t.VNodes = DefaultVNodes
+	}
+	if m.failoverAfter < 0 {
+		t.FailoverAfterSeconds = 0
+	}
+	if len(m.pins) > 0 {
+		t.Pins = make(map[string]string, len(m.pins))
+		for d, n := range m.pins {
+			t.Pins[d] = n
+		}
+	}
+	docs := make(map[string]*api.TopologyDoc)
+	ensure := func(name string) *api.TopologyDoc {
+		d := docs[name]
+		if d == nil {
+			d = &api.TopologyDoc{Name: name}
+			docs[name] = d
+		}
+		return d
+	}
+	now := time.Now()
+	for _, url := range m.nodes {
+		mb := m.view[url]
+		n := api.TopologyNode{URL: url, Role: "unreachable"}
+		if mb != nil && mb.healthy {
+			n.Healthy = true
+			if mb.health.ReadOnly {
+				n.Role = "follower"
+				if mb.health.Replication != nil {
+					n.Following = strings.TrimRight(mb.health.Replication.Primary, "/")
+				}
+			} else {
+				n.Role = "primary"
+			}
+			for d, f := range mb.health.Fences {
+				td := ensure(d)
+				if f > td.FenceEpoch {
+					td.FenceEpoch = f
+				}
+			}
+			if mb.health.ReadOnly && mb.health.Replication != nil {
+				for _, ds := range mb.health.Replication.Docs {
+					ensure(ds.Doc).Replicas = append(ensure(ds.Doc).Replicas, api.TopologyReplica{
+						URL:            url,
+						State:          ds.State,
+						LagGenerations: ds.LagGenerations,
+					})
+				}
+			}
+		} else if mb != nil && !mb.unhealthySince.IsZero() {
+			n.UnhealthySeconds = now.Sub(mb.unhealthySince).Seconds()
+		}
+		t.Nodes = append(t.Nodes, n)
+	}
+	for name, d := range docs {
+		if owner, ok := m.ownerLocked(name); ok {
+			d.Primary = owner
+		}
+		_, d.Pinned = m.pins[name]
+		sort.Slice(d.Replicas, func(i, j int) bool { return d.Replicas[i].URL < d.Replicas[j].URL })
+		t.Docs = append(t.Docs, *d)
+	}
+	sort.Slice(t.Docs, func(i, j int) bool { return t.Docs[i].Name < t.Docs[j].Name })
+	return t
+}
+
+// WriteMetrics renders the fabric's gauge series in Prometheus text
+// exposition format: member counts, this node's role, and per-member
+// health. The embedding server appends it to /metrics; the fabric's
+// counters (probes, failovers, demotions, redirects) live in the server's
+// registry via Hooks.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	m.mu.Lock()
+	healthy := 0
+	type nodeHealth struct {
+		url string
+		up  bool
+	}
+	states := make([]nodeHealth, 0, len(m.nodes))
+	for _, url := range m.nodes {
+		up := m.view[url] != nil && m.view[url].healthy
+		if up {
+			healthy++
+		}
+		states = append(states, nodeHealth{url: url, up: up})
+	}
+	m.mu.Unlock()
+	isPrimary := 0
+	if !m.node.ReadOnly() {
+		isPrimary = 1
+	}
+	fmt.Fprintf(w, "# HELP labeld_cluster_members Configured cluster members (gauge).\n")
+	fmt.Fprintf(w, "labeld_cluster_members %d\n", len(m.nodes))
+	fmt.Fprintf(w, "# HELP labeld_cluster_members_healthy Members whose last health probe succeeded (gauge).\n")
+	fmt.Fprintf(w, "labeld_cluster_members_healthy %d\n", healthy)
+	fmt.Fprintf(w, "# HELP labeld_cluster_is_primary Whether this node currently accepts writes (gauge).\n")
+	fmt.Fprintf(w, "labeld_cluster_is_primary %d\n", isPrimary)
+	fmt.Fprintf(w, "# HELP labeld_cluster_member_healthy Per-member probe state as observed by this node (gauge).\n")
+	for _, st := range states {
+		up := 0
+		if st.up {
+			up = 1
+		}
+		fmt.Fprintf(w, "labeld_cluster_member_healthy{member=%q} %d\n", st.url, up)
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the number of virtual nodes each member contributes to
+// the hash ring when the configuration does not set one. More virtual nodes
+// smooth the placement distribution at the cost of a larger (still tiny)
+// sorted point table.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node on the hash circle: the hash position and
+// the member URL it stands for.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ring is a consistent-hash ring over a member set. It is immutable after
+// construction; the manager rebuilds it whenever the set of healthy
+// writable members changes. Documents hash onto the circle with FNV-1a and
+// are owned by the first virtual node at or clockwise of their position, so
+// adding or removing one member only moves the keys adjacent to its
+// virtual nodes.
+type ring struct {
+	points []ringPoint
+}
+
+// newRing builds a ring over members with vnodes virtual nodes each
+// (DefaultVNodes when vnodes <= 0). Member order does not matter; the
+// placement depends only on the set.
+func newRing(members []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(i)), node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties broken by URL so placement is deterministic across nodes.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// owner returns the member owning doc: the first virtual node at or after
+// the document's hash position, wrapping at the top of the circle. Returns
+// "" on an empty ring.
+func (r *ring) owner(doc string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(doc)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// ringHash is the ring's hash function: FNV-1a 64 over the raw key bytes,
+// finished with a full-avalanche 64-bit mixer. The mixer matters: FNV alone
+// barely diffuses a change in the key's final bytes, so the "#0".."#63"
+// virtual-node suffixes would clump each member's points into one arc of
+// the circle and the ring would degenerate to one point per member.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	s := h.Sum64()
+	s ^= s >> 33
+	s *= 0xff51afd7ed558ccd
+	s ^= s >> 33
+	s *= 0xc4ceb9fe1a85ec53
+	s ^= s >> 33
+	return s
+}

@@ -1,0 +1,528 @@
+package server
+
+// End-to-end tests for the cluster fabric: a three-node kill/promote/rejoin
+// matrix (failover under a client write storm, divergence-point rejoin of
+// the deposed primary), stale-epoch stream rejection, and pinned-placement
+// write redirects. They use real servers on real sockets — the same moving
+// parts an operator deploys — with only the timers tightened.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"primelabel/internal/server/api"
+	"primelabel/internal/server/client"
+)
+
+// reserveAddr returns a free loopback host:port by binding and immediately
+// releasing a listener. Cluster members must know every member's URL before
+// any of them has started, so the tests pre-assign ports this way.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// clusterNode bundles one running member's pieces for the e2e tests.
+type clusterNode struct {
+	srv  *Server
+	c    *client.Client
+	url  string
+	stop func()
+}
+
+// startClusterNode boots one member from cfg (the caller sets cfg.Addr,
+// usually to a pre-reserved address). A data directory is recovered first,
+// so a restarted member comes back with its persisted documents.
+func startClusterNode(t *testing.T, cfg Config) *clusterNode {
+	t.Helper()
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DataDir != "" {
+		if _, err := srv.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &clusterNode{srv: srv, c: client.New("http://"+bound, nil), url: "http://" + bound}
+	var stopped bool
+	n.stop = func() {
+		if !stopped {
+			stopped = true
+			shutdownNode(t, srv)
+		}
+	}
+	t.Cleanup(n.stop)
+	return n
+}
+
+// metricValue fetches one unlabeled counter from a node's /metrics text.
+func metricValue(t *testing.T, c *client.Client, name string) uint64 {
+	t.Helper()
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("parse metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// docStatus extracts one document's follower-side replication status from a
+// health response; nil when the node is not reporting it.
+func docStatus(h api.Health, doc string) *api.ReplicaDocStatus {
+	if h.Replication == nil {
+		return nil
+	}
+	for i := range h.Replication.Docs {
+		if h.Replication.Docs[i].Doc == doc {
+			return &h.Replication.Docs[i]
+		}
+	}
+	return nil
+}
+
+// dumpClusterArtifacts writes follower-side diagnostics into the directory
+// named by CLUSTER_E2E_ARTIFACTS, which CI uploads as a build artifact:
+// each follower's /debug/querystats snapshot, its replication status (the
+// lag gauges included), and its full metrics text. No-op when the variable
+// is unset, so plain local runs stay clean.
+func dumpClusterArtifacts(t *testing.T, doc string, followers map[string]*clusterNode) {
+	t.Helper()
+	dir := os.Getenv("CLUSTER_E2E_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON := func(name string, v any) {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, n := range followers {
+		qs, err := n.c.QueryStats(doc, 5)
+		if err != nil {
+			t.Fatalf("artifact querystats from %s: %v", n.url, err)
+		}
+		writeJSON(name+"-querystats.json", qs)
+		h, err := n.c.Healthz()
+		if err != nil {
+			t.Fatalf("artifact healthz from %s: %v", n.url, err)
+		}
+		writeJSON(name+"-replication.json", h.Replication)
+		text, err := n.c.Metrics()
+		if err != nil {
+			t.Fatalf("artifact metrics from %s: %v", n.url, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+"-metrics.txt"), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterFailoverAndRejoin is the three-node matrix: the primary dies
+// under a client write storm and leaves behind a divergent journal tail
+// (updates it acknowledged but never replicated); the designated successor
+// self-promotes within the failover timeout; no acknowledged replicated
+// update is lost; and the deposed primary rejoins by probing the new
+// primary's journal for the divergence point — truncating its fork instead
+// of re-shipping a snapshot into an emptied data dir.
+func TestClusterFailoverAndRejoin(t *testing.T) {
+	addrA, addrB, addrC := reserveAddr(t), reserveAddr(t), reserveAddr(t)
+	urlA, urlB, urlC := "http://"+addrA, "http://"+addrB, "http://"+addrC
+	members := []string{urlA, urlB, urlC}
+	dirA := t.TempDir()
+
+	base := func(self, addr string) Config {
+		return Config{
+			Addr:          addr,
+			DataDir:       t.TempDir(),
+			NoFsync:       true,
+			ClusterSelf:   self,
+			ClusterNodes:  members,
+			ClusterProbe:  100 * time.Millisecond,
+			FailoverAfter: 700 * time.Millisecond,
+		}
+	}
+	cfgA := base(urlA, addrA)
+	cfgA.DataDir = dirA
+	a := startClusterNode(t, cfgA)
+	follower := func(self, addr string) Config {
+		cfg := base(self, addr)
+		cfg.FollowURL = urlA
+		cfg.FollowPoll = 50 * time.Millisecond
+		return cfg
+	}
+	b := startClusterNode(t, follower(urlB, addrB))
+	c := startClusterNode(t, follower(urlC, addrC))
+
+	const doc = "cluster"
+	if _, err := a.c.Load(doc, api.LoadRequest{XML: sampleXML, Scheme: "prime", TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, a.c, doc, 20)
+	waitSynced(t, a.c, b.c, doc)
+	waitSynced(t, a.c, c.c, doc)
+
+	// A clean single-connect run must report zero stream reconnects.
+	for _, n := range []*clusterNode{b, c} {
+		if v := metricValue(t, n.c, "labeld_replication_reconnects_total"); v != 0 {
+			t.Fatalf("%s reconnects = %d before any failure, want 0", n.url, v)
+		}
+	}
+
+	info, err := a.c.Info(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genAtKill := info.Generation
+
+	// The discovering client is created while the cluster is whole, then
+	// keeps writing straight through the failover.
+	rc, err := client.NewDiscovered(members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopRefresh := rc.AutoRefresh(100 * time.Millisecond)
+	defer stopRefresh()
+
+	// Kill the primary, then give its dead data dir a divergent journal
+	// tail: two real updates applied by a throwaway store instance that is
+	// abandoned without a clean close, exactly the state a primary leaves
+	// when it acknowledged writes its followers never received. The
+	// followers are already synced to genAtKill, so these two generations
+	// exist only in A's fork.
+	a.stop()
+	throwaway, err := New(Config{DataDir: dirA, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := throwaway.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := throwaway.Store().Update(context.Background(), doc,
+			api.UpdateRequest{Op: api.OpInsert, Parent: 0, Index: 0, Tag: "phantom"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Generation != genAtKill+uint64(i)+1 {
+			t.Fatalf("fork write %d landed at generation %d, want %d", i, resp.Generation, genAtKill+uint64(i)+1)
+		}
+	}
+	// No Shutdown: the journal must keep the fork on disk.
+
+	// The lexically-first healthy follower of the dead primary is the
+	// designated successor.
+	succ, other := b, c
+	if urlC < urlB {
+		succ, other = c, b
+	}
+	waitUntil(t, 15*time.Second, func() string {
+		h, err := succ.c.Healthz()
+		if err != nil {
+			return fmt.Sprintf("successor healthz: %v", err)
+		}
+		if h.ReadOnly {
+			return "successor still read-only"
+		}
+		return ""
+	})
+	if h, err := other.c.Healthz(); err != nil || !h.ReadOnly {
+		t.Fatalf("non-successor writable (err %v): split brain", err)
+	}
+
+	// Writes through the discovering client must start landing again, each
+	// acknowledged exactly once by the new primary.
+	var acked int
+	var lastGen uint64
+	waitUntil(t, 20*time.Second, func() string {
+		resp, err := rc.Update(doc, api.UpdateRequest{Op: api.OpInsert, Parent: 0, Index: 0, Tag: "note"})
+		if err != nil {
+			return fmt.Sprintf("write during failover: %v", err)
+		}
+		acked++
+		lastGen = resp.Generation
+		if acked < 10 {
+			return fmt.Sprintf("%d acked writes, want 10", acked)
+		}
+		return ""
+	})
+
+	// The remaining follower re-points at the successor and catches up.
+	waitUntil(t, 15*time.Second, func() string {
+		h, err := other.c.Healthz()
+		if err != nil {
+			return fmt.Sprintf("follower healthz: %v", err)
+		}
+		if h.Replication == nil || h.Replication.Primary != succ.url {
+			return fmt.Sprintf("follower still pointed at %+v, want %s", h.Replication, succ.url)
+		}
+		return ""
+	})
+	waitSynced(t, succ.c, other.c, doc)
+
+	if h, err := succ.c.Healthz(); err != nil || h.Fences[doc] != 1 {
+		t.Fatalf("successor fence for %s = %v (err %v), want 1", doc, h.Fences, err)
+	}
+	if v := metricValue(t, succ.c, "labeld_promotions_total"); v != 1 {
+		t.Fatalf("successor promotions = %d, want 1", v)
+	}
+	if v := metricValue(t, succ.c, "labeld_cluster_failovers_total"); v != 1 {
+		t.Fatalf("successor failovers = %d, want 1", v)
+	}
+
+	// Restart the deposed primary with its diverged data dir intact. Its
+	// manager must demote it (the successor holds a strictly higher fencing
+	// epoch), and the rejoin must go through the journal digest probe:
+	// truncate the two phantom generations, keep everything before them, and
+	// resume streaming — no snapshot re-ship, no emptied data dir.
+	cfgA2 := base(urlA, addrA)
+	cfgA2.DataDir = dirA
+	a2 := startClusterNode(t, cfgA2)
+
+	waitUntil(t, 15*time.Second, func() string {
+		h, err := a2.c.Healthz()
+		if err != nil {
+			return fmt.Sprintf("rejoined healthz: %v", err)
+		}
+		if !h.ReadOnly {
+			return "deposed primary still writable"
+		}
+		if h.Replication == nil || h.Replication.Primary != succ.url {
+			return fmt.Sprintf("deposed primary follows %+v, want %s", h.Replication, succ.url)
+		}
+		st := docStatus(h, doc)
+		if st == nil {
+			return "deposed primary not subscribed yet"
+		}
+		if st.Rebases == 0 {
+			return "no divergence-point rebase yet"
+		}
+		si, err := succ.c.Info(doc)
+		if err != nil {
+			return fmt.Sprintf("successor info: %v", err)
+		}
+		if st.AppliedGeneration != si.Generation {
+			return fmt.Sprintf("rejoined at generation %d, successor at %d", st.AppliedGeneration, si.Generation)
+		}
+		if st.SnapshotsInstalled != 0 {
+			return fmt.Sprintf("rejoin installed %d snapshots, want 0 (digest probe)", st.SnapshotsInstalled)
+		}
+		if st.FenceEpoch != 1 {
+			return fmt.Sprintf("rejoined fence epoch %d, want 1", st.FenceEpoch)
+		}
+		return ""
+	})
+	if v := metricValue(t, a2.c, "labeld_replication_rebases_total"); v == 0 {
+		t.Fatal("rejoined primary reports no rebases")
+	}
+	if v := metricValue(t, a2.c, "labeld_cluster_demotions_total"); v == 0 {
+		t.Fatal("rejoined primary reports no demotion")
+	}
+
+	// Every acknowledged update survived: the 20 pre-kill updates were
+	// synced before the kill, the 10 storm writes were acknowledged by the
+	// successor, and the two phantom generations are gone from every node.
+	si, err := succ.c.Info(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Generation < lastGen || si.Generation < genAtKill+10 {
+		t.Fatalf("successor at generation %d, want >= %d and >= last ack %d", si.Generation, genAtKill+10, lastGen)
+	}
+	assertParity(t, succ.c, a2.c, doc)
+	assertParity(t, succ.c, other.c, doc)
+
+	// Topology reflects the converged cluster from any member.
+	waitUntil(t, 15*time.Second, func() string {
+		top, err := a2.c.Topology()
+		if err != nil {
+			return fmt.Sprintf("topology: %v", err)
+		}
+		roles := make(map[string]string, len(top.Nodes))
+		for _, n := range top.Nodes {
+			roles[n.URL] = n.Role
+		}
+		if roles[succ.url] != "primary" || roles[other.url] != "follower" || roles[urlA] != "follower" {
+			return fmt.Sprintf("roles = %v", roles)
+		}
+		for _, d := range top.Docs {
+			if d.Name == doc {
+				if d.Primary != succ.url {
+					return fmt.Sprintf("doc primary = %s, want %s", d.Primary, succ.url)
+				}
+				if d.FenceEpoch != 1 {
+					return fmt.Sprintf("doc fence epoch = %d, want 1", d.FenceEpoch)
+				}
+				return ""
+			}
+		}
+		return "document missing from topology"
+	})
+
+	dumpClusterArtifacts(t, doc, map[string]*clusterNode{
+		"rejoined-primary": a2,
+		"follower":         other,
+	})
+}
+
+// TestClusterStaleEpochStreamRejected pins down the fencing guarantee on
+// its own: a follower that was promoted (fence bumped) and then pointed
+// back at the old, never-demoted primary must reject that stream as stale
+// and keep its local copy untouched.
+func TestClusterStaleEpochStreamRejected(t *testing.T) {
+	a := startClusterNode(t, Config{DataDir: t.TempDir(), NoFsync: true})
+	cfgB := followerConfig(t, a.url)
+	b := startClusterNode(t, cfgB)
+
+	const doc = "fenced"
+	if _, err := a.c.Load(doc, api.LoadRequest{XML: sampleXML, Scheme: "prime", TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	storm(t, a.c, doc, 5)
+	waitSynced(t, a.c, b.c, doc)
+
+	resp, err := b.c.Promote()
+	if err != nil || !resp.Promoted {
+		t.Fatalf("promote: %+v, %v", resp, err)
+	}
+	bi, err := b.c.Info(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genAtPromotion := bi.Generation
+
+	// Point the promoted node back at the old primary, which is still
+	// writable at the old epoch. Its stream must be rejected outright.
+	if err := b.srv.Refollow(a.url); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.c.Insert(doc, 0, 0, "stale"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 15*time.Second, func() string {
+		h, err := b.c.Healthz()
+		if err != nil {
+			return fmt.Sprintf("healthz: %v", err)
+		}
+		st := docStatus(h, doc)
+		if st == nil {
+			return "not subscribed yet"
+		}
+		if !strings.Contains(st.LastError, "stale") {
+			return fmt.Sprintf("last error %q, want a stale-epoch rejection", st.LastError)
+		}
+		if st.AppliedRecords != 0 || st.SnapshotsInstalled != 0 {
+			return fmt.Sprintf("applied %d records, %d snapshots from a stale stream, want none",
+				st.AppliedRecords, st.SnapshotsInstalled)
+		}
+		return ""
+	})
+	bi, err = b.c.Info(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Generation != genAtPromotion {
+		t.Fatalf("promoted copy moved from generation %d to %d on a stale stream", genAtPromotion, bi.Generation)
+	}
+	if h, err := b.c.Healthz(); err != nil || h.Fences[doc] != 1 {
+		t.Fatalf("fence = %v (err %v), want 1", h.Fences, err)
+	}
+}
+
+// TestClusterPinRedirect covers placement: a write sent to a member that
+// does not own the document answers with a 307 naming the owner, the
+// client's transport follows it (re-sending the body), and the document
+// lives only on the owner.
+func TestClusterPinRedirect(t *testing.T) {
+	addrA, addrB := reserveAddr(t), reserveAddr(t)
+	urlA, urlB := "http://"+addrA, "http://"+addrB
+	members := []string{urlA, urlB}
+	mk := func(self, addr string) Config {
+		return Config{
+			Addr:         addr,
+			ClusterSelf:  self,
+			ClusterNodes: members,
+			ClusterPins:  map[string]string{"pinned": urlB},
+			ClusterProbe: 100 * time.Millisecond,
+		}
+	}
+	a := startClusterNode(t, mk(urlA, addrA))
+	b := startClusterNode(t, mk(urlB, addrB))
+
+	if _, err := a.c.Load("pinned", api.LoadRequest{XML: sampleXML, Scheme: "prime", TrackOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.c.Info("pinned"); err != nil {
+		t.Fatalf("owner does not host the pinned document: %v", err)
+	}
+	if _, err := a.c.Info("pinned"); err == nil {
+		t.Fatal("non-owner hosts the pinned document; the load should have redirected")
+	}
+	if _, err := a.c.Insert("pinned", 0, 0, "x"); err != nil {
+		t.Fatalf("redirected update: %v", err)
+	}
+	bi, err := b.c.Info("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Generation == 0 {
+		t.Fatal("redirected update did not advance the owner's generation")
+	}
+	if v := metricValue(t, a.c, "labeld_cluster_redirects_total"); v < 2 {
+		t.Fatalf("non-owner redirects = %d, want >= 2 (load + update)", v)
+	}
+	waitUntil(t, 15*time.Second, func() string {
+		top, err := a.c.Topology()
+		if err != nil {
+			return fmt.Sprintf("topology: %v", err)
+		}
+		for _, d := range top.Docs {
+			if d.Name == "pinned" {
+				if d.Primary != urlB || !d.Pinned {
+					return fmt.Sprintf("pinned doc = %+v, want pinned to %s", d, urlB)
+				}
+				return ""
+			}
+		}
+		return "pinned document missing from topology"
+	})
+}

@@ -74,6 +74,7 @@ func (s *Store) writeSnapshotLocked(ctx context.Context, d *document) error {
 		Generation: d.gen,
 		Relabeled:  d.relabeled,
 		Frozen:     d.frozen != nil,
+		FenceEpoch: d.fenceEpoch,
 	}, d.lab)
 	endSnap()
 	if err != nil {
@@ -350,12 +351,13 @@ func (s *Store) recoverOne(name string) error {
 		pl.SetStats(s.metrics.Ancestors())
 	}
 	d := &document{
-		name:      name,
-		planner:   planName,
-		lab:       lab,
-		cache:     newQueryCache(s.cacheCap),
-		gen:       meta.Generation,
-		relabeled: meta.Relabeled,
+		name:       name,
+		planner:    planName,
+		lab:        lab,
+		cache:      newQueryCache(s.cacheCap),
+		gen:        meta.Generation,
+		relabeled:  meta.Relabeled,
+		fenceEpoch: meta.FenceEpoch,
 	}
 	d.lastWrite.Store(time.Now().UnixNano())
 	d.table = rdb.Build(lab)
@@ -376,6 +378,11 @@ func (s *Store) recoverOne(name string) error {
 		}
 		if _, err := d.replayRecord(rec, fmt.Sprintf("journal record %d", i), persist.ErrCorrupt); err != nil {
 			return err
+		}
+		if rec.Fence > d.fenceEpoch {
+			// A replicated record can carry a higher epoch than the last
+			// snapshot (the fence travels with records); epochs only grow.
+			d.fenceEpoch = rec.Fence
 		}
 		replayed++
 	}

@@ -28,7 +28,7 @@ type endpointStats struct {
 // goroutines can read it without locking.
 var endpointNames = []string{
 	"load", "list", "get", "delete", "query", "relation", "update", "update_batch", "healthz", "metrics", "traces",
-	"querystats", "replicate", "promote",
+	"querystats", "replicate", "replicate_digest", "promote", "topology",
 }
 
 // batchSizeBounds are the bucket upper bounds for the unitless group-commit
@@ -116,6 +116,16 @@ type Metrics struct {
 	replSnapshotsOut atomic.Uint64
 	replSnapshotsIn  atomic.Uint64
 	replReconnects   atomic.Uint64 // follower-side stream reconnect attempts
+	replRebases      atomic.Uint64 // follower-side divergence-point rejoins (journal probe + truncate)
+
+	// Cluster-fabric counters (see internal/server/cluster). All zero when
+	// the node runs without cluster configuration. promotions also counts
+	// explicit POST /promote calls on non-clustered nodes.
+	promotions       atomic.Uint64
+	clusterProbes    atomic.Uint64
+	clusterFailovers atomic.Uint64
+	clusterDemotions atomic.Uint64
+	clusterRedirects atomic.Uint64
 }
 
 // ObserveStage feeds one duration into a traced stage's histogram outside
@@ -279,6 +289,19 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line(`labeld_replication_snapshots_total{direction="in"} %d`, m.replSnapshotsIn.Load())
 	line("# HELP labeld_replication_reconnects_total Follower-side replication stream reconnect attempts.")
 	line("labeld_replication_reconnects_total %d", m.replReconnects.Load())
+	line("# HELP labeld_replication_rebases_total Follower documents re-joined at a probed divergence point instead of a snapshot re-ship.")
+	line("labeld_replication_rebases_total %d", m.replRebases.Load())
+
+	line("# HELP labeld_promotions_total Times this node promoted itself to primary (explicit POST /promote or cluster failover).")
+	line("labeld_promotions_total %d", m.promotions.Load())
+	line("# HELP labeld_cluster_probes_total Health-probe sweeps the cluster manager completed over the member list.")
+	line("labeld_cluster_probes_total %d", m.clusterProbes.Load())
+	line("# HELP labeld_cluster_failovers_total Failovers this node executed (self-promotions after its primary stayed unhealthy past the failover timeout).")
+	line("labeld_cluster_failovers_total %d", m.clusterFailovers.Load())
+	line("# HELP labeld_cluster_demotions_total Times this node demoted itself (re-followed a peer holding a higher fencing epoch, or re-targeted a promoted successor).")
+	line("labeld_cluster_demotions_total %d", m.clusterDemotions.Load())
+	line("# HELP labeld_cluster_redirects_total Write requests answered with a 307 redirect to the ring owner.")
+	line("labeld_cluster_redirects_total %d", m.clusterRedirects.Load())
 
 	// Go runtime series, sampled at scrape time.
 	var ms runtime.MemStats

@@ -65,6 +65,12 @@ type Record struct {
 	// replica_apply share it. Replay ignores it; old journals without the
 	// field load unchanged.
 	TraceID string `json:"trace_id,omitempty"`
+	// Fence is the document's fencing epoch at the time the record was
+	// journaled. Promotion bumps the epoch, so a record written by a
+	// deposed primary that kept accepting writes carries a lower fence than
+	// the cluster's current one and followers reject it instead of applying
+	// a fork. Zero on journals that predate fencing; epochs only ever grow.
+	Fence uint64 `json:"fence,omitempty"`
 }
 
 // OpRecord is one operation inside a batch Record, with the same per-op
@@ -405,6 +411,94 @@ func (m *Manager) ReplayJournal(name string) ([]Record, int64, error) {
 		records = append(records, rec)
 	}
 	return records, validEnd, nil
+}
+
+// RecordDigest identifies one journal record for divergence probing: the
+// generation the record produced, the CRC-32 (IEEE) of its payload — the
+// same checksum the frame header carries, so two journals that recorded the
+// same update byte-for-byte agree on it — and the byte offset of the
+// record's frame in the journal file. A rejoining follower compares its
+// digests against the primary's: the first generation whose CRC differs is
+// the divergence point, and the follower truncates its journal at that
+// record's local Offset instead of re-shipping a whole snapshot.
+type RecordDigest struct {
+	// Gen is the generation the record produced (Record.Gen).
+	Gen uint64 `json:"gen"`
+	// CRC is the CRC-32 (IEEE) of the record's JSON payload.
+	CRC uint32 `json:"crc"`
+	// Offset is the byte offset of the record's frame start in the journal
+	// file it was scanned from. Offsets are local to that file — the two
+	// sides of a probe compare Gen and CRC, never offsets.
+	Offset int64 `json:"offset"`
+}
+
+// DigestFrames walks a journal image with the same framing rules as crash
+// recovery (torn tails terminate the scan cleanly, earlier corruption is an
+// error) and returns one digest per valid record. The CRC comes from the
+// frame header, which scanFrames has already verified against the payload.
+func DigestFrames(data []byte) ([]RecordDigest, error) {
+	payloads, _, err := scanFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	digests := make([]RecordDigest, 0, len(payloads))
+	off := int64(len(journalMagic))
+	for i, p := range payloads {
+		var rec struct {
+			Gen uint64 `json:"gen"`
+		}
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return nil, fmt.Errorf("%w: journal record %d: %v", ErrCorrupt, i, err)
+		}
+		digests = append(digests, RecordDigest{Gen: rec.Gen, CRC: crc32.ChecksumIEEE(p), Offset: off})
+		off += int64(frameHeaderLen + len(p))
+	}
+	return digests, nil
+}
+
+// JournalDigests scans the named document's journal file and returns one
+// digest per committed record, for divergence probing (see RecordDigest). A
+// missing journal yields no digests. The scan reads the file without
+// locking the live journal; a concurrent truncation (compaction) can only
+// shorten the result, which a prober treats like any other stale answer and
+// retries.
+func (m *Manager) JournalDigests(name string) ([]RecordDigest, error) {
+	data, err := os.ReadFile(m.journalPath(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	digests, err := DigestFrames(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: journal %s: %v", ErrCorrupt, name, err)
+	}
+	return digests, nil
+}
+
+// TruncateJournal cuts the named document's journal file back to offset —
+// the divergence point a digest probe found — discarding every record at or
+// past it. The document's live journal handle must be closed first (the
+// rejoin path retires the document before rebasing); offsets below the
+// journal header are clamped to an empty journal. The truncation is
+// fsynced so a crash mid-rejoin cannot resurrect the discarded records.
+func (m *Manager) TruncateJournal(name string, offset int64) error {
+	if offset < int64(len(journalMagic)) {
+		offset = int64(len(journalMagic))
+	}
+	f, err := os.OpenFile(m.journalPath(name), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(offset); err != nil {
+		return err
+	}
+	if m.fsync {
+		return f.Sync()
+	}
+	return nil
 }
 
 // EncodeFrame wraps a payload in the journal's record framing: a 4-byte

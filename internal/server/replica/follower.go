@@ -285,6 +285,8 @@ func (r *Replicator) status() api.ReplicaDocStatus {
 		SnapshotsInstalled: r.st.snapshots.Load(),
 		LastError:          r.st.lastErr.Load().(string),
 		LastTraceID:        r.st.lastTraceID.Load().(string),
+		FenceEpoch:         r.st.fence.Load(),
+		Rebases:            r.st.rebases.Load(),
 	}
 	if primary > applied {
 		st.LagGenerations = primary - applied

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -91,6 +94,8 @@ func (s *fakeSource) Generation(name string) (uint64, bool) {
 	defer s.mu.Unlock()
 	return s.gen, true
 }
+
+func (s *fakeSource) FenceEpoch(name string) (uint64, bool) { return 0, true }
 
 // newFakeSource builds a source whose snapshot is at generation 0 and whose
 // journal holds records 1..gens, committed and tail-safe.
@@ -340,6 +345,88 @@ func TestBackoffBounds(t *testing.T) {
 	}
 }
 
+// replicatorPrimary is a fake primary HTTP server for replicator unit
+// tests: each connection gets a hello heartbeat, then either severs the
+// stream (the first `drops` connections) or holds it open until the client
+// goes away.
+func replicatorPrimary(t *testing.T, drops int) *httptest.Server {
+	t.Helper()
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := conns.Add(1)
+		body, _ := json.Marshal(Heartbeat{Generation: 1})
+		if _, err := w.Write(encodeMessage(KindHeartbeat, body)); err != nil {
+			return
+		}
+		w.(http.Flusher).Flush()
+		if int(n) <= drops {
+			return // sever the stream, forcing a reconnect
+		}
+		<-req.Context().Done() // hold the stream open
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// A session that opens one stream and holds it until shutdown must report
+// zero reconnects — per the Hooks doc, only (re)connect attempts after the
+// first count. Regression test for the counter firing after every stream
+// end, which inflated labeld_replication_reconnects_total by one on every
+// clean run.
+func TestReplicatorCleanSessionReportsZeroReconnects(t *testing.T) {
+	srv := replicatorPrimary(t, 0)
+	var hookCount atomic.Int64
+	hooks := Hooks{AddReconnect: func() { hookCount.Add(1) }}
+	r := newReplicator("d", srv.URL, &fakeTarget{}, srv.Client(), hooks, discardLogger(), 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.run(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.st.primaryGen.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("replicator never reached the streaming heartbeat")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if got := r.st.reconnects.Load(); got != 0 {
+		t.Errorf("single-connect session reconnects = %d, want 0", got)
+	}
+	if got := hookCount.Load(); got != 0 {
+		t.Errorf("single-connect session AddReconnect fired %d times, want 0", got)
+	}
+}
+
+// A stream severed once yields exactly one counted reconnect: the second
+// connection attempt.
+func TestReplicatorSeveredStreamCountsOneReconnect(t *testing.T) {
+	srv := replicatorPrimary(t, 1)
+	var hookCount atomic.Int64
+	hooks := Hooks{AddReconnect: func() { hookCount.Add(1) }}
+	r := newReplicator("d", srv.URL, &fakeTarget{}, srv.Client(), hooks, discardLogger(), 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.run(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.st.reconnects.Load() != 1 || r.st.primaryGen.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicator never re-established the stream (reconnects=%d)", r.st.reconnects.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Give the second (held-open) stream a beat to prove it does not count.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-done
+	if got := r.st.reconnects.Load(); got != 1 {
+		t.Errorf("reconnects = %d, want exactly 1", got)
+	}
+	if got := hookCount.Load(); got != 1 {
+		t.Errorf("AddReconnect fired %d times, want exactly 1", got)
+	}
+}
+
 // fakeTarget is a no-op Target for replicator construction in unit tests.
 type fakeTarget struct{}
 
@@ -350,4 +437,10 @@ func (fakeTarget) InstallSnapshot(context.Context, string, []byte) (uint64, erro
 func (fakeTarget) ApplyRecord(context.Context, string, persist.Record) (uint64, error) {
 	return 0, nil
 }
+func (fakeTarget) FenceEpoch(string) (uint64, bool) { return 0, false }
+
+func (fakeTarget) Rebase(context.Context, string, DigestResponse) (uint64, bool, error) {
+	return 0, false, nil
+}
+
 func (fakeTarget) Drop(string) error { return nil }

@@ -9,6 +9,7 @@ package replica
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -39,8 +40,21 @@ type Target interface {
 	// ApplyRecord replays one journal record (a single update or a whole
 	// batch) against the local copy, verifying the journaled outcome, and
 	// returns the resulting generation. A record at or below the local
-	// generation is a no-op. An outcome mismatch is ErrDiverged.
+	// generation is a no-op. An outcome mismatch is ErrDiverged; a record
+	// whose fencing epoch is below the local copy's is ErrStaleEpoch.
 	ApplyRecord(ctx context.Context, name string, rec persist.Record) (uint64, error)
+	// FenceEpoch returns the local copy's fencing epoch, ok=false when the
+	// document is not hosted locally.
+	FenceEpoch(name string) (uint64, bool)
+	// Rebase rejoins the local copy to the primary's history at the exact
+	// divergence point: it compares the primary's journal digests against
+	// the local journal, truncates local records from the first differing
+	// generation onward, rebuilds the document from its own disk, and
+	// returns the rebased generation. ok=false (without error) means the
+	// probe cannot apply — no local journal, or the fork predates the
+	// local snapshot — and the caller falls back to Drop plus snapshot
+	// re-sync.
+	Rebase(ctx context.Context, name string, primary DigestResponse) (uint64, bool, error)
 	// Drop removes the local copy (and its persisted state); a missing
 	// document is not an error.
 	Drop(name string) error
@@ -69,7 +83,14 @@ type docState struct {
 	reconnects     atomic.Uint64
 	appliedRecords atomic.Uint64
 	snapshots      atomic.Uint64
-	lastErr        atomic.Value // string
+	// fence is the highest fencing epoch observed for the document, from
+	// the local copy at startup, heartbeats, applied records, and digest
+	// probes. A stream advertising a lower epoch is rejected.
+	fence atomic.Uint64
+	// rebases counts divergence-point rejoins (journal truncation instead
+	// of snapshot re-ship).
+	rebases atomic.Uint64
+	lastErr atomic.Value // string
 	// lastTraceID is the trace ID carried by the most recently applied
 	// record — the handle linking this replica's lag gauges back to the
 	// originating write's cross-node trace.
@@ -106,6 +127,9 @@ type Hooks struct {
 	AddSnapshotIn func()
 	// AddReconnect counts stream (re)connect attempts after the first.
 	AddReconnect func()
+	// AddRebase counts divergence-point rejoins (journal truncation instead
+	// of snapshot re-ship).
+	AddRebase func()
 }
 
 // newReplicator wires up (but does not start) a replicator for one document.
@@ -126,6 +150,9 @@ func newReplicator(doc, primary string, target Target, hc *http.Client, hooks Ho
 	if gen, ok := target.Generation(doc); ok {
 		r.st.applied.Store(gen)
 	}
+	if fence, ok := target.FenceEpoch(doc); ok {
+		r.st.fence.Store(fence)
+	}
 	return r
 }
 
@@ -134,7 +161,18 @@ func newReplicator(doc, primary string, target Target, hc *http.Client, hooks Ho
 // message) resets the backoff.
 func (r *Replicator) run(ctx context.Context) {
 	attempt := 0
+	connects := 0
 	for ctx.Err() == nil {
+		// Only connection attempts after the first count as reconnects:
+		// a session that opens one stream and holds it until shutdown
+		// reports zero (see Hooks.AddReconnect).
+		if connects > 0 {
+			r.st.reconnects.Add(1)
+			if r.hooks.AddReconnect != nil {
+				r.hooks.AddReconnect()
+			}
+		}
+		connects++
 		r.st.state.Store("connecting")
 		progressed, err := r.stream(ctx)
 		if ctx.Err() != nil {
@@ -144,10 +182,6 @@ func (r *Replicator) run(ctx context.Context) {
 			attempt = 0
 		} else {
 			attempt++
-		}
-		r.st.reconnects.Add(1)
-		if r.hooks.AddReconnect != nil {
-			r.hooks.AddReconnect()
 		}
 		if err != nil {
 			r.st.lastErr.Store(err.Error())
@@ -209,6 +243,86 @@ func (r *Replicator) noteAppliedTrace(id string, d time.Duration) {
 	r.hooks.OnTrace(tr)
 }
 
+// resync repairs a local copy that no longer matches the primary's history.
+// It first tries the journal digest probe (tryRebase): truncate the local
+// journal at the exact divergence point and keep everything before it, so
+// the reconnect resumes streaming records instead of re-shipping a
+// snapshot. When the probe cannot apply — no local journal, fork predating
+// the local snapshot, probe request failed — it falls back to dropping the
+// copy, which makes the next connection start from scratch. epoch is the
+// highest fencing epoch known for the document at the decision point; it is
+// recorded either way so the next stream is not re-probed. The returned
+// error (always non-nil) ends the current stream; cause explains why.
+func (r *Replicator) resync(ctx context.Context, epoch uint64, cause error) error {
+	if gen, ok := r.tryRebase(ctx); ok {
+		r.st.applied.Store(gen)
+		r.st.rebases.Add(1)
+		if r.hooks.AddRebase != nil {
+			r.hooks.AddRebase()
+		}
+		r.logger.Info("rebased replica at divergence point",
+			"doc", r.doc, "generation", gen, "cause", cause)
+		return fmt.Errorf("rebased local copy to generation %d: %w", gen, cause)
+	}
+	r.logger.Error("replica diverged beyond rebase; dropping local copy for snapshot re-sync",
+		"doc", r.doc, "err", cause)
+	if derr := r.target.Drop(r.doc); derr != nil {
+		r.logger.Error("dropping diverged replica failed", "doc", r.doc, "err", derr)
+	}
+	r.st.applied.Store(0)
+	if epoch > r.st.fence.Load() {
+		r.st.fence.Store(epoch)
+	}
+	return cause
+}
+
+// tryRebase fetches the primary's journal digests and asks the target to
+// truncate the local copy back to the divergence point. ok=false means the
+// caller must fall back to the drop + snapshot path.
+func (r *Replicator) tryRebase(ctx context.Context) (uint64, bool) {
+	dig, err := r.fetchDigests(ctx)
+	if err != nil {
+		r.logger.Warn("journal digest probe failed; falling back to snapshot re-sync",
+			"doc", r.doc, "err", err)
+		return 0, false
+	}
+	gen, ok, err := r.target.Rebase(ctx, r.doc, dig)
+	if err != nil {
+		r.logger.Warn("rebase failed; falling back to snapshot re-sync", "doc", r.doc, "err", err)
+		return 0, false
+	}
+	if !ok {
+		return 0, false
+	}
+	if dig.FenceEpoch > r.st.fence.Load() {
+		r.st.fence.Store(dig.FenceEpoch)
+	}
+	return gen, true
+}
+
+// fetchDigests pulls the primary's journal record digests for the document.
+func (r *Replicator) fetchDigests(ctx context.Context) (DigestResponse, error) {
+	var dig DigestResponse
+	u := r.primary + "/replicate/" + r.doc + "/digest"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return dig, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return dig, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return dig, fmt.Errorf("primary answered %d for %s", resp.StatusCode, u)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dig); err != nil {
+		return dig, fmt.Errorf("decoding digest response: %w", err)
+	}
+	return dig, nil
+}
+
 // stream runs one connection: request, then apply messages until the stream
 // ends. progressed reports whether any message was applied (used to reset
 // backoff). The returned error is nil only for a clean primary-side close.
@@ -250,7 +364,10 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 	}()
 
 	tctx := trace.NewContext(context.Background(), tr)
-	observeApply := func(start time.Time) {
+	// observeApply measures the apply once and returns that duration, so
+	// the stage histogram, the connection trace, and the per-record trace
+	// published under the originating ID all report the same number.
+	observeApply := func(start time.Time) time.Duration {
 		d := time.Since(start)
 		if r.hooks.ObserveStage != nil {
 			r.hooks.ObserveStage(trace.StageReplicaApply, d)
@@ -259,6 +376,7 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 			trace.Observe(tctx, trace.StageReplicaApply, d)
 			spans++
 		}
+		return d
 	}
 	caughtUp := func() {
 		if pg := r.st.primaryGen.Load(); pg > 0 && r.st.applied.Load() >= pg {
@@ -284,6 +402,24 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 			var hbm Heartbeat
 			if err := decodeBody(kind, body, &hbm); err != nil {
 				return progressed, err
+			}
+			if fence := r.st.fence.Load(); hbm.FenceEpoch < fence {
+				return progressed, fmt.Errorf("%w: heartbeat epoch %d below observed %d",
+					ErrStaleEpoch, hbm.FenceEpoch, fence)
+			} else if hbm.FenceEpoch > fence {
+				// The primary was promoted over an epoch this copy has not
+				// seen. A local copy written under the old epoch may hold
+				// records the new primary never had (the fork of a deposed
+				// primary), so probe for the divergence point before
+				// applying anything.
+				if gen, ok := r.target.Generation(r.doc); ok && gen > 0 {
+					if local, _ := r.target.FenceEpoch(r.doc); local < hbm.FenceEpoch {
+						return progressed, r.resync(ctx, hbm.FenceEpoch, fmt.Errorf(
+							"primary fencing epoch %d above local copy's %d; checking for divergence",
+							hbm.FenceEpoch, local))
+					}
+				}
+				r.st.fence.Store(hbm.FenceEpoch)
 			}
 			r.st.primaryGen.Store(hbm.Generation)
 			r.st.state.Store("streaming")
@@ -311,22 +447,28 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 			if err := decodeBody(kind, body, &rec); err != nil {
 				return progressed, err
 			}
+			if fence := r.st.fence.Load(); rec.Fence < fence {
+				return progressed, fmt.Errorf("%w: record gen %d carries epoch %d below observed %d",
+					ErrStaleEpoch, rec.Gen, rec.Fence, fence)
+			}
 			start := time.Now()
 			gen, err := r.target.ApplyRecord(ctx, r.doc, rec)
-			observeApply(start)
+			applyDur := observeApply(start)
 			if errors.Is(err, ErrDiverged) {
-				// The local copy cannot be trusted; drop it so the next
-				// connection re-syncs from a fresh snapshot. progressed
-				// stays true so the reconnect is fast.
-				r.logger.Error("replica diverged; dropping local copy for re-sync", "doc", r.doc, "err", err)
-				if derr := r.target.Drop(r.doc); derr != nil {
-					r.logger.Error("dropping diverged replica failed", "doc", r.doc, "err", derr)
+				// The local copy cannot be trusted past some fork point.
+				// resync rebases it there (or drops it when the fork is not
+				// probeable); returning true keeps the reconnect fast.
+				epoch := r.st.fence.Load()
+				if rec.Fence > epoch {
+					epoch = rec.Fence
 				}
-				r.st.applied.Store(0)
-				return true, err
+				return true, r.resync(ctx, epoch, err)
 			}
 			if err != nil {
 				return progressed, fmt.Errorf("apply record gen %d: %w", rec.Gen, err)
+			}
+			if rec.Fence > r.st.fence.Load() {
+				r.st.fence.Store(rec.Fence)
 			}
 			r.st.applied.Store(gen)
 			if gen > r.st.primaryGen.Load() {
@@ -338,7 +480,7 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 			}
 			if rec.TraceID != "" {
 				r.st.lastTraceID.Store(rec.TraceID)
-				r.noteAppliedTrace(rec.TraceID, time.Since(start))
+				r.noteAppliedTrace(rec.TraceID, applyDur)
 			}
 			progressed = true
 			caughtUp()
@@ -358,13 +500,13 @@ func (r *Replicator) stream(ctx context.Context) (progressed bool, err error) {
 				return progressed, fmt.Errorf("primary: %s (document gone)", se.Message)
 			}
 			if se.Resync {
-				if derr := r.target.Drop(r.doc); derr != nil {
-					r.logger.Error("dropping replica for re-sync failed", "doc", r.doc, "err", derr)
-				}
-				r.st.applied.Store(0)
-				// progressed=true keeps the reconnect immediate: the next
-				// connection starts from scratch and ships a snapshot.
-				return true, fmt.Errorf("primary requested re-sync: %s", se.Message)
+				// The follower is ahead of the primary — the classic deposed
+				// primary rejoining after failover. resync probes for the
+				// divergence point and truncates back to it, falling back to
+				// drop + snapshot. progressed=true keeps the reconnect
+				// immediate.
+				return true, r.resync(ctx, r.st.fence.Load(),
+					fmt.Errorf("primary requested re-sync: %s", se.Message))
 			}
 			return progressed, errors.New("primary: " + se.Message)
 		default:

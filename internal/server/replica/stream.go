@@ -65,6 +65,10 @@ type Source interface {
 	// Generation returns the document's current generation, with ok=false
 	// when the document is not hosted. Used for heartbeats.
 	Generation(name string) (uint64, bool)
+	// FenceEpoch returns the document's fencing epoch, with ok=false when
+	// the document is not hosted. Heartbeats carry it so followers can
+	// reject a deposed primary before any record flows.
+	FenceEpoch(name string) (uint64, bool)
 }
 
 // Conn is the transport a stream writes to: the server side wraps
@@ -139,7 +143,8 @@ func (st *Streamer) Serve(ctx context.Context, conn Conn, doc string, from uint6
 			sendStreamError(StreamError{Message: "document deleted", Gone: true})
 			return errStreamDone
 		}
-		body, _ := json.Marshal(Heartbeat{Generation: gen})
+		fence, _ := st.Source.FenceEpoch(doc)
+		body, _ := json.Marshal(Heartbeat{Generation: gen, FenceEpoch: fence})
 		return send(KindHeartbeat, body)
 	}
 

@@ -58,6 +58,28 @@ const MaxSnapshotLen = 1 << 28
 type Heartbeat struct {
 	// Generation is the document's generation on the primary.
 	Generation uint64 `json:"generation"`
+	// FenceEpoch is the document's fencing epoch on the primary. A
+	// follower that has seen a higher epoch (a promoted successor) rejects
+	// the stream — the sender is a deposed primary. Zero on primaries that
+	// were never promoted over.
+	FenceEpoch uint64 `json:"fence_epoch,omitempty"`
+}
+
+// DigestResponse is the GET /replicate/{name}/digest payload: the primary's
+// journal record digests, which a rejoining follower compares with its own
+// journal to find the exact divergence point (first generation whose record
+// CRC differs) and truncate back to it instead of re-shipping a snapshot.
+type DigestResponse struct {
+	// Generation is the document's current generation on the primary.
+	Generation uint64 `json:"generation"`
+	// FenceEpoch is the document's current fencing epoch on the primary.
+	FenceEpoch uint64 `json:"fence_epoch,omitempty"`
+	// SnapshotGeneration is the primary's on-disk snapshot generation —
+	// digests only cover journal records past it, so divergence below it is
+	// undetectable by probe and forces the snapshot fallback.
+	SnapshotGeneration uint64 `json:"snapshot_generation"`
+	// Digests are the primary's journal record digests in journal order.
+	Digests []persist.RecordDigest `json:"digests"`
 }
 
 // StreamError is a KindError body: the primary's reason for ending the
@@ -86,8 +108,15 @@ var (
 	// ErrDiverged: a follower's replay of a record produced a different
 	// outcome than the primary journaled (generation gap, relabel-count or
 	// failure-flag mismatch). The follower's copy cannot be trusted; it is
-	// dropped and re-synced from a fresh snapshot.
+	// rebased to the divergence point via the journal digest probe, or —
+	// when the fork predates the local snapshot — dropped and re-synced
+	// from a fresh snapshot.
 	ErrDiverged = errors.New("replica: replica diverged from primary")
+	// ErrStaleEpoch: a stream (or record) advertised a fencing epoch below
+	// one this follower has already observed — the sender is a deposed
+	// primary that resurrected with stale state. The stream is rejected
+	// and the local copy kept untouched.
+	ErrStaleEpoch = errors.New("replica: stream fencing epoch is stale")
 )
 
 // encodeMessage wraps a kind byte plus body in one stream frame.

@@ -80,6 +80,70 @@ func (s *Store) Generation(name string) (uint64, bool) {
 	return d.gen, true
 }
 
+// FenceEpoch returns the named document's fencing epoch, implementing both
+// replica.Source (heartbeats advertise it) and replica.Target (followers
+// initialize their stale-stream check from it).
+func (s *Store) FenceEpoch(name string) (uint64, bool) {
+	d, err := s.get(name)
+	if err != nil {
+		return 0, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.fenceEpoch, true
+}
+
+// Fences snapshots every hosted document's fencing epoch, keyed by name —
+// the /healthz field cluster managers compare across nodes to detect a
+// deposed primary serving stale state.
+func (s *Store) Fences() map[string]uint64 {
+	s.mu.RLock()
+	docs := make([]*document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d)
+	}
+	s.mu.RUnlock()
+	out := make(map[string]uint64, len(docs))
+	for _, d := range docs {
+		d.mu.RLock()
+		out[d.name] = d.fenceEpoch
+		d.mu.RUnlock()
+	}
+	return out
+}
+
+// BumpFences increments every hosted document's fencing epoch and, for
+// durable documents, immediately writes a snapshot so the bump survives a
+// restart even before the next journaled write. The journal is deliberately
+// NOT reset: its records are what a rejoining replica's divergence probe
+// compares against. Called by promotion, before the read-only gate opens,
+// so every post-promotion write carries the new epoch.
+func (s *Store) BumpFences(ctx context.Context) {
+	s.mu.RLock()
+	docs := make([]*document, 0, len(s.docs))
+	for _, d := range s.docs {
+		docs = append(docs, d)
+	}
+	s.mu.RUnlock()
+	for _, d := range docs {
+		d.mu.Lock()
+		d.fenceEpoch++
+		epoch := d.fenceEpoch
+		if d.journal != nil {
+			if err := s.writeSnapshotLocked(ctx, d); err != nil {
+				// The bump still holds in memory (and travels with every
+				// subsequent record); only restart durability is degraded.
+				s.metrics.persistErrors.Add(1)
+				s.logger.Error("fence-bump snapshot failed", "doc", d.name, "err", err)
+			} else {
+				d.sinceSnap = 0
+			}
+		}
+		d.mu.Unlock()
+		s.logger.Info("bumped fencing epoch", "doc", d.name, "fence_epoch", epoch)
+	}
+}
+
 // InstallSnapshot replaces the local copy of a document with a shipped
 // snapshot image, implementing replica.Target. The image is decoded through
 // the same codec recovery uses and — on a durable follower — persisted
@@ -118,12 +182,13 @@ func (s *Store) InstallSnapshot(ctx context.Context, name string, image []byte) 
 
 	endIndex := trace.Start(ctx, trace.StageIndex)
 	d := &document{
-		name:      name,
-		planner:   planName,
-		lab:       lab,
-		cache:     newQueryCache(s.cacheCap),
-		gen:       meta.Generation,
-		relabeled: meta.Relabeled,
+		name:       name,
+		planner:    planName,
+		lab:        lab,
+		cache:      newQueryCache(s.cacheCap),
+		gen:        meta.Generation,
+		relabeled:  meta.Relabeled,
+		fenceEpoch: meta.FenceEpoch,
 	}
 	d.lastWrite.Store(time.Now().UnixNano())
 	d.table = rdb.Build(lab)
@@ -197,6 +262,13 @@ func (s *Store) applyRecordLocked(ctx context.Context, d *document, rec persist.
 	d.mu.Lock()
 	endLock()
 	defer d.mu.Unlock()
+	if rec.Fence < d.fenceEpoch {
+		// The record was journaled by a primary whose epoch predates one
+		// this copy has already adopted — a deposed primary's stream. The
+		// local copy stays untouched.
+		return d.gen, nil, fmt.Errorf("%w: record gen %d carries epoch %d below local %d",
+			replica.ErrStaleEpoch, rec.Gen, rec.Fence, d.fenceEpoch)
+	}
 	if rec.Gen <= d.gen {
 		return d.gen, nil, nil // duplicate delivery; already applied
 	}
@@ -223,6 +295,12 @@ func (s *Store) applyRecordLocked(ctx context.Context, d *document, rec persist.
 		d.table.Warm()
 	}
 	s.observeReindex(patched)
+	if rec.Fence > d.fenceEpoch {
+		// Adopt the primary's newer epoch. The record below is re-journaled
+		// verbatim — fence included — so the adoption is durable and chained
+		// replicas see it too.
+		d.fenceEpoch = rec.Fence
+	}
 
 	var commit *pendingCommit
 	if d.journal != nil {
@@ -236,6 +314,131 @@ func (s *Store) applyRecordLocked(ctx context.Context, d *document, rec persist.
 		}
 	}
 	return d.gen, commit, nil
+}
+
+// Digests builds the GET /replicate/{name}/digest payload: the document's
+// journal record digests plus the generations and epoch a rejoining
+// follower needs to locate its divergence point. Digest reads race live
+// appends and compactions harmlessly — the scan stops at any torn tail, and
+// a prober seeing a shortened list just falls back to the snapshot path.
+func (s *Store) Digests(name string) (replica.DigestResponse, error) {
+	d, err := s.get(name)
+	if err != nil {
+		return replica.DigestResponse{}, err
+	}
+	if s.persist == nil {
+		return replica.DigestResponse{}, fmt.Errorf("%w: store has no data directory", replica.ErrNotReplicable)
+	}
+	d.mu.RLock()
+	resp := replica.DigestResponse{Generation: d.gen, FenceEpoch: d.fenceEpoch}
+	d.mu.RUnlock()
+	raw, err := s.persist.ReadSnapshotRaw(name)
+	if err != nil {
+		return replica.DigestResponse{}, err
+	}
+	meta, err := persist.DecodeSnapshotMeta(raw)
+	if err != nil {
+		return replica.DigestResponse{}, err
+	}
+	resp.SnapshotGeneration = meta.Generation
+	if resp.Digests, err = s.persist.JournalDigests(name); err != nil {
+		return replica.DigestResponse{}, err
+	}
+	return resp, nil
+}
+
+// Rebase rejoins the local copy of a document to the primary's history at
+// the exact divergence point, implementing replica.Target. It compares the
+// primary's journal digests against the local journal record by record
+// (generation plus payload CRC — the same checksum the journal frames carry
+// on disk), truncates the local journal at the first record the primary's
+// history does not contain, and rebuilds the document from its own snapshot
+// plus the surviving journal prefix. That is what lets a deposed primary
+// rejoin as a follower without an empty-data-dir snapshot re-ship: only the
+// forked suffix is discarded.
+//
+// ok=false (without error) means the probe cannot apply and the caller must
+// fall back to Drop plus snapshot re-sync: no local persistence, a fork the
+// primary has compacted out of its journal, or a fork already baked into
+// the local snapshot. The document is unpublished while the journal is
+// truncated (its live handle must be closed first), so reads 404 briefly —
+// the same window InstallSnapshot has.
+func (s *Store) Rebase(ctx context.Context, name string, primary replica.DigestResponse) (uint64, bool, error) {
+	if s.persist == nil {
+		return 0, false, nil
+	}
+	s.mu.Lock()
+	d, ok := s.docs[name]
+	delete(s.docs, name)
+	s.mu.Unlock()
+	if !ok {
+		return 0, false, nil
+	}
+	s.metrics.documents.Add(-1)
+	if j := retire(d); j != nil {
+		j.Close()
+	}
+	// From here on any failure leaves the document unpublished; the
+	// fallback path (Drop + snapshot re-sync) handles that state.
+
+	raw, err := s.persist.ReadSnapshotRaw(name)
+	if err != nil {
+		return 0, false, err
+	}
+	meta, err := persist.DecodeSnapshotMeta(raw)
+	if err != nil {
+		return 0, false, err
+	}
+	local, err := s.persist.JournalDigests(name)
+	if err != nil {
+		return 0, false, err
+	}
+
+	primaryCRC := make(map[uint64]uint32, len(primary.Digests))
+	for _, pd := range primary.Digests {
+		primaryCRC[pd.Gen] = pd.CRC
+	}
+	// The divergence point is the first local record the primary's history
+	// does not contain. Records the primary has compacted below its
+	// snapshot generation are unverifiable — if one of those disagrees we
+	// cannot place the fork and must fall back.
+	cut := -1
+	for i, ld := range local {
+		crc, covered := primaryCRC[ld.Gen]
+		if covered && crc == ld.CRC {
+			continue // shared history
+		}
+		if !covered && ld.Gen <= primary.SnapshotGeneration {
+			return 0, false, nil
+		}
+		cut = i
+		break
+	}
+	if cut < 0 {
+		// The local journal is a pure prefix of the primary's history. If
+		// the local snapshot itself is ahead of the primary the fork is
+		// baked into it — not probeable.
+		if meta.Generation > primary.Generation {
+			return 0, false, nil
+		}
+	} else {
+		if meta.Generation >= local[cut].Gen {
+			// The fork predates the local snapshot: truncating the journal
+			// cannot roll it back.
+			return 0, false, nil
+		}
+		if err := s.persist.TruncateJournal(name, local[cut].Offset); err != nil {
+			return 0, false, err
+		}
+		s.logger.Info("truncated journal at divergence point",
+			"doc", name, "generation", local[cut].Gen, "records_discarded", len(local)-cut)
+	}
+
+	if err := s.recoverOne(name); err != nil {
+		return 0, false, err
+	}
+	gen, _ := s.Generation(name)
+	return gen, true, nil
 }
 
 // Drop unpublishes a document and removes its persisted state,
@@ -328,6 +531,27 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleReplicateDigest serves GET /replicate/{name}/digest: the journal
+// record digests a rejoining follower compares with its own journal to find
+// the divergence point (see Store.Rebase).
+func (s *Server) handleReplicateDigest(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Durable() {
+		writeError(w, fmt.Errorf("%w: server has no data directory; nothing to probe", ErrBadRequest))
+		return
+	}
+	name := r.PathValue("name")
+	resp, err := s.store.Digests(name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownDocument) || errors.Is(err, persist.ErrNoSnapshot) {
+			writeError(w, fmt.Errorf("%w: %q", ErrUnknownDocument, name))
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handlePromote serves POST /promote: stop following and accept writes.
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	promoted := s.Promote()
@@ -346,18 +570,39 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 // concurrently and idempotent. On a server that never followed a primary
 // it is a no-op.
 func (s *Server) Promote() bool {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
 	if !s.readOnly.Load() {
 		return false
 	}
+	was := ""
 	if s.follower != nil {
+		was = s.follower.Primary()
 		s.follower.Stop()
 	}
+	// Bump fencing epochs before the gate opens so every post-promotion
+	// write carries the new epoch: a deposed primary's stream (still on the
+	// old epoch) is then rejected by every follower.
+	s.store.BumpFences(context.Background())
 	if !s.readOnly.CompareAndSwap(true, false) {
 		return false // lost the race to a concurrent promote
 	}
+	s.metrics.promotions.Add(1)
 	s.logger.Info("promoted to primary; accepting writes",
-		"documents", s.store.Count(), "was_following", s.cfg.FollowURL)
+		"documents", s.store.Count(), "was_following", was)
 	return true
+}
+
+// FollowedPrimary returns the base URL of the primary this server currently
+// follows, or "" when it is not following one (a primary, or a promoted
+// ex-follower).
+func (s *Server) FollowedPrimary() string {
+	if s.readOnly.Load() {
+		if f := s.currentFollower(); f != nil {
+			return f.Primary()
+		}
+	}
+	return ""
 }
 
 // ReadOnly reports whether the server currently rejects writes (an
@@ -377,10 +622,11 @@ func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
 // decorateReplicaInfo stamps follower state onto a DocInfo: whether the
 // document is a replica and how far behind the primary it is.
 func (s *Server) decorateReplicaInfo(info *api.DocInfo) {
-	if s.follower == nil || !s.readOnly.Load() {
+	f := s.currentFollower()
+	if f == nil || !s.readOnly.Load() {
 		return
 	}
-	ds, ok := s.follower.DocStatus(info.Name)
+	ds, ok := f.DocStatus(info.Name)
 	if !ok {
 		return
 	}
@@ -391,8 +637,8 @@ func (s *Server) decorateReplicaInfo(info *api.DocInfo) {
 // startFollower launches the follower's discovery and replication
 // goroutines; a no-op on a server that is not configured to follow.
 func (s *Server) startFollower() {
-	if s.follower != nil {
-		s.follower.Start()
+	if f := s.currentFollower(); f != nil {
+		f.Start()
 	}
 }
 
@@ -401,8 +647,13 @@ func (s *Server) startFollower() {
 // grace period on connections that would never drain), and the follower —
 // if any — is stopped with its in-flight applies completed.
 func (s *Server) stopReplication() {
+	if s.cluster != nil {
+		// First, so the failover watcher cannot promote or re-point the
+		// follower mid-shutdown.
+		s.cluster.Stop()
+	}
 	s.streamCancel()
-	if s.follower != nil {
-		s.follower.Stop()
+	if f := s.currentFollower(); f != nil {
+		f.Stop()
 	}
 }

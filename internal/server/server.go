@@ -10,10 +10,12 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"primelabel/internal/server/api"
+	"primelabel/internal/server/cluster"
 	"primelabel/internal/server/persist"
 	"primelabel/internal/server/replica"
 	"primelabel/internal/server/trace"
@@ -93,6 +95,31 @@ type Config struct {
 	// write before it qualifies for freezing (default 1). Only meaningful
 	// with FreezeAfter.
 	FreezeMinReads int
+	// ClusterNodes, when set, makes this server a cluster member: it lists
+	// every member's advertised base URL (including this server's own,
+	// ClusterSelf). Members probe each other's health, serve GET /topology,
+	// place documents on the consistent-hash ring, and run metric-driven
+	// failover.
+	ClusterNodes []string
+	// ClusterSelf is this server's own advertised base URL, as it appears
+	// in ClusterNodes. Required when ClusterNodes is set.
+	ClusterSelf string
+	// ClusterPins overrides ring placement per document: document name →
+	// owning member URL.
+	ClusterPins map[string]string
+	// ClusterVNodes is the ring's virtual-node count per member (default
+	// 64). Only meaningful with ClusterNodes.
+	ClusterVNodes int
+	// ClusterProbe is the inter-member health-probe interval (default 1s).
+	// Only meaningful with ClusterNodes.
+	ClusterProbe time.Duration
+	// FailoverAfter, when positive, arms automatic failover: when the
+	// primary this follower pulls from stays unreachable for this long, the
+	// designated successor (deterministic among the healthy followers)
+	// self-promotes, bumps the fencing epoch, and the remaining followers
+	// re-point at it. Zero disables self-promotion (operators promote
+	// manually). Only meaningful with ClusterNodes on a follower.
+	FailoverAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -135,13 +162,20 @@ type Server struct {
 
 	// Replication state (see replication.go): streamer serves outbound
 	// /replicate streams, bounded by streamCtx so Shutdown can end them;
-	// follower (nil unless cfg.FollowURL is set) pulls from a primary, and
-	// readOnly gates write endpoints until promotion.
+	// follower (nil unless following) pulls from a primary, and readOnly
+	// gates write endpoints until promotion. followMu guards follower —
+	// failover re-points it at runtime (Refollow), so every access goes
+	// through currentFollower.
 	streamer     *replica.Streamer
 	streamCtx    context.Context
 	streamCancel context.CancelFunc
+	followMu     sync.Mutex
 	follower     *replica.Follower
 	readOnly     atomic.Bool
+
+	// cluster is the fabric manager (nil unless cfg.ClusterNodes is set):
+	// topology probes, ring placement, failover watching.
+	cluster *cluster.Manager
 }
 
 // New returns an unstarted server. When cfg.DataDir is set it opens (and if
@@ -184,18 +218,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FollowURL != "" {
 		s.readOnly.Store(true)
-		s.follower = replica.NewFollower(cfg.FollowURL, s.store, replica.Options{
-			Poll:   cfg.FollowPoll,
-			Logger: cfg.Logger,
-			Hooks: replica.Hooks{
-				ObserveStage:  m.ObserveStage,
-				OnTrace:       s.traces.Add,
-				AddBytesIn:    func(n int) { m.replBytesIn.Add(uint64(n)) },
-				AddRecordIn:   func() { m.replRecordsIn.Add(1) },
-				AddSnapshotIn: func() { m.replSnapshotsIn.Add(1) },
-				AddReconnect:  func() { m.replReconnects.Add(1) },
+		s.follower = s.newFollower(cfg.FollowURL)
+	}
+	if len(cfg.ClusterNodes) > 0 {
+		cm, err := cluster.NewManager(cluster.Config{
+			Self:          cfg.ClusterSelf,
+			Nodes:         cfg.ClusterNodes,
+			Pins:          cfg.ClusterPins,
+			VNodes:        cfg.ClusterVNodes,
+			ProbeInterval: cfg.ClusterProbe,
+			FailoverAfter: cfg.FailoverAfter,
+			Logger:        cfg.Logger,
+			Hooks: cluster.Hooks{
+				AddProbe:    func() { m.clusterProbes.Add(1) },
+				AddFailover: func() { m.clusterFailovers.Add(1) },
+				AddDemotion: func() { m.clusterDemotions.Add(1) },
 			},
-		})
+		}, s)
+		if err != nil {
+			return nil, fmt.Errorf("server: cluster config: %w", err)
+		}
+		s.cluster = cm
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -203,6 +246,66 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// newFollower wires a follower pulling from primary into this server's
+// store, metrics, and trace ring. Used at construction (cfg.FollowURL) and
+// by Refollow when failover re-points the server at a promoted successor.
+func (s *Server) newFollower(primary string) *replica.Follower {
+	m := s.metrics
+	return replica.NewFollower(primary, s.store, replica.Options{
+		Poll:   s.cfg.FollowPoll,
+		Logger: s.logger,
+		Hooks: replica.Hooks{
+			ObserveStage:  m.ObserveStage,
+			OnTrace:       s.traces.Add,
+			AddBytesIn:    func(n int) { m.replBytesIn.Add(uint64(n)) },
+			AddRecordIn:   func() { m.replRecordsIn.Add(1) },
+			AddSnapshotIn: func() { m.replSnapshotsIn.Add(1) },
+			AddReconnect:  func() { m.replReconnects.Add(1) },
+			AddRebase:     func() { m.replRebases.Add(1) },
+		},
+	})
+}
+
+// currentFollower returns the follower this server is running, nil when it
+// is not following. The follower field is mutable at runtime (failover
+// re-points it), so all readers go through here.
+func (s *Server) currentFollower() *replica.Follower {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	return s.follower
+}
+
+// Refollow re-points the server at a new primary: the write gate closes (a
+// demoted primary must stop accepting writes before anything else), the
+// current follower — if any — is stopped with its in-flight applies
+// drained, and a fresh follower starts pulling from url. Local document
+// copies are kept: the divergence probe rebases them against the new
+// primary's journal instead of re-shipping snapshots. Re-following the
+// primary already followed is a no-op.
+func (s *Server) Refollow(url string) error {
+	url = strings.TrimRight(url, "/")
+	if url == "" {
+		return errors.New("server: refollow: empty primary URL")
+	}
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	if s.follower != nil && s.readOnly.Load() && s.follower.Primary() == url {
+		return nil
+	}
+	s.readOnly.Store(true)
+	if s.follower != nil {
+		s.follower.Stop()
+	}
+	s.follower = s.newFollower(url)
+	s.follower.Start()
+	s.logger.Info("following primary", "primary", url)
+	return nil
+}
+
+// Fences exposes the store's per-document fencing epochs to the cluster
+// manager (and /healthz).
+func (s *Server) Fences() map[string]uint64 { return s.store.Fences() }
 
 // Recover restores every document persisted in the configured data
 // directory (snapshot load plus journal replay) and returns their names.
@@ -237,16 +340,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /docs/{name}/update", s.instrument("update", s.handleUpdate))
 	mux.HandleFunc("POST /docs/{name}/update/batch", s.instrument("update_batch", s.handleUpdateBatch))
 	mux.HandleFunc("POST /promote", s.instrument("promote", s.handlePromote))
+	mux.HandleFunc("GET /topology", s.instrument("topology", s.handleTopology))
 	timeoutBody, _ := json.Marshal(api.Error{Error: "request timed out"})
 	timed := http.TimeoutHandler(mux, s.cfg.RequestTimeout, string(timeoutBody))
 	// Replication streams live outside the timeout wrapper: they are meant
 	// to run for hours, and TimeoutHandler would both buffer their writes
 	// and kill them at the request deadline. Shutdown ends them via
-	// streamCtx instead.
+	// streamCtx instead. The digest probe rides next to them (more specific
+	// pattern wins) — it is a quick request, but belongs with replication.
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /replicate/{name}", s.instrument("replicate", s.handleReplicate))
+	outer.HandleFunc("GET /replicate/{name}/digest", s.instrument("replicate_digest", s.handleReplicateDigest))
 	outer.Handle("/", timed)
 	return outer
+}
+
+// handleTopology serves GET /topology: the cluster manager's current view of
+// the fabric. 400 on a server that is not a cluster member.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, fmt.Errorf("%w: server is not a cluster member (no cluster nodes configured)", ErrBadRequest))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Topology())
+}
+
+// redirectNonOwner answers a write for a document this node does not own
+// under the cluster's placement (consistent-hash ring plus pins) with a
+// 307: Location carries the owner's URL joined with the request path, and
+// the body names the owner for clients that do not auto-follow redirects.
+// Returns true when the request was redirected. A node that is not a
+// cluster member, or is the owner, serves the write itself.
+func (s *Server) redirectNonOwner(w http.ResponseWriter, r *http.Request, name string) bool {
+	if s.cluster == nil {
+		return false
+	}
+	owner, ok := s.cluster.Owner(name)
+	if !ok || owner == s.cluster.Self() {
+		return false
+	}
+	s.metrics.clusterRedirects.Add(1)
+	w.Header().Set("Location", owner+r.URL.Path)
+	writeJSON(w, http.StatusTemporaryRedirect, api.RedirectPayload{
+		Error: fmt.Sprintf("document %q is placed on %s", name, owner),
+		Doc:   name,
+		Owner: owner,
+	})
+	return true
 }
 
 // statusWriter records the response code for metrics.
@@ -377,9 +517,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		ReadOnly:      s.readOnly.Load(),
 	}
-	if s.follower != nil && h.ReadOnly {
-		st := s.follower.Status()
+	if f := s.currentFollower(); f != nil && h.ReadOnly {
+		st := f.Status()
 		h.Replication = &st
+	}
+	if fences := s.store.Fences(); len(fences) > 0 {
+		h.Fences = fences
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -390,8 +533,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.store.WriteCacheMetrics(w)
 	s.store.WriteFreezeMetrics(w)
 	s.store.WriteQueryStatsMetrics(w)
-	if s.follower != nil && s.readOnly.Load() {
-		s.follower.WriteMetrics(w)
+	if f := s.currentFollower(); f != nil && s.readOnly.Load() {
+		f.WriteMetrics(w)
+	}
+	if s.cluster != nil {
+		s.cluster.WriteMetrics(w)
 	}
 }
 
@@ -404,7 +550,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	if s.redirectNonOwner(w, r, r.PathValue("name")) || s.rejectReadOnly(w) {
 		return
 	}
 	var req api.LoadRequest
@@ -430,7 +576,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	if s.redirectNonOwner(w, r, r.PathValue("name")) || s.rejectReadOnly(w) {
 		return
 	}
 	if err := s.store.Delete(r.Context(), r.PathValue("name")); err != nil {
@@ -474,7 +620,7 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	if s.redirectNonOwner(w, r, r.PathValue("name")) || s.rejectReadOnly(w) {
 		return
 	}
 	var req api.UpdateRequest
@@ -490,7 +636,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpdateBatch(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	if s.redirectNonOwner(w, r, r.PathValue("name")) || s.rejectReadOnly(w) {
 		return
 	}
 	var req api.BatchUpdateRequest
@@ -526,6 +672,9 @@ func (s *Server) Start() (string, error) {
 	s.serveErr = make(chan error, 1)
 	go func() { s.serveErr <- s.httpSrv.Serve(ln) }()
 	s.startFollower()
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -578,6 +727,9 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	errc := make(chan error, 1)
 	go func() { errc <- s.httpSrv.Serve(ln) }()
 	s.startFollower()
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	select {
 	case err := <-errc:
 		s.stopDebug()

@@ -29,7 +29,10 @@ func startTestServer(t *testing.T) *client.Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// 10s, not 5: under the full -race suite the test binaries of every
+		// package run in parallel and a loaded machine can need the slack to
+		// drain the concurrency-heavy tests' in-flight requests.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			t.Errorf("shutdown: %v", err)

@@ -68,6 +68,12 @@ type document struct {
 	// relabeled accumulates the labels written by every update applied to
 	// this document — the paper's Figures 16–18 metric, observed online.
 	relabeled uint64
+	// fenceEpoch is the document's fencing epoch: bumped by every promotion
+	// of this server (and adopted from replicated records), stamped onto
+	// every journaled record, and persisted in snapshot meta. Followers use
+	// it to reject streams from a deposed primary that resurrected with
+	// stale state. Guarded by mu like gen.
+	fenceEpoch uint64
 
 	// journal is the document's update journal when persistence is enabled
 	// and the scheme is persistable; nil otherwise. Appends happen inside
@@ -865,7 +871,7 @@ func (s *Store) updateOne(ctx context.Context, d *document, req api.UpdateReques
 	var commit *pendingCommit
 	if d.journal != nil {
 		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Count: count, Failed: opErr != nil, Req: req,
-			TraceID: trace.ID(ctx)}
+			TraceID: trace.ID(ctx), Fence: d.fenceEpoch}
 		rec.Req.Generation = nil // replay applies records unconditionally
 		var err error
 		if commit, err = s.journalAppendLocked(ctx, d, rec); err != nil {
@@ -1016,7 +1022,8 @@ func (s *Store) updateBatchLocked(ctx context.Context, d *document, req api.Batc
 
 	var commit *pendingCommit
 	if d.journal != nil && len(ops) > 0 {
-		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Ops: ops, TraceID: trace.ID(ctx)}
+		rec := persist.Record{Gen: d.gen, Relabeled: d.relabeled, Ops: ops, TraceID: trace.ID(ctx),
+			Fence: d.fenceEpoch}
 		var err error
 		if commit, err = s.journalAppendLocked(ctx, d, rec); err != nil {
 			return api.BatchUpdateResponse{}, nil, 0, err
