@@ -34,6 +34,7 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJournalFrames -fuzztime 10s ./internal/server/persist
 	$(GO) test -run '^$$' -fuzz FuzzStreamFrames -fuzztime 10s ./internal/server/persist
+	$(GO) test -run '^$$' -fuzz FuzzExtentJoinParity -fuzztime 10s ./internal/server
 
 # e2e-replica runs the two-node replication suite under the race detector:
 # snapshot bootstrap, live journal tailing to parity through an update

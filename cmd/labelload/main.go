@@ -156,8 +156,8 @@ func printProfile(stdout io.Writer, q string, ex *api.QueryExplain) {
 	}
 	fmt.Fprintln(stdout)
 	for _, st := range ex.Steps {
-		fmt.Fprintf(stdout, "    step %s::%s candidates %d pairs %d emitted %d\n",
-			st.Axis, st.Name, st.Candidates, st.Pairs, st.Emitted)
+		fmt.Fprintf(stdout, "    step %s::%s plan %s candidates %d pairs %d emitted %d\n",
+			st.Axis, st.Name, st.JoinPlan, st.Candidates, st.Pairs, st.Emitted)
 	}
 	if fp := ex.Fastpath; fp != nil {
 		fmt.Fprintf(stdout, "    fastpath: prefilter_rejects %d exact_u64 %d exact_big %d\n",
@@ -182,9 +182,14 @@ func run(args []string, stdout io.Writer) error {
 	books := fs.Int("books", 25, "books per shelf in the generated document")
 	scheme := fs.String("scheme", "prime", "labeling scheme for the document")
 	explainSample := fs.Int("explain-sample", 0, "after the workload, run N queries with ?explain=1 (and N without), print their profiles, and report the p50/p95 explain overhead")
+	countOnly := fs.Bool("count-only", false, "issue count-mode queries: the server returns only result counts, never materializing node refs")
+	stream := fs.Bool("stream", false, "issue streamed queries: results arrive as NDJSON chunks via POST /docs/{name}/query/stream")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *countOnly && *stream {
+		return fmt.Errorf("-count-only and -stream are mutually exclusive")
 	}
 	if *version {
 		fmt.Fprintln(stdout, buildinfo.String("labelload"))
@@ -336,7 +341,15 @@ func run(args []string, stdout io.Writer) error {
 						res.insertMax = d
 					}
 				} else {
-					_, err = tc.Query(*doc, queryMix[(w+i)%len(queryMix)])
+					q := queryMix[(w+i)%len(queryMix)]
+					switch {
+					case *countOnly:
+						_, err = tc.QueryCount(*doc, q)
+					case *stream:
+						_, err = tc.QueryStream(*doc, q, func(api.StreamChunk) error { return nil })
+					default:
+						_, err = tc.Query(*doc, q)
+					}
 					d := time.Since(t0)
 					queryHist.Observe(d)
 					if d > res.queryMax {

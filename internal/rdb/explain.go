@@ -32,6 +32,9 @@ type StepProfile struct {
 	// pool; Shards is how many shards it spawned.
 	Parallel bool
 	Shards   int
+	// JoinPlan is the physical operator the per-step planner chose for the
+	// step's join ("scan" for the document-context first step).
+	JoinPlan string
 }
 
 // Explain accumulates one query execution's step profiles. A nil *Explain

@@ -31,6 +31,16 @@ const (
 	// StackTree merges both document-ordered inputs with an ancestor stack:
 	// linear in input plus output instead of the product.
 	StackTree
+	// Extent drives every structural axis from the table's document-order
+	// columns instead of label probes: ancestor/parent tests are O(1)
+	// row-range containments against the subtree-extent column, child and
+	// descendant steps are single-pass merges, and following/preceding are
+	// binary-search range scans. Per step, the planner still falls back to
+	// the nested loop (tiny inputs) or the order join (ranks unavailable);
+	// the choice is recorded in StepProfile.JoinPlan. Results are
+	// byte-identical to the label-driven planners — the labels stay the
+	// verified ground truth in parity tests.
+	Extent
 )
 
 // Table is the element relation: one row per element in document order.
@@ -54,6 +64,15 @@ type Table struct {
 	nodes []*xmltree.Node // row id -> node
 	rowOf map[*xmltree.Node]int
 	byTag map[string][]int // tag index: row ids in document order
+	// depth and extent are the structural columns the Extent planner joins
+	// on. Rows are preorder positions, so a subtree occupies the contiguous
+	// run [i, extent[i]]: depth[i] is row i's element-tree depth and
+	// extent[i] the row of its last descendant (extent[i] == i for a leaf).
+	// a is a proper ancestor of b iff a < b && b <= extent[a]; the parent
+	// additionally satisfies depth[b] == depth[a]+1. Maintained by Build,
+	// PatchInsert and PatchDelete, and validated against rebuilds by Diff.
+	depth  []int
+	extent []int
 	// ranks memoizes labeling.Orderer lookups (Section 4.3: order numbers
 	// are generated once per candidate list, then compared as integers).
 	ranks map[*xmltree.Node]int
@@ -62,6 +81,12 @@ type Table struct {
 	// concurrent readers until the next structural update (which requires a
 	// rebuild anyway — see Build).
 	warmed bool
+	// ordered marks that every row received a rank during Warm: document
+	// order is fully decidable from the memo, so the Extent planner may
+	// serve following/preceding from row positions. When false those axes
+	// fall back to the order join, which fails (or succeeds) exactly as the
+	// labeling's own Before would.
+	ordered bool
 }
 
 // rank returns a document-order rank from the labeling when available.
@@ -99,10 +124,14 @@ func (t *Table) Warm() {
 	if t.ranks == nil {
 		t.ranks = make(map[*xmltree.Node]int, len(t.nodes))
 	}
+	ordered := true
 	for _, n := range t.nodes {
-		t.rank(n)
+		if _, ok := t.rank(n); !ok {
+			ordered = false
+		}
 	}
 	t.warmed = true
+	t.ordered = ordered
 }
 
 // Build materializes the element table for a labeled document. Rebuild the
@@ -120,7 +149,57 @@ func Build(lab labeling.Labeling) *Table {
 		t.byTag[n.Name] = append(t.byTag[n.Name], id)
 		return true
 	})
+	t.initStructure()
 	return t
+}
+
+// initStructure fills the depth and extent columns from the preorder row
+// sequence. Depth follows the element parent chain (a row whose parent is
+// not an element — the document node above the root — is depth 0); extent
+// falls out of the preorder invariant that a subtree ends at the first
+// following row whose depth is not greater than its root's.
+func (t *Table) initStructure() {
+	n := len(t.nodes)
+	t.depth = make([]int, n)
+	t.extent = make([]int, n)
+	for i, nd := range t.nodes {
+		if p := nd.Parent; p != nil {
+			// Parents precede children in preorder, so depth[pr] is final.
+			if pr, ok := t.rowOf[p]; ok {
+				t.depth[i] = t.depth[pr] + 1
+			}
+		}
+	}
+	var open []int // rows whose subtrees the scan is currently inside
+	for i := 0; i < n; i++ {
+		for len(open) > 0 && t.depth[i] <= t.depth[open[len(open)-1]] {
+			t.extent[open[len(open)-1]] = i - 1
+			open = open[:len(open)-1]
+		}
+		open = append(open, i)
+	}
+	for _, i := range open {
+		t.extent[i] = n - 1
+	}
+}
+
+// lastElementDescendant returns the preorder-last element in n's subtree
+// (n itself when it has no element children): the node whose row is n's
+// extent. O(depth of the subtree's right spine).
+func lastElementDescendant(n *xmltree.Node) *xmltree.Node {
+	for {
+		var last *xmltree.Node
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			if n.Children[i].Kind == xmltree.ElementNode {
+				last = n.Children[i]
+				break
+			}
+		}
+		if last == nil {
+			return n
+		}
+		n = last
+	}
 }
 
 // InsertPos returns the row id a freshly inserted childless element will
@@ -170,6 +249,7 @@ func (t *Table) PatchInsert(pos int, n *xmltree.Node, rank, shiftDelta int) {
 	for i := pos; i < len(t.nodes); i++ {
 		t.rowOf[t.nodes[i]] = i
 	}
+	t.patchInsertStructure(pos, n)
 	// Bump existing ids >= pos before inserting the new node's own id, so
 	// the new id is not double-counted.
 	for _, ids := range t.byTag {
@@ -196,6 +276,54 @@ func (t *Table) PatchInsert(pos int, n *xmltree.Node, rank, shiftDelta int) {
 	t.ranks[n] = rank
 }
 
+// patchInsertStructure splices the depth and extent columns for a node
+// newly occupying row pos. The caller has already spliced nodes and
+// renumbered rowOf, so rowOf answers in new (post-insert) coordinates.
+// The rules, each a direct consequence of rows shifting up by one at pos:
+//
+//  1. Every surviving extent that pointed at or past pos moves with its
+//     row (+1); extents before pos are untouched. After this, each extent
+//     again names the row of the same last-descendant node as before.
+//  2. The new row's depth is its parent's plus one, and its extent is the
+//     row of its last element descendant — pos itself for a childless
+//     insert, the renumbered end of the wrapped subtree for a wrap.
+//  3. A wrap interposed n between its subtree and their old parent, so
+//     every row in (pos, extent[pos]] gains one ancestor: depth++.
+//  4. Each element ancestor of n extends its extent to cover n's subtree
+//     (max with extent[pos] — a no-op unless n's subtree is now the
+//     ancestor's preorder-last descendant run, e.g. an append at the end).
+func (t *Table) patchInsertStructure(pos int, n *xmltree.Node) {
+	t.depth = append(t.depth, 0)
+	copy(t.depth[pos+1:], t.depth[pos:])
+	t.extent = append(t.extent, 0)
+	copy(t.extent[pos+1:], t.extent[pos:])
+	for i := range t.extent {
+		if i != pos && t.extent[i] >= pos {
+			t.extent[i]++
+		}
+	}
+	d := 0
+	if p := n.Parent; p != nil {
+		if pr, ok := t.rowOf[p]; ok {
+			d = t.depth[pr] + 1
+		}
+	}
+	t.depth[pos] = d
+	t.extent[pos] = t.rowOf[lastElementDescendant(n)]
+	for i := pos + 1; i <= t.extent[pos]; i++ {
+		t.depth[i]++
+	}
+	for p := n.Parent; p != nil; p = p.Parent {
+		pr, ok := t.rowOf[p]
+		if !ok {
+			break
+		}
+		if t.extent[pr] < t.extent[pos] {
+			t.extent[pr] = t.extent[pos]
+		}
+	}
+}
+
 // PatchDelete removes the contiguous row range [pos, pos+len(removed))
 // instead of rebuilding — a deleted subtree occupies exactly a contiguous
 // preorder run, with removed holding its elements in that order. Later rows
@@ -218,6 +346,21 @@ func (t *Table) PatchDelete(pos int, removed []*xmltree.Node) {
 	t.nodes = append(t.nodes[:pos], t.nodes[pos+k:]...)
 	for i := pos; i < len(t.nodes); i++ {
 		t.rowOf[t.nodes[i]] = i
+	}
+	// Structural columns: survivors keep their depth (deleting a subtree
+	// never re-parents anyone). Extents pointing past the removed run move
+	// down with their rows; an extent inside the run belonged to an
+	// ancestor of the deleted subtree (only an ancestor's span can cover
+	// it), whose new last descendant is the row before the run.
+	t.depth = append(t.depth[:pos], t.depth[pos+k:]...)
+	t.extent = append(t.extent[:pos], t.extent[pos+k:]...)
+	for i, e := range t.extent {
+		switch {
+		case e >= pos+k:
+			t.extent[i] = e - k
+		case e >= pos:
+			t.extent[i] = pos - 1
+		}
 	}
 	for tag, ids := range t.byTag {
 		lo := sort.SearchInts(ids, pos)
@@ -254,6 +397,18 @@ func (t *Table) Diff(ref *Table) error {
 	for i, n := range t.nodes {
 		if got, ok := t.rowOf[n]; !ok || got != i {
 			return fmt.Errorf("rdb diff: rowOf[row %d] = %d (present %v)", i, got, ok)
+		}
+	}
+	if len(t.depth) != len(t.nodes) || len(t.extent) != len(t.nodes) {
+		return fmt.Errorf("rdb diff: structural columns sized %d/%d for %d rows",
+			len(t.depth), len(t.extent), len(t.nodes))
+	}
+	for i := range t.nodes {
+		if t.depth[i] != ref.depth[i] {
+			return fmt.Errorf("rdb diff: depth of row %d = %d, reference %d", i, t.depth[i], ref.depth[i])
+		}
+		if t.extent[i] != ref.extent[i] {
+			return fmt.Errorf("rdb diff: extent of row %d = %d, reference %d", i, t.extent[i], ref.extent[i])
 		}
 	}
 	if len(t.byTag) != len(ref.byTag) {
@@ -375,40 +530,11 @@ func (t *Table) NLJoin(outer, inner RowSet, pred JoinPred) Pairs {
 // StackJoin is a stack-based structural join in the spirit of Stack-Tree:
 // both inputs are in document order, so each ancestor is pushed once and
 // popped when the cursor leaves its subtree. O(|outer|+|inner|+|result|)
-// predicate evaluations instead of the nested loop's product.
+// predicate evaluations instead of the nested loop's product. Pairs are
+// emitted in (Out, In) order during the merge itself (see stackMerge), so
+// the O(k log k) trailing sort earlier revisions paid is gone.
 func (t *Table) StackJoin(outer, inner RowSet) Pairs {
-	var out Pairs
-	var stack []int // a chain of nested ancestors, outermost first
-	oi := 0
-	pred := t.AncestorPred()
-	for _, in := range inner {
-		// Push every outer row that starts before the current inner row,
-		// popping stack tops whose subtrees ended (they cannot contain the
-		// new candidate, hence no later row either).
-		for oi < len(outer) && outer[oi] < in {
-			cand := outer[oi]
-			for len(stack) > 0 && !pred(t.nodes[stack[len(stack)-1]], t.nodes[cand]) {
-				stack = stack[:len(stack)-1]
-			}
-			stack = append(stack, cand)
-			oi++
-		}
-		// Pop outers whose subtree ended before this inner row; the rest
-		// form a nested chain that all contain it.
-		for len(stack) > 0 && !pred(t.nodes[stack[len(stack)-1]], t.nodes[in]) {
-			stack = stack[:len(stack)-1]
-		}
-		for _, o := range stack {
-			out = append(out, Pair{Out: o, In: in})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Out != out[j].Out {
-			return out[i].Out < out[j].Out
-		}
-		return out[i].In < out[j].In
-	})
-	return out
+	return t.stackMerge(outer, inner, t.labelContains(), false)
 }
 
 // ExecPath runs a full path query against the table with label-driven
@@ -476,6 +602,7 @@ func (t *Table) execPath(q xpath.Query, stats *ExecStats, ex *Explain) (RowSet, 
 				ex.addStep(StepProfile{
 					Axis: step.Axis.String(), Name: step.Name, Pos: step.Pos,
 					Filters: len(step.Filters), Candidates: len(cands), Emitted: len(ctx),
+					JoinPlan: planScan,
 				})
 			}
 			if len(ctx) == 0 {
@@ -487,20 +614,33 @@ func (t *Table) execPath(q xpath.Query, stats *ExecStats, ex *Explain) (RowSet, 
 		if ex != nil {
 			preFanOuts, preShards = stats.FanOuts, stats.Shards
 		}
-		pairs, err := t.joinStep(ctx, cands, step, stats)
-		if err != nil {
-			return nil, err
+		var joined int
+		var plan string
+		if t.Plan == Extent && step.Axis == xpath.AxisDescendant && step.Pos == 0 {
+			// No positional predicate means only the distinct inner rows
+			// survive this step, so the descendant join collapses to an
+			// interval-cover semi-join: no pairs, no projection dedup. For a
+			// semi-join the explain Pairs column equals Emitted.
+			ctx = t.descendantCover(ctx, cands)
+			joined = len(ctx)
+			plan = planExtentCover
+		} else {
+			pairs, p, err := t.joinStep(ctx, cands, step, stats)
+			if err != nil {
+				return nil, err
+			}
+			joined = len(pairs)
+			if step.Pos > 0 {
+				pairs = nthPerOuter(pairs, step.Pos)
+			}
+			ctx = pairs.ProjectIn()
+			plan = p
 		}
-		joined := len(pairs)
-		if step.Pos > 0 {
-			pairs = nthPerOuter(pairs, step.Pos)
-		}
-		ctx = pairs.ProjectIn()
 		if ex != nil {
 			ex.addStep(StepProfile{
 				Axis: step.Axis.String(), Name: step.Name, Pos: step.Pos,
 				Filters: len(step.Filters), Candidates: len(cands),
-				Pairs: joined, Emitted: len(ctx),
+				Pairs: joined, Emitted: len(ctx), JoinPlan: plan,
 				Parallel: stats.FanOuts > preFanOuts, Shards: stats.Shards - preShards,
 			})
 		}
@@ -512,38 +652,69 @@ func (t *Table) execPath(q xpath.Query, stats *ExecStats, ex *Explain) (RowSet, 
 }
 
 // joinStep evaluates one non-initial step as a join between the context
-// rows and the candidate rows; stats (may be nil) accumulates fan-outs.
-func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step, stats *ExecStats) (Pairs, error) {
+// rows and the candidate rows, returning the chosen plan's name alongside
+// the pairs; stats (may be nil) accumulates fan-outs. Under the Extent
+// planner the choice is per-step and cost-based (see extentJoinPlan);
+// every planner produces byte-identical pairs on every axis.
+func (t *Table) joinStep(ctx, cands RowSet, step xpath.Step, stats *ExecStats) (Pairs, string, error) {
 	switch step.Axis {
 	case xpath.AxisChild:
-		return t.nlJoin(ctx, cands, t.ParentPred(), stats), nil
-	case xpath.AxisDescendant:
-		if t.Plan == StackTree {
-			return t.StackJoin(ctx, cands), nil
+		if t.Plan == Extent {
+			switch plan := extentJoinPlan(len(ctx), len(cands)); plan {
+			case planExtentProbe:
+				return t.extentProbe(ctx, cands, true), plan, nil
+			case planExtentMerge:
+				return t.stackMerge(ctx, cands, t.extentContains, true), plan, nil
+			}
 		}
-		return t.nlJoin(ctx, cands, t.AncestorPred(), stats), nil
+		return t.nlJoin(ctx, cands, t.ParentPred(), stats), planNestedLoop, nil
+	case xpath.AxisDescendant:
+		switch t.Plan {
+		case Extent:
+			switch plan := extentJoinPlan(len(ctx), len(cands)); plan {
+			case planExtentProbe:
+				return t.extentProbe(ctx, cands, false), plan, nil
+			case planExtentMerge:
+				return t.stackMerge(ctx, cands, t.extentContains, false), plan, nil
+			}
+			return t.nlJoin(ctx, cands, t.AncestorPred(), stats), planNestedLoop, nil
+		case StackTree:
+			return t.StackJoin(ctx, cands), planStackMerge, nil
+		default:
+			return t.nlJoin(ctx, cands, t.AncestorPred(), stats), planNestedLoop, nil
+		}
 	case xpath.AxisFollowing:
-		return t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
+		if t.Plan == Extent && t.ordered {
+			return t.rangeJoin(ctx, cands, true), planExtentRange, nil
+		}
+		ps, err := t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
 			after, err := t.before(c, n)
 			if err != nil {
 				return false, err
 			}
 			return after && !t.lab.IsAncestor(c, n), nil
 		}, stats)
+		return ps, planOrderScan, err
 	case xpath.AxisPreceding:
-		return t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
+		if t.Plan == Extent && t.ordered {
+			return t.rangeJoin(ctx, cands, false), planExtentRange, nil
+		}
+		ps, err := t.orderJoin(ctx, cands, func(c, n *xmltree.Node) (bool, error) {
 			before, err := t.before(n, c)
 			if err != nil {
 				return false, err
 			}
 			return before && !t.lab.IsAncestor(n, c), nil
 		}, stats)
+		return ps, planOrderScan, err
 	case xpath.AxisFollowingSibling:
-		return t.siblingJoin(ctx, cands, true)
+		ps, err := t.siblingJoin(ctx, cands, true)
+		return ps, planSiblingIndex, err
 	case xpath.AxisPrecedingSibling:
-		return t.siblingJoin(ctx, cands, false)
+		ps, err := t.siblingJoin(ctx, cands, false)
+		return ps, planSiblingIndex, err
 	default:
-		return nil, fmt.Errorf("rdb: unsupported axis %v", step.Axis)
+		return nil, "", fmt.Errorf("rdb: unsupported axis %v", step.Axis)
 	}
 }
 

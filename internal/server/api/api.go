@@ -38,8 +38,10 @@ type LoadRequest struct {
 	RecyclePrimes bool `json:"recycle_primes,omitempty"`
 	// OrderPreserving keeps prefix-scheme sibling codes in document order.
 	OrderPreserving bool `json:"order_preserving,omitempty"`
-	// Planner selects the structural-join algorithm for descendant steps:
-	// "stacktree" (default) or "nestedloop".
+	// Planner selects the structural-join strategy: "extent" (default) picks
+	// a physical operator per step from the table's document-order columns,
+	// "stacktree" forces label-probe stack merges on descendant steps, and
+	// "nestedloop" forces pairwise label-probe joins everywhere.
 	Planner string `json:"planner,omitempty"`
 }
 
@@ -80,9 +82,25 @@ type DocInfo struct {
 	ReplicaLagGenerations uint64 `json:"replica_lag_generations,omitempty"`
 }
 
+// Query modes (QueryRequest.Mode).
+const (
+	// QueryModeNodes (the empty string) returns the full node list.
+	QueryModeNodes = ""
+	// QueryModeCount returns only the result count: the server never
+	// materializes node refs (no paths, labels, or text are built).
+	QueryModeCount = "count"
+	// QueryModeExists returns as soon as the result is known (non-)empty;
+	// like count, nothing is materialized.
+	QueryModeExists = "exists"
+)
+
 // QueryRequest evaluates an XPath-subset expression against a document.
 type QueryRequest struct {
 	XPath string `json:"xpath"`
+	// Mode selects the terminal: one of the QueryMode* constants. The
+	// count and exists modes skip node materialization entirely — the
+	// response carries Count (and Exists) with no Nodes.
+	Mode string `json:"mode,omitempty"`
 }
 
 // NodeRef identifies one element in a query result. ID is the node's
@@ -101,9 +119,32 @@ type QueryResponse struct {
 	Count      int       `json:"count"`
 	Cached     bool      `json:"cached"`
 	Nodes      []NodeRef `json:"nodes,omitempty"`
+	// Exists is set only in exists mode: whether the result set is
+	// non-empty. Count and exists responses carry no Nodes.
+	Exists *bool `json:"exists,omitempty"`
 	// Explain is the execution profile, present only when the request asked
 	// for it with ?explain=1. The profiled execution returns exactly the
 	// nodes an unprofiled one would; only this field differs.
+	Explain *QueryExplain `json:"explain,omitempty"`
+}
+
+// StreamHeader is the first NDJSON line of a streamed query response
+// (POST /docs/{name}/query/stream): the result's generation and total count,
+// sent before any node is materialized so clients can validate freshness
+// and size the receive side up front.
+type StreamHeader struct {
+	Generation uint64 `json:"generation"`
+	Count      int    `json:"count"`
+	Cached     bool   `json:"cached"`
+}
+
+// StreamChunk is one subsequent NDJSON line of a streamed query response: a
+// slice of the result set in document order. The final chunk has Done set
+// (and carries the execution profile when the request asked for explain);
+// it holds no nodes.
+type StreamChunk struct {
+	Nodes   []NodeRef     `json:"nodes,omitempty"`
+	Done    bool          `json:"done,omitempty"`
 	Explain *QueryExplain `json:"explain,omitempty"`
 }
 
@@ -145,6 +186,10 @@ type QueryExplain struct {
 	// Stages is the per-stage timing breakdown, drawn from the same request
 	// trace /debug/traces records.
 	Stages []ExplainStage `json:"stages,omitempty"`
+	// Streamed reports the profile came from the streaming endpoint: nodes
+	// were delivered in NDJSON chunks as they materialized, and the stages
+	// include stream_first_byte and stream_write.
+	Streamed bool `json:"streamed,omitempty"`
 }
 
 // ExplainStep is one location step's execution profile.
@@ -165,6 +210,11 @@ type ExplainStep struct {
 	// Parallel reports the step's join fanned out, across Shards shards.
 	Parallel bool `json:"parallel,omitempty"`
 	Shards   int  `json:"shards,omitempty"`
+	// JoinPlan is the physical operator the per-step planner chose: "scan"
+	// for the document-context first step, then "nested-loop",
+	// "extent-probe", "extent-merge", "extent-range", "stack-merge",
+	// "order-scan", or "sibling-index".
+	JoinPlan string `json:"join_plan,omitempty"`
 }
 
 // ExplainFastpath is the ancestor-test fast path's counter deltas over one

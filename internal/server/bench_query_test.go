@@ -19,8 +19,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"primelabel/internal/labeling"
 	"primelabel/internal/labeling/prime"
@@ -55,11 +57,18 @@ func deepXML(chains, depth, leaves int) string {
 // Section 5.2 shape) and returns the store plus the handles the benchmark
 // toggles: the prime labeling (fast path) and the document (parallelism).
 func loadQueryBench(t testing.TB, chains, depth, leaves int) (*Store, *document, *prime.Labeling) {
+	return loadQueryBenchPlanner(t, chains, depth, leaves, "nestedloop")
+}
+
+// loadQueryBenchPlanner is loadQueryBench with the join planner selectable,
+// so the report can compare the extent planner against the nested-loop
+// baseline on the identical fixture.
+func loadQueryBenchPlanner(t testing.TB, chains, depth, leaves int, planner string) (*Store, *document, *prime.Labeling) {
 	t.Helper()
 	st := NewStore(NewMetrics(), 0) // no query cache: every query evaluates
 	if _, err := st.Load(context.Background(), "bench", api.LoadRequest{
 		XML:        deepXML(chains, depth, leaves),
-		Planner:    "nestedloop",
+		Planner:    planner,
 		TrackOrder: true, // following/preceding need document order
 	}); err != nil {
 		t.Fatal(err)
@@ -175,10 +184,24 @@ func TestQueryBenchReport(t *testing.T) {
 	type row struct {
 		Axis       string  `json:"axis,omitempty"`
 		Query      string  `json:"query"`
+		Planner    string  `json:"planner"`
 		Elements   int     `json:"elements"`
 		BaselineNs float64 `json:"baseline_ns_per_query"`
 		FastNs     float64 `json:"fast_ns_per_query"`
 		Speedup    float64 `json:"speedup"`
+	}
+	// extentRow compares one query on the extent planner (fast path on,
+	// default workers) against the nested-loop planner in its best serving
+	// configuration (also fast path on, default workers) — the column
+	// isolates what the document-order joins alone buy. JoinPlans records
+	// the per-step plan the cost model picked, straight from EXPLAIN.
+	type extentRow struct {
+		Axis         string   `json:"axis"`
+		Query        string   `json:"query"`
+		JoinPlans    []string `json:"join_plans"`
+		NestedloopNs float64  `json:"nestedloop_fast_ns_per_query"`
+		ExtentNs     float64  `json:"extent_ns_per_query"`
+		Speedup      float64  `json:"speedup"`
 	}
 	// frozenRow compares one query served by the prime backend (fast path
 	// on, default workers — its best serving configuration) against the
@@ -203,11 +226,36 @@ func TestQueryBenchReport(t *testing.T) {
 		AllocsPerProbe float64     `json:"frozen_allocs_per_probe"`
 		Axes           []frozenRow `json:"axes"`
 	}
+	// modeReport compares the count() terminal against full node
+	// materialization for the same query on the extent planner, and
+	// streamReport the streamed terminal's time-to-first-byte against its
+	// full delivery (both medians over repeated runs — wall-clock
+	// measurements, not testing.Benchmark loops, because first-byte is a
+	// point inside one call).
+	type modeReport struct {
+		Query   string  `json:"query"`
+		NodesNs float64 `json:"nodes_ns_per_query"`
+		CountNs float64 `json:"count_ns_per_query"`
+		Speedup float64 `json:"speedup"`
+	}
+	type streamReport struct {
+		Query       string  `json:"query"`
+		Rows        int     `json:"rows"`
+		FirstByteNs float64 `json:"first_byte_ns"`
+		FullNs      float64 `json:"full_stream_ns"`
+		// FirstByteFraction is first-byte latency as a share of full
+		// delivery — small means the header leaves long before
+		// materialization finishes.
+		FirstByteFraction float64 `json:"first_byte_fraction"`
+	}
 	report := struct {
 		Workers      int          `json:"workers"`
 		MaxLabelBits int          `json:"max_label_bits"`
 		RejectRatio  float64      `json:"fastpath_reject_ratio"`
 		Axes         []row        `json:"axes"`
+		Extent       []extentRow  `json:"extent_planner"`
+		CountMode    modeReport   `json:"count_mode"`
+		Streaming    streamReport `json:"streaming"`
 		Sizes        []row        `json:"descendant_by_size"`
 		Frozen       frozenReport `json:"frozen"`
 	}{}
@@ -218,6 +266,7 @@ func TestQueryBenchReport(t *testing.T) {
 		return row{
 			Axis:       axis,
 			Query:      query,
+			Planner:    "nestedloop",
 			Elements:   elements,
 			BaselineNs: float64(base.NsPerOp()),
 			FastNs:     float64(fast.NsPerOp()),
@@ -257,6 +306,94 @@ func TestQueryBenchReport(t *testing.T) {
 	} {
 		sst, sd, spl := loadQueryBench(t, size.chains, size.depth, size.leaves)
 		report.Sizes = append(report.Sizes, measure(sst, sd, spl, "", "//c//l", sd.table.Len()))
+	}
+
+	// Extent-planner series: the identical 12k fixture loaded on the extent
+	// planner, each axis compared against the nested-loop planner's fast
+	// configuration measured above. EXPLAIN supplies the per-step plan the
+	// cost model picked, so the report records which join answered each row.
+	ctx := context.Background()
+	est, ed, epl := loadQueryBenchPlanner(t, 8, 20, 74, "extent")
+	for i, q := range axisBenchQueries {
+		exResp, err := est.QueryMode(ctx, "bench", q.query, api.QueryModeNodes, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plans []string
+		for _, s := range exResp.Explain.Steps {
+			plans = append(plans, s.JoinPlan)
+		}
+		er := testing.Benchmark(benchQuery(est, ed, epl, q.query, true, 0))
+		report.Extent = append(report.Extent, extentRow{
+			Axis:         q.axis,
+			Query:        q.query,
+			JoinPlans:    plans,
+			NestedloopNs: report.Axes[i].FastNs,
+			ExtentNs:     float64(er.NsPerOp()),
+			Speedup:      report.Axes[i].FastNs / float64(er.NsPerOp()),
+		})
+	}
+
+	// Count-mode series: same store, same descendant query, node
+	// materialization on one side and the count() terminal on the other.
+	// The store is cache-disabled, so both sides evaluate every time — the
+	// column is exactly the materialization cost.
+	nodesR := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Query(ctx, "bench", "//c//l"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	countR := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := est.QueryMode(ctx, "bench", "//c//l", api.QueryModeCount, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.CountMode = modeReport{
+		Query:   "//c//l",
+		NodesNs: float64(nodesR.NsPerOp()),
+		CountNs: float64(countR.NsPerOp()),
+		Speedup: float64(nodesR.NsPerOp()) / float64(countR.NsPerOp()),
+	}
+
+	// Streaming series: median time-to-first-byte (call start to header
+	// emit) and full delivery over repeated streams of the 12k-row result.
+	const streamRuns = 15
+	var fbSamples, fullSamples []time.Duration
+	streamRows := 0
+	for i := 0; i < streamRuns; i++ {
+		start := time.Now()
+		var headerAt time.Time
+		err := est.QueryStream(ctx, "bench", "//c//l", false, func(v any) error {
+			if h, ok := v.(api.StreamHeader); ok {
+				headerAt = time.Now()
+				streamRows = h.Count
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbSamples = append(fbSamples, headerAt.Sub(start))
+		fullSamples = append(fullSamples, time.Since(start))
+	}
+	median := func(ds []time.Duration) float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return float64(ds[len(ds)/2])
+	}
+	report.Streaming = streamReport{
+		Query:             "//c//l",
+		Rows:              streamRows,
+		FirstByteNs:       median(fbSamples),
+		FullNs:            median(fullSamples),
+		FirstByteFraction: median(fbSamples) / median(fullSamples),
+	}
+	if report.Streaming.FirstByteNs >= report.Streaming.FullNs {
+		t.Errorf("streamed first byte (%.0fns) not ahead of full delivery (%.0fns)",
+			report.Streaming.FirstByteNs, report.Streaming.FullNs)
 	}
 
 	// Frozen-vs-prime series on the 12k-element fixture. The prime side is
@@ -314,6 +451,14 @@ func TestQueryBenchReport(t *testing.T) {
 	if report.RejectRatio < 0.9 {
 		t.Errorf("prefilter reject ratio %.3f below the 0.9 acceptance floor", report.RejectRatio)
 	}
+	for _, r := range report.Extent {
+		if (r.Axis == "child" || r.Axis == "descendant") && r.Speedup < 5 {
+			t.Errorf("extent %s speedup %.2fx below the 5x acceptance floor", r.Axis, r.Speedup)
+		}
+		if len(r.JoinPlans) == 0 {
+			t.Errorf("extent %s row recorded no join plans", r.Axis)
+		}
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -343,6 +488,16 @@ func TestQueryBenchReport(t *testing.T) {
 		t.Logf("descendant %8d elems: baseline %.0fns, fast %.0fns (%.1fx)",
 			r.Elements, r.BaselineNs, r.FastNs, r.Speedup)
 	}
+	for _, r := range report.Extent {
+		t.Logf("extent %-10s %-28s plans %v: nestedloop %.0fns, extent %.0fns (%.1fx)",
+			r.Axis, r.Query, r.JoinPlans, r.NestedloopNs, r.ExtentNs, r.Speedup)
+	}
+	t.Logf("count mode %s: nodes %.0fns, count %.0fns (%.1fx)",
+		report.CountMode.Query, report.CountMode.NodesNs, report.CountMode.CountNs, report.CountMode.Speedup)
+	t.Logf("streaming %s (%d rows): first byte %.2fms, full %.2fms (%.1f%% of delivery)",
+		report.Streaming.Query, report.Streaming.Rows,
+		report.Streaming.FirstByteNs/1e6, report.Streaming.FullNs/1e6,
+		100*report.Streaming.FirstByteFraction)
 	t.Logf("prefilter reject ratio %.4f, max label bits %d, workers %d",
 		report.RejectRatio, report.MaxLabelBits, report.Workers)
 	for _, r := range report.Frozen.Axes {

@@ -151,6 +151,99 @@ func (c *Client) QueryExplain(name, xpath string) (api.QueryResponse, error) {
 	return resp, err
 }
 
+// queryMode posts a query under a terminal mode; the routed client also
+// calls it directly (it needs the response generation for its freshness
+// floor, which the boolean QueryExists wrapper drops).
+func (c *Client) queryMode(name, xpath, mode string) (api.QueryResponse, error) {
+	var resp api.QueryResponse
+	err := c.do(http.MethodPost, "/docs/"+name+"/query",
+		api.QueryRequest{XPath: xpath, Mode: mode}, &resp)
+	return resp, err
+}
+
+// QueryCount evaluates in count mode: the server returns only the result
+// count and never materializes node refs. The response carries no Nodes.
+func (c *Client) QueryCount(name, xpath string) (api.QueryResponse, error) {
+	return c.queryMode(name, xpath, api.QueryModeCount)
+}
+
+// QueryExists evaluates in exists mode: the server reports only whether the
+// result set is non-empty, with nothing materialized.
+func (c *Client) QueryExists(name, xpath string) (bool, error) {
+	resp, err := c.queryMode(name, xpath, api.QueryModeExists)
+	if err != nil {
+		return false, err
+	}
+	return resp.Exists != nil && *resp.Exists, nil
+}
+
+// QueryStream evaluates against POST /docs/{name}/query/stream and invokes
+// fn for every NDJSON chunk as it arrives, including the final Done chunk.
+// The returned header is the stream's first line (generation and total
+// count, sent before the server materialized anything). A non-nil error
+// from fn aborts the stream and is returned. A stream whose body ends
+// without a Done chunk was aborted server-side and yields an error.
+func (c *Client) QueryStream(name, xpath string, fn func(api.StreamChunk) error) (api.StreamHeader, error) {
+	return c.queryStream("/docs/"+name+"/query/stream", xpath, nil, fn)
+}
+
+// queryStream is the transport shared by Client.QueryStream and the routed
+// client: onHeader (when non-nil) sees the header before any chunk is
+// forwarded, so a router can reject a stale replica's stream while nothing
+// has been delivered yet.
+func (c *Client) queryStream(path, xpath string, onHeader func(api.StreamHeader) error, fn func(api.StreamChunk) error) (api.StreamHeader, error) {
+	var hdr api.StreamHeader
+	buf, err := json.Marshal(api.QueryRequest{XPath: xpath})
+	if err != nil {
+		return hdr, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return hdr, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.traceID != "" {
+		req.Header.Set(api.TraceIDHeader, c.traceID)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return hdr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr api.Error
+		msg := ""
+		if derr := json.NewDecoder(resp.Body).Decode(&apiErr); derr == nil {
+			msg = apiErr.Error
+		}
+		return hdr, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&hdr); err != nil {
+		return hdr, fmt.Errorf("labeld: stream header: %w", err)
+	}
+	if onHeader != nil {
+		if err := onHeader(hdr); err != nil {
+			return hdr, err
+		}
+	}
+	for {
+		var chunk api.StreamChunk
+		if err := dec.Decode(&chunk); err != nil {
+			if errors.Is(err, io.EOF) {
+				return hdr, errors.New("labeld: stream ended without a done chunk (aborted server-side)")
+			}
+			return hdr, err
+		}
+		if err := fn(chunk); err != nil {
+			return hdr, err
+		}
+		if chunk.Done {
+			return hdr, nil
+		}
+	}
+}
+
 // Relation answers a label-only relationship probe.
 func (c *Client) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {
 	var resp api.RelationResponse

@@ -439,6 +439,92 @@ func (r *Routed) QueryExplain(name, xpath string) (api.QueryResponse, error) {
 	return resp, err
 }
 
+// QueryCount evaluates in count mode (no node materialization), routed like
+// Query: replica-first with generation-floor fallback.
+func (r *Routed) QueryCount(name, xpath string) (api.QueryResponse, error) {
+	t := r.tgt()
+	if c, target := r.pick(t); c != nil {
+		start := time.Now()
+		resp, err := c.QueryCount(name, xpath)
+		r.observe(target, "query", start, err)
+		if err == nil && resp.Generation >= r.state.get(name) {
+			r.state.raise(name, resp.Generation)
+			return resp, nil
+		}
+	}
+	start := time.Now()
+	resp, err := r.traced(t.primary).QueryCount(name, xpath)
+	r.observe(t.primaryURL, "query", start, err)
+	if err == nil {
+		r.state.raise(name, resp.Generation)
+	}
+	return resp, err
+}
+
+// QueryExists evaluates in exists mode, routed like Query.
+func (r *Routed) QueryExists(name, xpath string) (bool, error) {
+	t := r.tgt()
+	if c, target := r.pick(t); c != nil {
+		start := time.Now()
+		resp, err := c.queryMode(name, xpath, api.QueryModeExists)
+		r.observe(target, "query", start, err)
+		if err == nil && resp.Generation >= r.state.get(name) {
+			r.state.raise(name, resp.Generation)
+			return resp.Exists != nil && *resp.Exists, nil
+		}
+	}
+	start := time.Now()
+	resp, err := r.traced(t.primary).queryMode(name, xpath, api.QueryModeExists)
+	r.observe(t.primaryURL, "query", start, err)
+	if err != nil {
+		return false, err
+	}
+	r.state.raise(name, resp.Generation)
+	return resp.Exists != nil && *resp.Exists, nil
+}
+
+// QueryStream streams a query's result chunks through fn, routed
+// replica-first: the header arrives before any chunk, so a stale replica
+// (header generation below the document's floor) is abandoned with nothing
+// delivered and the stream is retried against the primary. Once chunks are
+// flowing the serving node is committed — chunks cannot be un-delivered.
+func (r *Routed) QueryStream(name, xpath string, fn func(api.StreamChunk) error) (api.StreamHeader, error) {
+	t := r.tgt()
+	path := "/docs/" + name + "/query/stream"
+	if c, target := r.pick(t); c != nil {
+		start := time.Now()
+		stale := errors.New("stale replica stream")
+		onHeader := func(h api.StreamHeader) error {
+			if h.Generation < r.state.get(name) {
+				return stale
+			}
+			return nil
+		}
+		hdr, err := c.queryStream(path, xpath, onHeader, fn)
+		r.observe(target, "query", start, err)
+		if err == nil {
+			r.state.raise(name, hdr.Generation)
+			return hdr, nil
+		}
+		if !errors.Is(err, stale) {
+			// The replica failed mid-stream or outright; only retry when
+			// nothing was delivered (a stale header delivers nothing, any
+			// other error may have).
+			var ae *APIError
+			if !errors.As(err, &ae) {
+				return hdr, err
+			}
+		}
+	}
+	start := time.Now()
+	hdr, err := r.traced(t.primary).queryStream(path, xpath, nil, fn)
+	r.observe(t.primaryURL, "query", start, err)
+	if err == nil {
+		r.state.raise(name, hdr.Generation)
+	}
+	return hdr, err
+}
+
 // Relation answers a label-relationship probe on a replica when one is
 // available and fresh enough, falling back to the primary otherwise.
 func (r *Routed) Relation(name string, req api.RelationRequest) (api.RelationResponse, error) {

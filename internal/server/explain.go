@@ -62,6 +62,7 @@ func explainSteps(ex *rdb.Explain) []api.ExplainStep {
 			Emitted:    st.Emitted,
 			Parallel:   st.Parallel,
 			Shards:     st.Shards,
+			JoinPlan:   st.JoinPlan,
 		}
 	}
 	return out

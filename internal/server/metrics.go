@@ -57,6 +57,11 @@ type Metrics struct {
 	// and the shards it spawned doing so.
 	queryFanOuts atomic.Uint64
 	queryShards  atomic.Uint64
+	// Materialization-skipping terminals: count/exists-mode queries (no
+	// node refs built) and streamed queries (refs built chunk by chunk
+	// after the header left).
+	queryCountMode atomic.Uint64
+	queryStreamed  atomic.Uint64
 	// ancestors counts ancestor-test outcomes (prefilter rejects, exact
 	// divisions) across every prime-labeled document. The registry owns the
 	// counters — rather than the labelings — so the series stay monotonic
@@ -221,6 +226,10 @@ func (m *Metrics) WriteText(w io.Writer) {
 	line("labeld_query_parallel_fanouts_total %d", m.queryFanOuts.Load())
 	line("# HELP labeld_query_parallel_shards_total Shards spawned by parallel operator scans.")
 	line("labeld_query_parallel_shards_total %d", m.queryShards.Load())
+	line("# HELP labeld_query_count_mode_total Count/exists-mode queries served without materializing node refs.")
+	line("labeld_query_count_mode_total %d", m.queryCountMode.Load())
+	line("# HELP labeld_query_streamed_total Queries served over the chunked NDJSON streaming endpoint.")
+	line("labeld_query_streamed_total %d", m.queryStreamed.Load())
 	line("# HELP labeld_query_fastpath_prefilter_rejects_total Ancestor tests rejected by the constant-time prefilter (depth, bit length, path signature) before any division ran.")
 	line("labeld_query_fastpath_prefilter_rejects_total %d", m.ancestors.PrefilterRejects.Load())
 	line("# HELP labeld_query_fastpath_exact_tests_total Ancestor tests that fell through to an exact division, by kind: u64 is a single machine-word modulo, big a big-integer remainder.")

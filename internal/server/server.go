@@ -351,6 +351,10 @@ func (s *Server) Handler() http.Handler {
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /replicate/{name}", s.instrument("replicate", s.handleReplicate))
 	outer.HandleFunc("GET /replicate/{name}/digest", s.instrument("replicate_digest", s.handleReplicateDigest))
+	// The streaming query endpoint also bypasses the timeout wrapper:
+	// TimeoutHandler buffers the whole response, which would hold every
+	// chunk until the handler returned — the opposite of streaming.
+	outer.HandleFunc("POST /docs/{name}/query/stream", s.instrument("query_stream", s.handleQueryStream))
 	outer.Handle("/", timed)
 	return outer
 }
@@ -594,16 +598,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Explain rides on a URL parameter rather than a body field so the body
 	// schema (and the DisallowUnknownFields contract) stays unchanged:
 	// ?explain=1 returns the same nodes plus an execution profile.
-	query := s.store.Query
-	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
-		query = s.store.QueryExplain
-	}
-	resp, err := query(r.Context(), r.PathValue("name"), req.XPath)
+	resp, err := s.store.QueryMode(r.Context(), r.PathValue("name"), req.XPath, req.Mode, explainParam(r))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainParam reads the ?explain=1 query flag.
+func explainParam(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	return v == "1" || v == "true"
+}
+
+// handleQueryStream serves POST /docs/{name}/query/stream: the query result
+// as NDJSON — one StreamHeader line, then StreamChunk lines, flushed as
+// they materialize. The endpoint lives outside the request-timeout wrapper
+// (TimeoutHandler buffers the whole body, which would defeat streaming);
+// errors after the first line can only abort the stream, so clients treat a
+// body without a Done chunk as failed.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req api.QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Mode != api.QueryModeNodes {
+		writeError(w, fmt.Errorf("%w: streaming delivers nodes; use /query for mode %q", ErrBadRequest, req.Mode))
+		return
+	}
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(v any) error {
+		if !wrote {
+			wrote = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	err := s.store.QueryStream(r.Context(), r.PathValue("name"), req.XPath, explainParam(r), emit)
+	if err != nil && !wrote {
+		writeError(w, err)
+		return
+	}
+	if err != nil {
+		s.logger.Warn("query stream aborted", "doc", r.PathValue("name"), "err", err)
+	}
 }
 
 func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {

@@ -59,7 +59,7 @@ func TestLoadInfoListDelete(t *testing.T) {
 	if !strings.HasPrefix(info.Scheme, "prime") {
 		t.Fatalf("scheme = %q", info.Scheme)
 	}
-	if info.Generation != 0 || info.Planner != "stacktree" {
+	if info.Generation != 0 || info.Planner != "extent" {
 		t.Fatalf("unexpected info %+v", info)
 	}
 

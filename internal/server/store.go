@@ -216,10 +216,15 @@ func buildScheme(req api.LoadRequest) (labeling.Scheme, error) {
 	}
 }
 
-// plannerOf parses the planner selection.
+// plannerOf parses the planner selection. The extent planner — per-step
+// cost-based dispatch over the document-order columns — is the default;
+// "stacktree" and "nestedloop" remain selectable (and parse from persisted
+// metadata of older documents) for ablation and as the parity oracle.
 func plannerOf(name string) (rdb.Planner, string, error) {
 	switch name {
-	case "", "stacktree":
+	case "", "extent":
+		return rdb.Extent, "extent", nil
+	case "stacktree":
 		return rdb.StackTree, "stacktree", nil
 	case "nestedloop":
 		return rdb.NestedLoop, "nestedloop", nil
@@ -525,18 +530,7 @@ func (s *Store) query(ctx context.Context, name, query string, explain bool) (*a
 	// Build the planner-summary profile on every miss (the query-stats
 	// registry attaches it to a shape's slowest call); step, fastpath and
 	// stage detail only when the caller asked for explain.
-	profile := &api.QueryExplain{
-		Shape:      s.querystats.ShapeOf(query),
-		Backend:    d.backendName(frozenServe),
-		Parallel:   stats.FanOuts > 0,
-		Shards:     stats.Shards,
-		Candidates: stats.Candidates,
-	}
-	if frozenServe {
-		profile.MaxLabelBits = d.frozen.MaxLabelBits()
-	} else {
-		profile.MaxLabelBits = d.lab.MaxLabelBits()
-	}
+	profile := d.queryProfile(s, query, stats, frozenServe)
 	if explain {
 		profile.Steps = explainSteps(ex)
 		if primeBacked {

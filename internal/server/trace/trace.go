@@ -82,6 +82,14 @@ const (
 	// overlay — the transparent fallback to the dynamic scheme that makes
 	// the next update safe.
 	StageThaw = "thaw"
+	// StageStreamFirstByte is a streamed query's time to first byte: from
+	// request entry to the header line leaving the handler — evaluation
+	// included, materialization excluded. The streaming endpoint's reason
+	// to exist is keeping this flat in result size.
+	StageStreamFirstByte = "stream_first_byte"
+	// StageStreamWrite is the chunked materialize-and-write phase of a
+	// streamed query: everything after the header line.
+	StageStreamWrite = "stream_write"
 )
 
 // Stages lists every stage name, in rough request order. The server's
@@ -92,6 +100,7 @@ var Stages = []string{
 	StageReindex, StageCodecEncode, StageSnapshotWrite, StageJournalAppend,
 	StageJournalGroupWait, StageJournalFsync, StageReplicaStream,
 	StageReplicaApply, StageFreezeRelabel, StageThaw,
+	StageStreamFirstByte, StageStreamWrite,
 }
 
 // Span is one timed stage within a trace.
